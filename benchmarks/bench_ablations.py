@@ -1,0 +1,202 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one model ingredient and reports how the headline
+results move — quantifying which assumptions the conclusions are and are
+not sensitive to.
+"""
+
+import pytest
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.core.sizing import ConstellationSizer, DeploymentScenario
+from repro.orbits.density import ShellMixDensity
+from repro.orbits.shells import GEN1_SHELLS, current_deployment
+from repro.spectrum.beams import BeamPlan, starlink_beam_plan
+from repro.viz.tables import format_table
+
+
+def bench_ablation_spectral_efficiency(benchmark, national_model):
+    """Sweep the ~4.5 b/Hz assumption: how do F1's quantities move?"""
+
+    def sweep():
+        rows = []
+        for efficiency in (3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0):
+            capacity = SatelliteCapacityModel(starlink_beam_plan(efficiency))
+            peak = national_model.dataset.max_cell().total_locations
+            cap20 = capacity.max_locations_at_oversubscription(20.0)
+            floor = national_model.dataset.excess_locations_above(cap20)
+            rows.append(
+                (
+                    efficiency,
+                    f"{capacity.required_oversubscription(peak):.1f}",
+                    cap20,
+                    floor,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    # More efficiency -> lower required oversubscription, smaller floor.
+    oversubs = [float(r[1]) for r in rows]
+    floors = [r[3] for r in rows]
+    assert oversubs == sorted(oversubs, reverse=True)
+    assert floors == sorted(floors, reverse=True)
+    print("\n[ablation: spectral efficiency]")
+    print(
+        format_table(
+            ("b/Hz", "peak oversub", "20:1 cap", "unservable floor"), rows
+        )
+    )
+
+
+def bench_ablation_beams_per_cell(benchmark, national_model):
+    """Sweep the 4-beams-per-cell FCC constraint."""
+
+    def sweep():
+        rows = []
+        for max_beams in (2, 3, 4, 6, 8):
+            plan = BeamPlan(max_beams_per_cell=max_beams)
+            sizer = ConstellationSizer(
+                national_model.dataset, SatelliteCapacityModel(plan)
+            )
+            result = sizer.size_scenario(
+                DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
+            )
+            rows.append(
+                (max_beams, result.binding_cell_beams, result.constellation_size)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    # More beams pinned on the peak cell -> fewer free beams -> larger N.
+    sizes = [r[2] for r in rows]
+    assert sizes == sorted(sizes)
+    print("\n[ablation: max beams per cell]")
+    print(format_table(("max beams/cell", "binding beams", "N @ s=2"), rows))
+
+
+def bench_ablation_shell_mix(benchmark, national_model):
+    """Sweep the latitude-density shell mix used for Table 2."""
+
+    mixes = {
+        "53-degree shells": [GEN1_SHELLS[0], GEN1_SHELLS[1]],
+        "all Gen1": list(GEN1_SHELLS),
+        "current ~8000": current_deployment(),
+    }
+
+    def sweep():
+        rows = []
+        for name, shells in mixes.items():
+            sizer = ConstellationSizer(
+                national_model.dataset, density=ShellMixDensity(shells)
+            )
+            result = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 2)
+            rows.append(
+                (
+                    name,
+                    f"{result.latitude_enhancement:.3f}",
+                    result.constellation_size,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    sizes = {name: size for name, _, size in rows}
+    # Pure 53-degree shells concentrate hardest over 37 N, so they need the
+    # smallest constellation; polar/low-inclination admixtures dilute e.
+    assert sizes["53-degree shells"] <= min(sizes.values()) * 1.001
+    print("\n[ablation: shell mix]")
+    print(format_table(("mix", "e(37N)", "N @ s=2 full service"), rows))
+
+
+def bench_ablation_cell_area(benchmark, national_model):
+    """Sweep the H3 resolution (cell area) holding per-cell demand fixed.
+
+    N scales as 1/A_cell: halving cell area doubles the required satellite
+    density at the binding cell.
+    """
+    from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2
+
+    def sweep():
+        rows = []
+        for resolution in (4, 5, 6):
+            area = H3_MEAN_HEX_AREA_KM2[resolution]
+            sizer = ConstellationSizer(
+                national_model.dataset, cell_area_km2=area
+            )
+            result = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 2)
+            rows.append((resolution, f"{area:.0f}", result.constellation_size))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    sizes = [r[2] for r in rows]
+    assert sizes == sorted(sizes)  # finer cells -> larger N
+    ratio = sizes[1] / sizes[0]
+    assert ratio == pytest.approx(7.0, rel=0.01)  # aperture-7 area ratio
+    print("\n[ablation: cell resolution]")
+    print(format_table(("H3 res", "cell km^2", "N @ s=2 full service"), rows))
+
+
+def bench_ablation_subsidy_depth(benchmark, national_model):
+    """Counterfactual: how deep must a subsidy cut to fix affordability?"""
+
+    def sweep():
+        rows = []
+        analysis = national_model.affordability
+        total = analysis.total_locations
+        for subsidy in (0.0, 9.25, 30.0, 50.0, 70.0, 90.0):
+            cost = max(0.0, 120.0 - subsidy)
+            priced_out = analysis.unaffordable_locations(cost)
+            rows.append(
+                (f"${subsidy:.2f}", f"${cost:.2f}", priced_out, f"{priced_out/total:.1%}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    counts = [r[2] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    print("\n[ablation: subsidy depth on Starlink Residential]")
+    print(
+        format_table(
+            ("monthly subsidy", "net cost", "priced out", "share"), rows
+        )
+    )
+
+
+def bench_ablation_spectrum_reuse(benchmark, national_model):
+    """Sweep the reuse budget: filed configuration vs the physics ceiling."""
+    from repro.spectrum.interference import InterferenceModel
+
+    peak = national_model.dataset.max_cell().total_locations
+
+    def sweep():
+        rows = []
+        for polarizations, rings in ((1, 2), (1, 1), (2, 1), (2, 0)):
+            model = InterferenceModel(
+                polarizations=polarizations, exclusion_rings=rings
+            )
+            rows.append(
+                (
+                    f"{polarizations} pol / {rings} ring",
+                    model.orthogonal_resources,
+                    f"{model.cell_capacity_ceiling_mbps() / 1000:.1f} Gbps",
+                    f"{model.min_oversubscription_possible(peak):.1f}:1",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    floors = [float(r[3].split(":")[0]) for r in rows]
+    # More orthogonal resources monotonically lower the unavoidable floor.
+    resources = [r[1] for r in rows]
+    for (ra, fa), (rb, fb) in zip(zip(resources, floors), list(zip(resources, floors))[1:]):
+        if rb > ra:
+            assert fb <= fa
+    print("\n[ablation: spectrum reuse budget]")
+    from repro.viz.tables import format_table
+    print(
+        format_table(
+            ("reuse budget", "resources", "cell ceiling", "peak-cell floor"),
+            rows,
+        )
+    )

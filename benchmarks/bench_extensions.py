@@ -1,0 +1,90 @@
+"""Benches for the extension experiments (beyond the paper's artifacts)."""
+
+from repro.experiments import run_experiment
+
+
+def bench_uplink(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("uplink", national_model), rounds=3, iterations=1
+    )
+    # Uplink binds ~3x harder than the paper's downlink analysis.
+    assert result.metrics["uplink_required_oversubscription"] > 90.0
+    assert result.metrics["uplink_service_fraction_at_20"] < 0.99
+    benchmark.extra_info.update(result.metrics)
+    print("\n[uplink]")
+    print(result.text)
+
+
+def bench_gateways(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("gw", national_model), rounds=1, iterations=1
+    )
+    # At 550 km the bent-pipe constraint does not bind over CONUS.
+    assert result.metrics["location_fraction"] == 1.0
+    benchmark.extra_info.update(result.metrics)
+    print("\n[gw]")
+    print(result.text)
+
+
+def bench_tco(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tco", national_model), rounds=3, iterations=1
+    )
+    # The final step's capex per location rivals remote fiber builds.
+    assert result.metrics["final_step_capex_per_location_s1"] > (
+        result.metrics["remote_fiber_per_location"]
+    )
+    benchmark.extra_info.update(result.metrics)
+    print("\n[tco]")
+    print(result.text)
+
+
+def bench_robustness(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("robust", national_model), rounds=1, iterations=1
+    )
+    assert result.metrics["size_spread"] < 0.05
+    assert result.metrics["share_spread"] < 0.02
+    benchmark.extra_info.update(result.metrics)
+    print("\n[robust]")
+    print(result.text)
+
+
+def bench_uncertainty(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("uncertainty", national_model),
+        rounds=1,
+        iterations=1,
+    )
+    # F2's ">40,000 at beamspread 2" survives the 5th-percentile inputs
+    # (the point estimate stays inside the band).
+    assert result.metrics["s2_p5"] < result.metrics["s2_point"] < (
+        result.metrics["s2_p95"]
+    )
+    assert result.metrics["s2_p5"] > 30000
+    benchmark.extra_info.update(result.metrics)
+    print("\n[uncertainty]")
+    print(result.text)
+
+
+def bench_defection(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("defection", national_model),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metrics["doubling_defection"] < 0.25
+    assert result.metrics["floor_at_20pct"] > result.metrics["baseline_floor"]
+    benchmark.extra_info.update(result.metrics)
+    print("\n[defection]")
+    print(result.text)
+
+
+def bench_equity(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("equity", national_model), rounds=1, iterations=1
+    )
+    assert result.metrics["concentration_index"] > 0.0
+    benchmark.extra_info.update(result.metrics)
+    print("\n[equity]")
+    print(result.text)

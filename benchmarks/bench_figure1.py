@@ -1,0 +1,19 @@
+"""Figure 1 bench: regenerate the locations-per-cell distribution."""
+
+from repro.experiments import run_experiment
+
+PAPER = {"p90": 552, "p99": 1437, "max": 5998}
+
+
+def bench_figure1(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1", national_model), rounds=3, iterations=1
+    )
+    for key, paper_value in PAPER.items():
+        ours = result.metrics[key]
+        assert abs(ours - paper_value) / paper_value < 0.01, (key, ours)
+        benchmark.extra_info[f"{key}_ours"] = ours
+        benchmark.extra_info[f"{key}_paper"] = paper_value
+    print("\n[fig1] paper vs ours:")
+    for key, paper_value in PAPER.items():
+        print(f"  {key:>4}: paper={paper_value}  ours={result.metrics[key]:.0f}")

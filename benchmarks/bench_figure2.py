@@ -1,0 +1,17 @@
+"""Figure 2 bench: regenerate the fraction-served heat grid."""
+
+from repro.experiments import run_experiment
+
+
+def bench_figure2(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", national_model), rounds=3, iterations=1
+    )
+    # Paper colorbar runs 0.36 .. 0.99.
+    assert abs(result.metrics["min_fraction"] - 0.36) < 0.02
+    assert result.metrics["max_fraction"] >= 0.99
+    benchmark.extra_info.update(result.metrics)
+    print("\n[fig2] fraction-served range: "
+          f"{result.metrics['min_fraction']:.2f} .. "
+          f"{result.metrics['max_fraction']:.2f} (paper: 0.36 .. 0.99)")
+    print(result.text)

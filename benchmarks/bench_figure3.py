@@ -1,0 +1,18 @@
+"""Figure 3 bench: regenerate the diminishing-returns step curves."""
+
+from repro.experiments import run_experiment
+
+
+def bench_figure3(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", national_model), rounds=3, iterations=1
+    )
+    metrics = result.metrics
+    # Paper Fig 3 annotation: 5103 locations unservable at 20:1; F3: the
+    # final step costs hundreds (wide beamspread) to thousands (narrow).
+    assert abs(metrics["floor_unservable"] - 5103) < 60
+    assert metrics["final_step_satellites_s15"] < 1000
+    assert metrics["final_step_satellites_s1"] > 1000
+    benchmark.extra_info.update(metrics)
+    print("\n[fig3]")
+    print(result.text)

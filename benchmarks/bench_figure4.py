@@ -1,0 +1,16 @@
+"""Figure 4 bench: regenerate the affordability curves."""
+
+from repro.experiments import run_experiment
+
+
+def bench_figure4(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", national_model), rounds=3, iterations=1
+    )
+    metrics = result.metrics
+    # Paper: 3.5M priced out of $120/mo, ~3.0M with Lifeline.
+    assert abs(metrics["unaffordable_starlink_at_2pct"] - 3.47e6) / 3.47e6 < 0.01
+    assert abs(metrics["unaffordable_lifeline_at_2pct"] - 3.0e6) / 3.0e6 < 0.01
+    benchmark.extra_info.update(metrics)
+    print("\n[fig4]")
+    print(result.text)

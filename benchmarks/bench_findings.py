@@ -1,0 +1,25 @@
+"""Findings bench: recompute F1-F4 end to end."""
+
+from repro.core.findings import compute_findings
+
+
+def bench_findings(benchmark, national_model):
+    findings = benchmark.pedantic(
+        lambda: compute_findings(national_model.dataset, national_model.sizer),
+        rounds=3,
+        iterations=1,
+    )
+    assert round(findings.f1["required_oversubscription"]) == 35
+    assert findings.f1["locations_in_cells_above_cap"] == 22428
+    assert findings.f2["additional_over_current"] > 32000
+    assert abs(findings.f4["unaffordable_starlink_share"] - 0.745) < 0.005
+    benchmark.extra_info.update(
+        {
+            "f1_oversub": findings.f1["required_oversubscription"],
+            "f2_size_s2": findings.f2["size_at_beamspread_2"],
+            "f3_priciest_step": findings.f3["priciest_final_step_satellites"],
+            "f4_share": findings.f4["unaffordable_starlink_share"],
+        }
+    )
+    print("\n[findings]")
+    print(findings.text())

@@ -1,0 +1,22 @@
+"""Table 1 bench: regenerate the single-satellite capacity model."""
+
+from repro.experiments import run_experiment
+
+
+def bench_table1(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab1", national_model), rounds=5, iterations=1
+    )
+    metrics = result.metrics
+    assert abs(metrics["ut_spectrum_mhz"] - 3850.0) < 0.01
+    assert abs(metrics["cell_capacity_mbps"] - 17325.0) < 0.01
+    assert round(metrics["max_oversubscription"]) == 35
+    benchmark.extra_info.update(
+        {
+            "ut_spectrum_mhz": metrics["ut_spectrum_mhz"],
+            "cell_capacity_gbps": metrics["cell_capacity_mbps"] / 1000.0,
+            "max_oversubscription": metrics["max_oversubscription"],
+        }
+    )
+    print("\n[tab1]")
+    print(result.text)

@@ -1,0 +1,20 @@
+"""Table 2 bench: regenerate constellation sizes vs beamspread."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+def bench_table2(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab2", national_model), rounds=3, iterations=1
+    )
+    assert result.metrics["worst_relative_error"] < 0.02
+    benchmark.extra_info["worst_relative_error"] = result.metrics[
+        "worst_relative_error"
+    ]
+    for row in result.csv_rows:
+        spread, full, paper_full, capped, paper_capped = row
+        benchmark.extra_info[f"s{spread}_full"] = full
+        benchmark.extra_info[f"s{spread}_paper"] = paper_full
+    print("\n[tab2]")
+    print(result.text)

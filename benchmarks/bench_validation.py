@@ -1,0 +1,15 @@
+"""Validation bench: the dynamical simulator vs the analytical model."""
+
+from repro.experiments import run_experiment
+
+
+def bench_validation(benchmark, national_model):
+    result = benchmark.pedantic(
+        lambda: run_experiment("val", national_model), rounds=1, iterations=1
+    )
+    metrics = result.metrics
+    assert metrics["worst_density_error"] < 0.05
+    assert metrics["min_coverage_fraction"] > 0.85
+    benchmark.extra_info.update(metrics)
+    print("\n[val]")
+    print(result.text)

@@ -1,0 +1,19 @@
+"""Benchmark fixtures.
+
+Each ``bench_*`` file regenerates one paper artifact per benchmark round
+and attaches its headline numbers to ``benchmark.extra_info`` so the
+pytest-benchmark report doubles as a reproduction record. The calibrated
+national dataset is built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import StarlinkDivideModel
+from repro.demand.synthetic import generate_national_map
+
+
+@pytest.fixture(scope="session")
+def national_model() -> StarlinkDivideModel:
+    return StarlinkDivideModel(generate_national_map())

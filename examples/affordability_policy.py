@@ -1,0 +1,107 @@
+"""Affordability policy lab: subsidies, prices, and the 2% rule.
+
+The paper's F4 shows capacity is not the only barrier: most un(der)served
+locations cannot afford Starlink at $120/month. This example treats that
+as a policy question:
+
+* How deep must a monthly subsidy be for 50 / 75 / 90 % of un(der)served
+  locations to afford Starlink?
+* What would Starlink have to charge to be as affordable as the cable
+  comparators?
+* What does an ACP-style $30 subsidy (the lapsed program) buy relative to
+  Lifeline's $9.25?
+
+Run:  python examples/affordability_policy.py
+"""
+
+import numpy as np
+
+from repro import StarlinkDivideModel
+from repro.econ.plans import STARLINK_RESIDENTIAL, XFINITY_300
+from repro.econ.subsidies import LIFELINE, acp_style_subsidy
+from repro.econ.thresholds import affordability_income_floor_usd_per_year
+from repro.viz.tables import format_table
+
+
+def subsidy_needed_for_share(analysis, target_share: float) -> float:
+    """Smallest monthly subsidy making Starlink affordable to the share."""
+    total = analysis.total_locations
+    for subsidy in np.arange(0.0, 120.5, 0.25):
+        cost = max(0.0, STARLINK_RESIDENTIAL.monthly_cost_usd - subsidy)
+        affordable = 1.0 - analysis.unaffordable_locations(cost) / total
+        if affordable >= target_share:
+            return float(subsidy)
+    return 120.0
+
+
+def main() -> None:
+    model = StarlinkDivideModel.default()
+    analysis = model.affordability
+    total = analysis.total_locations
+
+    print(model.dataset.summary())
+    print()
+
+    rows = []
+    for target in (0.50, 0.75, 0.90, 0.99):
+        subsidy = subsidy_needed_for_share(analysis, target)
+        net = STARLINK_RESIDENTIAL.monthly_cost_usd - subsidy
+        floor = affordability_income_floor_usd_per_year(net)
+        rows.append(
+            (
+                f"{target:.0%}",
+                f"${subsidy:.2f}/mo",
+                f"${net:.2f}/mo",
+                f"${floor:,.0f}/yr",
+            )
+        )
+    print(
+        format_table(
+            ("affordable to", "needed subsidy", "net price", "income floor"),
+            rows,
+            title="Subsidy depth required for Starlink affordability",
+        )
+    )
+    print()
+
+    scenarios = [
+        ("no subsidy", STARLINK_RESIDENTIAL),
+        ("Lifeline ($9.25)", LIFELINE.apply(STARLINK_RESIDENTIAL)),
+        ("ACP-style ($30)", acp_style_subsidy(30.0).apply(STARLINK_RESIDENTIAL)),
+        ("both", acp_style_subsidy(30.0).apply(LIFELINE.apply(STARLINK_RESIDENTIAL))),
+        ("Xfinity 300 (reference)", XFINITY_300),
+    ]
+    rows = []
+    for label, plan in scenarios:
+        priced_out = analysis.unaffordable_locations(plan.monthly_cost_usd)
+        rows.append(
+            (
+                label,
+                f"${plan.monthly_cost_usd:.2f}",
+                f"{priced_out:,}",
+                f"{priced_out / total:.1%}",
+            )
+        )
+    print(
+        format_table(
+            ("scenario", "net monthly cost", "priced out", "share"),
+            rows,
+            title="Existing and counterfactual subsidy programs",
+        )
+    )
+    print()
+
+    # Price parity: what monthly price matches cable affordability?
+    for price in np.arange(120.0, 0.0, -1.0):
+        if analysis.unaffordable_locations(price) <= analysis.unaffordable_locations(
+            XFINITY_300.monthly_cost_usd
+        ):
+            print(
+                f"Starlink would need to charge <= ${price:.0f}/month to be "
+                "as affordable as the $40 cable reference plan."
+            )
+            break
+
+
+if __name__ == "__main__":
+    main()

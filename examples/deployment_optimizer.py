@@ -1,0 +1,83 @@
+"""The operator's problem: the cost/coverage frontier.
+
+Findings F1-F3 describe trade-offs; this study solves the optimization
+they imply: for each service target (what share of un(der)served
+locations must actually be served, within the FCC's 20:1 benchmark),
+find the cheapest (beamspread, oversubscription) configuration and its
+constellation — including the coverage floor that full-US-coverage
+imposes regardless of demand.
+
+Run:  python examples/deployment_optimizer.py
+"""
+
+from repro import StarlinkDivideModel
+from repro.econ.tco import ConstellationCostModel
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    model = StarlinkDivideModel.default()
+    optimizer = model.optimizer()
+    costs = ConstellationCostModel()
+
+    print(model.dataset.summary())
+    print()
+
+    targets = (0.80, 0.90, 0.95, 0.99, 0.995, 0.9989)
+    rows = []
+    for target, plan in zip(targets, optimizer.frontier(targets)):
+        if plan is None:
+            rows.append((f"{target:.2%}", "-", "-", "-", "-", "infeasible"))
+            continue
+        rows.append(
+            (
+                f"{target:.2%}",
+                plan.beamspread,
+                f"{plan.oversubscription:.0f}:1",
+                f"{plan.service_fraction:.2%}",
+                f"{plan.effective_size:,}",
+                f"${costs.constellation_capex_usd(plan.effective_size) / 1e9:.0f}B",
+            )
+        )
+    print(
+        format_table(
+            (
+                "service target",
+                "beamspread",
+                "oversub",
+                "achieved",
+                "satellites",
+                "capex",
+            ),
+            rows,
+            title="Cheapest deployment per service target (max 20:1)",
+        )
+    )
+    print()
+
+    # How binding is the coverage floor relative to the demand bound?
+    rows = []
+    for spread in (1, 2, 5, 10, 15):
+        plan = optimizer.evaluate(spread, 20.0)
+        rows.append(
+            (
+                spread,
+                f"{plan.constellation_size:,}",
+                f"{plan.coverage_floor:,}",
+                "coverage" if plan.coverage_floor > plan.constellation_size else "demand",
+            )
+        )
+    print(
+        format_table(
+            ("beamspread", "demand bound", "coverage floor", "binding"),
+            rows,
+            title=(
+                "Demand-driven size vs the full-US-coverage floor "
+                "(the floor binds at CONUS's southern tip)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

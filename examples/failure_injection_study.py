@@ -1,0 +1,85 @@
+"""Failure injection: how service degrades under outages and weather.
+
+The analytical model assumes a healthy constellation and clear skies.
+This study injects the two failure modes a LEO operator actually faces —
+dead satellites and rain fade — into the dynamical simulator over an
+Appalachian demand region, and reports how coverage and demand
+satisfaction degrade.
+
+Run:  python examples/failure_injection_study.py
+"""
+
+from repro import generate_national_map
+from repro.geo.coords import LatLon
+from repro.orbits.shells import GEN1_SHELLS
+from repro.sim import ConstellationSimulation, ProportionalFair, SimulationClock
+from repro.sim.impairments import RainFade, SatelliteOutages
+from repro.viz.tables import format_table
+
+REGION_BBOX = (36.0, 39.5, -89.6, -80.0)
+
+
+def run_case(dataset, impairments):
+    simulation = ConstellationSimulation(
+        GEN1_SHELLS[:2],
+        dataset,
+        oversubscription=20.0,
+        strategy=ProportionalFair(),
+        impairments=impairments,
+    )
+    metrics = simulation.run(SimulationClock(duration_s=1800.0, step_s=60.0))
+    return simulation.report(metrics)
+
+
+def main() -> None:
+    dataset = generate_national_map().subset_bbox(
+        *REGION_BBOX, description="Appalachia"
+    )
+    print(dataset.summary())
+    print()
+
+    rows = []
+    for label, impairments in (
+        ("healthy, clear skies", []),
+        ("5% satellites dead", [SatelliteOutages(0.05, seed=1)]),
+        ("20% satellites dead", [SatelliteOutages(0.20, seed=1)]),
+        ("50% satellites dead", [SatelliteOutages(0.50, seed=1)]),
+        (
+            "regional storm (50% derate)",
+            [RainFade(LatLon(37.5, -84.0), radius_km=400.0, efficiency_factor=0.5)],
+        ),
+        (
+            "20% dead + storm",
+            [
+                SatelliteOutages(0.20, seed=1),
+                RainFade(
+                    LatLon(37.5, -84.0), radius_km=400.0, efficiency_factor=0.5
+                ),
+            ],
+        ),
+    ):
+        report = run_case(dataset, impairments)
+        rows.append(
+            (
+                label,
+                f"{report.min_coverage_fraction:.3f}",
+                f"{report.mean_coverage_fraction:.3f}",
+                f"{report.demand_satisfaction:.1%}",
+            )
+        )
+    print(
+        format_table(
+            ("scenario", "min coverage", "mean coverage", "demand served"),
+            rows,
+            title="Graceful degradation under failure injection (Gen1 53-deg shells)",
+        )
+    )
+    print(
+        "\nThe dense Walker shells tolerate heavy satellite loss before\n"
+        "coverage drops — capacity, not coverage, erodes first, which is\n"
+        "exactly the peak-demand-density picture the paper paints."
+    )
+
+
+if __name__ == "__main__":
+    main()

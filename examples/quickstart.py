@@ -1,0 +1,46 @@
+"""Quickstart: the paper's whole analysis in a dozen lines.
+
+Builds the calibrated synthetic national broadband map, runs the capacity
+and affordability models, and prints the paper's Table 1, Table 2 and
+findings F1-F4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StarlinkDivideModel
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    model = StarlinkDivideModel.default()
+
+    print(model.dataset.summary())
+    print()
+
+    print(
+        format_table(
+            ("Parameter", "Value"),
+            list(model.table1().items()),
+            title="Table 1: Starlink single-satellite capacity model",
+        )
+    )
+    print()
+
+    rows = [
+        (int(spread), full, capped)
+        for spread, full, capped in model.table2()
+    ]
+    print(
+        format_table(
+            ("Beamspread", "Full service", "Max 20:1"),
+            rows,
+            title="Table 2: required constellation size",
+        )
+    )
+    print()
+
+    print(model.findings().text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Regional study: central Appalachia vs the national picture.
+
+The paper's peak-demand cell sits in the un(der)served belt around the
+Virginia/Kentucky/Tennessee borders. This example zooms into that region
+(the workload the paper's intro motivates: rural, dense pockets of
+unserved homes, low incomes) and contrasts it with the country overall:
+
+* how much denser its un(der)served cells are,
+* what oversubscription serving it takes,
+* what fraction of its locations can afford each plan.
+
+Run:  python examples/regional_digital_divide.py
+"""
+
+from repro import StarlinkDivideModel, generate_national_map
+from repro.core.affordability import AffordabilityAnalysis, figure4_plans
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.viz.tables import format_table
+
+APPALACHIA_BBOX = (36.0, 39.5, -89.6, -80.0)
+
+
+def main() -> None:
+    national = generate_national_map()
+    region = national.subset_bbox(*APPALACHIA_BBOX, description="Appalachia")
+
+    print(national.summary())
+    print(region.summary())
+    print()
+
+    rows = []
+    for name, dataset in (("national", national), ("Appalachia", region)):
+        analysis = OversubscriptionAnalysis(dataset)
+        f1 = analysis.finding1()
+        rows.append(
+            (
+                name,
+                f"{dataset.total_locations:,}",
+                f"{dataset.percentile(90):.0f}",
+                dataset.max_cell().total_locations,
+                f"{f1['required_oversubscription']:.1f}:1",
+                f"{f1['service_fraction_at_acceptable']:.2%}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "scope",
+                "locations",
+                "p90/cell",
+                "max/cell",
+                "peak oversub",
+                "served @20:1",
+            ),
+            rows,
+            title="Capacity pressure: region vs nation",
+        )
+    )
+    print()
+
+    rows = []
+    for name, dataset in (("national", national), ("Appalachia", region)):
+        analysis = AffordabilityAnalysis(dataset)
+        total = analysis.total_locations
+        row = [name]
+        for plan in figure4_plans():
+            priced_out = analysis.unaffordable_locations(plan.monthly_cost_usd)
+            row.append(f"{priced_out / total:.1%}")
+        rows.append(tuple(row))
+    headers = ["scope"] + [p.name for p in figure4_plans()]
+    print(
+        format_table(
+            headers,
+            rows,
+            title="Locations priced out at the 2% affordability threshold",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Anyone, Anywhere, not Everyone, Everywhere:
+Starlink Doesn't End the Digital Divide" (HotNets '25).
+
+Quickstart::
+
+    from repro import StarlinkDivideModel
+
+    model = StarlinkDivideModel.default()
+    print(model.dataset.summary())
+    print(model.findings().text())
+
+Package layout: substrates in :mod:`repro.geo`, :mod:`repro.orbits`,
+:mod:`repro.spectrum`, :mod:`repro.demand`, :mod:`repro.econ`; the paper's
+analytical model in :mod:`repro.core`; a validating constellation
+simulator in :mod:`repro.sim`; per-figure/table regeneration in
+:mod:`repro.experiments`.
+"""
+
+from repro.core.model import StarlinkDivideModel
+from repro.demand.dataset import DemandDataset
+from repro.demand.synthetic import SyntheticMapConfig, generate_national_map
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StarlinkDivideModel",
+    "DemandDataset",
+    "SyntheticMapConfig",
+    "generate_national_map",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Baseline access technologies for comparison against the LEO model.
+
+The paper's scaling property P1 contrasts LEO against terrestrial
+technologies whose cost scales with the geography covered. These models
+make that contrast quantitative: fiber-to-the-home build-out, regulated
+fixed wireless, and a geostationary-satellite baseline.
+"""
+
+from repro.baselines.fiber import FiberBuildModel
+from repro.baselines.fixed_wireless import FixedWirelessModel
+from repro.baselines.geostationary import GeostationaryModel
+
+__all__ = [
+    "FiberBuildModel",
+    "FixedWirelessModel",
+    "GeostationaryModel",
+]

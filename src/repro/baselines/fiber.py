@@ -1,0 +1,98 @@
+"""Fiber-to-the-home build-out cost model (terrestrial baseline, P1).
+
+P1's terrestrial side: the cost of fiber scales with the distance between
+homes and the backbone. The model estimates per-location build cost from
+local location density — at ``d`` locations per km^2, homes are roughly
+``1/sqrt(d)`` km apart, so drop/route length (and cost) grows as density
+falls. Constants bracket published US FTTH figures: ~$1,500 per location
+passed in dense areas up to tens of thousands of dollars in remote ones
+(BEAD's "extremely high cost per location" threshold territory).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2
+
+
+@dataclass(frozen=True)
+class FiberBuildModel:
+    """Per-location FTTH cost as a function of location density."""
+
+    #: Fixed per-location cost (drop, ONT, install), USD.
+    base_cost_usd: float = 1200.0
+    #: Cost per km of fiber route, USD (aerial/rural blend).
+    cost_per_route_km_usd: float = 25000.0
+    #: Fraction of inter-home spacing that needs new route per location.
+    route_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_cost_usd < 0.0 or self.cost_per_route_km_usd <= 0.0:
+            raise CapacityModelError("fiber cost constants must be positive")
+        if not 0.0 < self.route_share <= 2.0:
+            raise CapacityModelError(
+                f"route share out of (0, 2]: {self.route_share!r}"
+            )
+
+    def cost_per_location_usd(self, density_per_km2: float) -> float:
+        """Build cost for one location at a local density."""
+        if density_per_km2 <= 0.0:
+            raise CapacityModelError(
+                f"density must be positive: {density_per_km2!r}"
+            )
+        spacing_km = 1.0 / math.sqrt(density_per_km2)
+        return self.base_cost_usd + self.route_share * spacing_km * (
+            self.cost_per_route_km_usd
+        )
+
+    def dataset_cost(self, dataset: DemandDataset) -> Dict[str, float]:
+        """Total and distributional FTTH cost for a demand dataset.
+
+        Density per cell is its location count over the cell area — an
+        underestimate of true local density (cells also hold served homes),
+        hence a *conservative* (high) cost; the comparison direction is
+        what matters.
+        """
+        area = H3_MEAN_HEX_AREA_KM2[dataset.grid_resolution]
+        counts = dataset.counts().astype(float)
+        densities = counts / area
+        per_location = np.array(
+            [self.cost_per_location_usd(d) for d in densities]
+        )
+        total = float((per_location * counts).sum())
+        return {
+            "total_cost_usd": total,
+            "mean_cost_per_location_usd": total / float(counts.sum()),
+            "max_cost_per_location_usd": float(per_location.max()),
+            "min_cost_per_location_usd": float(per_location.min()),
+        }
+
+    def marginal_cost_curve(
+        self, dataset: DemandDataset, points: int = 50
+    ) -> Dict[str, np.ndarray]:
+        """Cost per location vs cumulative locations served, cheapest-first.
+
+        The terrestrial mirror of Fig 3: terrestrial marginal cost *rises*
+        into the tail for the opposite reason (distance, not peak density).
+        """
+        if points < 2:
+            raise CapacityModelError(f"need >= 2 points: {points!r}")
+        area = H3_MEAN_HEX_AREA_KM2[dataset.grid_resolution]
+        counts = dataset.counts().astype(float)
+        per_location = np.array(
+            [self.cost_per_location_usd(c / area) for c in counts]
+        )
+        order = np.argsort(per_location)
+        cumulative = np.cumsum(counts[order])
+        sample = np.linspace(0, len(order) - 1, points).astype(int)
+        return {
+            "cumulative_locations": cumulative[sample],
+            "marginal_cost_usd": per_location[order][sample],
+        }

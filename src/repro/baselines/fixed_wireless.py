@@ -1,0 +1,79 @@
+"""Terrestrial fixed-wireless baseline.
+
+Models the technology the FCC's 20:1 oversubscription rule actually
+regulates: towers with sectorized radios serving homes within a radius.
+Unlike LEO (P1/P2), capacity here is *added where demand is* — a dense
+cell just gets more towers — so peak demand density does not set the size
+of a national deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2
+from repro.spectrum.regulatory import (
+    FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION,
+    RELIABLE_BROADBAND_DOWNLINK_MBPS,
+)
+
+
+@dataclass(frozen=True)
+class FixedWirelessModel:
+    """Tower-count and cost model for fixed-wireless coverage."""
+
+    #: Aggregate downlink capacity of one tower across sectors, Mbps.
+    tower_capacity_mbps: float = 3000.0
+    #: Usable coverage radius of one tower, km.
+    coverage_radius_km: float = 8.0
+    #: Build cost of one tower (site, radios, backhaul), USD.
+    tower_cost_usd: float = 250_000.0
+    oversubscription: float = FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION
+
+    def __post_init__(self) -> None:
+        if self.tower_capacity_mbps <= 0.0 or self.coverage_radius_km <= 0.0:
+            raise CapacityModelError("tower parameters must be positive")
+        if self.oversubscription <= 0.0:
+            raise CapacityModelError("oversubscription must be positive")
+
+    @property
+    def locations_per_tower(self) -> int:
+        """Locations one tower can serve at the regulated oversubscription."""
+        return int(
+            self.tower_capacity_mbps
+            * self.oversubscription
+            // RELIABLE_BROADBAND_DOWNLINK_MBPS
+        )
+
+    def towers_for_cell(self, locations: int, cell_area_km2: float) -> int:
+        """Towers needed for one cell: max of coverage need and capacity need."""
+        if locations < 0:
+            raise CapacityModelError(f"negative locations: {locations!r}")
+        if locations == 0:
+            return 0
+        coverage_need = math.ceil(
+            cell_area_km2 / (math.pi * self.coverage_radius_km**2)
+        )
+        capacity_need = math.ceil(locations / self.locations_per_tower)
+        return max(coverage_need, capacity_need)
+
+    def dataset_deployment(self, dataset: DemandDataset) -> Dict[str, float]:
+        """Tower count and cost to serve a whole demand dataset."""
+        area = H3_MEAN_HEX_AREA_KM2[dataset.grid_resolution]
+        counts = dataset.counts()
+        towers = np.array(
+            [self.towers_for_cell(int(c), area) for c in counts], dtype=int
+        )
+        total_towers = int(towers.sum())
+        return {
+            "towers": total_towers,
+            "total_cost_usd": total_towers * self.tower_cost_usd,
+            "towers_for_peak_cell": int(towers.max()),
+            "locations_per_tower": self.locations_per_tower,
+        }

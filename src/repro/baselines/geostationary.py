@@ -1,0 +1,65 @@
+"""Geostationary satellite baseline.
+
+The first-generation comparison the paper's Section 2 narrates: GEO
+satellites sit still (no constellation needed — one satellite covers a
+third of the Earth) but at ~35,786 km altitude, with the latency that
+implies, and with total capacity far below an entire LEO constellation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+from repro.spectrum.regulatory import RELIABLE_BROADBAND_DOWNLINK_MBPS
+from repro.units import SPEED_OF_LIGHT_KM_S
+
+#: Geostationary orbit altitude, km.
+GEO_ALTITUDE_KM = 35_786.0
+
+#: FCC latency cutoff for "low-latency" broadband service, ms (round trip).
+FCC_LOW_LATENCY_CUTOFF_MS = 100.0
+
+
+@dataclass(frozen=True)
+class GeostationaryModel:
+    """A modern high-throughput GEO satellite (ViaSat-3 class)."""
+
+    satellite_capacity_mbps: float = 1_000_000.0  # ~1 Tbps
+    oversubscription: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.satellite_capacity_mbps <= 0.0:
+            raise CapacityModelError("capacity must be positive")
+        if self.oversubscription <= 0.0:
+            raise CapacityModelError("oversubscription must be positive")
+
+    @staticmethod
+    def propagation_rtt_ms() -> float:
+        """Bent-pipe round-trip propagation delay (4 x one-way), ms."""
+        one_way_s = GEO_ALTITUDE_KM / SPEED_OF_LIGHT_KM_S
+        return 4.0 * one_way_s * 1000.0
+
+    @classmethod
+    def meets_low_latency(cls) -> bool:
+        """GEO can never meet the FCC low-latency cutoff."""
+        return cls.propagation_rtt_ms() <= FCC_LOW_LATENCY_CUTOFF_MS
+
+    def satellites_for_dataset(self, dataset: DemandDataset) -> Dict[str, float]:
+        """GEO satellites needed for a dataset's total (not peak!) demand.
+
+        GEO capacity pools over the whole footprint, so — unlike LEO —
+        *total* demand sizes the fleet (contrast with P2). Latency still
+        disqualifies the service from the reliable-broadband definition.
+        """
+        demand = dataset.total_locations * RELIABLE_BROADBAND_DOWNLINK_MBPS
+        provisioned = demand / self.oversubscription
+        return {
+            "satellites": math.ceil(provisioned / self.satellite_capacity_mbps),
+            "total_demand_mbps": demand,
+            "propagation_rtt_ms": self.propagation_rtt_ms(),
+            "meets_low_latency": self.meets_low_latency(),
+        }

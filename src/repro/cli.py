@@ -1,0 +1,203 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-divide``.
+
+Subcommands::
+
+    repro-divide list                 # available experiments
+    repro-divide summary              # dataset + findings overview
+    repro-divide run fig1 [...]       # run experiments, print renderings
+    repro-divide run all --out out/   # run everything, export CSVs
+    repro-divide export-data out/     # write the synthetic dataset CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.model import StarlinkDivideModel
+from repro.demand.loader import write_dataset
+from repro.demand.synthetic import SyntheticMapConfig
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.viz.export import write_series_csv
+
+
+def _build_model(seed: Optional[int]) -> StarlinkDivideModel:
+    config = SyntheticMapConfig(seed=seed) if seed is not None else None
+    return StarlinkDivideModel.default(config)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id in all_experiment_ids():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    model = _build_model(args.seed)
+    print(model.dataset.summary())
+    print()
+    print(model.findings().text())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = all_experiment_ids() if "all" in args.experiments else args.experiments
+    model = _build_model(args.seed)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, model)
+        print(f"=== {result.title} ===")
+        print(result.text)
+        print()
+        if args.out:
+            path = Path(args.out) / f"{experiment_id}.csv"
+            write_series_csv(path, result.csv_headers, result.csv_rows)
+            print(f"[wrote {path}]")
+    return 0
+
+
+def _cmd_export_geojson(args: argparse.Namespace) -> int:
+    from repro.orbits.gateways import DEFAULT_CONUS_GATEWAYS
+    from repro.viz.geojson import (
+        cells_to_geojson,
+        counties_to_geojson,
+        gateways_to_geojson,
+        write_geojson,
+    )
+
+    model = _build_model(args.seed)
+    out = Path(args.directory)
+    written = [
+        write_geojson(
+            cells_to_geojson(model.dataset, max_cells=args.max_cells),
+            out / "cells.geojson",
+        ),
+        write_geojson(
+            counties_to_geojson(model.dataset), out / "counties.geojson"
+        ),
+        write_geojson(
+            gateways_to_geojson(DEFAULT_CONUS_GATEWAYS),
+            out / "gateways.geojson",
+        ),
+    ]
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.orbits.shells import GEN1_SHELLS, current_deployment
+    from repro.sim.assignment import (
+        GreedyDemandFirst,
+        ProportionalFair,
+        StickyGreedy,
+    )
+    from repro.sim.engine import SimulationClock
+    from repro.sim.simulation import ConstellationSimulation
+
+    strategies = {
+        "greedy": GreedyDemandFirst,
+        "fair": ProportionalFair,
+        "sticky": StickyGreedy,
+    }
+    model = _build_model(args.seed)
+    region = model.dataset.subset_bbox(
+        args.lat_min, args.lat_max, args.lon_min, args.lon_max, "CLI region"
+    )
+    shells = (
+        current_deployment() if args.shells == "current" else list(GEN1_SHELLS[:2])
+    )
+    simulation = ConstellationSimulation(
+        shells,
+        region,
+        oversubscription=args.oversubscription,
+        strategy=strategies[args.strategy](),
+    )
+    clock = SimulationClock(duration_s=args.duration, step_s=args.step)
+    print(region.summary())
+    metrics = simulation.run(clock)
+    print(simulation.report(metrics).text())
+    return 0
+
+
+def _cmd_export_data(args: argparse.Namespace) -> int:
+    model = _build_model(args.seed)
+    out = Path(args.directory)
+    cells = out / "cells.csv"
+    counties = out / "counties.csv"
+    write_dataset(model.dataset, cells, counties)
+    print(f"wrote {cells} and {counties}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-divide",
+        description=(
+            "Reproduce the HotNets '25 Starlink digital-divide analysis"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="synthetic map seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser(
+        "summary", help="dataset summary and findings F1-F4"
+    ).set_defaults(func=_cmd_summary)
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+", help="experiment ids, or 'all'"
+    )
+    run_parser.add_argument(
+        "--out", default=None, help="directory for CSV export"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    export_parser = sub.add_parser(
+        "export-data", help="write the synthetic dataset as CSV"
+    )
+    export_parser.add_argument("directory")
+    export_parser.set_defaults(func=_cmd_export_data)
+
+    geojson_parser = sub.add_parser(
+        "export-geojson", help="write cells/counties/gateways as GeoJSON"
+    )
+    geojson_parser.add_argument("directory")
+    geojson_parser.add_argument(
+        "--max-cells", type=int, default=5000, help="densest N cells to export"
+    )
+    geojson_parser.set_defaults(func=_cmd_export_geojson)
+
+    sim_parser = sub.add_parser(
+        "simulate", help="run the constellation simulator on a region"
+    )
+    sim_parser.add_argument("--lat-min", type=float, default=36.0)
+    sim_parser.add_argument("--lat-max", type=float, default=39.5)
+    sim_parser.add_argument("--lon-min", type=float, default=-89.6)
+    sim_parser.add_argument("--lon-max", type=float, default=-80.0)
+    sim_parser.add_argument("--duration", type=float, default=1800.0)
+    sim_parser.add_argument("--step", type=float, default=60.0)
+    sim_parser.add_argument("--oversubscription", type=float, default=20.0)
+    sim_parser.add_argument(
+        "--strategy", choices=("greedy", "fair", "sticky"), default="fair"
+    )
+    sim_parser.add_argument(
+        "--shells", choices=("gen1-53", "current"), default="gen1-53"
+    )
+    sim_parser.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

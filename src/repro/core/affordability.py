@@ -1,0 +1,143 @@
+"""Affordability of plans for un(der)served locations (Figure 4, F4).
+
+Each location is assumed to have the median household income of its
+county (the paper's assumption). A plan is affordable at income share
+``x`` when ``monthly_cost <= x * monthly_income``; Figure 4 plots, per
+plan, how many locations remain priced out as ``x`` sweeps 0..5 %, with
+the A4AI 2 % threshold highlighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.econ.plans import (
+    SPECTRUM_INTERNET_PREMIER,
+    STARLINK_RESIDENTIAL,
+    XFINITY_300,
+    BroadbandPlan,
+)
+from repro.econ.subsidies import LIFELINE
+from repro.econ.thresholds import AFFORDABILITY_INCOME_SHARE
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class AffordabilityCurve:
+    """One Fig 4 line: locations unable to afford a plan vs income share."""
+
+    plan: BroadbandPlan
+    income_shares: np.ndarray
+    unaffordable_locations: np.ndarray
+
+    def at_share(self, share: float) -> int:
+        """Unaffordable count at the given income share (nearest sample)."""
+        index = int(np.argmin(np.abs(self.income_shares - share)))
+        return int(self.unaffordable_locations[index])
+
+    @property
+    def zero_crossing_share(self) -> float:
+        """Smallest sampled share at which every location can afford the plan.
+
+        Fig 4's x-intercepts (0.046 / 0.050 for the Starlink curves).
+        Returns the largest sampled share if the curve never reaches zero.
+        """
+        zeros = np.flatnonzero(self.unaffordable_locations == 0)
+        if zeros.size == 0:
+            return float(self.income_shares[-1])
+        return float(self.income_shares[zeros[0]])
+
+
+def figure4_plans() -> List[BroadbandPlan]:
+    """The four plans Figure 4 compares, cheapest first."""
+    return [
+        XFINITY_300,
+        SPECTRUM_INTERNET_PREMIER,
+        LIFELINE.apply(STARLINK_RESIDENTIAL),
+        STARLINK_RESIDENTIAL,
+    ]
+
+
+class AffordabilityAnalysis:
+    """Location-weighted plan affordability over a demand dataset."""
+
+    def __init__(self, dataset: DemandDataset):
+        self.dataset = dataset
+        self._counts = dataset.counts().astype(np.int64)
+        self._monthly_incomes = dataset.cell_incomes() / 12.0
+        if np.any(self._monthly_incomes <= 0.0):
+            raise CapacityModelError("dataset contains non-positive incomes")
+
+    @property
+    def total_locations(self) -> int:
+        return int(self._counts.sum())
+
+    def unaffordable_locations(
+        self,
+        monthly_cost_usd: float,
+        income_share: float = AFFORDABILITY_INCOME_SHARE,
+    ) -> int:
+        """Locations for which the cost exceeds ``income_share`` of income."""
+        if monthly_cost_usd < 0.0:
+            raise CapacityModelError(f"negative cost: {monthly_cost_usd!r}")
+        if income_share <= 0.0:
+            raise CapacityModelError(
+                f"income share must be positive: {income_share!r}"
+            )
+        priced_out = monthly_cost_usd > income_share * self._monthly_incomes
+        return int(self._counts[priced_out].sum())
+
+    def curve(
+        self,
+        plan: BroadbandPlan,
+        income_shares: Optional[Sequence[float]] = None,
+    ) -> AffordabilityCurve:
+        """The Fig 4 line for one plan."""
+        if income_shares is None:
+            shares = np.linspace(0.001, 0.05, 491)
+        else:
+            shares = np.asarray(list(income_shares), dtype=float)
+            if shares.size == 0 or np.any(shares <= 0.0):
+                raise CapacityModelError("income shares must be positive")
+        counts = np.array(
+            [
+                self.unaffordable_locations(plan.monthly_cost_usd, share)
+                for share in shares
+            ],
+            dtype=np.int64,
+        )
+        return AffordabilityCurve(
+            plan=plan, income_shares=shares, unaffordable_locations=counts
+        )
+
+    def figure4(
+        self, plans: Optional[Sequence[BroadbandPlan]] = None
+    ) -> List[AffordabilityCurve]:
+        """All Fig 4 curves."""
+        return [self.curve(p) for p in (plans or figure4_plans())]
+
+    def finding4(self) -> Dict[str, float]:
+        """The quantities in the paper's F4 box."""
+        starlink = STARLINK_RESIDENTIAL
+        with_lifeline = LIFELINE.apply(starlink)
+        unaffordable_base = self.unaffordable_locations(starlink.monthly_cost_usd)
+        unaffordable_lifeline = self.unaffordable_locations(
+            with_lifeline.monthly_cost_usd
+        )
+        total = self.total_locations
+        terrestrial_affordable_share = 1.0 - max(
+            self.unaffordable_locations(XFINITY_300.monthly_cost_usd),
+            self.unaffordable_locations(SPECTRUM_INTERNET_PREMIER.monthly_cost_usd),
+        ) / total
+        return {
+            "total_locations": total,
+            "unaffordable_starlink": unaffordable_base,
+            "unaffordable_starlink_share": unaffordable_base / total,
+            "unaffordable_with_lifeline": unaffordable_lifeline,
+            "unaffordable_with_lifeline_share": unaffordable_lifeline / total,
+            "terrestrial_affordable_share": terrestrial_affordable_share,
+        }

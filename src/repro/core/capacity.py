@@ -1,0 +1,81 @@
+"""Single-satellite / single-cell capacity model (paper Table 1).
+
+Combines the Schedule S spectrum table, the adopted spectral efficiency,
+and the demand dataset's peak cell into the handful of derived numbers the
+paper's Table 1 reports: per-cell capacity (~17.3 Gbps), peak cell demand
+(599.8 Gbps), and the implied maximum oversubscription (~35:1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CapacityModelError
+from repro.spectrum.beams import BeamPlan, starlink_beam_plan
+from repro.spectrum.regulatory import (
+    RELIABLE_BROADBAND_DOWNLINK_MBPS,
+    RELIABLE_BROADBAND_UPLINK_MBPS,
+)
+from repro.units import as_gbps
+
+
+@dataclass(frozen=True)
+class SatelliteCapacityModel:
+    """Table 1: spectrum in, per-cell capacity and oversubscription out."""
+
+    beam_plan: BeamPlan = field(default_factory=starlink_beam_plan)
+    per_location_downlink_mbps: float = RELIABLE_BROADBAND_DOWNLINK_MBPS
+    per_location_uplink_mbps: float = RELIABLE_BROADBAND_UPLINK_MBPS
+
+    def __post_init__(self) -> None:
+        if self.per_location_downlink_mbps <= 0.0:
+            raise CapacityModelError("per-location downlink must be positive")
+
+    @property
+    def cell_capacity_mbps(self) -> float:
+        """Maximum downlink capacity deliverable to one cell."""
+        return self.beam_plan.cell_capacity_mbps
+
+    def cell_demand_mbps(self, locations: int) -> float:
+        """Raw downlink demand of a cell with ``locations`` locations."""
+        if locations < 0:
+            raise CapacityModelError(f"negative locations: {locations!r}")
+        return locations * self.per_location_downlink_mbps
+
+    def required_oversubscription(self, locations: int) -> float:
+        """Oversubscription ratio needed to fit a cell into one beamset.
+
+        The paper's headline: 5998 locations -> 599.8 Gbps over 17.3 Gbps
+        -> ~35:1.
+        """
+        demand = self.cell_demand_mbps(locations)
+        if demand == 0.0:
+            return 0.0
+        return demand / self.cell_capacity_mbps
+
+    def max_locations_at_oversubscription(self, ratio: float) -> int:
+        """Locations one cell can hold at a given oversubscription ratio."""
+        if ratio <= 0.0:
+            raise CapacityModelError(f"ratio must be positive: {ratio!r}")
+        return int(self.cell_capacity_mbps * ratio // self.per_location_downlink_mbps)
+
+    def table1(self, peak_cell_locations: int) -> Dict[str, str]:
+        """The rows of the paper's Table 1, formatted for display."""
+        demand = self.cell_demand_mbps(peak_cell_locations)
+        return {
+            "UT downlink spectrum": f"{self.beam_plan.ut_spectrum_mhz:.0f} MHz",
+            "Spectral efficiency": (
+                f"~{self.beam_plan.spectral_efficiency_bps_hz:.1f} bps/Hz"
+            ),
+            "Max per-cell capacity": f"~{as_gbps(self.cell_capacity_mbps):.1f} Gbps",
+            "Peak Cell users": f"{peak_cell_locations} users",
+            "FCC throughput requirement": (
+                f"{self.per_location_downlink_mbps:.0f}/"
+                f"{self.per_location_uplink_mbps:.0f} Mbps (DL/UL)"
+            ),
+            "Peak Cell DL demand": f"{as_gbps(demand):.1f} Gbps",
+            "Max DL oversubscription": (
+                f"~{round(self.required_oversubscription(peak_cell_locations))}:1"
+            ),
+        }

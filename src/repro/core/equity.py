@@ -1,0 +1,141 @@
+"""Socioeconomic distribution of the access gap (extension).
+
+The paper's introduction observes that usage gaps "increase along
+predictable lines of socioeconomic marginalization". This module measures
+that structure in the demand dataset:
+
+* income-decile table: which income strata hold the un(der)served
+  locations, and which can afford each plan;
+* the Lorenz curve / Gini coefficient of un(der)served locations over
+  counties ordered by income — how concentrated the gap is at the bottom
+  of the income distribution;
+* the affordability gap per decile, the bridge between F4's aggregate
+  and the distributional story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.econ.plans import BroadbandPlan
+from repro.econ.thresholds import AFFORDABILITY_INCOME_SHARE
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class DecileRow:
+    """One income decile of un(der)served locations."""
+
+    decile: int
+    income_low_usd: float
+    income_high_usd: float
+    locations: int
+    share: float
+
+
+class EquityAnalysis:
+    """Distributional view of un(der)served locations over income."""
+
+    def __init__(self, dataset: DemandDataset):
+        self.dataset = dataset
+        self._counts = dataset.counts().astype(np.int64)
+        self._incomes = dataset.cell_incomes()
+        if self._counts.sum() <= 0:
+            raise CapacityModelError("dataset has no locations")
+
+    def income_deciles(self) -> List[DecileRow]:
+        """Un(der)served locations split into location-weighted deciles."""
+        order = np.argsort(self._incomes, kind="stable")
+        incomes = self._incomes[order]
+        counts = self._counts[order]
+        cumulative = np.cumsum(counts)
+        total = cumulative[-1]
+        rows = []
+        start = 0
+        for decile in range(1, 11):
+            limit = total * decile / 10.0
+            end = int(np.searchsorted(cumulative, limit, side="left")) + 1
+            end = min(end, len(counts))
+            segment = slice(start, end)
+            locations = int(counts[segment].sum())
+            if locations == 0:
+                start = end
+                continue
+            rows.append(
+                DecileRow(
+                    decile=decile,
+                    income_low_usd=float(incomes[segment].min()),
+                    income_high_usd=float(incomes[segment].max()),
+                    locations=locations,
+                    share=locations / float(total),
+                )
+            )
+            start = end
+        return rows
+
+    def lorenz_curve(self, points: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+        """(cumulative county share, cumulative location share), income-ordered.
+
+        Counties are ordered poorest first; a curve far above the diagonal
+        means the access gap concentrates in poor counties.
+        """
+        if points < 2:
+            raise CapacityModelError(f"need >= 2 points: {points!r}")
+        county_income: Dict[int, float] = {}
+        county_locations: Dict[int, int] = {}
+        for cell, count in zip(self.dataset.cells, self._counts):
+            county_income[cell.county_id] = self.dataset.counties[
+                cell.county_id
+            ].median_household_income_usd
+            county_locations[cell.county_id] = (
+                county_locations.get(cell.county_id, 0) + int(count)
+            )
+        ids = sorted(county_income, key=county_income.get)
+        weights = np.array([county_locations[i] for i in ids], dtype=float)
+        cum_locations = np.concatenate([[0.0], np.cumsum(weights)])
+        cum_locations /= cum_locations[-1]
+        cum_counties = np.linspace(0.0, 1.0, len(ids) + 1)
+        sample = np.linspace(0.0, 1.0, points)
+        return sample, np.interp(sample, cum_counties, cum_locations)
+
+    def concentration_index(self) -> float:
+        """Signed Gini-style index of locations over income-ordered counties.
+
+        0 = the gap is spread evenly over counties; positive = it
+        concentrates in *poor* counties (the marginalization signature).
+        """
+        x, y = self.lorenz_curve(1001)
+        return float(2.0 * np.trapezoid(y - x, x))
+
+    def affordability_by_decile(
+        self,
+        plan: BroadbandPlan,
+        income_share: float = AFFORDABILITY_INCOME_SHARE,
+    ) -> List[Tuple[int, float]]:
+        """(decile, affordable fraction) per income decile for a plan."""
+        threshold = plan.monthly_cost_usd * 12.0 / income_share
+        rows = []
+        for decile in self.income_deciles():
+            if decile.income_high_usd < threshold:
+                affordable = 0.0
+            elif decile.income_low_usd >= threshold:
+                affordable = 1.0
+            else:
+                # Mixed decile: count the cells above the threshold.
+                mask = (
+                    (self._incomes >= decile.income_low_usd)
+                    & (self._incomes <= decile.income_high_usd)
+                )
+                inside = self._counts[mask]
+                above = self._counts[mask & (self._incomes >= threshold)]
+                affordable = (
+                    float(above.sum()) / float(inside.sum())
+                    if inside.sum()
+                    else 0.0
+                )
+            rows.append((decile.decile, affordable))
+        return rows

@@ -1,0 +1,100 @@
+"""The paper's findings F1-F4 as structured, printable results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.affordability import AffordabilityAnalysis
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.core.sizing import ConstellationSizer, DeploymentScenario
+from repro.core.tail import DiminishingReturnsAnalysis
+from repro.demand.dataset import DemandDataset
+
+
+@dataclass(frozen=True)
+class Findings:
+    """All four findings, each a dict of named quantities."""
+
+    f1: Dict[str, float]
+    f2: Dict[str, float]
+    f3: Dict[str, float]
+    f4: Dict[str, float]
+
+    def text(self) -> str:
+        """Findings formatted in the style of the paper's boxes."""
+        f1, f2, f3, f4 = self.f1, self.f2, self.f3, self.f4
+        lines = [
+            "F1: Starlink can overcome its spectrum limits either by "
+            f"allowing high ({f1['required_oversubscription']:.0f}:1) "
+            "oversubscription across its footprint (with "
+            f"{f1['locations_in_cells_above_cap']:,} locations subject to "
+            "such rates) or by serving at most "
+            f"{f1['service_fraction_at_acceptable']:.2%} of un(der)served "
+            "locations at an acceptable oversubscription (max "
+            f"{f1['acceptable_oversubscription']:.0f}:1, leaving "
+            f"{f1['locations_unservable_at_acceptable']:,} unservable).",
+            "",
+            "F2: serving all US cells within acceptable oversubscription "
+            "requires a beamspread factor below 2, i.e. a constellation of "
+            f"{f2['size_at_beamspread_2']:,} satellites — "
+            f"{f2['additional_over_current']:,} more than the current "
+            f"~{f2['current_constellation']:,}-satellite deployment.",
+            "",
+            "F3: diminishing returns — serving the final "
+            f"{f3['final_step_locations']:,} locations costs between "
+            f"{f3['cheapest_final_step_satellites']:,} and "
+            f"{f3['priciest_final_step_satellites']:,} additional "
+            "satellites depending on beamspread.",
+            "",
+            "F4: based on median income, "
+            f"{f4['unaffordable_starlink']/1e6:.1f}M of "
+            f"{f4['total_locations']/1e6:.1f}M un(der)served locations "
+            "cannot afford Starlink's Residential plan, while comparable "
+            "terrestrial plans are affordable for "
+            f"{f4['terrestrial_affordable_share']:.2%} of these locations.",
+        ]
+        return "\n".join(lines)
+
+
+def compute_findings(
+    dataset: DemandDataset,
+    sizer: Optional[ConstellationSizer] = None,
+    current_constellation: int = 8000,
+    acceptable_oversubscription: float = 20.0,
+) -> Findings:
+    """Compute F1-F4 over a demand dataset."""
+    sizer = sizer or ConstellationSizer(dataset)
+    oversub = OversubscriptionAnalysis(dataset, sizer.capacity)
+    tail = DiminishingReturnsAnalysis(dataset, sizer)
+    affordability = AffordabilityAnalysis(dataset)
+
+    f1 = oversub.finding1(acceptable_oversubscription)
+
+    capped_at_2 = sizer.size_scenario(
+        DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION,
+        beamspread=2,
+        acceptable_oversubscription=acceptable_oversubscription,
+    )
+    f2 = {
+        "size_at_beamspread_2": capped_at_2.constellation_size,
+        "current_constellation": current_constellation,
+        "additional_over_current": (
+            capped_at_2.constellation_size - current_constellation
+        ),
+    }
+
+    step_costs = {
+        spread: tail.final_step_cost(acceptable_oversubscription, spread)
+        for spread in (1, 2, 5, 10, 15)
+    }
+    satellites = [c["additional_satellites"] for c in step_costs.values()]
+    f3 = {
+        "final_step_locations": step_costs[1]["locations_gained"],
+        "cheapest_final_step_satellites": min(satellites),
+        "priciest_final_step_satellites": max(satellites),
+        "floor_unservable": step_costs[1]["floor_unservable"],
+    }
+
+    f4 = affordability.finding4()
+    return Findings(f1=f1, f2=f2, f3=f3, f4=f4)

@@ -1,0 +1,203 @@
+"""End-to-end propagation latency: UT -> satellite -> ... -> gateway.
+
+Quantifies the paper's two operating modes (Section 2.2):
+
+* **bent pipe** — one hop up, one hop down to a gateway the same
+  satellite sees;
+* **ISL relay** — up to the nearest satellite, laser hops across the
+  +Grid, down from a satellite that sees a gateway.
+
+For each demand cell, the model picks the best serving satellite at one
+epoch and computes propagation delay (speed of light; processing and
+queueing excluded). This supports the paper's framing that LEO (unlike
+GEO, :mod:`repro.baselines.geostationary`) meets latency requirements,
+and quantifies what ISLs buy when no gateway is in direct view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import GeometryError
+from repro.orbits.gateways import (
+    DEFAULT_CONUS_GATEWAYS,
+    GATEWAY_MIN_ELEVATION_DEG,
+    GatewaySite,
+)
+from repro.orbits.isl import isl_graph
+from repro.orbits.shells import Shell
+from repro.orbits.visibility import (
+    STARLINK_MIN_ELEVATION_DEG,
+    coverage_central_angle_rad,
+    slant_range_km,
+)
+from repro.orbits.walker import WalkerDelta
+from repro.units import EARTH_RADIUS_KM, SPEED_OF_LIGHT_KM_S
+
+
+def _ground_to_ecef(lat_deg: np.ndarray, lon_deg: np.ndarray) -> np.ndarray:
+    lat = np.radians(lat_deg)
+    lon = np.radians(lon_deg)
+    return EARTH_RADIUS_KM * np.stack(
+        [np.cos(lat) * np.cos(lon), np.cos(lat) * np.sin(lon), np.sin(lat)],
+        axis=-1,
+    )
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One cell's one-way propagation latency result."""
+
+    cell_index: int
+    mode: str  # "bent-pipe" or "isl"
+    uplink_km: float
+    isl_km: float
+    downlink_km: float
+
+    @property
+    def one_way_ms(self) -> float:
+        total_km = self.uplink_km + self.isl_km + self.downlink_km
+        return total_km / SPEED_OF_LIGHT_KM_S * 1000.0
+
+    @property
+    def rtt_ms(self) -> float:
+        return 2.0 * self.one_way_ms
+
+
+class LatencyAnalysis:
+    """Propagation latency of a demand dataset through one Walker shell."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        shell: Shell,
+        gateways: Sequence[GatewaySite] = DEFAULT_CONUS_GATEWAYS,
+        time_s: float = 0.0,
+        ut_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+        gw_elevation_deg: float = GATEWAY_MIN_ELEVATION_DEG,
+    ):
+        if not gateways:
+            raise GeometryError("need at least one gateway")
+        self.dataset = dataset
+        self.shell = shell
+        self.gateways = list(gateways)
+        self.walker = WalkerDelta.from_shell(shell)
+        self.time_s = time_s
+
+        from repro.orbits.kepler import eci_to_ecef
+
+        self._sat_ecef = eci_to_ecef(
+            self.walker.positions_eci(time_s), time_s
+        )
+        self._cell_ecef = _ground_to_ecef(
+            dataset.latitudes(),
+            np.array([c.center.lon_deg for c in dataset.cells]),
+        )
+        self._gw_ecef = _ground_to_ecef(
+            np.array([g.position.lat_deg for g in self.gateways]),
+            np.array([g.position.lon_deg for g in self.gateways]),
+        )
+        self._ut_radius = slant_range_km(
+            shell.altitude_km,
+            coverage_central_angle_rad(shell.altitude_km, ut_elevation_deg),
+        )
+        self._gw_radius = slant_range_km(
+            shell.altitude_km,
+            coverage_central_angle_rad(shell.altitude_km, gw_elevation_deg),
+        )
+        self._graph: Optional[nx.Graph] = None
+        # Satellites currently able to reach a gateway, with the downlink
+        # distance to their closest one.
+        gw_distance = np.linalg.norm(
+            self._sat_ecef[:, None, :] - self._gw_ecef[None, :, :], axis=-1
+        )
+        self._sat_gw_km = gw_distance.min(axis=1)
+        self._sat_sees_gateway = self._sat_gw_km <= self._gw_radius
+
+    def _isl_graph(self) -> nx.Graph:
+        if self._graph is None:
+            self._graph = isl_graph(self.walker, self.time_s)
+        return self._graph
+
+    def sample(self, cell_index: int) -> Optional[LatencySample]:
+        """Best-path latency for one cell, or None if no satellite is up."""
+        if not 0 <= cell_index < len(self.dataset.cells):
+            raise GeometryError(f"cell index out of range: {cell_index!r}")
+        up_distance = np.linalg.norm(
+            self._sat_ecef - self._cell_ecef[cell_index], axis=-1
+        )
+        in_view = np.flatnonzero(up_distance <= self._ut_radius)
+        if in_view.size == 0:
+            return None
+        # Bent pipe: a visible satellite that also sees a gateway.
+        bent = in_view[self._sat_sees_gateway[in_view]]
+        if bent.size > 0:
+            totals = up_distance[bent] + self._sat_gw_km[bent]
+            best = bent[int(np.argmin(totals))]
+            return LatencySample(
+                cell_index=cell_index,
+                mode="bent-pipe",
+                uplink_km=float(up_distance[best]),
+                isl_km=0.0,
+                downlink_km=float(self._sat_gw_km[best]),
+            )
+        # ISL relay: hop from the nearest visible satellite to the nearest
+        # gateway-connected satellite across the +Grid.
+        graph = self._isl_graph()
+        entry = int(in_view[np.argmin(up_distance[in_view])])
+        exits = np.flatnonzero(self._sat_sees_gateway)
+        if exits.size == 0:
+            return None
+        lengths = nx.single_source_dijkstra_path_length(
+            graph, entry, weight="distance_km"
+        )
+        best_exit = min(
+            exits, key=lambda s: lengths.get(int(s), math.inf) + self._sat_gw_km[s]
+        )
+        isl_km = lengths.get(int(best_exit), math.inf)
+        if not math.isfinite(isl_km):
+            return None
+        return LatencySample(
+            cell_index=cell_index,
+            mode="isl",
+            uplink_km=float(up_distance[entry]),
+            isl_km=float(isl_km),
+            downlink_km=float(self._sat_gw_km[best_exit]),
+        )
+
+    def survey(self, max_cells: Optional[int] = None) -> List[LatencySample]:
+        """Latency samples for (a deterministic subset of) all cells."""
+        indices = range(len(self.dataset.cells))
+        if max_cells is not None:
+            if max_cells <= 0:
+                raise GeometryError(f"max_cells must be positive: {max_cells!r}")
+            step = max(1, len(self.dataset.cells) // max_cells)
+            indices = range(0, len(self.dataset.cells), step)
+        samples = []
+        for index in indices:
+            sample = self.sample(index)
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
+    def summary(self, max_cells: Optional[int] = 500) -> Dict[str, float]:
+        """Distribution summary over the surveyed cells."""
+        samples = self.survey(max_cells)
+        if not samples:
+            raise GeometryError("no cell reached a gateway")
+        rtts = np.array([s.rtt_ms for s in samples])
+        bent = sum(1 for s in samples if s.mode == "bent-pipe")
+        return {
+            "cells_sampled": len(samples),
+            "bent_pipe_fraction": bent / len(samples),
+            "rtt_ms_p50": float(np.percentile(rtts, 50)),
+            "rtt_ms_p95": float(np.percentile(rtts, 95)),
+            "rtt_ms_max": float(rtts.max()),
+            "meets_fcc_low_latency": bool(rtts.max() <= 100.0),
+        }

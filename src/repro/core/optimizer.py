@@ -1,0 +1,128 @@
+"""Deployment optimization: cheapest constellation meeting a service target.
+
+The paper's Fig 2 + Table 2 together define a design space: beamspread
+trades constellation size against per-cell capacity; oversubscription
+trades service quality against the servable fraction. This module searches
+that space — the operator's problem the paper's findings imply:
+
+    minimize   constellation size N(s, r)
+    subject to fraction of locations served >= target
+               oversubscription r <= acceptable cap
+
+Cells are served through spread beams (capacity ``C/s``) except the
+binding peak cell, which gets dedicated beams, as in the paper's Table 2
+construction. The coverage floor (one beam everywhere) is enforced as a
+lower bound on N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.core.sizing import ConstellationSizer, DeploymentScenario
+from repro.core.tail import DiminishingReturnsAnalysis
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One feasible point of the design space."""
+
+    beamspread: int
+    oversubscription: float
+    constellation_size: int
+    coverage_floor: int
+    service_fraction: float
+
+    @property
+    def effective_size(self) -> int:
+        """Demand-driven size, raised to the coverage floor if needed."""
+        return max(self.constellation_size, self.coverage_floor)
+
+
+class DeploymentOptimizer:
+    """Search beamspread x oversubscription for the cheapest deployment."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        sizer: Optional[ConstellationSizer] = None,
+    ):
+        self.dataset = dataset
+        self.sizer = sizer or ConstellationSizer(dataset)
+        self.oversubscription = OversubscriptionAnalysis(
+            dataset, self.sizer.capacity
+        )
+        self.tail = DiminishingReturnsAnalysis(dataset, self.sizer)
+
+    def evaluate(self, beamspread: int, oversubscription: float) -> DeploymentPlan:
+        """Size and service fraction of one (s, r) configuration."""
+        if beamspread < 1:
+            raise CapacityModelError(f"beamspread must be >= 1: {beamspread!r}")
+        stats = self.oversubscription.stats(oversubscription, beamspread)
+        dedicated_cap = self.oversubscription.cell_location_cap(
+            oversubscription, 1.0
+        )
+        point = self.tail.point_at_cap(
+            max(1, dedicated_cap), oversubscription, beamspread
+        )
+        floor = self.sizer.coverage_floor(beamspread).constellation_size
+        return DeploymentPlan(
+            beamspread=beamspread,
+            oversubscription=oversubscription,
+            constellation_size=point.constellation_size,
+            coverage_floor=floor,
+            service_fraction=stats.location_service_fraction,
+        )
+
+    def cheapest(
+        self,
+        service_target: float,
+        max_oversubscription: float = 20.0,
+        beamspreads: Sequence[int] = tuple(range(1, 16)),
+        oversubscriptions: Optional[Sequence[float]] = None,
+    ) -> Optional[DeploymentPlan]:
+        """Smallest feasible deployment, or None if the target is infeasible.
+
+        Searches the grid; among feasible points picks the minimum
+        effective size, breaking ties toward lower oversubscription
+        (better service quality at equal cost).
+        """
+        if not 0.0 < service_target <= 1.0:
+            raise CapacityModelError(
+                f"service target out of (0, 1]: {service_target!r}"
+            )
+        if oversubscriptions is None:
+            oversubscriptions = [
+                r for r in (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0)
+                if r <= max_oversubscription
+            ]
+        best: Optional[DeploymentPlan] = None
+        for spread in beamspreads:
+            for ratio in oversubscriptions:
+                plan = self.evaluate(spread, ratio)
+                if plan.service_fraction < service_target:
+                    continue
+                if (
+                    best is None
+                    or plan.effective_size < best.effective_size
+                    or (
+                        plan.effective_size == best.effective_size
+                        and plan.oversubscription < best.oversubscription
+                    )
+                ):
+                    best = plan
+        return best
+
+    def frontier(
+        self,
+        targets: Sequence[float],
+        max_oversubscription: float = 20.0,
+    ) -> List[Optional[DeploymentPlan]]:
+        """The cheapest plan per service target (the cost/coverage frontier)."""
+        return [
+            self.cheapest(target, max_oversubscription) for target in targets
+        ]

@@ -1,0 +1,251 @@
+"""Peak-demand constellation sizing (paper Table 2, Finding F2).
+
+The paper's lower-bound construction (Section 3.0.2):
+
+1. The binding (peak-demand) cell needs ``k`` beams — 4 for the full
+   ~17.3 Gbps — pinned on it at all times.
+2. The satellite carrying those beams spends its remaining ``24 - k``
+   beams on neighbouring cells, each spread over ``s`` cells (beamspread),
+   so one satellite covers ``m = 1 + (24 - k) * s`` cells.
+3. The constellation must therefore sustain one satellite per ``m`` cells
+   *at the binding cell's latitude*. A Walker shell concentrates
+   satellites by the latitude enhancement ``e(phi)``
+   (:mod:`repro.orbits.density`), so the total constellation is::
+
+       N = A_earth / (m * A_cell * e(phi_binding))
+
+With H3-resolution-5 cells (252.9 km^2) and a 53-degree shell over a
+binding cell near 37 N (e ~ 1.21), this reproduces the paper's Table 2
+magnitudes: ~79k satellites at beamspread 1 down to ~5.5k at beamspread 15.
+
+Binding-cell choice: the served cell with the highest provisioned demand;
+ties (several cells capped to the same demand) break toward the cell whose
+latitude needs the *largest* constellation (lowest enhancement) — the
+conservative reading, and the reason the paper's "max 20:1" column sits
+slightly above "full service".
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2, STARLINK_CELL_RESOLUTION
+from repro.orbits.density import ShellMixDensity
+from repro.orbits.shells import GEN1_SHELLS, Shell
+from repro.units import EARTH_SURFACE_AREA_KM2
+
+
+class DeploymentScenario(enum.Enum):
+    """The two deployment scenarios of Finding F1 / Table 2."""
+
+    #: Serve every location, letting the peak cell run at ~35:1.
+    FULL_SERVICE = "full service"
+    #: Cap every cell at the acceptable oversubscription (default 20:1),
+    #: leaving locations beyond the cap unserved.
+    MAX_ACCEPTABLE_OVERSUBSCRIPTION = "max. 20:1 oversub."
+
+
+def sizing_reference_shells() -> List[Shell]:
+    """Shells used for the latitude-density factor in Table 2 sizing.
+
+    The two Gen1 53-degree shells — the bulk of the constellation over the
+    CONUS latitudes. Back-solving the paper's Table 2 through e(phi) lands
+    on exactly this enhancement at the peak cell's ~37 N latitude.
+    """
+    return [GEN1_SHELLS[0], GEN1_SHELLS[1]]
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """One Table 2 entry: scenario x beamspread -> constellation size."""
+
+    scenario: DeploymentScenario
+    beamspread: float
+    oversubscription: float
+    binding_cell_locations: int
+    binding_cell_latitude_deg: float
+    binding_cell_beams: int
+    cells_per_satellite: float
+    latitude_enhancement: float
+    constellation_size: int
+
+
+class ConstellationSizer:
+    """Computes required constellation size from a demand dataset."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        capacity: Optional[SatelliteCapacityModel] = None,
+        density: Optional[ShellMixDensity] = None,
+        cell_area_km2: Optional[float] = None,
+    ):
+        self.dataset = dataset
+        self.capacity = capacity or SatelliteCapacityModel()
+        self.density = density or ShellMixDensity(sizing_reference_shells())
+        self.cell_area_km2 = (
+            cell_area_km2
+            if cell_area_km2 is not None
+            else H3_MEAN_HEX_AREA_KM2[dataset.grid_resolution]
+        )
+        if self.cell_area_km2 <= 0.0:
+            raise CapacityModelError(
+                f"cell area must be positive: {self.cell_area_km2!r}"
+            )
+        self._counts = dataset.counts()
+        self._latitudes = dataset.latitudes()
+
+    # -- binding cell -------------------------------------------------------
+
+    def binding_cell(
+        self, served_counts: np.ndarray
+    ) -> Tuple[int, float]:
+        """(served locations, latitude) of the binding cell.
+
+        The binding cell is the served cell with the most served locations;
+        among ties, the one at the latitude with the lowest shell
+        enhancement (needing the largest constellation).
+        """
+        if served_counts.shape != self._counts.shape:
+            raise CapacityModelError("served_counts misaligned with dataset")
+        peak = int(served_counts.max())
+        if peak <= 0:
+            raise CapacityModelError("no served locations; nothing binds")
+        tied = np.flatnonzero(served_counts == peak)
+        enhancements = np.array(
+            [self.density.enhancement(self._latitudes[i]) for i in tied]
+        )
+        if np.all(enhancements <= 0.0):
+            raise CapacityModelError(
+                "no shell covers any binding-cell latitude"
+            )
+        # Zero enhancement means "uncoverable"; exclude before argmin.
+        enhancements[enhancements <= 0.0] = np.inf
+        chosen = tied[int(np.argmin(enhancements))]
+        return peak, float(self._latitudes[chosen])
+
+    # -- sizing ---------------------------------------------------------------
+
+    def constellation_size(
+        self,
+        cells_per_satellite: float,
+        binding_latitude_deg: float,
+    ) -> int:
+        """N = A_earth / (m * A_cell * e(phi)), rounded up."""
+        if cells_per_satellite <= 0.0:
+            raise CapacityModelError(
+                f"cells per satellite must be positive: {cells_per_satellite!r}"
+            )
+        enhancement = self.density.enhancement(binding_latitude_deg)
+        if enhancement <= 0.0:
+            raise CapacityModelError(
+                f"no shell covers latitude {binding_latitude_deg!r}"
+            )
+        return math.ceil(
+            EARTH_SURFACE_AREA_KM2
+            / (cells_per_satellite * self.cell_area_km2 * enhancement)
+        )
+
+    def size_scenario(
+        self,
+        scenario: DeploymentScenario,
+        beamspread: float,
+        acceptable_oversubscription: float = 20.0,
+    ) -> SizingResult:
+        """Size the constellation for one Table 2 scenario."""
+        plan = self.capacity.beam_plan
+        if scenario is DeploymentScenario.FULL_SERVICE:
+            served = self._counts.copy()
+            peak, latitude = self.binding_cell(served)
+            # Network-wide oversubscription is whatever the peak cell
+            # requires, but never below 1:1 — a cell whose raw demand fits
+            # the beamset is provisioned at its raw demand, not inflated.
+            oversubscription = max(
+                1.0, self.capacity.required_oversubscription(peak)
+            )
+        elif scenario is DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION:
+            cap = self.capacity.max_locations_at_oversubscription(
+                acceptable_oversubscription
+            )
+            served = np.minimum(self._counts, cap)
+            peak, latitude = self.binding_cell(served)
+            oversubscription = acceptable_oversubscription
+        else:  # pragma: no cover - enum is closed
+            raise CapacityModelError(f"unknown scenario: {scenario!r}")
+
+        provisioned = (
+            peak * self.capacity.per_location_downlink_mbps / oversubscription
+        )
+        beams = plan.beams_for_demand(provisioned)
+        cells = plan.cells_per_satellite(beams, beamspread)
+        size = self.constellation_size(cells, latitude)
+        return SizingResult(
+            scenario=scenario,
+            beamspread=beamspread,
+            oversubscription=oversubscription,
+            binding_cell_locations=peak,
+            binding_cell_latitude_deg=latitude,
+            binding_cell_beams=beams,
+            cells_per_satellite=cells,
+            latitude_enhancement=self.density.enhancement(latitude),
+            constellation_size=size,
+        )
+
+    def coverage_floor(self, beamspread: float) -> SizingResult:
+        """Minimum constellation for *coverage alone* (no demand).
+
+        The paper's operating model requires one beam on every US cell at
+        all times regardless of demand. With all 24 beams spread over
+        ``24 * s`` cells, the binding location is the covered cell whose
+        latitude has the *lowest* enhancement (for CONUS: the southern
+        tip, around 25 N). Demand-driven sizing (Table 2) always sits at
+        or above this floor.
+        """
+        plan = self.capacity.beam_plan
+        enhancements = np.array(
+            [self.density.enhancement(lat) for lat in self._latitudes]
+        )
+        if np.all(enhancements <= 0.0):
+            raise CapacityModelError("no shell covers any cell")
+        enhancements[enhancements <= 0.0] = np.inf
+        binding = int(np.argmin(enhancements))
+        cells = plan.beams_per_satellite * beamspread
+        size = self.constellation_size(cells, float(self._latitudes[binding]))
+        return SizingResult(
+            scenario=DeploymentScenario.FULL_SERVICE,
+            beamspread=beamspread,
+            oversubscription=float("inf"),
+            binding_cell_locations=0,
+            binding_cell_latitude_deg=float(self._latitudes[binding]),
+            binding_cell_beams=0,
+            cells_per_satellite=cells,
+            latitude_enhancement=float(enhancements[binding]),
+            constellation_size=size,
+        )
+
+    def table2(
+        self,
+        beamspreads: Sequence[float] = (1, 2, 5, 10, 15),
+        acceptable_oversubscription: float = 20.0,
+    ) -> List[Tuple[float, int, int]]:
+        """(beamspread, N_full_service, N_max_oversub) rows of Table 2."""
+        rows = []
+        for spread in beamspreads:
+            full = self.size_scenario(DeploymentScenario.FULL_SERVICE, spread)
+            capped = self.size_scenario(
+                DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION,
+                spread,
+                acceptable_oversubscription,
+            )
+            rows.append(
+                (spread, full.constellation_size, capped.constellation_size)
+            )
+        return rows

@@ -1,0 +1,209 @@
+"""Diminishing returns of serving the long tail (Figure 3, Finding F3).
+
+The paper's strategy sweep: at a fixed oversubscription ``r``, vary the
+number of locations served **per cell** (the cap ``c``). Lowering the cap
+leaves the capped-out locations unserved but only shrinks the constellation
+when the peak cell's provisioned demand crosses a beam boundary — the
+freed beam then covers ``s`` more cells per satellite. This produces the
+stepped curve of constellation size vs locations-left-unserved, and its
+punchline: the final step (serving the last few thousand locations)
+costs hundreds to thousands of satellites depending on beamspread.
+
+The binding latitude is held at the densest cell's latitude for the whole
+sweep (the densest cell remains served, merely capped, so its location
+keeps determining the required satellite density). A secondary
+"drop whole cells" strategy — closer to "Starlink may simply avoid serving
+the long tail" — is provided for comparison; there the binding cell's
+identity (and latitude) shifts as cells are dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.core.sizing import ConstellationSizer
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class TailPoint:
+    """One point of the Fig 3 curve."""
+
+    per_cell_cap: int
+    locations_unserved: int
+    peak_cell_beams: int
+    constellation_size: int
+
+
+class DiminishingReturnsAnalysis:
+    """Constellation size as a function of locations left unserved."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        sizer: Optional[ConstellationSizer] = None,
+    ):
+        self.dataset = dataset
+        self.sizer = sizer or ConstellationSizer(dataset)
+        self.capacity: SatelliteCapacityModel = self.sizer.capacity
+        self._counts = dataset.counts()
+        self._latitudes = dataset.latitudes()
+
+    # -- cap-sweep strategy (the paper's Figure 3) ---------------------------
+
+    def beams_for_cap(self, cap: int, oversubscription: float) -> int:
+        """Beams the peak cell needs when capped at ``cap`` locations."""
+        if cap <= 0:
+            raise CapacityModelError(f"cap must be positive: {cap!r}")
+        provisioned = (
+            cap * self.capacity.per_location_downlink_mbps / oversubscription
+        )
+        return self.capacity.beam_plan.beams_for_demand(provisioned)
+
+    def cap_for_beams(self, beams: int, oversubscription: float) -> int:
+        """Largest per-cell cap servable with ``beams`` beams at ratio r."""
+        plan = self.capacity.beam_plan
+        if not 0 < beams <= plan.max_beams_per_cell:
+            raise CapacityModelError(f"beams out of range: {beams!r}")
+        capacity = beams * plan.beam_capacity_mbps
+        return int(
+            capacity
+            * oversubscription
+            // self.capacity.per_location_downlink_mbps
+        )
+
+    def unserved_at_cap(self, cap: int) -> int:
+        """Locations left unserved when every cell is capped at ``cap``."""
+        return self.dataset.excess_locations_above(cap)
+
+    def point_at_cap(
+        self, cap: int, oversubscription: float, beamspread: float
+    ) -> TailPoint:
+        """Evaluate the curve at one per-cell cap."""
+        beams = self.beams_for_cap(cap, oversubscription)
+        cells = self.capacity.beam_plan.cells_per_satellite(beams, beamspread)
+        # The densest cell stays served (capped), so its latitude binds.
+        peak_index = int(np.argmax(self._counts))
+        size = self.sizer.constellation_size(
+            cells, float(self._latitudes[peak_index])
+        )
+        return TailPoint(
+            per_cell_cap=cap,
+            locations_unserved=self.unserved_at_cap(cap),
+            peak_cell_beams=beams,
+            constellation_size=size,
+        )
+
+    def curve(
+        self,
+        oversubscription: float,
+        beamspread: float,
+        caps: Optional[Sequence[int]] = None,
+    ) -> List[TailPoint]:
+        """The Fig 3 step curve for one (r, s) line.
+
+        By default evaluates at every integer cap from the 1-beam cap up to
+        the 4-beam (maximum) cap, which traces the steps exactly.
+        """
+        if caps is None:
+            low = max(1, self.cap_for_beams(1, oversubscription) // 2)
+            high = self.cap_for_beams(
+                self.capacity.beam_plan.max_beams_per_cell, oversubscription
+            )
+            caps = range(low, high + 1)
+        return [
+            self.point_at_cap(int(cap), oversubscription, beamspread)
+            for cap in caps
+        ]
+
+    def step_points(
+        self, oversubscription: float, beamspread: float
+    ) -> List[TailPoint]:
+        """Just the step corners: the largest cap per beam count."""
+        plan = self.capacity.beam_plan
+        points = []
+        for beams in range(1, plan.max_beams_per_cell + 1):
+            cap = self.cap_for_beams(beams, oversubscription)
+            points.append(self.point_at_cap(cap, oversubscription, beamspread))
+        return points
+
+    def final_step_cost(
+        self, oversubscription: float, beamspread: float
+    ) -> dict:
+        """F3's quantity: satellites needed to serve the last step's locations.
+
+        Compares serving at the full 4-beam cap against stopping one beam
+        earlier (3-beam cap): how many extra locations does the 4th beam
+        serve, and how many extra satellites does pinning it require?
+        """
+        plan = self.capacity.beam_plan
+        full = self.point_at_cap(
+            self.cap_for_beams(plan.max_beams_per_cell, oversubscription),
+            oversubscription,
+            beamspread,
+        )
+        reduced = self.point_at_cap(
+            self.cap_for_beams(plan.max_beams_per_cell - 1, oversubscription),
+            oversubscription,
+            beamspread,
+        )
+        return {
+            "locations_gained": reduced.locations_unserved - full.locations_unserved,
+            "additional_satellites": (
+                full.constellation_size - reduced.constellation_size
+            ),
+            "floor_unservable": full.locations_unserved,
+        }
+
+    # -- drop-cells strategy (comparison) -------------------------------------
+
+    def drop_cells_curve(
+        self, oversubscription: float, beamspread: float, max_dropped_cells: int = 60
+    ) -> List[TailPoint]:
+        """Alternative: drop whole cells densest-first instead of capping.
+
+        The binding cell identity changes as cells are dropped, so the
+        constellation size also moves with the *latitude* of each successive
+        peak cell — the jagged variant of Fig 3.
+        """
+        if max_dropped_cells < 0:
+            raise CapacityModelError(
+                f"max_dropped_cells must be >= 0: {max_dropped_cells!r}"
+            )
+        cap = self.capacity.max_locations_at_oversubscription(oversubscription)
+        order = np.argsort(-self._counts, kind="stable")
+        served = np.minimum(self._counts.copy(), cap)
+        base_unserved = self.unserved_at_cap(cap)
+        dropped_locations = 0
+        points: List[TailPoint] = []
+        for n_dropped in range(min(max_dropped_cells, len(order)) + 1):
+            peak_served = int(served.max())
+            if peak_served <= 0:
+                break
+            beams = self.beams_for_cap(peak_served, oversubscription)
+            cells = self.capacity.beam_plan.cells_per_satellite(
+                beams, beamspread
+            )
+            peak, latitude = self.sizer.binding_cell(served)
+            size = self.sizer.constellation_size(cells, latitude)
+            points.append(
+                TailPoint(
+                    per_cell_cap=peak_served,
+                    locations_unserved=base_unserved + dropped_locations,
+                    peak_cell_beams=beams,
+                    constellation_size=size,
+                )
+            )
+            if n_dropped < len(order):
+                index = order[n_dropped]
+                # Dropping the cell unserves its capped (served) portion;
+                # its over-cap excess was already counted in the baseline.
+                dropped_locations += int(served[index])
+                served[index] = 0
+        return points

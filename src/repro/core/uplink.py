@@ -1,0 +1,123 @@
+"""Uplink-side capacity analysis (extension beyond the paper).
+
+Applies the paper's peak-demand-density model to the *uplink*: each
+location owes 20 Mbps up (the other half of the 100/20 definition), the
+UT uplink budget is 500 MHz at ~2.5 b/Hz (~1.25 Gbps/cell), and the same
+oversubscription / per-cell-cap logic follows. The punchline: the peak
+cell's uplink requires ~96:1 oversubscription — nearly 3x the downlink's
+35:1 — so under the paper's own framework the uplink, which the paper
+sets aside, binds first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+from repro.spectrum.regulatory import RELIABLE_BROADBAND_UPLINK_MBPS
+from repro.spectrum.uplink import UplinkBeamPlan, starlink_uplink_plan
+from repro.units import as_gbps
+
+
+@dataclass(frozen=True)
+class UplinkCapacityModel:
+    """Mirror of :class:`~repro.core.capacity.SatelliteCapacityModel`, uplink side."""
+
+    plan: UplinkBeamPlan = field(default_factory=starlink_uplink_plan)
+    per_location_uplink_mbps: float = RELIABLE_BROADBAND_UPLINK_MBPS
+
+    def __post_init__(self) -> None:
+        if self.per_location_uplink_mbps <= 0.0:
+            raise CapacityModelError("per-location uplink must be positive")
+
+    @property
+    def cell_capacity_mbps(self) -> float:
+        return self.plan.cell_capacity_mbps
+
+    def cell_demand_mbps(self, locations: int) -> float:
+        """Raw uplink demand of a cell."""
+        if locations < 0:
+            raise CapacityModelError(f"negative locations: {locations!r}")
+        return locations * self.per_location_uplink_mbps
+
+    def required_oversubscription(self, locations: int) -> float:
+        """Uplink oversubscription needed to fit a cell into the budget."""
+        demand = self.cell_demand_mbps(locations)
+        if demand == 0.0:
+            return 0.0
+        return demand / self.cell_capacity_mbps
+
+    def max_locations_at_oversubscription(self, ratio: float) -> int:
+        """Per-cell location cap on the uplink side."""
+        if ratio <= 0.0:
+            raise CapacityModelError(f"ratio must be positive: {ratio!r}")
+        return int(self.cell_capacity_mbps * ratio // self.per_location_uplink_mbps)
+
+
+class UplinkAnalysis:
+    """Uplink servability over a demand dataset."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        model: UplinkCapacityModel | None = None,
+    ):
+        self.dataset = dataset
+        self.model = model or UplinkCapacityModel()
+        self._counts = dataset.counts()
+
+    def summary(self, acceptable_oversubscription: float = 20.0) -> Dict[str, float]:
+        """Uplink headline numbers, shaped like the downlink F1."""
+        peak = int(self._counts.max())
+        cap = self.model.max_locations_at_oversubscription(
+            acceptable_oversubscription
+        )
+        unservable = int(np.maximum(self._counts - cap, 0).sum())
+        total = int(self._counts.sum())
+        return {
+            "peak_cell_locations": peak,
+            "peak_cell_demand_mbps": self.model.cell_demand_mbps(peak),
+            "cell_capacity_mbps": self.model.cell_capacity_mbps,
+            "required_oversubscription": self.model.required_oversubscription(peak),
+            "per_cell_cap": cap,
+            "locations_unservable_at_acceptable": unservable,
+            "service_fraction_at_acceptable": 1.0 - unservable / total,
+        }
+
+    def comparison_table(
+        self,
+        downlink_summary: Dict[str, float],
+        acceptable_oversubscription: float = 20.0,
+    ) -> Dict[str, Dict[str, str]]:
+        """Side-by-side downlink vs uplink, for the experiment rendering."""
+        uplink = self.summary(acceptable_oversubscription)
+        return {
+            "capacity per cell": {
+                "downlink": "~17.3 Gbps",
+                "uplink": f"~{as_gbps(uplink['cell_capacity_mbps']):.2f} Gbps",
+            },
+            "peak cell demand": {
+                "downlink": "599.8 Gbps",
+                "uplink": f"{as_gbps(uplink['peak_cell_demand_mbps']):.1f} Gbps",
+            },
+            "required oversubscription": {
+                "downlink": f"{downlink_summary['required_oversubscription']:.0f}:1",
+                "uplink": f"{uplink['required_oversubscription']:.0f}:1",
+            },
+            "per-cell cap at 20:1": {
+                "downlink": f"{downlink_summary['per_cell_cap']:,}",
+                "uplink": f"{uplink['per_cell_cap']:,}",
+            },
+            "unservable at 20:1": {
+                "downlink": f"{downlink_summary['locations_unservable_at_acceptable']:,}",
+                "uplink": f"{uplink['locations_unservable_at_acceptable']:,}",
+            },
+            "service fraction at 20:1": {
+                "downlink": f"{downlink_summary['service_fraction_at_acceptable']:.2%}",
+                "uplink": f"{uplink['service_fraction_at_acceptable']:.2%}",
+            },
+        }

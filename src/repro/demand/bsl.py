@@ -1,0 +1,77 @@
+"""Broadband-serviceable-location data structures.
+
+Mirrors the shape of the FCC Broadband Data Collection after the paper's
+preprocessing: locations classified served / underserved / unserved against
+the 100/20 reliable-broadband bar, aggregated into Starlink service cells,
+and joined to the county that contains them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId
+
+
+@dataclass(frozen=True)
+class County:
+    """A county with the single attribute the paper's analysis uses."""
+
+    county_id: int
+    name: str
+    seat: LatLon
+    median_household_income_usd: float
+
+    def __post_init__(self) -> None:
+        if self.median_household_income_usd <= 0.0:
+            raise DatasetError(
+                f"county {self.name}: non-positive income "
+                f"{self.median_household_income_usd!r}"
+            )
+
+    @property
+    def median_monthly_income_usd(self) -> float:
+        return self.median_household_income_usd / 12.0
+
+
+@dataclass(frozen=True)
+class ServiceCell:
+    """One Starlink service cell's un(der)served demand.
+
+    ``unserved_locations`` have no 100/20 offer at all; ``underserved``
+    locations have an offer below the bar. The capacity model treats them
+    identically (both need service), so :attr:`total_locations` is the
+    quantity every downstream computation consumes.
+    """
+
+    cell: CellId
+    center: LatLon
+    county_id: int
+    unserved_locations: int
+    underserved_locations: int
+
+    def __post_init__(self) -> None:
+        if self.unserved_locations < 0 or self.underserved_locations < 0:
+            raise DatasetError(
+                f"cell {self.cell.token}: negative location count"
+            )
+
+    @property
+    def total_locations(self) -> int:
+        """Locations lacking reliable broadband in this cell."""
+        return self.unserved_locations + self.underserved_locations
+
+    @property
+    def latitude_deg(self) -> float:
+        return self.center.lat_deg
+
+    def demand_mbps(self, per_location_mbps: float = 100.0) -> float:
+        """Raw (non-oversubscribed) downlink demand of this cell."""
+        if per_location_mbps <= 0.0:
+            raise DatasetError(
+                f"per-location rate must be positive: {per_location_mbps!r}"
+            )
+        return self.total_locations * per_location_mbps

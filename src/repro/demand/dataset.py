@@ -1,0 +1,162 @@
+"""The joined demand dataset: service cells x counties x incomes.
+
+:class:`DemandDataset` is the single object every model in :mod:`repro.core`
+consumes. It owns the per-cell un(der)served location counts (the paper's
+Figure 1 distribution), each cell's latitude (which drives constellation
+sizing), and the county join (which drives affordability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.demand.bsl import County, ServiceCell
+from repro.errors import DatasetError
+
+
+@dataclass
+class DemandDataset:
+    """Service cells with demand, joined to counties with incomes."""
+
+    cells: List[ServiceCell]
+    counties: Dict[int, County]
+    grid_resolution: int
+    description: str = "demand dataset"
+
+    def __post_init__(self) -> None:
+        self.validate()
+        self._counts = np.array(
+            [c.total_locations for c in self.cells], dtype=np.int64
+        )
+        self._latitudes = np.array(
+            [c.latitude_deg for c in self.cells], dtype=float
+        )
+        self._incomes = np.array(
+            [
+                self.counties[c.county_id].median_household_income_usd
+                for c in self.cells
+            ],
+            dtype=float,
+        )
+
+    # -- invariants -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on structural inconsistencies."""
+        if not self.cells:
+            raise DatasetError("dataset has no cells")
+        seen = set()
+        for cell in self.cells:
+            if cell.cell in seen:
+                raise DatasetError(f"duplicate cell {cell.cell.token}")
+            seen.add(cell.cell)
+            if cell.cell.resolution != self.grid_resolution:
+                raise DatasetError(
+                    f"cell {cell.cell.token} at resolution "
+                    f"{cell.cell.resolution}, dataset at {self.grid_resolution}"
+                )
+            if cell.county_id not in self.counties:
+                raise DatasetError(
+                    f"cell {cell.cell.token} references unknown county "
+                    f"{cell.county_id}"
+                )
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def total_locations(self) -> int:
+        """All un(der)served locations in the dataset."""
+        return int(self._counts.sum())
+
+    @property
+    def occupied_cell_count(self) -> int:
+        """Cells containing at least one un(der)served location."""
+        return int(np.count_nonzero(self._counts))
+
+    def counts(self) -> np.ndarray:
+        """Per-cell location counts (copy), aligned with :attr:`cells`."""
+        return self._counts.copy()
+
+    def latitudes(self) -> np.ndarray:
+        """Per-cell latitudes in degrees (copy), aligned with :attr:`cells`."""
+        return self._latitudes.copy()
+
+    def cell_incomes(self) -> np.ndarray:
+        """Per-cell county median income (copy), aligned with :attr:`cells`."""
+        return self._incomes.copy()
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the per-cell location count distribution."""
+        if not 0.0 <= q <= 100.0:
+            raise DatasetError(f"percentile out of [0, 100]: {q!r}")
+        return float(np.percentile(self._counts, q))
+
+    def max_cell(self) -> ServiceCell:
+        """The cell with the most un(der)served locations."""
+        return self.cells[int(np.argmax(self._counts))]
+
+    def cells_sorted_by_demand(self) -> List[ServiceCell]:
+        """Cells in descending order of location count."""
+        order = np.argsort(-self._counts, kind="stable")
+        return [self.cells[i] for i in order]
+
+    def location_weighted_income_share_below(self, income_usd: float) -> float:
+        """Fraction of locations in counties below ``income_usd``."""
+        total = self.total_locations
+        if total == 0:
+            raise DatasetError("dataset has zero locations")
+        below = self._counts[self._incomes < income_usd].sum()
+        return float(below) / total
+
+    def locations_in_cells_above(self, threshold_locations: int) -> int:
+        """Locations living in cells with more than ``threshold`` locations."""
+        mask = self._counts > threshold_locations
+        return int(self._counts[mask].sum())
+
+    def excess_locations_above(self, cap_per_cell: int) -> int:
+        """Locations beyond a per-cell cap, summed over cells."""
+        if cap_per_cell < 0:
+            raise DatasetError(f"negative per-cell cap: {cap_per_cell!r}")
+        excess = self._counts - cap_per_cell
+        return int(excess[excess > 0].sum())
+
+    # -- slicing ------------------------------------------------------------
+
+    def subset_bbox(
+        self,
+        lat_min: float,
+        lat_max: float,
+        lon_min: float,
+        lon_max: float,
+        description: Optional[str] = None,
+    ) -> "DemandDataset":
+        """Dataset restricted to cells whose centers fall in the box."""
+        kept = [
+            c
+            for c in self.cells
+            if lat_min <= c.center.lat_deg <= lat_max
+            and lon_min <= c.center.lon_deg <= lon_max
+        ]
+        if not kept:
+            raise DatasetError("bounding box contains no cells")
+        county_ids = {c.county_id for c in kept}
+        return DemandDataset(
+            cells=kept,
+            counties={i: self.counties[i] for i in county_ids},
+            grid_resolution=self.grid_resolution,
+            description=description or f"{self.description} (bbox subset)",
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (
+            f"{self.description}: {self.total_locations:,} un(der)served "
+            f"locations across {len(self.cells):,} cells "
+            f"({len(self.counties):,} counties); "
+            f"p50={self.percentile(50):.0f}, p90={self.percentile(90):.0f}, "
+            f"p99={self.percentile(99):.0f}, "
+            f"max={self.max_cell().total_locations} locations/cell"
+        )

@@ -1,0 +1,136 @@
+"""Adoption dynamics: how take-rate growth re-binds the capacity model.
+
+The paper's analysis is a steady-state "best case" where every
+un(der)served location subscribes. In reality adoption ramps; this module
+adds the standard Bass diffusion model so the capacity questions can be
+asked as a function of time:
+
+* what take rate pushes the peak cell past the acceptable
+  oversubscription cap (the moment F1's tension appears), and
+* how the required constellation grows along the adoption curve.
+
+Bass model: with innovation coefficient ``p`` and imitation coefficient
+``q``, the adopted fraction at time ``t`` (years) is
+
+    F(t) = (1 - exp(-(p+q) t)) / (1 + (q/p) exp(-(p+q) t))
+
+Defaults (p = 0.03, q = 0.4) are classic consumer-durable values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class BassDiffusion:
+    """Bass adoption curve with a ceiling take rate."""
+
+    innovation_p: float = 0.03
+    imitation_q: float = 0.4
+    #: Long-run fraction of un(der)served locations that ever subscribe.
+    ceiling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.innovation_p <= 0.0 or self.imitation_q < 0.0:
+            raise CapacityModelError("Bass coefficients must be positive")
+        if not 0.0 < self.ceiling <= 1.0:
+            raise CapacityModelError(f"ceiling out of (0, 1]: {self.ceiling!r}")
+
+    def adoption(self, t_years: float) -> float:
+        """Adopted fraction at ``t_years`` (0 at t=0, -> ceiling)."""
+        if t_years < 0.0:
+            raise CapacityModelError(f"negative time: {t_years!r}")
+        rate = self.innovation_p + self.imitation_q
+        decay = math.exp(-rate * t_years)
+        bass = (1.0 - decay) / (1.0 + (self.imitation_q / self.innovation_p) * decay)
+        return self.ceiling * bass
+
+    def time_to_adoption(self, fraction: float) -> float:
+        """Years until the adopted fraction reaches ``fraction``.
+
+        Inverts the Bass curve by bisection; raises if the fraction
+        exceeds the ceiling.
+        """
+        if not 0.0 <= fraction < self.ceiling:
+            raise CapacityModelError(
+                f"fraction {fraction!r} unreachable under ceiling {self.ceiling!r}"
+            )
+        if fraction == 0.0:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while self.adoption(hi) < fraction:
+            hi *= 2.0
+            if hi > 1e4:  # pragma: no cover - ceiling check prevents this
+                raise CapacityModelError("adoption target unreachable")
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.adoption(mid) < fraction:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+
+class GrowthAnalysis:
+    """Capacity pressure along the adoption curve."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        diffusion: BassDiffusion | None = None,
+        per_location_mbps: float = 100.0,
+        cell_capacity_mbps: float = 17325.0,
+    ):
+        if per_location_mbps <= 0.0 or cell_capacity_mbps <= 0.0:
+            raise CapacityModelError("rates must be positive")
+        self.dataset = dataset
+        self.diffusion = diffusion or BassDiffusion()
+        self.per_location_mbps = per_location_mbps
+        self.cell_capacity_mbps = cell_capacity_mbps
+        self._counts = dataset.counts()
+
+    def subscribers_at(self, t_years: float) -> np.ndarray:
+        """Expected subscribers per cell at time t (fractional)."""
+        return self._counts * self.diffusion.adoption(t_years)
+
+    def peak_oversubscription_at(self, t_years: float) -> float:
+        """Oversubscription the peak cell needs at time t."""
+        peak = float(self.subscribers_at(t_years).max())
+        return peak * self.per_location_mbps / self.cell_capacity_mbps
+
+    def cells_over_cap_at(self, t_years: float, acceptable: float = 20.0) -> int:
+        """Cells whose subscribers exceed the acceptable-oversub cap."""
+        cap = self.cell_capacity_mbps * acceptable / self.per_location_mbps
+        return int(np.count_nonzero(self.subscribers_at(t_years) > cap))
+
+    def years_until_peak_cell_binds(self, acceptable: float = 20.0) -> float:
+        """Years until the peak cell first exceeds the acceptable cap."""
+        peak = float(self._counts.max())
+        cap = self.cell_capacity_mbps * acceptable / self.per_location_mbps
+        needed_fraction = cap / peak
+        if needed_fraction >= self.diffusion.ceiling:
+            return math.inf
+        return self.diffusion.time_to_adoption(needed_fraction)
+
+    def timeline(self, years: List[float], acceptable: float = 20.0) -> List[Dict]:
+        """Adoption/pressure rows for a set of years."""
+        rows = []
+        for year in years:
+            rows.append(
+                {
+                    "year": year,
+                    "adoption": self.diffusion.adoption(year),
+                    "subscribers": float(self.subscribers_at(year).sum()),
+                    "peak_oversubscription": self.peak_oversubscription_at(year),
+                    "cells_over_cap": self.cells_over_cap_at(year, acceptable),
+                }
+            )
+        return rows

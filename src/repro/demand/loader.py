@@ -1,0 +1,125 @@
+"""CSV round-trip for demand datasets.
+
+Persists a :class:`~repro.demand.dataset.DemandDataset` as two CSV files
+shaped like the paper's preprocessed inputs — a per-cell file (the
+H3-binned FCC map) and a per-county file (the census income join) — and
+reads them back. Useful for sharing a generated dataset or inspecting it
+with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.demand.bsl import County, ServiceCell
+from repro.demand.dataset import DemandDataset
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId
+
+_CELL_HEADERS = [
+    "cell_token",
+    "lat_deg",
+    "lon_deg",
+    "county_id",
+    "unserved_locations",
+    "underserved_locations",
+]
+_COUNTY_HEADERS = ["county_id", "name", "lat_deg", "lon_deg", "median_income_usd"]
+
+
+def write_dataset(
+    dataset: DemandDataset, cells_path: Union[str, Path], counties_path: Union[str, Path]
+) -> None:
+    """Write the dataset to a cells CSV and a counties CSV."""
+    cells_file = Path(cells_path)
+    counties_file = Path(counties_path)
+    cells_file.parent.mkdir(parents=True, exist_ok=True)
+    counties_file.parent.mkdir(parents=True, exist_ok=True)
+    with cells_file.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CELL_HEADERS)
+        for cell in dataset.cells:
+            writer.writerow(
+                [
+                    cell.cell.token,
+                    f"{cell.center.lat_deg:.6f}",
+                    f"{cell.center.lon_deg:.6f}",
+                    cell.county_id,
+                    cell.unserved_locations,
+                    cell.underserved_locations,
+                ]
+            )
+    with counties_file.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COUNTY_HEADERS)
+        for county in dataset.counties.values():
+            writer.writerow(
+                [
+                    county.county_id,
+                    county.name,
+                    f"{county.seat.lat_deg:.6f}",
+                    f"{county.seat.lon_deg:.6f}",
+                    f"{county.median_household_income_usd:.2f}",
+                ]
+            )
+
+
+def read_dataset(
+    cells_path: Union[str, Path],
+    counties_path: Union[str, Path],
+    description: str = "loaded demand dataset",
+) -> DemandDataset:
+    """Read a dataset previously written by :func:`write_dataset`."""
+    counties: Dict[int, County] = {}
+    for row in _read_rows(counties_path, _COUNTY_HEADERS):
+        county = County(
+            county_id=int(row["county_id"]),
+            name=row["name"],
+            seat=LatLon(float(row["lat_deg"]), float(row["lon_deg"])),
+            median_household_income_usd=float(row["median_income_usd"]),
+        )
+        if county.county_id in counties:
+            raise DatasetError(f"duplicate county id {county.county_id}")
+        counties[county.county_id] = county
+
+    cells: List[ServiceCell] = []
+    resolution = None
+    for row in _read_rows(cells_path, _CELL_HEADERS):
+        cell_id = CellId.from_token(row["cell_token"])
+        if resolution is None:
+            resolution = cell_id.resolution
+        cells.append(
+            ServiceCell(
+                cell=cell_id,
+                center=LatLon(float(row["lat_deg"]), float(row["lon_deg"])),
+                county_id=int(row["county_id"]),
+                unserved_locations=int(row["unserved_locations"]),
+                underserved_locations=int(row["underserved_locations"]),
+            )
+        )
+    if resolution is None:
+        raise DatasetError(f"no cells in {cells_path}")
+    return DemandDataset(
+        cells=cells,
+        counties=counties,
+        grid_resolution=resolution,
+        description=description,
+    )
+
+
+def _read_rows(path: Union[str, Path], expected_headers: List[str]):
+    """Yield dict rows, validating the header line."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"no such file: {file_path}")
+    with file_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != expected_headers:
+            raise DatasetError(
+                f"{file_path}: headers {reader.fieldnames} != "
+                f"expected {expected_headers}"
+            )
+        yield from reader

@@ -1,0 +1,248 @@
+"""Per-location records: the FCC Broadband Data Collection's granularity.
+
+The library's canonical demand representation is per-cell counts (all the
+paper's math consumes), but the FCC's raw data is one row per broadband
+serviceable location (BSL) with per-provider technology and speed claims.
+This module bridges the two:
+
+* :func:`explode_cells` scatters a dataset's counts into individual
+  location points inside each cell's hexagon (seeded, deterministic) with
+  BDC-style attributes — unserved locations get either no offer or a slow
+  legacy one, underserved locations an offer below the 100/20 bar;
+* :func:`bin_locations` re-aggregates points into cells on a grid — the
+  inverse, used both for round-trip validation and for ingesting
+  location-level data from elsewhere;
+* CSV read/write in a BDC-like schema.
+
+Intended for regional studies; exploding all 4.66 M national locations
+works but costs memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId, HexGrid
+from repro.geo.projection import EqualAreaProjection
+from repro.spectrum.regulatory import is_reliable_broadband
+
+
+class TechnologyCode(enum.IntEnum):
+    """FCC BDC technology codes (subset)."""
+
+    NONE = 0
+    COPPER_DSL = 10
+    CABLE = 40
+    FIBER = 50
+    FIXED_WIRELESS_UNLICENSED = 70
+    GEO_SATELLITE = 60
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """One broadband serviceable location with its best reported offer."""
+
+    location_id: int
+    position: LatLon
+    cell: CellId
+    county_id: int
+    technology: TechnologyCode
+    max_download_mbps: float
+    max_upload_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.max_download_mbps < 0.0 or self.max_upload_mbps < 0.0:
+            raise DatasetError(
+                f"location {self.location_id}: negative speeds"
+            )
+
+    @property
+    def is_served(self) -> bool:
+        """Whether the best offer meets the reliable-broadband bar."""
+        return is_reliable_broadband(self.max_download_mbps, self.max_upload_mbps)
+
+    @property
+    def is_unserved(self) -> bool:
+        """No offer at all, or one below 25/3 (the FCC 'unserved' bar)."""
+        return self.max_download_mbps < 25.0 or self.max_upload_mbps < 3.0
+
+
+#: Offer profiles drawn for unserved locations: (tech, dl, ul, weight).
+_UNSERVED_OFFERS: Tuple[Tuple[TechnologyCode, float, float, float], ...] = (
+    (TechnologyCode.NONE, 0.0, 0.0, 0.45),
+    (TechnologyCode.COPPER_DSL, 10.0, 1.0, 0.35),
+    (TechnologyCode.GEO_SATELLITE, 20.0, 3.0, 0.20),
+)
+
+#: Offer profiles for underserved locations (above 25/3, below 100/20).
+_UNDERSERVED_OFFERS: Tuple[Tuple[TechnologyCode, float, float, float], ...] = (
+    (TechnologyCode.COPPER_DSL, 50.0, 5.0, 0.40),
+    (TechnologyCode.FIXED_WIRELESS_UNLICENSED, 80.0, 10.0, 0.40),
+    (TechnologyCode.CABLE, 75.0, 10.0, 0.20),
+)
+
+
+def explode_cells(
+    dataset: DemandDataset, seed: int = 0
+) -> List[LocationRecord]:
+    """Scatter each cell's counts into individual location records.
+
+    Points are placed uniformly inside each cell's hexagon in the
+    projected plane (so uniformly by area on the sphere); offers are drawn
+    from BDC-like profiles. Deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    grid = HexGrid(dataset.grid_resolution)
+    projection = EqualAreaProjection()
+    records: List[LocationRecord] = []
+    location_id = 0
+    for cell in dataset.cells:
+        cx, cy = projection.forward(grid.center(cell.cell))
+        for count, offers in (
+            (cell.unserved_locations, _UNSERVED_OFFERS),
+            (cell.underserved_locations, _UNDERSERVED_OFFERS),
+        ):
+            if count == 0:
+                continue
+            points = _uniform_hexagon_points(
+                rng, count, cx, cy, grid.hex_size_km
+            )
+            choices = rng.choice(
+                len(offers), size=count, p=[w for _, _, _, w in offers]
+            )
+            for (px, py), choice in zip(points, choices):
+                technology, downlink, uplink, _ = offers[int(choice)]
+                records.append(
+                    LocationRecord(
+                        location_id=location_id,
+                        position=projection.inverse(px, py),
+                        cell=cell.cell,
+                        county_id=cell.county_id,
+                        technology=technology,
+                        max_download_mbps=downlink,
+                        max_upload_mbps=uplink,
+                    )
+                )
+                location_id += 1
+    return records
+
+
+def _uniform_hexagon_points(
+    rng: np.random.Generator, count: int, cx: float, cy: float, size_km: float
+) -> np.ndarray:
+    """``count`` points uniform in a flat-top hexagon centered at (cx, cy)."""
+    points = np.empty((count, 2))
+    filled = 0
+    apothem = size_km * np.sqrt(3.0) / 2.0
+    while filled < count:
+        need = count - filled
+        xs = rng.uniform(-size_km, size_km, size=2 * need + 8)
+        ys = rng.uniform(-apothem, apothem, size=2 * need + 8)
+        # Flat-top hexagon: flat edges at |y| = apothem, sloped edges run
+        # from (s, 0) to (s/2, apothem), i.e. |y| <= sqrt(3) * (s - |x|).
+        inside = (np.abs(ys) <= apothem) & (
+            np.abs(ys) <= np.sqrt(3.0) * (size_km - np.abs(xs))
+        )
+        good = np.flatnonzero(inside)[:need]
+        points[filled : filled + good.size, 0] = xs[good] + cx
+        points[filled : filled + good.size, 1] = ys[good] + cy
+        filled += good.size
+    return points
+
+
+def bin_locations(
+    records: Iterable[LocationRecord], resolution: int
+) -> Dict[CellId, Tuple[int, int]]:
+    """Aggregate records into (unserved, underserved) counts per cell.
+
+    Cells are re-derived from each record's position on a grid of the
+    given resolution; 'unserved' follows the FCC 25/3 bar, locations at or
+    above 100/20 are dropped (served).
+    """
+    grid = HexGrid(resolution)
+    counts: Dict[CellId, List[int]] = {}
+    for record in records:
+        if record.is_served:
+            continue
+        cell = grid.cell_for(record.position)
+        bucket = counts.setdefault(cell, [0, 0])
+        if record.is_unserved:
+            bucket[0] += 1
+        else:
+            bucket[1] += 1
+    return {cell: (u, d) for cell, (u, d) in counts.items()}
+
+
+_LOCATION_HEADERS = [
+    "location_id",
+    "lat_deg",
+    "lon_deg",
+    "cell_token",
+    "county_id",
+    "technology",
+    "max_download_mbps",
+    "max_upload_mbps",
+]
+
+
+def write_locations_csv(
+    records: Iterable[LocationRecord], path: Union[str, Path]
+) -> Path:
+    """Write records in a BDC-like CSV schema."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_LOCATION_HEADERS)
+        for record in records:
+            writer.writerow(
+                [
+                    record.location_id,
+                    f"{record.position.lat_deg:.6f}",
+                    f"{record.position.lon_deg:.6f}",
+                    record.cell.token,
+                    record.county_id,
+                    int(record.technology),
+                    f"{record.max_download_mbps:.1f}",
+                    f"{record.max_upload_mbps:.1f}",
+                ]
+            )
+    return target
+
+
+def read_locations_csv(path: Union[str, Path]) -> List[LocationRecord]:
+    """Read records written by :func:`write_locations_csv`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"no such file: {file_path}")
+    records = []
+    with file_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _LOCATION_HEADERS:
+            raise DatasetError(
+                f"{file_path}: unexpected headers {reader.fieldnames}"
+            )
+        for row in reader:
+            records.append(
+                LocationRecord(
+                    location_id=int(row["location_id"]),
+                    position=LatLon(
+                        float(row["lat_deg"]), float(row["lon_deg"])
+                    ),
+                    cell=CellId.from_token(row["cell_token"]),
+                    county_id=int(row["county_id"]),
+                    technology=TechnologyCode(int(row["technology"])),
+                    max_download_mbps=float(row["max_download_mbps"]),
+                    max_upload_mbps=float(row["max_upload_mbps"]),
+                )
+            )
+    return records

@@ -1,0 +1,30 @@
+"""Packaged sample dataset: a ready-to-use Appalachian region.
+
+The national generator takes a couple of seconds; for docs, notebooks,
+and smoke tests a pre-generated regional extract ships with the package
+(864 cells around the paper's peak-demand area, including the planted
+5998-location cell).
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.demand.dataset import DemandDataset
+from repro.demand.loader import read_dataset
+from repro.errors import DatasetError
+
+
+def load_sample_region() -> DemandDataset:
+    """The packaged Appalachian sample (225k locations, 864 cells)."""
+    package = resources.files("repro.data")
+    cells = package / "sample_cells.csv"
+    counties = package / "sample_counties.csv"
+    if not cells.is_file() or not counties.is_file():
+        raise DatasetError("packaged sample data missing from installation")
+    with resources.as_file(cells) as cells_path, resources.as_file(
+        counties
+    ) as counties_path:
+        return read_dataset(
+            cells_path, counties_path, description="packaged Appalachia sample"
+        )

@@ -1,0 +1,116 @@
+"""The served population and terrestrial "defection" (extension).
+
+The paper's capacity analysis is explicitly a best case: "We ignore
+additional demand from users who could choose to use terrestrial
+Internet." This module quantifies that caveat. Each occupied cell also
+contains *served* locations (homes with a 100/20 terrestrial offer); if a
+fraction of them defect to Starlink — for price, bundling, or churn
+reasons — they add to exactly the per-cell peaks that drive the model.
+
+Served counts are synthesized per cell (lognormal, median ~800/cell — a
+stated hypothesis, not data: a rural res-5 cell of ~253 km^2 at ~4-8
+locations/km^2 holds on the order of 1,000-2,000 homes, most already
+served) and are deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.demand.dataset import DemandDataset
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class ServedLayerConfig:
+    """Synthetic served-population parameters (documented hypothesis)."""
+
+    seed: int = 404
+    median_served_per_cell: float = 800.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.median_served_per_cell <= 0.0 or self.sigma <= 0.0:
+            raise CapacityModelError("served-layer parameters must be positive")
+
+
+class DefectionAnalysis:
+    """Capacity pressure when served households defect to Starlink."""
+
+    def __init__(
+        self,
+        dataset: DemandDataset,
+        config: ServedLayerConfig | None = None,
+        capacity: SatelliteCapacityModel | None = None,
+    ):
+        self.dataset = dataset
+        self.config = config or ServedLayerConfig()
+        self.capacity = capacity or SatelliteCapacityModel()
+        rng = np.random.default_rng(self.config.seed)
+        self._unserved = dataset.counts().astype(float)
+        self._served = np.rint(
+            rng.lognormal(
+                mean=np.log(self.config.median_served_per_cell),
+                sigma=self.config.sigma,
+                size=self._unserved.shape[0],
+            )
+        ).astype(np.int64)
+
+    def served_counts(self) -> np.ndarray:
+        """Synthetic served locations per cell (copy)."""
+        return self._served.copy()
+
+    def effective_counts(self, defection_fraction: float) -> np.ndarray:
+        """Un(der)served plus defecting served locations, per cell."""
+        if not 0.0 <= defection_fraction <= 1.0:
+            raise CapacityModelError(
+                f"defection fraction out of [0, 1]: {defection_fraction!r}"
+            )
+        return self._unserved + defection_fraction * self._served
+
+    def summary_at(self, defection_fraction: float) -> Dict[str, float]:
+        """Peak load and unservable count at one defection level."""
+        effective = self.effective_counts(defection_fraction)
+        peak = float(effective.max())
+        cap = self.capacity.max_locations_at_oversubscription(20.0)
+        unservable = float(np.maximum(effective - cap, 0.0).sum())
+        return {
+            "defection_fraction": defection_fraction,
+            "extra_subscribers": float(
+                defection_fraction * self._served.sum()
+            ),
+            "peak_cell_load": peak,
+            "required_oversubscription": self.capacity.required_oversubscription(
+                int(round(peak))
+            ),
+            "unservable_at_20": unservable,
+        }
+
+    def sweep(self, fractions: Sequence[float]) -> List[Dict[str, float]]:
+        """Summaries across defection levels."""
+        return [self.summary_at(f) for f in fractions]
+
+    def defection_that_doubles_floor(self) -> float:
+        """Defection fraction at which the 20:1 unservable floor doubles.
+
+        Bisection over [0, 1]; returns 1.0 if even full defection does not
+        double it (it always will for realistic layers).
+        """
+        baseline = self.summary_at(0.0)["unservable_at_20"]
+        if baseline <= 0.0:
+            raise CapacityModelError("no baseline floor to double")
+        target = 2.0 * baseline
+        if self.summary_at(1.0)["unservable_at_20"] < target:
+            return 1.0
+        lo, hi = 0.0, 1.0
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.summary_at(mid)["unservable_at_20"] < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0

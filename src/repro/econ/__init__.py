@@ -1,0 +1,28 @@
+"""Economic substrate: ISP plans, subsidies, affordability thresholds."""
+
+from repro.econ.plans import (
+    SPECTRUM_INTERNET_PREMIER,
+    STARLINK_RESIDENTIAL,
+    XFINITY_300,
+    BroadbandPlan,
+    reference_plans,
+)
+from repro.econ.subsidies import LIFELINE, Subsidy
+from repro.econ.thresholds import (
+    AFFORDABILITY_INCOME_SHARE,
+    affordability_income_floor_usd_per_year,
+    is_affordable,
+)
+
+__all__ = [
+    "SPECTRUM_INTERNET_PREMIER",
+    "STARLINK_RESIDENTIAL",
+    "XFINITY_300",
+    "BroadbandPlan",
+    "reference_plans",
+    "LIFELINE",
+    "Subsidy",
+    "AFFORDABILITY_INCOME_SHARE",
+    "affordability_income_floor_usd_per_year",
+    "is_affordable",
+]

@@ -1,0 +1,88 @@
+"""Broadband plan catalog (Section 4 of the paper).
+
+Monthly recurring cost only — the paper explicitly ignores one-time
+antenna/equipment cost, so the plan model does too (the field exists for
+completeness and total-cost-of-ownership extensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CapacityModelError
+from repro.spectrum.regulatory import is_reliable_broadband
+
+
+@dataclass(frozen=True)
+class BroadbandPlan:
+    """A retail broadband offering."""
+
+    name: str
+    provider: str
+    monthly_cost_usd: float
+    download_mbps: float
+    upload_mbps: float
+    equipment_cost_usd: float = 0.0
+    technology: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        if self.monthly_cost_usd < 0.0:
+            raise CapacityModelError(f"negative plan cost: {self.monthly_cost_usd!r}")
+        if self.download_mbps <= 0.0 or self.upload_mbps <= 0.0:
+            raise CapacityModelError(f"plan {self.name}: non-positive speeds")
+
+    @property
+    def meets_reliable_broadband(self) -> bool:
+        """Whether the plan satisfies the FCC 100/20 definition."""
+        return is_reliable_broadband(self.download_mbps, self.upload_mbps)
+
+    def with_monthly_discount(self, discount_usd: float, suffix: str) -> "BroadbandPlan":
+        """The same plan with a subsidy applied to the monthly cost."""
+        if discount_usd < 0.0:
+            raise CapacityModelError(f"negative discount: {discount_usd!r}")
+        return BroadbandPlan(
+            name=f"{self.name} ({suffix})",
+            provider=self.provider,
+            monthly_cost_usd=max(0.0, self.monthly_cost_usd - discount_usd),
+            download_mbps=self.download_mbps,
+            upload_mbps=self.upload_mbps,
+            equipment_cost_usd=self.equipment_cost_usd,
+            technology=self.technology,
+        )
+
+
+#: Starlink's only fixed plan meeting the reliable-broadband definition.
+STARLINK_RESIDENTIAL = BroadbandPlan(
+    name="Starlink Residential",
+    provider="Starlink",
+    monthly_cost_usd=120.0,
+    download_mbps=150.0,
+    upload_mbps=20.0,
+    equipment_cost_usd=599.0,
+    technology="LEO satellite",
+)
+
+#: Terrestrial comparison plans the paper cites (Section 4).
+XFINITY_300 = BroadbandPlan(
+    name="Xfinity 300",
+    provider="Xfinity",
+    monthly_cost_usd=40.0,
+    download_mbps=300.0,
+    upload_mbps=20.0,
+    technology="cable",
+)
+
+SPECTRUM_INTERNET_PREMIER = BroadbandPlan(
+    name="Spectrum Internet Premier",
+    provider="Spectrum",
+    monthly_cost_usd=50.0,
+    download_mbps=500.0,
+    upload_mbps=20.0,
+    technology="cable",
+)
+
+
+def reference_plans() -> List[BroadbandPlan]:
+    """The plans Figure 4 compares (Lifeline variant added by the caller)."""
+    return [XFINITY_300, SPECTRUM_INTERNET_PREMIER, STARLINK_RESIDENTIAL]

@@ -1,0 +1,62 @@
+"""US broadband subsidy models.
+
+The paper considers Lifeline, the main recurring-cost subsidy still
+operating in the US: $9.25/month off Internet service for households below
+135 % of the federal poverty guideline. (The larger ACP subsidy lapsed in
+2024 and the paper does not model it; a constructor is provided for
+counterfactual studies.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.econ.plans import BroadbandPlan
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class Subsidy:
+    """A recurring monthly broadband subsidy with an income-eligibility cap.
+
+    ``income_cap_usd_per_year`` of ``None`` means universally available.
+    """
+
+    name: str
+    monthly_amount_usd: float
+    income_cap_usd_per_year: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.monthly_amount_usd < 0.0:
+            raise CapacityModelError(
+                f"negative subsidy: {self.monthly_amount_usd!r}"
+            )
+
+    def eligible(self, household_income_usd_per_year: float) -> bool:
+        """Whether a household at the given income qualifies."""
+        if self.income_cap_usd_per_year is None:
+            return True
+        return household_income_usd_per_year <= self.income_cap_usd_per_year
+
+    def apply(self, plan: BroadbandPlan) -> BroadbandPlan:
+        """The plan with this subsidy applied to its monthly cost."""
+        return plan.with_monthly_discount(self.monthly_amount_usd, f"w/ {self.name}")
+
+
+#: 2025 federal poverty guideline for a 4-person household, USD/year.
+FEDERAL_POVERTY_GUIDELINE_4P = 32_150.0
+
+#: Lifeline: $9.25/month, households below 135 % of the poverty guideline.
+#: The paper applies Lifeline to Starlink's price unconditionally to form
+#: its most generous ("even with Lifeline support") scenario, so the cap is
+#: informational; the affordability model exposes both behaviours.
+LIFELINE = Subsidy(
+    name="Lifeline",
+    monthly_amount_usd=9.25,
+    income_cap_usd_per_year=1.35 * FEDERAL_POVERTY_GUIDELINE_4P,
+)
+
+
+def acp_style_subsidy(monthly_amount_usd: float = 30.0) -> Subsidy:
+    """An ACP-like counterfactual subsidy for policy sweeps."""
+    return Subsidy(name="ACP-style", monthly_amount_usd=monthly_amount_usd)

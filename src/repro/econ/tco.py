@@ -1,0 +1,93 @@
+"""Constellation total-cost-of-ownership model (extension).
+
+F3 says serving the long tail costs "a couple hundred to a couple
+thousand" *satellites*; this module prices that in dollars so it can be
+compared with the terrestrial baselines. Cost constants bracket public
+SpaceX figures (sub-$1M marginal satellite build, Falcon 9 launch cost
+amortized over ~20-60 satellites per flight, ~5-year orbital lifetime);
+everything is a parameter so ablations can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import CapacityModelError
+
+
+@dataclass(frozen=True)
+class ConstellationCostModel:
+    """Capex/opex of building and sustaining a LEO constellation."""
+
+    satellite_build_cost_usd: float = 800_000.0
+    launch_cost_per_satellite_usd: float = 1_400_000.0
+    satellite_lifetime_years: float = 5.0
+    annual_operations_cost_per_satellite_usd: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.satellite_lifetime_years <= 0.0:
+            raise CapacityModelError("satellite lifetime must be positive")
+        if min(
+            self.satellite_build_cost_usd,
+            self.launch_cost_per_satellite_usd,
+            self.annual_operations_cost_per_satellite_usd,
+        ) < 0.0:
+            raise CapacityModelError("cost constants must be non-negative")
+
+    @property
+    def capex_per_satellite_usd(self) -> float:
+        """Build + launch for one satellite."""
+        return self.satellite_build_cost_usd + self.launch_cost_per_satellite_usd
+
+    @property
+    def annual_cost_per_satellite_usd(self) -> float:
+        """Capex amortized over the lifetime, plus operations."""
+        return (
+            self.capex_per_satellite_usd / self.satellite_lifetime_years
+            + self.annual_operations_cost_per_satellite_usd
+        )
+
+    def constellation_capex_usd(self, satellites: int) -> float:
+        """Up-front cost of deploying ``satellites``."""
+        if satellites < 0:
+            raise CapacityModelError(f"negative satellites: {satellites!r}")
+        return satellites * self.capex_per_satellite_usd
+
+    def annual_cost_usd(self, satellites: int) -> float:
+        """Sustaining cost per year (replacement cadence + operations)."""
+        if satellites < 0:
+            raise CapacityModelError(f"negative satellites: {satellites!r}")
+        return satellites * self.annual_cost_per_satellite_usd
+
+    def monthly_cost_per_location_usd(
+        self, satellites: int, served_locations: int
+    ) -> float:
+        """Sustaining cost divided across served locations, per month.
+
+        A *floor* on what the operator must recover per location-month
+        from this deployment (ignores ground segment, spectrum, SG&A) —
+        directly comparable to the $120/month retail price.
+        """
+        if served_locations <= 0:
+            raise CapacityModelError(
+                f"served locations must be positive: {served_locations!r}"
+            )
+        return self.annual_cost_usd(satellites) / served_locations / 12.0
+
+    def marginal_summary(
+        self, additional_satellites: int, additional_locations: int
+    ) -> Dict[str, float]:
+        """Economics of an incremental deployment step (F3's final step)."""
+        if additional_locations <= 0:
+            raise CapacityModelError(
+                f"additional locations must be positive: {additional_locations!r}"
+            )
+        capex = self.constellation_capex_usd(additional_satellites)
+        return {
+            "capex_usd": capex,
+            "capex_per_location_usd": capex / additional_locations,
+            "monthly_cost_per_location_usd": self.monthly_cost_per_location_usd(
+                additional_satellites, additional_locations
+            ),
+        }

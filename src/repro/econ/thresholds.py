@@ -1,0 +1,45 @@
+"""The A4AI / UN Broadband Commission "2 percent" affordability rule.
+
+Internet service is considered affordable when its monthly cost does not
+exceed 2 % of monthly household income — the threshold the UN Broadband
+Commission's 2025 targets adopted (originally A4AI's "1 for 2" target
+applied to fixed service) and which the FCC has used as a benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityModelError
+
+#: Maximum affordable share of monthly household income.
+AFFORDABILITY_INCOME_SHARE = 0.02
+
+
+def is_affordable(
+    monthly_cost_usd: float,
+    household_income_usd_per_year: float,
+    income_share: float = AFFORDABILITY_INCOME_SHARE,
+) -> bool:
+    """Whether a monthly cost is affordable at the given annual income."""
+    if household_income_usd_per_year <= 0.0:
+        raise CapacityModelError(
+            f"income must be positive: {household_income_usd_per_year!r}"
+        )
+    if income_share <= 0.0:
+        raise CapacityModelError(f"income share must be positive: {income_share!r}")
+    return monthly_cost_usd <= income_share * household_income_usd_per_year / 12.0
+
+
+def affordability_income_floor_usd_per_year(
+    monthly_cost_usd: float,
+    income_share: float = AFFORDABILITY_INCOME_SHARE,
+) -> float:
+    """Minimum annual income at which a monthly cost is affordable.
+
+    The paper's worked example: Starlink with Lifeline at $110.75/month
+    requires $66,450/year at the 2 % threshold.
+    """
+    if monthly_cost_usd < 0.0:
+        raise CapacityModelError(f"negative cost: {monthly_cost_usd!r}")
+    if income_share <= 0.0:
+        raise CapacityModelError(f"income share must be positive: {income_share!r}")
+    return monthly_cost_usd * 12.0 / income_share

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CalibrationError(ReproError):
+    """A synthetic-data calibration target could not be met."""
+
+
+class GeometryError(ReproError):
+    """Invalid geographic or orbital geometry (bad latitude, empty polygon...)."""
+
+
+class CapacityModelError(ReproError):
+    """Invalid input to the capacity / sizing model."""
+
+
+class DatasetError(ReproError):
+    """Malformed or inconsistent demand dataset."""
+
+
+class SimulationError(ReproError):
+    """Constellation simulation failed an internal consistency check."""

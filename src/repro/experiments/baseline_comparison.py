@@ -1,0 +1,83 @@
+"""Extension experiment: LEO vs the baseline access technologies.
+
+The quantitative version of the paper's P1/P2 discussion and its "game of
+stones" conclusion: for the same national un(der)served demand, what does
+each technology's deployment look like, what does it cost, and where does
+its constraint bind?
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fiber import FiberBuildModel
+from repro.baselines.fixed_wireless import FixedWirelessModel
+from repro.baselines.geostationary import GeostationaryModel
+from repro.core.model import StarlinkDivideModel
+from repro.core.sizing import DeploymentScenario
+from repro.econ.tco import ConstellationCostModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """One row per technology over the same national dataset."""
+    dataset = model.dataset
+    leo_sizing = model.sizer.size_scenario(
+        DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
+    )
+    leo_cost = ConstellationCostModel().constellation_capex_usd(
+        leo_sizing.constellation_size
+    )
+    fiber = FiberBuildModel().dataset_cost(dataset)
+    wireless = FixedWirelessModel().dataset_deployment(dataset)
+    geo = GeostationaryModel().satellites_for_dataset(dataset)
+
+    rows = [
+        (
+            "LEO (Starlink model, s=2)",
+            f"{leo_sizing.constellation_size:,} satellites",
+            f"${leo_cost / 1e9:.0f}B",
+            "peak demand density (P2)",
+        ),
+        (
+            "FTTH build-out",
+            "fiber to every location",
+            f"${fiber['total_cost_usd'] / 1e9:.0f}B",
+            "distance to the long tail (P1)",
+        ),
+        (
+            "Fixed wireless",
+            f"{wireless['towers']:,} towers",
+            f"${wireless['total_cost_usd'] / 1e9:.0f}B",
+            "coverage area per tower",
+        ),
+        (
+            "GEO satellite",
+            f"{geo['satellites']} satellites",
+            "(fails 100 ms latency)",
+            f"total demand; RTT {geo['propagation_rtt_ms']:.0f} ms",
+        ),
+    ]
+    table = format_table(
+        ("technology", "deployment", "capex", "binding constraint"),
+        rows,
+        title="Serving the same 4.66M un(der)served locations, by technology",
+    )
+    note = (
+        "\nEach stone has a different shape: LEO's size is set by its"
+        " densest cell, fiber's by its remotest home, fixed wireless'"
+        " by area, GEO's by total demand (but it fails the latency bar)."
+    )
+    return ExperimentResult(
+        experiment_id="baselines",
+        title="Extension: baseline technology comparison",
+        text=f"{table}{note}",
+        csv_headers=("technology", "deployment", "capex_usd", "constraint"),
+        csv_rows=rows,
+        metrics={
+            "leo_satellites": leo_sizing.constellation_size,
+            "leo_capex_usd": leo_cost,
+            "fiber_capex_usd": fiber["total_cost_usd"],
+            "wireless_towers": wireless["towers"],
+            "geo_satellites": geo["satellites"],
+        },
+    )

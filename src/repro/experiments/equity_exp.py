@@ -1,0 +1,52 @@
+"""Extension experiment: the distributional shape of the access gap."""
+
+from __future__ import annotations
+
+from repro.core.equity import EquityAnalysis
+from repro.core.model import StarlinkDivideModel
+from repro.econ.plans import STARLINK_RESIDENTIAL
+from repro.experiments.registry import ExperimentResult
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Income-decile table and concentration index."""
+    analysis = EquityAnalysis(model.dataset)
+    deciles = analysis.income_deciles()
+    affordability = dict(analysis.affordability_by_decile(STARLINK_RESIDENTIAL))
+    rows = [
+        (
+            row.decile,
+            f"${row.income_low_usd:,.0f}-${row.income_high_usd:,.0f}",
+            f"{row.locations:,}",
+            f"{affordability.get(row.decile, 0.0):.0%}",
+        )
+        for row in deciles
+    ]
+    table = format_table(
+        ("decile", "county income range", "locations", "can afford $120"),
+        rows,
+        title="Un(der)served locations by income decile (poorest first)",
+    )
+    index = analysis.concentration_index()
+    note = (
+        f"\nconcentration index {index:.2f} (0 = even over counties, "
+        "positive = concentrated in poor counties): the access gap piles "
+        "up exactly where Starlink's price bites hardest — the structural "
+        "coupling behind F4."
+    )
+    return ExperimentResult(
+        experiment_id="equity",
+        title="Extension: socioeconomic distribution of the gap",
+        text=f"{table}{note}",
+        csv_headers=("decile", "income_low", "income_high", "locations"),
+        csv_rows=[
+            (r.decile, f"{r.income_low_usd:.0f}", f"{r.income_high_usd:.0f}", r.locations)
+            for r in deciles
+        ],
+        metrics={
+            "concentration_index": index,
+            "bottom_decile_locations": deciles[0].locations,
+            "deciles": len(deciles),
+        },
+    )

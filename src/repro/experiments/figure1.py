@@ -1,0 +1,61 @@
+"""Figure 1: distribution of un(der)served locations per service cell."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.textmap import density_map
+from repro.viz.textplot import line_plot
+
+PAPER_P90 = 552
+PAPER_P99 = 1437
+PAPER_MAX = 5998
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate Fig 1's CDF and its annotated percentiles."""
+    stats = model.figure1_distribution()
+    grid, cdf = model.figure1_cdf()
+    us_map = density_map(
+        model.dataset,
+        title=(
+            "Figure 1 (map panel): un(der)served locations per Starlink "
+            "service cell"
+        ),
+    )
+    plot = line_plot(
+        grid,
+        [("CDF", cdf)],
+        title="Figure 1: CDF of US un(der)served locations per service cell",
+        x_label="locations per cell",
+        y_label="cumulative probability",
+    )
+    annotations = (
+        f"90th percentile: {stats['p90']:.0f} locations/cell "
+        f"(paper: {PAPER_P90})\n"
+        f"99th percentile: {stats['p99']:.0f} locations/cell "
+        f"(paper: {PAPER_P99})\n"
+        f"max density: {stats['max']:.0f} locations/cell "
+        f"(paper: {PAPER_MAX})\n"
+        f"{stats['cells']:,.0f} occupied cells, "
+        f"{stats['total_locations']:,.0f} locations total"
+    )
+    rows = [
+        (f"{x:.1f}", f"{y:.6f}") for x, y in zip(grid.tolist(), cdf.tolist())
+    ]
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Figure 1: locations per cell distribution",
+        text=f"{us_map}\n\n{plot}\n\n{annotations}",
+        csv_headers=("locations_per_cell", "cumulative_probability"),
+        csv_rows=rows,
+        metrics={
+            "p90": stats["p90"],
+            "p99": stats["p99"],
+            "max": stats["max"],
+            "cells": stats["cells"],
+            "total_locations": stats["total_locations"],
+        },
+    )

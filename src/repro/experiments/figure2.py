@@ -1,0 +1,44 @@
+"""Figure 2: impact of beamspread and oversubscription on cells served."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.textplot import heat_grid
+
+OVERSUBSCRIPTIONS = tuple(range(5, 31))
+BEAMSPREADS = tuple(range(2, 15))
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate Fig 2's fraction-of-cells-served heat grid."""
+    grid = model.figure2_grid(OVERSUBSCRIPTIONS, BEAMSPREADS)
+    rendering = heat_grid(
+        grid,
+        row_labels=BEAMSPREADS,
+        col_labels=OVERSUBSCRIPTIONS,
+        title=(
+            "Figure 2: fraction of US cells served "
+            "(rows: beamspread, cols: oversubscription)"
+        ),
+    )
+    rows = []
+    for i, spread in enumerate(BEAMSPREADS):
+        for j, ratio in enumerate(OVERSUBSCRIPTIONS):
+            rows.append((spread, ratio, f"{grid[i, j]:.6f}"))
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Figure 2: fraction of cells served vs oversub x beamspread",
+        text=rendering,
+        csv_headers=("beamspread", "oversubscription", "fraction_served"),
+        csv_rows=rows,
+        metrics={
+            "min_fraction": float(grid.min()),
+            "max_fraction": float(grid.max()),
+            "fraction_at_s2_r20": float(
+                grid[BEAMSPREADS.index(2), OVERSUBSCRIPTIONS.index(20)]
+            ),
+        },
+    )

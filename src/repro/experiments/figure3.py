@@ -1,0 +1,79 @@
+"""Figure 3: constellation size vs locations left unserved (step curves)."""
+
+from __future__ import annotations
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.textplot import step_plot
+
+#: The paper's six (beamspread, oversubscription) lines.
+LINES = ((1, 20), (2, 20), (5, 20), (5, 15), (10, 20), (15, 20))
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate Fig 3's stepped diminishing-returns curves."""
+    curves = model.figure3_curves(LINES)
+    series = []
+    rows = []
+    for (spread, ratio), points in curves.items():
+        label = f"s={spread},r={ratio}"
+        series.append(
+            (
+                label,
+                [(p.locations_unserved, p.constellation_size) for p in points],
+            )
+        )
+        for p in points:
+            rows.append(
+                (
+                    spread,
+                    ratio,
+                    p.per_cell_cap,
+                    p.locations_unserved,
+                    p.peak_cell_beams,
+                    p.constellation_size,
+                )
+            )
+    plot = step_plot(
+        series,
+        title=(
+            "Figure 3: constellation size vs locations left unserved "
+            "(steps at beam boundaries)"
+        ),
+        x_label="locations left unserved",
+        y_label="constellation size",
+    )
+    final_steps = {
+        spread: model.tail.final_step_cost(20, spread)
+        for spread in (1, 2, 5, 10, 15)
+    }
+    notes = "\n".join(
+        f"s={spread}: the final step serves "
+        f"{cost['locations_gained']:,} locations for "
+        f"{cost['additional_satellites']:,} extra satellites"
+        for spread, cost in final_steps.items()
+    )
+    floor = final_steps[1]["floor_unservable"]
+    notes += (
+        f"\nwith max oversubscription of 20:1, the last {floor:,} "
+        "locations cannot be served at all (paper: 5103)"
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Figure 3: diminishing returns of serving the tail",
+        text=f"{plot}\n\n{notes}",
+        csv_headers=(
+            "beamspread",
+            "oversubscription",
+            "per_cell_cap",
+            "locations_unserved",
+            "peak_cell_beams",
+            "constellation_size",
+        ),
+        csv_rows=rows,
+        metrics={
+            "floor_unservable": floor,
+            "final_step_satellites_s1": final_steps[1]["additional_satellites"],
+            "final_step_satellites_s15": final_steps[15]["additional_satellites"],
+        },
+    )

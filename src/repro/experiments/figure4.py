@@ -1,0 +1,59 @@
+"""Figure 4: un(der)served locations unable to afford service."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import StarlinkDivideModel
+from repro.econ.thresholds import AFFORDABILITY_INCOME_SHARE
+from repro.experiments.registry import ExperimentResult
+from repro.viz.textplot import line_plot
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate Fig 4's affordability curves and the 2 % annotations."""
+    curves = model.figure4_curves()
+    shares = curves[0].income_shares
+    series = [
+        (c.plan.name, c.unaffordable_locations / 1e6) for c in curves
+    ]
+    plot = line_plot(
+        shares,
+        series,
+        title="Figure 4: locations unable to afford service (millions)",
+        x_label="proportion of median income",
+        y_label="locations unable to afford (M)",
+    )
+    at_threshold = {
+        c.plan.name: c.at_share(AFFORDABILITY_INCOME_SHARE) for c in curves
+    }
+    notes = "\n".join(
+        f"at the 2% threshold, {name}: {count / 1e6:.2f}M locations "
+        "priced out"
+        for name, count in at_threshold.items()
+    )
+    intercepts = {c.plan.name: c.zero_crossing_share for c in curves}
+    notes += "\nzero crossings: " + ", ".join(
+        f"{name}={share:.3f}" for name, share in intercepts.items()
+    )
+    rows = []
+    for c in curves:
+        for share, count in zip(
+            c.income_shares.tolist(), c.unaffordable_locations.tolist()
+        ):
+            rows.append((c.plan.name, f"{share:.4f}", int(count)))
+    starlink = next(c for c in curves if c.plan.name == "Starlink Residential")
+    lifeline = next(c for c in curves if "Lifeline" in c.plan.name)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Figure 4: affordability of plans",
+        text=f"{plot}\n\n{notes}",
+        csv_headers=("plan", "income_share", "unaffordable_locations"),
+        csv_rows=rows,
+        metrics={
+            "unaffordable_starlink_at_2pct": starlink.at_share(0.02),
+            "unaffordable_lifeline_at_2pct": lifeline.at_share(0.02),
+            "starlink_zero_crossing": starlink.zero_crossing_share,
+            "lifeline_zero_crossing": lifeline.zero_crossing_share,
+        },
+    )

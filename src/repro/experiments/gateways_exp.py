@@ -1,0 +1,62 @@
+"""Extension experiment: bent-pipe gateway coverage of the US.
+
+Not a paper artifact. The paper's operational model requires every
+serving satellite to reach a gateway (directly for bent-pipe satellites).
+This experiment quantifies that constraint over CONUS: how much of the
+un(der)served demand a realistic gateway deployment reaches in bent-pipe
+mode, how the reach radius moves with shell altitude, and the greedy
+minimum gateway subset for full coverage.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.core.bentpipe import BentPipeAnalysis
+from repro.orbits.gateways import DEFAULT_CONUS_GATEWAYS, bent_pipe_reach_km
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Bent-pipe coverage summary for the default gateway deployment."""
+    analysis = BentPipeAnalysis(model.dataset)
+    summary = analysis.coverage_summary()
+    minimal = analysis.greedy_minimum_gateways()
+
+    altitude_rows = [
+        (f"{altitude:.0f} km", f"{bent_pipe_reach_km(altitude):.0f} km")
+        for altitude in (340.0, 550.0, 570.0, 1150.0)
+    ]
+    reach_table = format_table(
+        ("shell altitude", "max UT-gateway distance"),
+        altitude_rows,
+        title="Bent-pipe reach vs shell altitude (25 deg UT / 10 deg GW masks)",
+    )
+    coverage_rows = [
+        ("gateway sites", summary["gateways"]),
+        ("bent-pipe reach", f"{summary['reach_km']:.0f} km"),
+        ("cells reachable", f"{summary['cells_reachable']:,} of {summary['cells_total']:,}"),
+        ("cell fraction", f"{summary['cell_fraction']:.2%}"),
+        ("location fraction", f"{summary['location_fraction']:.2%}"),
+        ("greedy minimum sites for full coverage", len(minimal)),
+    ]
+    coverage_table = format_table(
+        ("quantity", "value"),
+        coverage_rows,
+        title="Bent-pipe coverage of US un(der)served demand at 550 km",
+    )
+    minimal_names = ", ".join(g.name for g in minimal)
+    note = f"\ngreedy minimum subset: {minimal_names}"
+    return ExperimentResult(
+        experiment_id="gw",
+        title="Extension: bent-pipe gateway coverage",
+        text=f"{reach_table}\n\n{coverage_table}{note}",
+        csv_headers=("quantity", "value"),
+        csv_rows=[(k, str(v)) for k, v in coverage_rows],
+        metrics={
+            "cell_fraction": summary["cell_fraction"],
+            "location_fraction": summary["location_fraction"],
+            "reach_km": summary["reach_km"],
+            "minimum_gateways": len(minimal),
+        },
+    )

@@ -1,0 +1,95 @@
+"""Experiment result type and id -> runner registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.model import StarlinkDivideModel
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment: rendered text, CSV series, metrics."""
+
+    experiment_id: str
+    title: str
+    text: str
+    csv_headers: Sequence[str]
+    csv_rows: Sequence[Sequence[object]]
+    metrics: Dict[str, float]
+
+
+#: Populated lazily to avoid import cycles between experiment modules.
+_REGISTRY: Dict[str, Callable[[StarlinkDivideModel], ExperimentResult]] = {}
+
+
+def _load_registry() -> Dict[str, Callable]:
+    if not _REGISTRY:
+        from repro.experiments import (
+            baseline_comparison,
+            defection_exp,
+            equity_exp,
+            figure1,
+            figure2,
+            figure3,
+            figure4,
+            gateways_exp,
+            growth_exp,
+            latency_exp,
+            robustness,
+            table1,
+            table2,
+            tco,
+            uncertainty_exp,
+            uplink,
+            validation,
+        )
+
+        _REGISTRY.update(
+            {
+                "fig1": figure1.run,
+                "tab1": table1.run,
+                "fig2": figure2.run,
+                "tab2": table2.run,
+                "fig3": figure3.run,
+                "fig4": figure4.run,
+                "val": validation.run,
+                "uplink": uplink.run,
+                "gw": gateways_exp.run,
+                "tco": tco.run,
+                "robust": robustness.run,
+                "latency": latency_exp.run,
+                "growth": growth_exp.run,
+                "baselines": baseline_comparison.run,
+                "equity": equity_exp.run,
+                "uncertainty": uncertainty_exp.run,
+                "defection": defection_exp.run,
+            }
+        )
+    return _REGISTRY
+
+
+def all_experiment_ids() -> List[str]:
+    """Registered experiment ids, in paper order."""
+    return list(_load_registry())
+
+
+def get_experiment(experiment_id: str) -> Callable[[StarlinkDivideModel], ExperimentResult]:
+    """The runner for one experiment id."""
+    registry = _load_registry()
+    if experiment_id not in registry:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(registry)}"
+        )
+    return registry[experiment_id]
+
+
+def run_experiment(
+    experiment_id: str, model: Optional[StarlinkDivideModel] = None
+) -> ExperimentResult:
+    """Run one experiment, building the default model if none is given."""
+    runner = get_experiment(experiment_id)
+    return runner(model or StarlinkDivideModel.default())

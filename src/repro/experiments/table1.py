@@ -1,0 +1,60 @@
+"""Table 1: Starlink single-satellite capacity model."""
+
+from __future__ import annotations
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.spectrum.bands import (
+    SCHEDULE_S_BANDS,
+    total_downlink_beams,
+    total_downlink_spectrum_mhz,
+    ut_downlink_beams,
+    ut_downlink_spectrum_mhz,
+)
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate both halves of the paper's Table 1."""
+    band_rows = [
+        (
+            f"{b.low_ghz:.1f}-{b.high_ghz:.2f} GHz ({b.width_mhz:.0f} MHz)",
+            b.beams,
+            b.usage.value,
+        )
+        for b in SCHEDULE_S_BANDS
+    ]
+    band_rows.append(
+        (
+            f"Total to UTs / Cells ({ut_downlink_spectrum_mhz():.0f}/"
+            f"{total_downlink_spectrum_mhz():.0f} MHz)",
+            f"{ut_downlink_beams()}/{total_downlink_beams()}",
+            "",
+        )
+    )
+    bands_table = format_table(
+        ("Band", "# Beams", "Usage"), band_rows, title="Schedule S bands"
+    )
+
+    derived = model.table1()
+    derived_table = format_table(
+        ("Parameter", "Value"),
+        list(derived.items()),
+        title="Starlink Single Satellite Capacity Model",
+    )
+
+    capacity = model.capacity
+    peak = model.dataset.max_cell().total_locations
+    return ExperimentResult(
+        experiment_id="tab1",
+        title="Table 1: single satellite capacity model",
+        text=f"{bands_table}\n\n{derived_table}",
+        csv_headers=("parameter", "value"),
+        csv_rows=list(derived.items()),
+        metrics={
+            "ut_spectrum_mhz": ut_downlink_spectrum_mhz(),
+            "cell_capacity_mbps": capacity.cell_capacity_mbps,
+            "peak_cell_locations": peak,
+            "max_oversubscription": capacity.required_oversubscription(peak),
+        },
+    )

@@ -1,0 +1,71 @@
+"""Table 2: predicted constellation size per beamspread factor."""
+
+from __future__ import annotations
+
+from repro.core.model import StarlinkDivideModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.tables import format_table
+
+#: The paper's Table 2, for side-by-side comparison in the rendering.
+PAPER_TABLE2 = {
+    1: (79287, 80567),
+    2: (40611, 41261),
+    5: (16486, 16750),
+    10: (8284, 8417),
+    15: (5532, 5621),
+}
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Regenerate Table 2 and compare against the paper's values."""
+    ours = model.table2(tuple(PAPER_TABLE2))
+    rows = []
+    worst_error = 0.0
+    for spread, full, capped in ours:
+        paper_full, paper_capped = PAPER_TABLE2[int(spread)]
+        error = max(
+            abs(full - paper_full) / paper_full,
+            abs(capped - paper_capped) / paper_capped,
+        )
+        worst_error = max(worst_error, error)
+        rows.append(
+            (
+                int(spread),
+                full,
+                paper_full,
+                capped,
+                paper_capped,
+                f"{error:.1%}",
+            )
+        )
+    table = format_table(
+        (
+            "Beamspread",
+            "Full service",
+            "(paper)",
+            "Max 20:1",
+            "(paper)",
+            "worst err",
+        ),
+        rows,
+        title="Table 2: predicted constellation size",
+    )
+    return ExperimentResult(
+        experiment_id="tab2",
+        title="Table 2: constellation size vs beamspread",
+        text=table,
+        csv_headers=(
+            "beamspread",
+            "full_service",
+            "paper_full_service",
+            "max_20_1",
+            "paper_max_20_1",
+        ),
+        csv_rows=[row[:5] for row in rows],
+        metrics={
+            "size_full_s1": ours[0][1],
+            "size_capped_s1": ours[0][2],
+            "size_full_s2": ours[1][1],
+            "worst_relative_error": worst_error,
+        },
+    )

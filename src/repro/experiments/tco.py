@@ -1,0 +1,95 @@
+"""Extension experiment: the economics behind F3's diminishing returns.
+
+Prices Table 2's constellations and Figure 3's final step with the
+constellation cost model, and contrasts the marginal cost of the LEO long
+tail with the terrestrial fiber baseline's remote-location costs — the
+quantitative form of the paper's 'just another stone' argument.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fiber import FiberBuildModel
+from repro.core.model import StarlinkDivideModel
+from repro.core.sizing import DeploymentScenario
+from repro.econ.tco import ConstellationCostModel
+from repro.experiments.registry import ExperimentResult
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Cost out the constellation and the long tail's final step."""
+    costs = ConstellationCostModel()
+    served = model.oversubscription.stats(20.0).locations_served
+
+    rows = []
+    for spread in (1, 2, 5, 10, 15):
+        sizing = model.sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, spread
+        )
+        n = sizing.constellation_size
+        rows.append(
+            (
+                spread,
+                f"{n:,}",
+                f"${costs.constellation_capex_usd(n) / 1e9:.1f}B",
+                f"${costs.monthly_cost_per_location_usd(n, served):.0f}",
+            )
+        )
+    capex_table = format_table(
+        ("beamspread", "satellites", "capex", "floor $/location-month"),
+        rows,
+        title=(
+            "Constellation cost if US un(der)served locations alone paid "
+            "for it (max 20:1)"
+        ),
+    )
+
+    fiber = FiberBuildModel()
+    step_rows = []
+    for spread in (1, 2, 5, 10, 15):
+        step = model.tail.final_step_cost(20.0, spread)
+        marginal = costs.marginal_summary(
+            step["additional_satellites"], step["locations_gained"]
+        )
+        step_rows.append(
+            (
+                spread,
+                f"{step['additional_satellites']:,}",
+                f"${marginal['capex_per_location_usd']:,.0f}",
+                f"${marginal['monthly_cost_per_location_usd']:,.0f}",
+            )
+        )
+    # Fiber cost for a very sparse cell (1 location in a res-5 cell).
+    remote_fiber = fiber.cost_per_location_usd(1.0 / 252.9)
+    step_table = format_table(
+        ("beamspread", "extra satellites", "capex/location", "$/location-month"),
+        step_rows,
+        title="Marginal economics of Figure 3's final step (last ~8k locations)",
+    )
+    note = (
+        f"\nremote-fiber reference: ~${remote_fiber:,.0f} one-time per "
+        "location for the sparsest cells — the long tail is expensive for "
+        "every technology, LEO included (the paper's 'just another stone')."
+    )
+    metrics = {
+        "capex_s1_busd": costs.constellation_capex_usd(
+            model.sizer.size_scenario(
+                DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 1
+            ).constellation_size
+        )
+        / 1e9,
+        "final_step_capex_per_location_s1": ConstellationCostModel()
+        .marginal_summary(
+            model.tail.final_step_cost(20.0, 1)["additional_satellites"],
+            model.tail.final_step_cost(20.0, 1)["locations_gained"],
+        )["capex_per_location_usd"],
+        "remote_fiber_per_location": remote_fiber,
+    }
+    return ExperimentResult(
+        experiment_id="tco",
+        title="Extension: constellation cost of the long tail",
+        text=f"{capex_table}\n\n{step_table}{note}",
+        csv_headers=("beamspread", "satellites", "capex_usd", "per_location_month_usd"),
+        csv_rows=rows,
+        metrics=metrics,
+    )

@@ -1,0 +1,57 @@
+"""Extension experiment: the uplink side of the paper's model.
+
+Not a paper artifact — the paper explicitly models only the downlink.
+This experiment applies the identical peak-demand-density argument to the
+FCC definition's 20 Mbps uplink requirement and Starlink's 500 MHz UT
+uplink allocation, showing the uplink binds roughly 3x harder.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import StarlinkDivideModel
+from repro.core.uplink import UplinkAnalysis
+from repro.experiments.registry import ExperimentResult
+from repro.viz.tables import format_table
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Compare downlink vs uplink servability of the national dataset."""
+    analysis = UplinkAnalysis(model.dataset)
+    downlink = model.oversubscription.finding1()
+    comparison = analysis.comparison_table(downlink)
+    rows = [
+        (quantity, sides["downlink"], sides["uplink"])
+        for quantity, sides in comparison.items()
+    ]
+    table = format_table(
+        ("quantity", "downlink (paper)", "uplink (this extension)"),
+        rows,
+        title="Peak-demand-density model applied to both link directions",
+    )
+    uplink = analysis.summary()
+    note = (
+        "\nThe uplink budget (500 MHz at ~2.5 b/Hz) supports "
+        f"{uplink['cell_capacity_mbps']:.0f} Mbps/cell against a peak-cell "
+        f"demand of {uplink['peak_cell_demand_mbps']:.0f} Mbps — "
+        f"{uplink['required_oversubscription']:.0f}:1 oversubscription, "
+        "vs ~35:1 on the downlink the paper analyzes."
+    )
+    return ExperimentResult(
+        experiment_id="uplink",
+        title="Extension: uplink capacity under the same model",
+        text=f"{table}\n{note}",
+        csv_headers=("quantity", "downlink", "uplink"),
+        csv_rows=rows,
+        metrics={
+            "uplink_required_oversubscription": uplink[
+                "required_oversubscription"
+            ],
+            "uplink_cell_capacity_mbps": uplink["cell_capacity_mbps"],
+            "uplink_unservable_at_20": uplink[
+                "locations_unservable_at_acceptable"
+            ],
+            "uplink_service_fraction_at_20": uplink[
+                "service_fraction_at_acceptable"
+            ],
+        },
+    )

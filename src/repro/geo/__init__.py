@@ -1,0 +1,36 @@
+"""Geospatial substrate: coordinates, projections, hex grid, polygons.
+
+This package replaces the paper's use of the Uber H3 geospatial indexing
+system (and geopandas) with a from-scratch hexagonal discrete global grid
+built on an equal-area cylindrical projection. See ``DESIGN.md`` section 2
+for why this substitution preserves the paper's results.
+"""
+
+from repro.geo.coords import (
+    LatLon,
+    bearing_deg,
+    destination,
+    haversine_km,
+    normalize_lon,
+    validate_latlon,
+)
+from repro.geo.hexgrid import CellId, HexGrid, H3_MEAN_HEX_AREA_KM2
+from repro.geo.polygon import Polygon
+from repro.geo.projection import EqualAreaProjection
+from repro.geo.us_boundary import conus_polygon, CONUS_LAND_AREA_KM2
+
+__all__ = [
+    "LatLon",
+    "bearing_deg",
+    "destination",
+    "haversine_km",
+    "normalize_lon",
+    "validate_latlon",
+    "CellId",
+    "HexGrid",
+    "H3_MEAN_HEX_AREA_KM2",
+    "Polygon",
+    "EqualAreaProjection",
+    "conus_polygon",
+    "CONUS_LAND_AREA_KM2",
+]

@@ -1,0 +1,277 @@
+"""Hexagonal discrete global grid (the library's H3 stand-in).
+
+Starlink's terrestrial service cells are believed to follow the Uber H3
+geospatial index (the paper cites prior work making that identification).
+H3 itself is an icosahedral aperture-7 grid; re-implementing it bit-exactly
+is unnecessary for this reproduction because the capacity model consumes
+only three properties of the grid:
+
+1. every cell has (approximately) the same spherical area,
+2. a point maps to exactly one cell,
+3. cells have six neighbors that tile the plane (used for beamspread groups).
+
+This module provides all three with a flat-top hexagonal lattice laid out on
+an equal-area cylindrical projection. Cell areas are *exactly* equal (the
+projection is area-preserving), and the per-resolution mean cell area is
+taken from H3's published table so that "resolution 5" here means the same
+~253 km^2 cells the paper's Starlink model uses.
+
+Cells are addressed by axial coordinates ``(q, r)`` packed together with the
+resolution into a 64-bit token, mirroring how H3 indexes round-trip through
+CSV files.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.geo.projection import EqualAreaProjection
+
+#: Mean hexagon area per H3 resolution, km^2 (source: H3 documentation,
+#: "Table of average cell areas"). Index = resolution.
+H3_MEAN_HEX_AREA_KM2: Tuple[float, ...] = (
+    4357449.416078392,
+    609788.441794133,
+    86801.780398997,
+    12393.434655088,
+    1770.347654491,
+    252.903858182,
+    36.129062164,
+    5.161293360,
+    0.737327598,
+    0.105332513,
+    0.015047502,
+)
+
+#: Resolution the paper's Starlink cell model uses (~253 km^2 hexes).
+STARLINK_CELL_RESOLUTION = 5
+
+_AXIAL_NEIGHBOR_OFFSETS: Tuple[Tuple[int, int], ...] = (
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, 1),
+)
+
+_COORD_BITS = 28
+_COORD_BIAS = 1 << (_COORD_BITS - 1)
+_COORD_MASK = (1 << _COORD_BITS) - 1
+
+
+@dataclass(frozen=True, order=True)
+class CellId:
+    """A grid cell: resolution plus axial (q, r) lattice coordinates."""
+
+    resolution: int
+    q: int
+    r: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.resolution < len(H3_MEAN_HEX_AREA_KM2):
+            raise GeometryError(f"unsupported resolution: {self.resolution!r}")
+        for name, coord in (("q", self.q), ("r", self.r)):
+            if not -_COORD_BIAS <= coord < _COORD_BIAS:
+                raise GeometryError(f"axial coordinate {name}={coord!r} out of range")
+
+    @property
+    def token(self) -> str:
+        """Hex-string token for CSV round trips (H3-index analogue)."""
+        packed = (
+            (self.resolution & 0xF) << (2 * _COORD_BITS)
+            | ((self.q + _COORD_BIAS) & _COORD_MASK) << _COORD_BITS
+            | ((self.r + _COORD_BIAS) & _COORD_MASK)
+        )
+        return f"{packed:015x}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "CellId":
+        """Inverse of :attr:`token`."""
+        try:
+            packed = int(token, 16)
+        except ValueError as exc:
+            raise GeometryError(f"malformed cell token: {token!r}") from exc
+        resolution = (packed >> (2 * _COORD_BITS)) & 0xF
+        q = ((packed >> _COORD_BITS) & _COORD_MASK) - _COORD_BIAS
+        r = (packed & _COORD_MASK) - _COORD_BIAS
+        return cls(resolution, q, r)
+
+
+class HexGrid:
+    """Flat-top hexagonal lattice over an equal-area projection.
+
+    Parameters
+    ----------
+    resolution:
+        H3-style resolution, 0 (coarsest) to 10. Resolution 5 matches the
+        ~253 km^2 cells of the Starlink service-cell model.
+    """
+
+    def __init__(self, resolution: int = STARLINK_CELL_RESOLUTION):
+        if not 0 <= resolution < len(H3_MEAN_HEX_AREA_KM2):
+            raise GeometryError(f"unsupported resolution: {resolution!r}")
+        self.resolution = resolution
+        self.projection = EqualAreaProjection()
+        #: Exact spherical area of every cell in this grid, km^2.
+        self.cell_area_km2 = H3_MEAN_HEX_AREA_KM2[resolution]
+        # Hexagon area = (3*sqrt(3)/2) * a^2 where a is the circumradius.
+        self.hex_size_km = math.sqrt(2.0 * self.cell_area_km2 / (3.0 * math.sqrt(3.0)))
+
+    # -- point <-> cell ----------------------------------------------------
+
+    def cell_for(self, point: LatLon) -> CellId:
+        """Return the cell containing ``point``."""
+        x, y = self.projection.forward(point)
+        q, r = self._axial_round(*self._axial_fractional(x, y))
+        return CellId(self.resolution, q, r)
+
+    def center(self, cell: CellId) -> LatLon:
+        """Geographic center of ``cell``."""
+        self._check_cell(cell)
+        x, y = self._center_xy(cell)
+        return self.projection.inverse(x, y)
+
+    def cell_polygon(self, cell: CellId) -> List[LatLon]:
+        """Six boundary vertices of ``cell`` (flat-top orientation)."""
+        self._check_cell(cell)
+        cx, cy = self._center_xy(cell)
+        vertices = []
+        for k in range(6):
+            angle = math.pi / 3.0 * k
+            vx = cx + self.hex_size_km * math.cos(angle)
+            vy = cy + self.hex_size_km * math.sin(angle)
+            vertices.append(self.projection.inverse(vx, vy))
+        return vertices
+
+    # -- lattice topology ---------------------------------------------------
+
+    def neighbors(self, cell: CellId) -> List[CellId]:
+        """The six lattice neighbors of ``cell``."""
+        self._check_cell(cell)
+        return [
+            CellId(self.resolution, cell.q + dq, cell.r + dr)
+            for dq, dr in _AXIAL_NEIGHBOR_OFFSETS
+        ]
+
+    def ring(self, cell: CellId, k: int) -> List[CellId]:
+        """Cells at exactly hex-distance ``k`` from ``cell`` (k=0 -> [cell])."""
+        self._check_cell(cell)
+        if k < 0:
+            raise GeometryError(f"ring distance must be >= 0: {k!r}")
+        if k == 0:
+            return [cell]
+        results: List[CellId] = []
+        # Walk k steps toward neighbor direction 4, then trace the ring.
+        q = cell.q + _AXIAL_NEIGHBOR_OFFSETS[4][0] * k
+        r = cell.r + _AXIAL_NEIGHBOR_OFFSETS[4][1] * k
+        for direction in range(6):
+            dq, dr = _AXIAL_NEIGHBOR_OFFSETS[direction]
+            for _ in range(k):
+                results.append(CellId(self.resolution, q, r))
+                q += dq
+                r += dr
+        return results
+
+    def disk(self, cell: CellId, k: int) -> List[CellId]:
+        """All cells within hex-distance ``k`` of ``cell`` (inclusive)."""
+        cells: List[CellId] = []
+        for radius in range(k + 1):
+            cells.extend(self.ring(cell, radius))
+        return cells
+
+    def distance(self, a: CellId, b: CellId) -> int:
+        """Hex (lattice) distance between two cells of this grid."""
+        self._check_cell(a)
+        self._check_cell(b)
+        dq = a.q - b.q
+        dr = a.r - b.r
+        return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+    # -- enumeration ----------------------------------------------------------
+
+    def cells_in_bbox(
+        self,
+        lat_min_deg: float,
+        lat_max_deg: float,
+        lon_min_deg: float,
+        lon_max_deg: float,
+    ) -> Iterator[CellId]:
+        """Yield every cell whose center lies inside the bounding box.
+
+        The box must not straddle the antimeridian (CONUS does not).
+        """
+        if lat_min_deg > lat_max_deg or lon_min_deg > lon_max_deg:
+            raise GeometryError("bounding box min exceeds max")
+        x_min, y_min = self.projection.forward(LatLon(lat_min_deg, lon_min_deg))
+        x_max, y_max = self.projection.forward(LatLon(lat_max_deg, lon_max_deg))
+        if x_min > x_max:
+            raise GeometryError("bounding box straddles the antimeridian")
+        a = self.hex_size_km
+        q_min = int(math.floor(x_min / (1.5 * a))) - 1
+        q_max = int(math.ceil(x_max / (1.5 * a))) + 1
+        root3 = math.sqrt(3.0)
+        for q in range(q_min, q_max + 1):
+            r_lo = int(math.floor(y_min / (root3 * a) - q / 2.0)) - 1
+            r_hi = int(math.ceil(y_max / (root3 * a) - q / 2.0)) + 1
+            for r in range(r_lo, r_hi + 1):
+                cx, cy = self._center_xy_qr(q, r)
+                if x_min <= cx <= x_max and y_min <= cy <= y_max:
+                    yield CellId(self.resolution, q, r)
+
+    def cells_covering(self, polygon: "Polygon") -> List[CellId]:
+        """Cells whose centers fall inside ``polygon`` (H3 polyfill analogue)."""
+        lat_min, lat_max, lon_min, lon_max = polygon.bounds()
+        return [
+            cell
+            for cell in self.cells_in_bbox(lat_min, lat_max, lon_min, lon_max)
+            if polygon.contains(self.center(cell))
+        ]
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_cell(self, cell: CellId) -> None:
+        if cell.resolution != self.resolution:
+            raise GeometryError(
+                f"cell resolution {cell.resolution} does not match grid "
+                f"resolution {self.resolution}"
+            )
+
+    def _center_xy(self, cell: CellId) -> Tuple[float, float]:
+        return self._center_xy_qr(cell.q, cell.r)
+
+    def _center_xy_qr(self, q: int, r: int) -> Tuple[float, float]:
+        a = self.hex_size_km
+        x = a * 1.5 * q
+        y = a * math.sqrt(3.0) * (r + q / 2.0)
+        return x, y
+
+    def _axial_fractional(self, x: float, y: float) -> Tuple[float, float]:
+        a = self.hex_size_km
+        qf = (2.0 / 3.0) * x / a
+        rf = (-x / 3.0 + math.sqrt(3.0) / 3.0 * y) / a
+        return qf, rf
+
+    @staticmethod
+    def _axial_round(qf: float, rf: float) -> Tuple[int, int]:
+        # Cube-coordinate rounding (q + r + s = 0).
+        sf = -qf - rf
+        q = round(qf)
+        r = round(rf)
+        s = round(sf)
+        dq = abs(q - qf)
+        dr = abs(r - rf)
+        ds = abs(s - sf)
+        if dq > dr and dq > ds:
+            q = -r - s
+        elif dr > ds:
+            r = -q - s
+        return int(q), int(r)
+
+
+# Imported at the bottom to avoid a cycle: polygon.py does not import hexgrid.
+from repro.geo.polygon import Polygon  # noqa: E402  (intentional late import)

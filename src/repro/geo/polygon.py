@@ -1,0 +1,80 @@
+"""Simple geographic polygons with containment and area.
+
+Polygons are defined by geographic vertices and evaluated in the equal-area
+projected plane: containment uses even-odd ray casting on the projected
+vertices, and area uses the planar shoelace formula, which — because the
+projection is area-preserving — equals the spherical area for regions whose
+edges are short relative to the Earth (true for the coarse CONUS outline
+used here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.geo.projection import EqualAreaProjection
+
+
+class Polygon:
+    """A simple (non-self-intersecting) geographic polygon."""
+
+    def __init__(self, vertices: Sequence[LatLon]):
+        if len(vertices) < 3:
+            raise GeometryError(f"polygon needs >= 3 vertices, got {len(vertices)}")
+        self.vertices: List[LatLon] = [LatLon(*v) for v in vertices]
+        projection = EqualAreaProjection()
+        self._xy = [projection.forward(v) for v in self.vertices]
+        xs = [x for x, _ in self._xy]
+        if max(xs) - min(xs) > projection.width_km / 2.0:
+            raise GeometryError("polygon spans more than half the globe in longitude")
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """(lat_min, lat_max, lon_min, lon_max) of the vertex set, degrees."""
+        lats = [v.lat_deg for v in self.vertices]
+        lons = [v.lon_deg for v in self.vertices]
+        return min(lats), max(lats), min(lons), max(lons)
+
+    def contains(self, point: LatLon) -> bool:
+        """Even-odd containment test in the projected plane."""
+        px, py = EqualAreaProjection().forward(point)
+        inside = False
+        n = len(self._xy)
+        for i in range(n):
+            x1, y1 = self._xy[i]
+            x2, y2 = self._xy[(i + 1) % n]
+            if (y1 > py) != (y2 > py):
+                x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+                if px < x_cross:
+                    inside = not inside
+        return inside
+
+    def area_km2(self) -> float:
+        """Enclosed area in km^2 (exact under the equal-area projection)."""
+        total = 0.0
+        n = len(self._xy)
+        for i in range(n):
+            x1, y1 = self._xy[i]
+            x2, y2 = self._xy[(i + 1) % n]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def centroid(self) -> LatLon:
+        """Planar centroid mapped back to geographic coordinates."""
+        cx = 0.0
+        cy = 0.0
+        twice_area = 0.0
+        n = len(self._xy)
+        for i in range(n):
+            x1, y1 = self._xy[i]
+            x2, y2 = self._xy[(i + 1) % n]
+            cross = x1 * y2 - x2 * y1
+            twice_area += cross
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        if twice_area == 0.0:
+            raise GeometryError("degenerate polygon has zero area")
+        cx /= 3.0 * twice_area
+        cy /= 3.0 * twice_area
+        return EqualAreaProjection().inverse(cx, cy)

@@ -1,0 +1,63 @@
+"""Equal-area cylindrical (Lambert) projection.
+
+The projection maps the sphere to the rectangle
+``[-pi*R, pi*R] x [-R, R]`` via ``x = R * lon_rad`` and ``y = R * sin(lat)``.
+It is exactly area-preserving: a region of planar area ``A`` km^2 corresponds
+to a spherical region of the same area. That property is what the hex grid
+relies on to give every cell the same spherical area, mirroring H3's
+(approximately) equal-area hexagons.
+
+Shape distortion grows toward the poles; the library's study region (CONUS,
+24..50 degrees N) keeps distortion moderate, and none of the paper's results
+depend on cell *shape*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon, normalize_lon
+from repro.units import EARTH_RADIUS_KM
+
+
+class EqualAreaProjection:
+    """Lambert cylindrical equal-area projection on the mean-radius sphere."""
+
+    def __init__(self, radius_km: float = EARTH_RADIUS_KM):
+        if radius_km <= 0.0:
+            raise GeometryError(f"radius must be positive: {radius_km!r}")
+        self.radius_km = radius_km
+
+    @property
+    def width_km(self) -> float:
+        """Full x-extent of the projected plane (equator circumference)."""
+        return 2.0 * math.pi * self.radius_km
+
+    @property
+    def height_km(self) -> float:
+        """Full y-extent of the projected plane (2R)."""
+        return 2.0 * self.radius_km
+
+    def forward(self, point: LatLon) -> Tuple[float, float]:
+        """Project a geographic point to planar (x, y) km."""
+        lat = point.lat_deg
+        if not -90.0 <= lat <= 90.0:
+            raise GeometryError(f"latitude out of range: {lat!r}")
+        lon = normalize_lon(point.lon_deg)
+        x = self.radius_km * math.radians(lon)
+        y = self.radius_km * math.sin(math.radians(lat))
+        return x, y
+
+    def inverse(self, x: float, y: float) -> LatLon:
+        """Unproject planar (x, y) km back to a geographic point.
+
+        ``y`` is clamped to the valid band so that hexagon centers slightly
+        past the pole line (an artifact of tiling a rectangle with hexagons)
+        still map to a legal latitude.
+        """
+        sin_lat = min(1.0, max(-1.0, y / self.radius_km))
+        lat = math.degrees(math.asin(sin_lat))
+        lon = normalize_lon(math.degrees(x / self.radius_km))
+        return LatLon(lat, lon)

@@ -1,0 +1,109 @@
+"""Coarse boundary of the contiguous United States (CONUS).
+
+A hand-digitized ~60-vertex outline of the lower 48 states. The paper's
+analysis needs geography only to (a) place service cells on US territory,
+(b) give each cell a latitude (which drives satellite density), and
+(c) partition cells into counties. A coarse outline serves all three; its
+enclosed area is within a few percent of the true CONUS land+water area
+(~8.08 M km^2), and the latitude span (24.5..49 N) is exact.
+
+Alaska and Hawaii are excluded, as in most national broadband-map capacity
+summaries; the paper's cell-count statistics are dominated by CONUS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.geo.coords import LatLon
+from repro.geo.polygon import Polygon
+
+#: Approximate area of the contiguous US (land + inland water), km^2.
+CONUS_LAND_AREA_KM2 = 8_080_000.0
+
+#: Counter-clockwise outline: Pacific NW -> Pacific coast -> Mexican border ->
+#: Gulf coast -> Florida -> Atlantic coast -> Maine -> Great Lakes -> 49th
+#: parallel -> back to the Pacific NW.
+_CONUS_OUTLINE: Tuple[Tuple[float, float], ...] = (
+    (48.99, -124.70),
+    (46.20, -124.10),
+    (42.00, -124.40),
+    (40.40, -124.40),
+    (38.00, -123.00),
+    (36.30, -121.90),
+    (34.45, -120.47),
+    (33.70, -118.20),
+    (32.53, -117.12),
+    (32.72, -114.72),
+    (31.33, -111.07),
+    (31.33, -108.21),
+    (31.78, -108.21),
+    (31.78, -106.53),
+    (29.70, -104.40),
+    (29.30, -103.20),
+    (29.80, -102.40),
+    (29.30, -100.90),
+    (27.50, -99.50),
+    (25.90, -97.14),
+    (28.00, -96.50),
+    (29.70, -95.00),
+    (29.20, -92.00),
+    (29.10, -90.10),
+    (30.20, -88.90),
+    (30.40, -87.20),
+    (30.10, -85.60),
+    (29.10, -83.50),
+    (27.80, -82.70),
+    (26.00, -81.80),
+    (25.10, -81.10),
+    (25.20, -80.40),
+    (26.80, -80.00),
+    (28.50, -80.50),
+    (30.70, -81.40),
+    (32.00, -80.80),
+    (33.80, -78.50),
+    (35.20, -75.50),
+    (36.90, -76.00),
+    (38.00, -75.00),
+    (38.90, -74.90),
+    (40.50, -74.00),
+    (41.20, -71.90),
+    (41.50, -70.00),
+    (42.00, -70.00),
+    (43.00, -70.50),
+    (44.80, -66.90),
+    (47.30, -68.20),
+    (45.30, -71.10),
+    (45.00, -74.70),
+    (44.10, -76.50),
+    (43.60, -79.10),
+    (42.90, -78.90),
+    (42.30, -83.10),
+    (45.60, -84.50),
+    (46.50, -84.40),
+    (48.20, -88.40),
+    (48.00, -89.60),
+    (49.00, -95.15),
+    (49.00, -123.30),
+)
+
+#: Rough bounding boxes for a few states, used by example scripts to run
+#: regional analyses: (lat_min, lat_max, lon_min, lon_max).
+STATE_BBOXES: Dict[str, Tuple[float, float, float, float]] = {
+    "WV": (37.2, 40.6, -82.7, -77.7),
+    "MT": (44.4, 49.0, -116.1, -104.0),
+    "NM": (31.3, 37.0, -109.1, -103.0),
+    "MS": (30.2, 35.0, -91.7, -88.1),
+    "KY": (36.5, 39.2, -89.6, -81.9),
+    "ME": (43.1, 47.5, -71.1, -66.9),
+}
+
+
+def conus_polygon() -> Polygon:
+    """The coarse CONUS outline as a :class:`Polygon`."""
+    return Polygon([LatLon(lat, lon) for lat, lon in _CONUS_OUTLINE])
+
+
+def conus_bbox() -> Tuple[float, float, float, float]:
+    """(lat_min, lat_max, lon_min, lon_max) of the CONUS outline."""
+    return conus_polygon().bounds()

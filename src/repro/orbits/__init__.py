@@ -1,0 +1,62 @@
+"""Orbital mechanics substrate: propagation, constellations, density theory.
+
+The paper's constellation-sizing argument (Section 3.0.2) rests on two
+pieces of orbital geometry, both implemented here:
+
+* how many cells a satellite can see/serve at once (``visibility``), and
+* how a Walker constellation's satellites distribute over latitude
+  (``density``) — satellites of an inclined shell spend more time at high
+  latitudes, so the satellite density over the peak-demand cell determines
+  total constellation size through the latitude enhancement factor e(phi).
+"""
+
+from repro.orbits.density import (
+    ShellMixDensity,
+    latitude_enhancement,
+    latitude_pdf,
+)
+from repro.orbits.kepler import CircularOrbit, ecef_to_latlon, eci_to_ecef, gmst_rad
+from repro.orbits.shells import (
+    GEN1_SHELLS,
+    GEN2A_SHELLS,
+    Shell,
+    current_deployment,
+    gen1_constellation,
+)
+from repro.orbits.gateways import (
+    DEFAULT_CONUS_GATEWAYS,
+    GatewaySite,
+    bent_pipe_reach_km,
+)
+from repro.orbits.isl import isl_graph, isl_path_km, plus_grid_edges
+from repro.orbits.visibility import (
+    coverage_central_angle_rad,
+    elevation_deg,
+    footprint_area_km2,
+)
+from repro.orbits.walker import WalkerDelta
+
+__all__ = [
+    "ShellMixDensity",
+    "latitude_enhancement",
+    "latitude_pdf",
+    "CircularOrbit",
+    "ecef_to_latlon",
+    "eci_to_ecef",
+    "gmst_rad",
+    "GEN1_SHELLS",
+    "GEN2A_SHELLS",
+    "Shell",
+    "current_deployment",
+    "gen1_constellation",
+    "coverage_central_angle_rad",
+    "elevation_deg",
+    "footprint_area_km2",
+    "DEFAULT_CONUS_GATEWAYS",
+    "GatewaySite",
+    "bent_pipe_reach_km",
+    "isl_graph",
+    "isl_path_km",
+    "plus_grid_edges",
+    "WalkerDelta",
+]

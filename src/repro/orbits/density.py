@@ -1,0 +1,207 @@
+"""Latitude distribution of Walker-constellation satellites.
+
+For a circular orbit at inclination ``i``, the argument of latitude is
+uniform in time and the geographic latitude satisfies
+``sin(phi) = sin(i) * sin(u)``. The time-averaged latitude PDF is therefore
+
+    f(phi) = cos(phi) / (pi * sqrt(sin^2 i - sin^2 phi)),   |phi| < i
+
+and the *surface density* of satellites at latitude ``phi``, relative to a
+uniform spread over the sphere, is the enhancement factor
+
+    e(phi) = (2 / pi) / sqrt(sin^2 i - sin^2 phi).
+
+e integrates to 1 over the sphere and diverges at ``phi = i`` (satellites
+"linger" at the top of their ground track), which is why constellation
+operators pick inclinations just above their densest markets. The paper's
+Table 2 sizing divides a uniform-sphere satellite requirement by e at the
+peak-demand cell's latitude; :class:`ShellMixDensity` provides that factor
+for multi-shell constellations, weighting each shell by satellite count.
+
+Band-averaged variants integrate e over a small latitude band, which keeps
+the model finite for cells near a shell's inclination limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import integrate
+
+from repro.errors import GeometryError
+from repro.orbits.shells import Shell
+
+
+def latitude_pdf(lat_deg: float, inclination_deg: float) -> float:
+    """Time-averaged PDF of a satellite's latitude.
+
+    Returns the density of the satellite's latitude distribution evaluated
+    at ``lat_deg``, in units of probability per *radian* of latitude.
+    Zero outside ``|lat| < inclination`` (retrograde shells use the
+    supplementary inclination).
+    """
+    inc_eff = _effective_inclination_rad(inclination_deg)
+    phi = math.radians(lat_deg)
+    if abs(phi) >= inc_eff:
+        return 0.0
+    sin2 = math.sin(inc_eff) ** 2 - math.sin(phi) ** 2
+    return math.cos(phi) / (math.pi * math.sqrt(sin2))
+
+
+def latitude_enhancement(lat_deg: float, inclination_deg: float) -> float:
+    """Surface-density enhancement e(phi) relative to a uniform sphere.
+
+    Diverges as ``|lat| -> inclination``; raises for latitudes the shell
+    never overflies.
+    """
+    inc_eff = _effective_inclination_rad(inclination_deg)
+    phi = math.radians(lat_deg)
+    if abs(phi) >= inc_eff:
+        raise GeometryError(
+            f"latitude {lat_deg!r} not covered by inclination {inclination_deg!r}"
+        )
+    sin2 = math.sin(inc_eff) ** 2 - math.sin(phi) ** 2
+    return (2.0 / math.pi) / math.sqrt(sin2)
+
+
+def band_enhancement(
+    lat_deg: float, inclination_deg: float, band_halfwidth_deg: float = 0.5
+) -> float:
+    """e(phi) averaged over a latitude band (finite near the inclination edge).
+
+    Averages the enhancement over ``[lat - w, lat + w]`` weighted by band
+    area (cos phi), integrating through any integrable singularity at the
+    shell's inclination limit. Returns 0 if the shell never covers the band.
+    """
+    if band_halfwidth_deg <= 0.0:
+        raise GeometryError(
+            f"band halfwidth must be positive: {band_halfwidth_deg!r}"
+        )
+    inc_eff = _effective_inclination_rad(inclination_deg)
+    lo = math.radians(lat_deg - band_halfwidth_deg)
+    hi = math.radians(lat_deg + band_halfwidth_deg)
+    # Clip the integration range to the latitudes the shell covers.
+    lo_cov = max(lo, -inc_eff)
+    hi_cov = min(hi, inc_eff)
+    if lo_cov >= hi_cov:
+        return 0.0
+
+    sin2_inc = math.sin(inc_eff) ** 2
+
+    def integrand(phi: float) -> float:
+        # e(phi) * cos(phi): area-weighted enhancement, integrable at phi=inc.
+        sin2 = sin2_inc - math.sin(phi) ** 2
+        return (2.0 / math.pi) * math.cos(phi) / math.sqrt(max(sin2, 0.0) or 1e-300)
+
+    numerator, _ = integrate.quad(integrand, lo_cov, hi_cov, limit=200)
+    # Band area measure (per unit longitude): integral of cos(phi) d(phi).
+    band_area = math.sin(hi) - math.sin(lo)
+    if band_area <= 0.0:
+        raise GeometryError("empty latitude band")
+    return numerator / band_area
+
+
+def _effective_inclination_rad(inclination_deg: float) -> float:
+    if not 0.0 < inclination_deg < 180.0:
+        raise GeometryError(f"inclination out of (0, 180): {inclination_deg!r}")
+    inc = math.radians(inclination_deg)
+    if inc > math.pi / 2.0:
+        inc = math.pi - inc  # retrograde shells cover the same latitudes
+    return inc
+
+
+class ShellMixDensity:
+    """Latitude density model for a multi-shell constellation.
+
+    The mix enhancement at latitude ``phi`` is the satellite-count-weighted
+    average of per-shell enhancements (shells that never reach ``phi``
+    contribute zero):
+
+        e_mix(phi) = sum_k (N_k / N) * e(phi; i_k)
+
+    ``constellation_size_for_local_density`` inverts the relationship the
+    paper's Table 2 uses: given a required satellite surface density at one
+    latitude, the total constellation (preserving the mix proportions) is
+
+        N = rho_required * A_earth / e_mix(phi).
+    """
+
+    def __init__(self, shells: Sequence[Shell]):
+        if not shells:
+            raise GeometryError("shell mix must not be empty")
+        self.shells = list(shells)
+        self.total_satellites = sum(s.satellite_count for s in self.shells)
+
+    def enhancement(self, lat_deg: float) -> float:
+        """Mix enhancement e_mix at ``lat_deg`` (0 if no shell covers it)."""
+        total = 0.0
+        for shell in self.shells:
+            weight = shell.satellite_count / self.total_satellites
+            inc_eff_deg = math.degrees(
+                _effective_inclination_rad(shell.inclination_deg)
+            )
+            if abs(lat_deg) < inc_eff_deg:
+                total += weight * latitude_enhancement(
+                    lat_deg, shell.inclination_deg
+                )
+        return total
+
+    def band_enhancement(
+        self, lat_deg: float, band_halfwidth_deg: float = 0.5
+    ) -> float:
+        """Band-averaged mix enhancement (finite at inclination edges)."""
+        total = 0.0
+        for shell in self.shells:
+            weight = shell.satellite_count / self.total_satellites
+            total += weight * band_enhancement(
+                lat_deg, shell.inclination_deg, band_halfwidth_deg
+            )
+        return total
+
+    def density_per_km2(self, lat_deg: float) -> float:
+        """Satellites per km^2 of Earth surface at ``lat_deg`` for this mix."""
+        from repro.units import EARTH_SURFACE_AREA_KM2
+
+        uniform = self.total_satellites / EARTH_SURFACE_AREA_KM2
+        return uniform * self.enhancement(lat_deg)
+
+    def constellation_size_for_local_density(
+        self, required_density_per_km2: float, lat_deg: float
+    ) -> float:
+        """Total satellites needed for a surface density at one latitude."""
+        from repro.units import EARTH_SURFACE_AREA_KM2
+
+        if required_density_per_km2 <= 0.0:
+            raise GeometryError(
+                f"required density must be positive: {required_density_per_km2!r}"
+            )
+        enhancement = self.enhancement(lat_deg)
+        if enhancement <= 0.0:
+            raise GeometryError(
+                f"no shell in the mix covers latitude {lat_deg!r}"
+            )
+        return required_density_per_km2 * EARTH_SURFACE_AREA_KM2 / enhancement
+
+    def empirical_latitude_histogram(
+        self, lat_samples_deg: np.ndarray, bin_edges_deg: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram helper for validating against simulated positions.
+
+        Returns (bin_centers_deg, enhancement_estimate) where the estimate
+        is the empirical surface-density enhancement per bin: the fraction
+        of samples in each bin divided by the fraction of the sphere's area
+        in that bin.
+        """
+        lat_samples = np.asarray(lat_samples_deg, dtype=float)
+        edges = np.asarray(bin_edges_deg, dtype=float)
+        counts, _ = np.histogram(lat_samples, bins=edges)
+        fraction = counts / max(1, lat_samples.size)
+        area_fraction = (
+            np.sin(np.radians(edges[1:])) - np.sin(np.radians(edges[:-1]))
+        ) / 2.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            enhancement = np.where(area_fraction > 0, fraction / area_fraction, 0.0)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, enhancement

@@ -1,0 +1,76 @@
+"""Ground-station (gateway) geometry and the bent-pipe constraint.
+
+The paper's operational model (Section 2.2, task 2): every serving
+satellite must reach a gateway, either directly ("bent pipe") or over
+inter-satellite links. This module makes the bent-pipe case analyzable:
+
+* a satellite can serve a user and bend its traffic to a gateway iff it is
+  simultaneously inside both coverage cones, which is possible iff the
+  user-gateway ground separation is at most
+  ``psi_ut(h, ut_mask) + psi_gw(h, gw_mask)``;
+* from that, the fraction of demand cells that are bent-pipe reachable for
+  a gateway set, and a greedy minimum set of gateway sites for full
+  coverage.
+
+Satellites with inter-satellite links escape the constraint entirely —
+comparing the two regimes quantifies what ISLs buy over CONUS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.coords import LatLon
+from repro.orbits.visibility import (
+    STARLINK_MIN_ELEVATION_DEG,
+    coverage_central_angle_rad,
+)
+from repro.units import EARTH_RADIUS_KM
+
+#: Typical minimum elevation for gateway antennas (larger dishes track
+#: lower than user terminals).
+GATEWAY_MIN_ELEVATION_DEG = 10.0
+
+
+@dataclass(frozen=True)
+class GatewaySite:
+    """A terrestrial gateway (ground station) site."""
+
+    name: str
+    position: LatLon
+
+
+#: A plausible CONUS gateway deployment, patterned after publicly mapped
+#: Starlink ground-station locations (site coordinates coarse).
+DEFAULT_CONUS_GATEWAYS: Tuple[GatewaySite, ...] = (
+    GatewaySite("North Bend WA", LatLon(47.49, -121.78)),
+    GatewaySite("Kalama WA", LatLon(46.01, -122.84)),
+    GatewaySite("Kuna ID", LatLon(43.49, -116.42)),
+    GatewaySite("Conrad MT", LatLon(48.17, -111.95)),
+    GatewaySite("Colburn ID", LatLon(48.35, -116.51)),
+    GatewaySite("Hawthorne CA", LatLon(33.92, -118.33)),
+    GatewaySite("Adelanto CA", LatLon(34.58, -117.41)),
+    GatewaySite("Litchfield Park AZ", LatLon(33.49, -112.36)),
+    GatewaySite("Albuquerque NM", LatLon(35.04, -106.61)),
+    GatewaySite("Boca Chica TX", LatLon(25.99, -97.19)),
+    GatewaySite("Sanger TX", LatLon(33.36, -97.17)),
+    GatewaySite("Greenville PA", LatLon(41.40, -80.39)),
+    GatewaySite("Beekmantown NY", LatLon(44.76, -73.48)),
+    GatewaySite("Loring ME", LatLon(46.95, -67.86)),
+    GatewaySite("Merrillan WI", LatLon(44.45, -90.83)),
+    GatewaySite("Kansas City KS", LatLon(39.05, -94.75)),
+    GatewaySite("Gaffney SC", LatLon(35.05, -81.65)),
+    GatewaySite("Cape Canaveral FL", LatLon(28.49, -80.57)),
+)
+
+
+def bent_pipe_reach_km(
+    altitude_km: float,
+    ut_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+    gw_elevation_deg: float = GATEWAY_MIN_ELEVATION_DEG,
+) -> float:
+    """Max user-gateway ground distance servable by one bent-pipe satellite."""
+    psi_ut = coverage_central_angle_rad(altitude_km, ut_elevation_deg)
+    psi_gw = coverage_central_angle_rad(altitude_km, gw_elevation_deg)
+    return (psi_ut + psi_gw) * EARTH_RADIUS_KM

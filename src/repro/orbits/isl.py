@@ -1,0 +1,82 @@
+"""Inter-satellite-link (+Grid) topology over a Walker shell.
+
+Starlink satellites carry laser ISLs in the standard "+Grid" arrangement:
+each satellite links to the two neighbors in its own orbital plane and to
+one counterpart in each adjacent plane. This module builds that topology
+as a :mod:`networkx` graph with link lengths as edge weights, giving the
+substrate for UT -> satellite -> (ISL hops) -> gateway latency analysis
+(:mod:`repro.core.latency`) — the paper's "indirectly via inter-satellite
+link" operating mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.orbits.walker import WalkerDelta
+
+
+def plus_grid_edges(walker: WalkerDelta) -> List[Tuple[int, int]]:
+    """The +Grid ISL edge list for a Walker shell.
+
+    Satellite indices follow :meth:`WalkerDelta.positions_eci` ordering:
+    ``index = plane * sats_per_plane + slot``. Each satellite gets an
+    intra-plane edge to the next slot (ring) and a cross-plane edge to the
+    same slot of the next plane (ring of planes).
+    """
+    per_plane = walker.sats_per_plane
+    edges = []
+    for plane in range(walker.planes):
+        for slot in range(per_plane):
+            index = plane * per_plane + slot
+            # Intra-plane: next satellite in the same ring.
+            intra = plane * per_plane + (slot + 1) % per_plane
+            edges.append((index, intra))
+            # Cross-plane: same slot, adjacent plane.
+            cross = ((plane + 1) % walker.planes) * per_plane + slot
+            edges.append((index, cross))
+    return edges
+
+
+def isl_graph(walker: WalkerDelta, time_s: float = 0.0) -> nx.Graph:
+    """+Grid graph with instantaneous link distances (km) as weights.
+
+    The topology is static (links follow the lattice); distances are
+    evaluated at ``time_s`` and change slowly for intra-plane links, more
+    for cross-plane links near the seam. Latency analysis at one epoch is
+    representative for a symmetric Walker shell.
+    """
+    positions = walker.positions_eci(time_s)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(walker.total))
+    for a, b in plus_grid_edges(walker):
+        distance = float(np.linalg.norm(positions[a] - positions[b]))
+        graph.add_edge(a, b, distance_km=distance)
+    return graph
+
+
+def isl_path_km(
+    graph: nx.Graph, source: int, target: int
+) -> Tuple[float, List[int]]:
+    """Shortest ISL path length (km) and node sequence between satellites."""
+    if source not in graph or target not in graph:
+        raise GeometryError(
+            f"satellite index out of range: {source!r} or {target!r}"
+        )
+    length, path = nx.single_source_dijkstra(
+        graph, source, target, weight="distance_km"
+    )
+    return float(length), list(path)
+
+
+def degree_histogram(graph: nx.Graph) -> Dict[int, int]:
+    """Node-degree counts — +Grid should be 4-regular."""
+    histogram: Dict[int, int] = {}
+    for _, degree in graph.degree():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram

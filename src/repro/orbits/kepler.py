@@ -1,0 +1,132 @@
+"""Circular-orbit Keplerian propagation and frame conversions.
+
+LEO broadband constellations fly near-circular orbits, so the propagator
+models circular two-body motion: constant angular rate ``n = sqrt(mu/a^3)``
+along an inclined plane. Frames:
+
+* **ECI** — Earth-centered inertial (x toward vernal equinox).
+* **ECEF** — Earth-centered Earth-fixed, rotating with the Earth; related
+  to ECI by the Greenwich mean sidereal angle.
+
+Positions are km; times are seconds from an arbitrary epoch at which the
+Greenwich meridian is aligned with the vernal equinox (adequate for the
+statistical coverage questions this library asks — absolute ephemeris time
+never matters, only the geometry distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.units import EARTH_MU_KM3_S2, EARTH_RADIUS_KM, EARTH_ROTATION_RAD_S
+
+
+def gmst_rad(time_s: float) -> float:
+    """Greenwich mean sidereal angle at ``time_s`` seconds past epoch."""
+    return (EARTH_ROTATION_RAD_S * time_s) % (2.0 * math.pi)
+
+
+def eci_to_ecef(position_eci: np.ndarray, time_s: float) -> np.ndarray:
+    """Rotate ECI position(s) (..., 3) into the Earth-fixed frame."""
+    theta = gmst_rad(time_s)
+    cos_t = math.cos(theta)
+    sin_t = math.sin(theta)
+    rotation = np.array(
+        [[cos_t, sin_t, 0.0], [-sin_t, cos_t, 0.0], [0.0, 0.0, 1.0]]
+    )
+    return position_eci @ rotation.T
+
+
+def ecef_to_latlon(position_ecef: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert ECEF position(s) (..., 3) to (lat_deg, lon_deg, alt_km) arrays.
+
+    Uses the spherical Earth consistent with the rest of the library.
+    """
+    pos = np.asarray(position_ecef, dtype=float)
+    radius = np.linalg.norm(pos, axis=-1)
+    if np.any(radius <= 0.0):
+        raise GeometryError("ECEF position at Earth's center")
+    lat = np.degrees(np.arcsin(np.clip(pos[..., 2] / radius, -1.0, 1.0)))
+    lon = np.degrees(np.arctan2(pos[..., 1], pos[..., 0]))
+    alt = radius - EARTH_RADIUS_KM
+    return lat, lon, alt
+
+
+@dataclass(frozen=True)
+class CircularOrbit:
+    """A circular inclined orbit.
+
+    Parameters
+    ----------
+    altitude_km:
+        Height above the mean-radius sphere.
+    inclination_deg:
+        Orbital inclination.
+    raan_deg:
+        Right ascension of the ascending node.
+    arg_latitude_deg:
+        Argument of latitude (angle from the ascending node along the
+        orbit) at epoch.
+    """
+
+    altitude_km: float
+    inclination_deg: float
+    raan_deg: float = 0.0
+    arg_latitude_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.altitude_km <= 0.0:
+            raise GeometryError(f"altitude must be positive: {self.altitude_km!r}")
+        if not 0.0 <= self.inclination_deg <= 180.0:
+            raise GeometryError(
+                f"inclination out of [0, 180]: {self.inclination_deg!r}"
+            )
+
+    @property
+    def semi_major_axis_km(self) -> float:
+        return EARTH_RADIUS_KM + self.altitude_km
+
+    @property
+    def mean_motion_rad_s(self) -> float:
+        """Orbital angular rate n = sqrt(mu / a^3)."""
+        return math.sqrt(EARTH_MU_KM3_S2 / self.semi_major_axis_km**3)
+
+    @property
+    def period_s(self) -> float:
+        return 2.0 * math.pi / self.mean_motion_rad_s
+
+    def position_eci(self, time_s: float) -> np.ndarray:
+        """ECI position (3,) at ``time_s`` seconds past epoch."""
+        u = math.radians(self.arg_latitude_deg) + self.mean_motion_rad_s * time_s
+        return self._plane_to_eci(np.array([u]))[0]
+
+    def positions_eci(self, times_s: np.ndarray) -> np.ndarray:
+        """ECI positions (n, 3) at each time in ``times_s``."""
+        times = np.asarray(times_s, dtype=float)
+        u = math.radians(self.arg_latitude_deg) + self.mean_motion_rad_s * times
+        return self._plane_to_eci(u)
+
+    def subsatellite_point(self, time_s: float) -> Tuple[float, float]:
+        """(lat_deg, lon_deg) of the sub-satellite point at ``time_s``."""
+        ecef = eci_to_ecef(self.position_eci(time_s), time_s)
+        lat, lon, _ = ecef_to_latlon(ecef)
+        return float(lat), float(lon)
+
+    def _plane_to_eci(self, arg_latitude_rad: np.ndarray) -> np.ndarray:
+        a = self.semi_major_axis_km
+        inc = math.radians(self.inclination_deg)
+        raan = math.radians(self.raan_deg)
+        cos_u = np.cos(arg_latitude_rad)
+        sin_u = np.sin(arg_latitude_rad)
+        # Position in the orbital plane, then rotate by inclination and RAAN.
+        x_orb = a * cos_u
+        y_orb = a * sin_u
+        x = x_orb * math.cos(raan) - y_orb * math.cos(inc) * math.sin(raan)
+        y = x_orb * math.sin(raan) + y_orb * math.cos(inc) * math.cos(raan)
+        z = y_orb * math.sin(inc)
+        return np.stack([x, y, z], axis=-1)

@@ -1,0 +1,77 @@
+"""Starlink orbital shell parameters from FCC filings.
+
+Gen1 shells follow the April 2021 modification grant (all five shells at
+~540-570 km). Gen2A shells follow the December 2022 partial grant of the
+Gen2 amendment (SAT-AMD-20210818-00105, the filing the paper cites), which
+authorized 7,500 satellites in three shells at 525/530/535 km.
+
+The paper describes "Starlink's current 8000 satellite deployment"; the
+:func:`current_deployment` helper returns a Gen1 + Gen2A mix of that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Shell:
+    """One orbital shell of a constellation."""
+
+    name: str
+    satellite_count: int
+    altitude_km: float
+    inclination_deg: float
+    planes: int
+    sats_per_plane: int
+
+    def __post_init__(self) -> None:
+        if self.satellite_count <= 0:
+            raise GeometryError(f"empty shell: {self.name}")
+        if self.planes * self.sats_per_plane != self.satellite_count:
+            raise GeometryError(
+                f"shell {self.name}: planes*sats_per_plane "
+                f"({self.planes}*{self.sats_per_plane}) != count "
+                f"({self.satellite_count})"
+            )
+
+
+#: Starlink Gen1 as authorized in the 2021 modification (4,408 satellites).
+GEN1_SHELLS: Tuple[Shell, ...] = (
+    Shell("gen1-shell1", 1584, 550.0, 53.0, 72, 22),
+    Shell("gen1-shell2", 1584, 540.0, 53.2, 72, 22),
+    Shell("gen1-shell3", 720, 570.0, 70.0, 36, 20),
+    Shell("gen1-shell4", 348, 560.0, 97.6, 6, 58),
+    Shell("gen1-shell5", 172, 560.0, 97.6, 4, 43),
+)
+
+#: Starlink Gen2A as authorized in the December 2022 partial grant
+#: (7,500 satellites across three mid-inclination shells).
+GEN2A_SHELLS: Tuple[Shell, ...] = (
+    Shell("gen2-525", 3360, 525.0, 53.0, 28, 120),
+    Shell("gen2-530", 2520, 530.0, 43.0, 28, 90),
+    Shell("gen2-535", 1620, 535.0, 33.0, 27, 60),
+)
+
+
+def total_satellites(shells: Sequence[Shell]) -> int:
+    """Total satellite count across ``shells``."""
+    return sum(shell.satellite_count for shell in shells)
+
+
+def gen1_constellation() -> List[Shell]:
+    """The five Gen1 shells (4,408 satellites)."""
+    return list(GEN1_SHELLS)
+
+
+def current_deployment() -> List[Shell]:
+    """A shell mix matching the paper's "current ~8000 satellite" figure.
+
+    Gen1 (4,408) plus the first Gen2A shell (3,360) plus a partial second
+    Gen2A shell, for 8,008 satellites total.
+    """
+    partial_gen2_530 = Shell("gen2-530-partial", 240, 530.0, 43.0, 4, 60)
+    return list(GEN1_SHELLS) + [GEN2A_SHELLS[0], partial_gen2_530]

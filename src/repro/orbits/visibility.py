@@ -1,0 +1,109 @@
+"""Satellite-to-ground visibility geometry.
+
+Everything here is spherical trigonometry on the mean-radius Earth:
+
+* elevation angle of a satellite as seen from a ground point,
+* the maximum Earth-central angle at which a satellite clears a minimum
+  elevation mask (Starlink UTs use a 25 degree mask), and
+* the ground footprint area that implies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.units import EARTH_RADIUS_KM
+
+#: Minimum elevation mask Starlink user terminals operate at, degrees.
+STARLINK_MIN_ELEVATION_DEG = 25.0
+
+
+def coverage_central_angle_rad(
+    altitude_km: float, min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG
+) -> float:
+    """Max Earth-central angle between sub-satellite point and a served UT.
+
+    Standard single-satellite geometry: with Earth radius ``Re``, orbit
+    radius ``Re + h`` and elevation mask ``eps``,
+    ``psi = arccos(Re/(Re+h) * cos(eps)) - eps``.
+    """
+    if altitude_km <= 0.0:
+        raise GeometryError(f"altitude must be positive: {altitude_km!r}")
+    if not 0.0 <= min_elevation_deg < 90.0:
+        raise GeometryError(
+            f"elevation mask out of [0, 90): {min_elevation_deg!r}"
+        )
+    eps = math.radians(min_elevation_deg)
+    ratio = EARTH_RADIUS_KM / (EARTH_RADIUS_KM + altitude_km)
+    return math.acos(ratio * math.cos(eps)) - eps
+
+
+def footprint_area_km2(
+    altitude_km: float, min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG
+) -> float:
+    """Area of the spherical cap a single satellite can serve, km^2."""
+    psi = coverage_central_angle_rad(altitude_km, min_elevation_deg)
+    return 2.0 * math.pi * EARTH_RADIUS_KM**2 * (1.0 - math.cos(psi))
+
+
+def slant_range_km(altitude_km: float, central_angle_rad: float) -> float:
+    """Distance from ground point to satellite at given central angle."""
+    r_sat = EARTH_RADIUS_KM + altitude_km
+    return math.sqrt(
+        EARTH_RADIUS_KM**2
+        + r_sat**2
+        - 2.0 * EARTH_RADIUS_KM * r_sat * math.cos(central_angle_rad)
+    )
+
+
+def elevation_deg(
+    ground_lat_deg: float,
+    ground_lon_deg: float,
+    sat_lat_deg,
+    sat_lon_deg,
+    altitude_km,
+):
+    """Elevation angle(s) of satellite(s) from a ground point, degrees.
+
+    Satellite arguments may be scalars or numpy arrays (broadcast together).
+    Negative elevations mean the satellite is below the horizon.
+    """
+    phi_g = math.radians(ground_lat_deg)
+    lam_g = math.radians(ground_lon_deg)
+    phi_s = np.radians(np.asarray(sat_lat_deg, dtype=float))
+    lam_s = np.radians(np.asarray(sat_lon_deg, dtype=float))
+    cos_psi = np.clip(
+        math.sin(phi_g) * np.sin(phi_s)
+        + math.cos(phi_g) * np.cos(phi_s) * np.cos(lam_s - lam_g),
+        -1.0,
+        1.0,
+    )
+    r_sat = EARTH_RADIUS_KM + np.asarray(altitude_km, dtype=float)
+    sin_psi = np.sqrt(1.0 - cos_psi**2)
+    # tan(elev) = (cos(psi) - Re/r) / sin(psi); guard the sub-satellite case.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        elev = np.degrees(
+            np.arctan2(cos_psi - EARTH_RADIUS_KM / r_sat, sin_psi)
+        )
+    elev = np.where(sin_psi == 0.0, 90.0, elev)
+    if elev.ndim == 0:
+        return float(elev)
+    return elev
+
+
+def satellites_in_view(
+    ground_lat_deg: float,
+    ground_lon_deg: float,
+    sat_lats_deg: np.ndarray,
+    sat_lons_deg: np.ndarray,
+    altitude_km: float,
+    min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+) -> np.ndarray:
+    """Boolean mask of satellites above the elevation mask for the point."""
+    elev = elevation_deg(
+        ground_lat_deg, ground_lon_deg, sat_lats_deg, sat_lons_deg, altitude_km
+    )
+    return np.asarray(elev) >= min_elevation_deg

@@ -1,0 +1,108 @@
+"""Walker-delta constellation generation.
+
+A Walker-delta constellation ``i: T/P/F`` places ``T`` satellites in ``P``
+evenly spaced orbital planes at inclination ``i``; adjacent planes are phase
+shifted by ``F * 360 / T`` degrees of argument of latitude. Starlink's
+shells are Walker-delta configurations, so this is the generator the
+simulator uses to lay out each shell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.orbits.kepler import CircularOrbit, ecef_to_latlon, eci_to_ecef
+from repro.orbits.shells import Shell
+from repro.units import EARTH_MU_KM3_S2, EARTH_RADIUS_KM
+
+
+@dataclass(frozen=True)
+class WalkerDelta:
+    """A Walker-delta constellation ``inclination: total/planes/phasing``."""
+
+    total: int
+    planes: int
+    phasing: int
+    inclination_deg: float
+    altitude_km: float
+
+    def __post_init__(self) -> None:
+        if self.planes <= 0 or self.total <= 0:
+            raise GeometryError("planes and total must be positive")
+        if self.total % self.planes != 0:
+            raise GeometryError(
+                f"total {self.total} not divisible by planes {self.planes}"
+            )
+        if not 0 <= self.phasing < self.planes:
+            raise GeometryError(
+                f"phasing must be in [0, planes): {self.phasing!r}"
+            )
+
+    @classmethod
+    def from_shell(cls, shell: Shell, phasing: int = 1) -> "WalkerDelta":
+        """Build the Walker layout for a Starlink :class:`Shell`."""
+        phasing = phasing % shell.planes
+        return cls(
+            total=shell.satellite_count,
+            planes=shell.planes,
+            phasing=phasing,
+            inclination_deg=shell.inclination_deg,
+            altitude_km=shell.altitude_km,
+        )
+
+    @property
+    def sats_per_plane(self) -> int:
+        return self.total // self.planes
+
+    def orbits(self) -> List[CircularOrbit]:
+        """One :class:`CircularOrbit` per satellite."""
+        orbits = []
+        phase_unit_deg = 360.0 * self.phasing / self.total
+        for plane in range(self.planes):
+            raan = 360.0 * plane / self.planes
+            for slot in range(self.sats_per_plane):
+                arg_lat = 360.0 * slot / self.sats_per_plane + phase_unit_deg * plane
+                orbits.append(
+                    CircularOrbit(
+                        altitude_km=self.altitude_km,
+                        inclination_deg=self.inclination_deg,
+                        raan_deg=raan,
+                        arg_latitude_deg=arg_lat % 360.0,
+                    )
+                )
+        return orbits
+
+    def positions_eci(self, time_s: float) -> np.ndarray:
+        """ECI positions (total, 3) of all satellites at ``time_s``.
+
+        Vectorized equivalent of calling ``position_eci`` per orbit.
+        """
+        a = EARTH_RADIUS_KM + self.altitude_km
+        inc = math.radians(self.inclination_deg)
+        n = math.sqrt(EARTH_MU_KM3_S2 / a**3)
+        planes = np.arange(self.planes)
+        slots = np.arange(self.sats_per_plane)
+        raan = np.radians(360.0 * planes / self.planes)[:, None]
+        phase_unit = math.radians(360.0 * self.phasing / self.total)
+        arg0 = (
+            np.radians(360.0 * slots / self.sats_per_plane)[None, :]
+            + phase_unit * planes[:, None]
+        )
+        u = arg0 + n * time_s
+        x_orb = a * np.cos(u)
+        y_orb = a * np.sin(u)
+        x = x_orb * np.cos(raan) - y_orb * math.cos(inc) * np.sin(raan)
+        y = x_orb * np.sin(raan) + y_orb * math.cos(inc) * np.cos(raan)
+        z = y_orb * math.sin(inc)
+        return np.stack([x, y, z], axis=-1).reshape(self.total, 3)
+
+    def subsatellite_points(self, time_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(lat_deg, lon_deg) arrays of all sub-satellite points at ``time_s``."""
+        ecef = eci_to_ecef(self.positions_eci(time_s), time_s)
+        lat, lon, _ = ecef_to_latlon(ecef)
+        return lat, lon

@@ -1,0 +1,307 @@
+"""Beam-to-cell assignment strategies.
+
+Each simulation step produces a visibility relation (which satellites can
+serve which cells) and the strategy decides where every satellite points
+its beams. Two strategies are provided:
+
+* :class:`GreedyDemandFirst` — serve the hungriest cells first, pinning as
+  many beams as their provisioned demand needs (the paper's peak-cell
+  picture).
+* :class:`ProportionalFair` — one beam per cell first (coverage before
+  capacity), then distribute leftover beams by remaining demand.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spectrum.beams import BeamPlan
+
+
+@dataclass
+class AssignmentOutcome:
+    """Result of one step's beam assignment.
+
+    ``allocated_mbps[i]`` is the capacity delivered to cell ``i``;
+    ``beams_used[j]`` the number of beams satellite ``j`` spent;
+    ``covered[i]`` whether cell ``i`` received at least one beam;
+    ``serving_satellite[i]`` the primary satellite pointing at cell ``i``
+    (-1 when uncovered) — the quantity whose step-to-step churn measures
+    beam handovers.
+    """
+
+    allocated_mbps: np.ndarray
+    beams_used: np.ndarray
+    covered: np.ndarray
+    serving_satellite: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.serving_satellite is None:
+            self.serving_satellite = np.full(
+                self.covered.shape[0], -1, dtype=int
+            )
+
+    @property
+    def cells_covered(self) -> int:
+        return int(np.count_nonzero(self.covered))
+
+    @property
+    def total_allocated_mbps(self) -> float:
+        return float(self.allocated_mbps.sum())
+
+
+class BeamAssignmentStrategy(abc.ABC):
+    """Interface: assign satellite beams to demand cells for one step."""
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        visible: List[np.ndarray],
+        demands_mbps: np.ndarray,
+        satellite_count: int,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        """Assign beams.
+
+        Parameters
+        ----------
+        visible:
+            Per-cell arrays of visible satellite indices.
+        demands_mbps:
+            Per-cell provisioned demand (already oversubscribed).
+        satellite_count:
+            Number of satellites in the constellation snapshot.
+        plan:
+            Beam counts and capacities.
+        """
+
+    @staticmethod
+    def _check_inputs(
+        visible: List[np.ndarray], demands_mbps: np.ndarray
+    ) -> None:
+        if len(visible) != demands_mbps.shape[0]:
+            raise SimulationError(
+                "visibility list and demand vector are misaligned"
+            )
+        if np.any(demands_mbps < 0.0):
+            raise SimulationError("negative cell demand")
+
+
+class GreedyDemandFirst(BeamAssignmentStrategy):
+    """Hungriest cells claim beams first, up to their full need."""
+
+    def assign(
+        self,
+        visible: List[np.ndarray],
+        demands_mbps: np.ndarray,
+        satellite_count: int,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        self._check_inputs(visible, demands_mbps)
+        n_cells = demands_mbps.shape[0]
+        free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
+        allocated = np.zeros(n_cells)
+        covered = np.zeros(n_cells, dtype=bool)
+        serving = np.full(n_cells, -1, dtype=int)
+        order = np.argsort(-demands_mbps, kind="stable")
+        for cell in order:
+            sats = visible[cell]
+            if sats.size == 0:
+                continue
+            needed = max(
+                1,
+                int(np.ceil(demands_mbps[cell] / plan.beam_capacity_mbps)),
+            )
+            needed = min(needed, plan.max_beams_per_cell)
+            granted = 0
+            # Prefer the visible satellite with the most free beams so that
+            # multi-beam cells are served by a single satellite when possible.
+            for sat in sats[np.argsort(-free_beams[sats], kind="stable")]:
+                take = min(needed - granted, int(free_beams[sat]))
+                if take <= 0:
+                    continue
+                free_beams[sat] -= take
+                if granted == 0:
+                    serving[cell] = int(sat)
+                granted += take
+                if granted == needed:
+                    break
+            if granted > 0:
+                covered[cell] = True
+                allocated[cell] = min(
+                    granted * plan.beam_capacity_mbps,
+                    max(demands_mbps[cell], plan.beam_capacity_mbps),
+                )
+        return AssignmentOutcome(
+            allocated_mbps=allocated,
+            beams_used=plan.beams_per_satellite - free_beams,
+            covered=covered,
+            serving_satellite=serving,
+        )
+
+
+class ProportionalFair(BeamAssignmentStrategy):
+    """Coverage first (one beam per cell), then demand-weighted extras."""
+
+    def assign(
+        self,
+        visible: List[np.ndarray],
+        demands_mbps: np.ndarray,
+        satellite_count: int,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        self._check_inputs(visible, demands_mbps)
+        n_cells = demands_mbps.shape[0]
+        free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
+        beams_granted = np.zeros(n_cells, dtype=int)
+        covered = np.zeros(n_cells, dtype=bool)
+        serving = np.full(n_cells, -1, dtype=int)
+
+        def grant_one(cell: int) -> bool:
+            sats = visible[cell]
+            if sats.size == 0:
+                return False
+            candidates = sats[free_beams[sats] > 0]
+            if candidates.size == 0:
+                return False
+            sat = candidates[int(np.argmax(free_beams[candidates]))]
+            free_beams[sat] -= 1
+            if beams_granted[cell] == 0:
+                serving[cell] = int(sat)
+            beams_granted[cell] += 1
+            return True
+
+        # Pass 1: coverage. Every cell with a visible satellite gets a
+        # beam, scarcest cells (fewest visible satellites) first so that
+        # footprint-edge cells claim their few candidates before interior
+        # cells drain them.
+        scarcity_order = np.argsort(
+            np.array([v.size for v in visible]), kind="stable"
+        )
+        for cell in scarcity_order:
+            covered[cell] = grant_one(int(cell))
+
+        # Pass 2: capacity. Repeatedly grant a beam to the cell with the
+        # largest unmet demand until nothing more can be granted; cells
+        # whose visible satellites are exhausted drop out individually.
+        blocked = np.zeros(n_cells, dtype=bool)
+        while True:
+            unmet = demands_mbps - beams_granted * plan.beam_capacity_mbps
+            eligible = np.flatnonzero(
+                (unmet > 0.0)
+                & covered
+                & ~blocked
+                & (beams_granted < plan.max_beams_per_cell)
+            )
+            if eligible.size == 0:
+                break
+            cell = int(eligible[int(np.argmax(unmet[eligible]))])
+            if not grant_one(cell):
+                blocked[cell] = True
+        allocated = np.minimum(
+            beams_granted * plan.beam_capacity_mbps,
+            np.maximum(demands_mbps, covered * plan.beam_capacity_mbps),
+        )
+        return AssignmentOutcome(
+            allocated_mbps=allocated,
+            beams_used=plan.beams_per_satellite - free_beams,
+            covered=covered,
+            serving_satellite=serving,
+        )
+
+
+class StickyGreedy(GreedyDemandFirst):
+    """Greedy demand-first with serving-satellite stickiness.
+
+    Remembers each cell's serving satellite from the previous step and
+    keeps it while it remains visible with enough free beams — modeling a
+    scheduler that avoids needless beam handovers. Stateful across steps:
+    use one instance per simulation run.
+    """
+
+    def __init__(self) -> None:
+        self._previous: np.ndarray | None = None
+
+    def assign(
+        self,
+        visible: List[np.ndarray],
+        demands_mbps: np.ndarray,
+        satellite_count: int,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        self._check_inputs(visible, demands_mbps)
+        if self._previous is not None and self._previous.shape[0] != (
+            demands_mbps.shape[0]
+        ):
+            raise SimulationError("sticky state misaligned with cell count")
+        # Re-order each cell's candidate list to put last step's serving
+        # satellite first, then delegate to the greedy pass.
+        if self._previous is None:
+            reordered = visible
+        else:
+            reordered = []
+            for cell, sats in enumerate(visible):
+                previous = self._previous[cell]
+                if previous >= 0 and previous in sats:
+                    rest = sats[sats != previous]
+                    reordered.append(
+                        np.concatenate(([previous], rest)).astype(int)
+                    )
+                else:
+                    reordered.append(sats)
+        outcome = self._assign_prefer_first(
+            reordered, demands_mbps, satellite_count, plan
+        )
+        self._previous = outcome.serving_satellite.copy()
+        return outcome
+
+    def _assign_prefer_first(
+        self,
+        visible: List[np.ndarray],
+        demands_mbps: np.ndarray,
+        satellite_count: int,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        """Greedy pass that honours each cell's candidate ordering."""
+        n_cells = demands_mbps.shape[0]
+        free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
+        allocated = np.zeros(n_cells)
+        covered = np.zeros(n_cells, dtype=bool)
+        serving = np.full(n_cells, -1, dtype=int)
+        order = np.argsort(-demands_mbps, kind="stable")
+        for cell in order:
+            sats = visible[cell]
+            if sats.size == 0:
+                continue
+            needed = max(
+                1, int(np.ceil(demands_mbps[cell] / plan.beam_capacity_mbps))
+            )
+            needed = min(needed, plan.max_beams_per_cell)
+            granted = 0
+            for sat in sats:  # candidate order IS the preference order
+                take = min(needed - granted, int(free_beams[sat]))
+                if take <= 0:
+                    continue
+                free_beams[sat] -= take
+                if granted == 0:
+                    serving[cell] = int(sat)
+                granted += take
+                if granted == needed:
+                    break
+            if granted > 0:
+                covered[cell] = True
+                allocated[cell] = min(
+                    granted * plan.beam_capacity_mbps,
+                    max(demands_mbps[cell], plan.beam_capacity_mbps),
+                )
+        return AssignmentOutcome(
+            allocated_mbps=allocated,
+            beams_used=plan.beams_per_satellite - free_beams,
+            covered=covered,
+            serving_satellite=serving,
+        )

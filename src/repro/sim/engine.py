@@ -1,0 +1,40 @@
+"""Simulation clock: fixed-step time iteration with progress hooks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationClock:
+    """A fixed-step simulation time base.
+
+    ``duration_s`` is exclusive of the final step boundary: a clock of
+    duration 60 with step 10 yields t = 0, 10, ..., 50 (six steps).
+    """
+
+    duration_s: float
+    step_s: float
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise SimulationError(f"duration must be positive: {self.duration_s!r}")
+        if self.step_s <= 0.0:
+            raise SimulationError(f"step must be positive: {self.step_s!r}")
+        if self.step_s > self.duration_s:
+            raise SimulationError(
+                f"step {self.step_s} longer than duration {self.duration_s}"
+            )
+
+    @property
+    def step_count(self) -> int:
+        return int(self.duration_s / self.step_s)
+
+    def times(self) -> Iterator[float]:
+        """Yield each step's start time."""
+        for index in range(self.step_count):
+            yield self.start_s + index * self.step_s

@@ -1,0 +1,128 @@
+"""Failure injection: satellite outages and rain fade.
+
+Two impairments every LEO operator lives with, for testing how gracefully
+coverage and capacity degrade:
+
+* :class:`SatelliteOutages` — a seeded random fraction of satellites is
+  dead (failed, deorbiting, or in safe mode); dead satellites drop out of
+  the visibility relation.
+* :class:`RainFade` — a circular weather region where the achievable
+  spectral efficiency is derated; cells inside need proportionally more
+  beam capacity for the same provisioned demand.
+
+Both plug into :class:`~repro.sim.simulation.ConstellationSimulation` via
+its ``impairments`` parameter and compose freely.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geo.coords import LatLon, haversine_km
+
+
+class Impairment(abc.ABC):
+    """Interface: transform visibility and demand before assignment."""
+
+    def filter_satellites(
+        self, satellite_count: int, rng: np.random.Generator
+    ) -> Optional[np.ndarray]:
+        """Boolean keep-mask over satellites, or None for no effect."""
+        return None
+
+    def scale_demands(
+        self, demands_mbps: np.ndarray, cell_positions: Sequence[LatLon]
+    ) -> np.ndarray:
+        """Return (possibly scaled) per-cell provisioned demands."""
+        return demands_mbps
+
+
+@dataclass(frozen=True)
+class SatelliteOutages(Impairment):
+    """A seeded random fraction of satellites is out of service."""
+
+    outage_fraction: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outage_fraction < 1.0:
+            raise SimulationError(
+                f"outage fraction out of [0, 1): {self.outage_fraction!r}"
+            )
+
+    def filter_satellites(
+        self, satellite_count: int, rng: np.random.Generator
+    ) -> Optional[np.ndarray]:
+        if self.outage_fraction == 0.0:
+            return None
+        # Use our own seeded generator so the dead set is stable across
+        # steps (a failed satellite stays failed).
+        own_rng = np.random.default_rng(self.seed)
+        dead_count = int(round(satellite_count * self.outage_fraction))
+        dead = own_rng.choice(satellite_count, size=dead_count, replace=False)
+        keep = np.ones(satellite_count, dtype=bool)
+        keep[dead] = False
+        return keep
+
+
+@dataclass(frozen=True)
+class RainFade(Impairment):
+    """Spectral-efficiency derating inside a circular weather system."""
+
+    center: LatLon
+    radius_km: float
+    efficiency_factor: float
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0.0:
+            raise SimulationError(f"radius must be positive: {self.radius_km!r}")
+        if not 0.0 < self.efficiency_factor <= 1.0:
+            raise SimulationError(
+                f"efficiency factor out of (0, 1]: {self.efficiency_factor!r}"
+            )
+
+    def scale_demands(
+        self, demands_mbps: np.ndarray, cell_positions: Sequence[LatLon]
+    ) -> np.ndarray:
+        if self.efficiency_factor == 1.0:
+            return demands_mbps
+        scaled = demands_mbps.copy()
+        for index, position in enumerate(cell_positions):
+            if haversine_km(position, self.center) <= self.radius_km:
+                # Lower efficiency means more spectrum-time per bit: model
+                # as inflated capacity need for the same user demand.
+                scaled[index] = demands_mbps[index] / self.efficiency_factor
+        return scaled
+
+
+def apply_impairments(
+    impairments: Sequence[Impairment],
+    visible: List[np.ndarray],
+    demands_mbps: np.ndarray,
+    cell_positions: Sequence[LatLon],
+    satellite_count: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """Run all impairments over one step's inputs.
+
+    Returns (filtered visibility lists, scaled demand vector).
+    """
+    keep = np.ones(satellite_count, dtype=bool)
+    for impairment in impairments:
+        mask = impairment.filter_satellites(satellite_count, rng)
+        if mask is not None:
+            if mask.shape != (satellite_count,):
+                raise SimulationError("impairment mask misshapen")
+            keep &= mask
+    if not keep.all():
+        visible = [sats[keep[sats]] for sats in visible]
+    demands = demands_mbps
+    for impairment in impairments:
+        demands = impairment.scale_demands(demands, cell_positions)
+    return visible, demands

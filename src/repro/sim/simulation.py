@@ -1,0 +1,223 @@
+"""The constellation simulation loop.
+
+Per step: propagate every shell, find the satellites visible from each
+demand cell (a KD-tree over ECEF positions, since "within central angle
+psi" is "within chord distance 2R sin(psi/2)" on the sphere), hand the
+visibility relation to a beam-assignment strategy, and accumulate metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import SimulationError
+from repro.orbits.kepler import ecef_to_latlon, eci_to_ecef
+from repro.orbits.shells import Shell
+from repro.orbits.gateways import GATEWAY_MIN_ELEVATION_DEG, GatewaySite
+from repro.orbits.visibility import (
+    STARLINK_MIN_ELEVATION_DEG,
+    coverage_central_angle_rad,
+    slant_range_km,
+)
+from repro.orbits.walker import WalkerDelta
+from repro.sim.assignment import BeamAssignmentStrategy, GreedyDemandFirst
+from repro.sim.engine import SimulationClock
+from repro.sim.impairments import Impairment, apply_impairments
+from repro.sim.metrics import CoverageMetrics, SimulationReport
+from repro.spectrum.beams import BeamPlan, starlink_beam_plan
+from repro.units import EARTH_RADIUS_KM
+
+
+class ConstellationSimulation:
+    """Propagate shells over a demand dataset and assign beams each step."""
+
+    def __init__(
+        self,
+        shells: Sequence[Shell],
+        dataset: DemandDataset,
+        oversubscription: float = 20.0,
+        beam_plan: Optional[BeamPlan] = None,
+        strategy: Optional[BeamAssignmentStrategy] = None,
+        min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+        gateways: Optional[Sequence["GatewaySite"]] = None,
+        impairments: Optional[Sequence["Impairment"]] = None,
+        impairment_seed: int = 0,
+    ):
+        """Set up the simulation.
+
+        When ``gateways`` is given, the simulation runs in **bent-pipe
+        mode**: a satellite may only serve cells while it simultaneously
+        sees a gateway (10-degree gateway mask). Without it, satellites
+        are assumed to have inter-satellite links and serve freely.
+
+        ``impairments`` (see :mod:`repro.sim.impairments`) inject
+        satellite outages and weather derating into every step.
+        """
+        if not shells:
+            raise SimulationError("simulation needs at least one shell")
+        if oversubscription <= 0.0:
+            raise SimulationError(
+                f"oversubscription must be positive: {oversubscription!r}"
+            )
+        self.shells = list(shells)
+        self.dataset = dataset
+        self.beam_plan = beam_plan or starlink_beam_plan()
+        self.strategy = strategy or GreedyDemandFirst()
+        self.min_elevation_deg = min_elevation_deg
+        self.walkers = [WalkerDelta.from_shell(s) for s in self.shells]
+        self.satellite_count = sum(w.total for w in self.walkers)
+
+        counts = dataset.counts().astype(float)
+        self.demands_mbps = np.minimum(
+            counts * 100.0 / oversubscription,
+            self.beam_plan.cell_capacity_mbps,
+        )
+        self._cell_ecef = self._cells_to_ecef(dataset)
+        # Visibility radius per shell: the slant range from a ground point
+        # to a satellite sitting exactly at the coverage-cone edge. A
+        # satellite is visible iff its straight-line (chord) distance from
+        # the ground point is at most this.
+        self._chord_radii = [
+            slant_range_km(
+                s.altitude_km,
+                coverage_central_angle_rad(s.altitude_km, min_elevation_deg),
+            )
+            for s in self.shells
+        ]
+        self.impairments = list(impairments) if impairments else []
+        self._impairment_rng = np.random.default_rng(impairment_seed)
+        self._cell_positions = [cell.center for cell in dataset.cells]
+        self.gateways = list(gateways) if gateways else []
+        if self.gateways:
+            gw_lat = np.radians(
+                np.array([g.position.lat_deg for g in self.gateways])
+            )
+            gw_lon = np.radians(
+                np.array([g.position.lon_deg for g in self.gateways])
+            )
+            self._gateway_ecef = EARTH_RADIUS_KM * np.stack(
+                [
+                    np.cos(gw_lat) * np.cos(gw_lon),
+                    np.cos(gw_lat) * np.sin(gw_lon),
+                    np.sin(gw_lat),
+                ],
+                axis=-1,
+            )
+            self._gateway_radii = [
+                slant_range_km(
+                    s.altitude_km,
+                    coverage_central_angle_rad(
+                        s.altitude_km, GATEWAY_MIN_ELEVATION_DEG
+                    ),
+                )
+                for s in self.shells
+            ]
+
+    @staticmethod
+    def _cells_to_ecef(dataset: DemandDataset) -> np.ndarray:
+        lat = np.radians(dataset.latitudes())
+        lon = np.radians(
+            np.array([c.center.lon_deg for c in dataset.cells], dtype=float)
+        )
+        return EARTH_RADIUS_KM * np.stack(
+            [
+                np.cos(lat) * np.cos(lon),
+                np.cos(lat) * np.sin(lon),
+                np.sin(lat),
+            ],
+            axis=-1,
+        )
+
+    def _visibility(self, time_s: float):
+        """(visible sat-index lists per cell, all sat latitudes) at a time."""
+        visible_per_cell: List[List[int]] = [[] for _ in range(len(self.dataset.cells))]
+        all_lats: List[np.ndarray] = []
+        offset = 0
+        for shell_index, (walker, chord) in enumerate(
+            zip(self.walkers, self._chord_radii)
+        ):
+            ecef = eci_to_ecef(walker.positions_eci(time_s), time_s)
+            lat, _, _ = ecef_to_latlon(ecef)
+            all_lats.append(lat)
+            tree = cKDTree(ecef)
+            eligible = None
+            if self.gateways:
+                # Bent-pipe mode: only satellites currently seeing a
+                # gateway may carry user traffic.
+                gw_hits = tree.query_ball_point(
+                    self._gateway_ecef, r=self._gateway_radii[shell_index]
+                )
+                eligible = set()
+                for hit in gw_hits:
+                    eligible.update(hit)
+            # Chord between a ground point and a satellite at the coverage
+            # edge: use the exact slant distance at the central-angle limit.
+            hits = tree.query_ball_point(self._cell_ecef, r=chord)
+            for cell_index, sat_indices in enumerate(hits):
+                visible_per_cell[cell_index].extend(
+                    offset + s
+                    for s in sat_indices
+                    if eligible is None or s in eligible
+                )
+            offset += walker.total
+        visible = [np.array(v, dtype=int) for v in visible_per_cell]
+        return visible, np.concatenate(all_lats)
+
+    def run(self, clock: SimulationClock) -> CoverageMetrics:
+        """Run the simulation, returning the raw metric accumulators."""
+        metrics = CoverageMetrics(cell_count=len(self.dataset.cells))
+        for time_s in clock.times():
+            visible, sat_lats = self._visibility(time_s)
+            demands = self.demands_mbps
+            if self.impairments:
+                visible, demands = apply_impairments(
+                    self.impairments,
+                    visible,
+                    demands,
+                    self._cell_positions,
+                    self.satellite_count,
+                    self._impairment_rng,
+                )
+            outcome = self.strategy.assign(
+                visible, demands, self.satellite_count, self.beam_plan
+            )
+            in_view = np.array([v.size for v in visible], dtype=np.int64)
+            if int(outcome.beams_used.max(initial=0)) > self.beam_plan.beams_per_satellite:
+                raise SimulationError("strategy oversubscribed a satellite's beams")
+            metrics.record_step(
+                covered=outcome.covered,
+                allocated_mbps=outcome.allocated_mbps,
+                in_view_counts=in_view,
+                satellite_latitudes=sat_lats,
+                beams_used=outcome.beams_used,
+                serving_satellite=outcome.serving_satellite,
+            )
+        return metrics
+
+    def report(self, metrics: CoverageMetrics) -> SimulationReport:
+        """Summarize a finished run."""
+        coverage = metrics.coverage_fraction()
+        allocated = metrics.mean_allocated_mbps()
+        total_demand = float(self.demands_mbps.sum())
+        satisfaction = (
+            float(np.minimum(allocated, self.demands_mbps).sum()) / total_demand
+            if total_demand > 0
+            else 1.0
+        )
+        peak_beams = metrics.peak_beams_used
+        return SimulationReport(
+            mean_handovers_per_step=metrics.mean_handovers_per_step(),
+            steps=metrics.steps,
+            cells=len(self.dataset.cells),
+            satellites=self.satellite_count,
+            min_coverage_fraction=float(coverage.min()),
+            mean_coverage_fraction=float(coverage.mean()),
+            mean_satellites_in_view=float(metrics.mean_satellites_in_view().mean()),
+            demand_satisfaction=satisfaction,
+            peak_beams_used=peak_beams,
+        )

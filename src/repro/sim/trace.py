@@ -1,0 +1,169 @@
+"""Per-step simulation traces: record, persist, and summarize runs.
+
+:class:`TraceRecorder` wraps a simulation run and captures one row per
+(step, cell): coverage, allocated capacity, serving satellite. Traces
+write to CSV for external analysis and reload into numpy arrays — the
+observability layer for debugging assignment strategies.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationClock
+from repro.sim.simulation import ConstellationSimulation
+
+_HEADERS = ["step", "time_s", "cell_index", "covered", "allocated_mbps", "serving_satellite"]
+
+
+@dataclass
+class SimulationTrace:
+    """A recorded run: arrays indexed [step, cell]."""
+
+    times_s: np.ndarray
+    covered: np.ndarray
+    allocated_mbps: np.ndarray
+    serving_satellite: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = {
+            self.covered.shape,
+            self.allocated_mbps.shape,
+            self.serving_satellite.shape,
+        }
+        if len(shapes) != 1:
+            raise SimulationError("trace arrays disagree on shape")
+        if self.covered.shape[0] != self.times_s.shape[0]:
+            raise SimulationError("trace step count mismatch")
+
+    @property
+    def steps(self) -> int:
+        return int(self.times_s.shape[0])
+
+    @property
+    def cells(self) -> int:
+        return int(self.covered.shape[1])
+
+    def coverage_timeline(self) -> np.ndarray:
+        """Fraction of cells covered at each step."""
+        return self.covered.mean(axis=1)
+
+    def worst_cell(self) -> int:
+        """Index of the least-covered cell."""
+        return int(np.argmin(self.covered.mean(axis=0)))
+
+    def handovers_per_cell(self) -> np.ndarray:
+        """Serving-satellite changes per cell over the run."""
+        if self.steps < 2:
+            return np.zeros(self.cells, dtype=np.int64)
+        current = self.serving_satellite[1:]
+        previous = self.serving_satellite[:-1]
+        changed = (current != previous) & (current >= 0) & (previous >= 0)
+        return changed.sum(axis=0).astype(np.int64)
+
+
+def record_trace(
+    simulation: ConstellationSimulation, clock: SimulationClock
+) -> SimulationTrace:
+    """Run ``simulation`` over ``clock``, capturing the full trace."""
+    times: List[float] = []
+    covered: List[np.ndarray] = []
+    allocated: List[np.ndarray] = []
+    serving: List[np.ndarray] = []
+    for time_s in clock.times():
+        visible, _ = simulation._visibility(time_s)
+        demands = simulation.demands_mbps
+        if simulation.impairments:
+            from repro.sim.impairments import apply_impairments
+
+            visible, demands = apply_impairments(
+                simulation.impairments,
+                visible,
+                demands,
+                simulation._cell_positions,
+                simulation.satellite_count,
+                simulation._impairment_rng,
+            )
+        outcome = simulation.strategy.assign(
+            visible, demands, simulation.satellite_count, simulation.beam_plan
+        )
+        times.append(time_s)
+        covered.append(outcome.covered.copy())
+        allocated.append(outcome.allocated_mbps.copy())
+        serving.append(outcome.serving_satellite.copy())
+    return SimulationTrace(
+        times_s=np.array(times),
+        covered=np.stack(covered),
+        allocated_mbps=np.stack(allocated),
+        serving_satellite=np.stack(serving),
+    )
+
+
+def write_trace_csv(trace: SimulationTrace, path: Union[str, Path]) -> Path:
+    """Persist a trace as one CSV row per (step, cell)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADERS)
+        for step in range(trace.steps):
+            for cell in range(trace.cells):
+                writer.writerow(
+                    [
+                        step,
+                        f"{trace.times_s[step]:.1f}",
+                        cell,
+                        int(trace.covered[step, cell]),
+                        f"{trace.allocated_mbps[step, cell]:.1f}",
+                        int(trace.serving_satellite[step, cell]),
+                    ]
+                )
+    return target
+
+
+def read_trace_csv(path: Union[str, Path]) -> SimulationTrace:
+    """Reload a trace written by :func:`write_trace_csv`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SimulationError(f"no such trace: {file_path}")
+    rows: Dict[int, Dict[int, tuple]] = {}
+    times: Dict[int, float] = {}
+    with file_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _HEADERS:
+            raise SimulationError(
+                f"{file_path}: unexpected headers {reader.fieldnames}"
+            )
+        for row in reader:
+            step = int(row["step"])
+            cell = int(row["cell_index"])
+            times[step] = float(row["time_s"])
+            rows.setdefault(step, {})[cell] = (
+                bool(int(row["covered"])),
+                float(row["allocated_mbps"]),
+                int(row["serving_satellite"]),
+            )
+    if not rows:
+        raise SimulationError(f"empty trace: {file_path}")
+    steps = sorted(rows)
+    cells = sorted(rows[steps[0]])
+    covered = np.zeros((len(steps), len(cells)), dtype=bool)
+    allocated = np.zeros((len(steps), len(cells)))
+    serving = np.full((len(steps), len(cells)), -1, dtype=int)
+    for i, step in enumerate(steps):
+        if sorted(rows[step]) != cells:
+            raise SimulationError(f"step {step}: ragged trace")
+        for j, cell in enumerate(cells):
+            covered[i, j], allocated[i, j], serving[i, j] = rows[step][cell]
+    return SimulationTrace(
+        times_s=np.array([times[s] for s in steps]),
+        covered=covered,
+        allocated_mbps=allocated,
+        serving_satellite=serving,
+    )

@@ -1,0 +1,45 @@
+"""Spectrum and beam substrate: Schedule S bands, link budgets, spot beams.
+
+Transcribes the public inputs behind the paper's Table 1 — Starlink's FCC
+Schedule S downlink band allocations and the ~4.5 b/Hz spectral-efficiency
+estimate — and derives per-cell and per-beam capacity from them.
+"""
+
+from repro.spectrum.bands import (
+    BandAllocation,
+    SCHEDULE_S_BANDS,
+    gateway_downlink_spectrum_mhz,
+    ut_downlink_beams,
+    ut_downlink_spectrum_mhz,
+)
+from repro.spectrum.beams import BeamPlan, STARLINK_BEAM_PLAN
+from repro.spectrum.interference import InterferenceModel
+from repro.spectrum.link_budget import (
+    LinkBudget,
+    free_space_path_loss_db,
+    shannon_spectral_efficiency,
+    spectral_efficiency_from_snr_db,
+)
+from repro.spectrum.regulatory import (
+    FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION,
+    RELIABLE_BROADBAND_DOWNLINK_MBPS,
+    RELIABLE_BROADBAND_UPLINK_MBPS,
+)
+
+__all__ = [
+    "BandAllocation",
+    "SCHEDULE_S_BANDS",
+    "gateway_downlink_spectrum_mhz",
+    "ut_downlink_beams",
+    "ut_downlink_spectrum_mhz",
+    "BeamPlan",
+    "STARLINK_BEAM_PLAN",
+    "InterferenceModel",
+    "LinkBudget",
+    "free_space_path_loss_db",
+    "shannon_spectral_efficiency",
+    "spectral_efficiency_from_snr_db",
+    "FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION",
+    "RELIABLE_BROADBAND_DOWNLINK_MBPS",
+    "RELIABLE_BROADBAND_UPLINK_MBPS",
+]

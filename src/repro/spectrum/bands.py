@@ -1,0 +1,88 @@
+"""Starlink downlink band allocations (FCC Schedule S, paper Table 1).
+
+Each row transcribes one band from the paper's Table 1, which itself comes
+from Starlink's Schedule S filing SAT-AMD-20210818-00105. "UT" bands carry
+traffic to user terminals; "GW" bands to gateways; some Ka-band beams are
+flexibly assigned to either.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CapacityModelError
+
+
+class BandUsage(enum.Enum):
+    """What traffic a downlink band may carry."""
+
+    USER_TERMINAL = "downlink to UTs"
+    FLEXIBLE = "downlink to UTs or gateways"
+    GATEWAY = "downlink to gateways"
+
+
+@dataclass(frozen=True)
+class BandAllocation:
+    """One downlink band: frequency range, beam count, permitted usage."""
+
+    name: str
+    low_ghz: float
+    high_ghz: float
+    beams: int
+    usage: BandUsage
+
+    def __post_init__(self) -> None:
+        if self.high_ghz <= self.low_ghz:
+            raise CapacityModelError(
+                f"band {self.name}: high {self.high_ghz} <= low {self.low_ghz}"
+            )
+        if self.beams <= 0:
+            raise CapacityModelError(f"band {self.name}: no beams")
+
+    @property
+    def width_mhz(self) -> float:
+        """Band width in MHz."""
+        return (self.high_ghz - self.low_ghz) * 1000.0
+
+    @property
+    def serves_user_terminals(self) -> bool:
+        return self.usage in (BandUsage.USER_TERMINAL, BandUsage.FLEXIBLE)
+
+
+#: Paper Table 1 rows (Schedule S downlink allocations).
+SCHEDULE_S_BANDS: Tuple[BandAllocation, ...] = (
+    BandAllocation("Ku 10.7-12.75", 10.7, 12.75, 4, BandUsage.USER_TERMINAL),
+    BandAllocation("Ka 19.7-20.2", 19.7, 20.2, 8, BandUsage.USER_TERMINAL),
+    BandAllocation("Ka 17.8-18.6", 17.8, 18.6, 8, BandUsage.FLEXIBLE),
+    BandAllocation("Ka 18.8-19.3", 18.8, 19.3, 4, BandUsage.FLEXIBLE),
+    BandAllocation("E 71-76", 71.0, 76.0, 4, BandUsage.GATEWAY),
+)
+
+
+def ut_downlink_spectrum_mhz() -> float:
+    """Total spectrum usable for UT downlink (paper: 3850 MHz)."""
+    return sum(b.width_mhz for b in SCHEDULE_S_BANDS if b.serves_user_terminals)
+
+
+def ut_downlink_beams() -> int:
+    """Beams usable for UT downlink (paper: 24 of 28)."""
+    return sum(b.beams for b in SCHEDULE_S_BANDS if b.serves_user_terminals)
+
+
+def total_downlink_beams() -> int:
+    """All downlink beams including gateway-only (paper: 28)."""
+    return sum(b.beams for b in SCHEDULE_S_BANDS)
+
+
+def total_downlink_spectrum_mhz() -> float:
+    """All downlink spectrum including gateway-only (paper: 8850 MHz)."""
+    return sum(b.width_mhz for b in SCHEDULE_S_BANDS)
+
+
+def gateway_downlink_spectrum_mhz() -> float:
+    """Spectrum usable only for gateway downlink (E band, 5000 MHz)."""
+    return sum(
+        b.width_mhz for b in SCHEDULE_S_BANDS if b.usage is BandUsage.GATEWAY
+    )

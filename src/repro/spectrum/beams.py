@@ -1,0 +1,122 @@
+"""Spot-beam model: per-beam capacity, per-cell beam limits, beamspread.
+
+The paper's operational model (Section 2.2/3.0.2):
+
+* a satellite forms a fixed number of steerable spot beams (24 usable for
+  UT downlink);
+* FCC filings indicate **4 beams** serve one cell at the full 17.3 Gbps,
+  so one beam carries a quarter of the UT spectrum (~962.5 MHz, ~4.33 Gbps
+  at 4.5 b/Hz) and 4 beams per cell is the per-cell maximum;
+* **beamspread** ``s`` lets one beam cover ``s`` cells, dividing its
+  capacity equally among them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityModelError
+from repro.spectrum.bands import ut_downlink_beams, ut_downlink_spectrum_mhz
+
+#: Spectral efficiency the paper adopts (Rozenvasser & Shulakova 2023), b/Hz.
+DEFAULT_SPECTRAL_EFFICIENCY_BPS_HZ = 4.5
+
+#: Beams required to deliver the full per-cell capacity (FCC filings).
+BEAMS_PER_CELL_AT_FULL_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class BeamPlan:
+    """A satellite's beam configuration and the capacities it implies."""
+
+    beams_per_satellite: int = 24
+    max_beams_per_cell: int = BEAMS_PER_CELL_AT_FULL_CAPACITY
+    ut_spectrum_mhz: float = 3850.0
+    spectral_efficiency_bps_hz: float = DEFAULT_SPECTRAL_EFFICIENCY_BPS_HZ
+
+    def __post_init__(self) -> None:
+        if self.beams_per_satellite <= 0:
+            raise CapacityModelError("beams_per_satellite must be positive")
+        if not 0 < self.max_beams_per_cell <= self.beams_per_satellite:
+            raise CapacityModelError(
+                f"max_beams_per_cell {self.max_beams_per_cell} out of range"
+            )
+        if self.ut_spectrum_mhz <= 0.0 or self.spectral_efficiency_bps_hz <= 0.0:
+            raise CapacityModelError("spectrum and efficiency must be positive")
+
+    @property
+    def cell_capacity_mbps(self) -> float:
+        """Max downlink capacity deliverable to one cell (paper: ~17.3 Gbps)."""
+        return self.ut_spectrum_mhz * self.spectral_efficiency_bps_hz
+
+    @property
+    def beam_capacity_mbps(self) -> float:
+        """Capacity of a single beam (paper: ~4.33 Gbps)."""
+        return self.cell_capacity_mbps / self.max_beams_per_cell
+
+    def cell_capacity_with_beamspread_mbps(self, beamspread: float) -> float:
+        """Per-cell capacity when each beam is spread over ``beamspread`` cells."""
+        if beamspread < 1.0:
+            raise CapacityModelError(f"beamspread must be >= 1: {beamspread!r}")
+        return self.cell_capacity_mbps / beamspread
+
+    def beams_for_demand(self, provisioned_demand_mbps: float) -> int:
+        """Beams needed to carry ``provisioned_demand_mbps`` to one cell.
+
+        Raises if the demand exceeds what ``max_beams_per_cell`` beams can
+        deliver — callers decide whether to oversubscribe harder or to
+        leave locations unserved.
+        """
+        if provisioned_demand_mbps < 0.0:
+            raise CapacityModelError(
+                f"negative demand: {provisioned_demand_mbps!r}"
+            )
+        if provisioned_demand_mbps == 0.0:
+            return 0
+        # The relative epsilon keeps an exactly-k-beam demand computed
+        # through floating point (e.g. peak * 100 / oversub) from rounding
+        # up to k + 1.
+        beams = math.ceil(
+            provisioned_demand_mbps / self.beam_capacity_mbps * (1.0 - 1e-9)
+        )
+        if beams > self.max_beams_per_cell:
+            raise CapacityModelError(
+                f"demand {provisioned_demand_mbps:.0f} Mbps needs {beams} "
+                f"beams; cells get at most {self.max_beams_per_cell}"
+            )
+        return beams
+
+    def cells_per_satellite(self, peak_cell_beams: int, beamspread: float) -> float:
+        """Cells one satellite covers while pinning beams on the peak cell.
+
+        The paper's lower-bound construction: ``peak_cell_beams`` beams are
+        dedicated to the binding cell; every remaining beam covers
+        ``beamspread`` cells. With the defaults and 4 peak beams this is
+        the paper's ``1 + 20 * s``.
+        """
+        if not 0 < peak_cell_beams <= self.max_beams_per_cell:
+            raise CapacityModelError(
+                f"peak_cell_beams {peak_cell_beams} out of "
+                f"(0, {self.max_beams_per_cell}]"
+            )
+        if beamspread < 1.0:
+            raise CapacityModelError(f"beamspread must be >= 1: {beamspread!r}")
+        free_beams = self.beams_per_satellite - peak_cell_beams
+        return 1.0 + free_beams * beamspread
+
+
+def starlink_beam_plan(
+    spectral_efficiency_bps_hz: float = DEFAULT_SPECTRAL_EFFICIENCY_BPS_HZ,
+) -> BeamPlan:
+    """Beam plan built from the Schedule S band table."""
+    return BeamPlan(
+        beams_per_satellite=ut_downlink_beams(),
+        max_beams_per_cell=BEAMS_PER_CELL_AT_FULL_CAPACITY,
+        ut_spectrum_mhz=ut_downlink_spectrum_mhz(),
+        spectral_efficiency_bps_hz=spectral_efficiency_bps_hz,
+    )
+
+
+#: The canonical Starlink beam plan used throughout the library.
+STARLINK_BEAM_PLAN = starlink_beam_plan()

@@ -1,0 +1,27 @@
+"""US regulatory constants the paper's analysis hinges on.
+
+* The FCC "reliable broadband" service definition (100/20 Mbps), which
+  determines which locations count as served.
+* The FCC's 20:1 maximum oversubscription rule for terrestrial unlicensed
+  fixed-wireless providers, which the paper adopts as the "acceptable"
+  oversubscription benchmark for satellite service.
+"""
+
+from __future__ import annotations
+
+#: FCC "reliable broadband" downlink requirement, Mbps.
+RELIABLE_BROADBAND_DOWNLINK_MBPS = 100.0
+
+#: FCC "reliable broadband" uplink requirement, Mbps.
+RELIABLE_BROADBAND_UPLINK_MBPS = 20.0
+
+#: FCC cap on oversubscription for terrestrial unlicensed fixed wireless.
+FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION = 20.0
+
+
+def is_reliable_broadband(downlink_mbps: float, uplink_mbps: float) -> bool:
+    """Whether an offering meets the federal reliable-broadband definition."""
+    return (
+        downlink_mbps >= RELIABLE_BROADBAND_DOWNLINK_MBPS
+        and uplink_mbps >= RELIABLE_BROADBAND_UPLINK_MBPS
+    )

@@ -1,0 +1,78 @@
+"""Uplink spectrum and beam model (extension beyond the paper).
+
+The paper's Table 1 models the downlink only; the FCC's reliable-broadband
+definition also requires 20 Mbps *up*. Starlink's Schedule S authorizes a
+single 500 MHz Ku band (14.0-14.5 GHz) for UT uplink — an eighth of the
+downlink allocation — and UT uplink runs at lower spectral efficiency
+(small dish, limited EIRP; ~2.5 b/Hz is a generous operating point).
+Applying the paper's own peak-demand-density logic to this budget shows
+the uplink binds *harder* than the downlink: see
+:mod:`repro.core.uplink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CapacityModelError
+from repro.spectrum.bands import BandAllocation, BandUsage
+
+#: Schedule S uplink allocations (UT = user terminal to satellite;
+#: GW = gateway to satellite).
+SCHEDULE_S_UPLINK_BANDS: Tuple[BandAllocation, ...] = (
+    BandAllocation("Ku 14.0-14.5 (UL)", 14.0, 14.5, 8, BandUsage.USER_TERMINAL),
+    BandAllocation("Ka 27.5-29.1 (UL)", 27.5, 29.1, 4, BandUsage.GATEWAY),
+    BandAllocation("Ka 29.5-30.0 (UL)", 29.5, 30.0, 4, BandUsage.GATEWAY),
+    BandAllocation("E 81-86 (UL)", 81.0, 86.0, 4, BandUsage.GATEWAY),
+)
+
+#: Spectral efficiency of the UT uplink, b/Hz. UTs transmit with far less
+#: EIRP than the satellite downlink, so this sits well below the 4.5 b/Hz
+#: downlink figure.
+DEFAULT_UPLINK_EFFICIENCY_BPS_HZ = 2.5
+
+
+def ut_uplink_spectrum_mhz() -> float:
+    """Spectrum usable for UT uplink (500 MHz)."""
+    return sum(
+        b.width_mhz
+        for b in SCHEDULE_S_UPLINK_BANDS
+        if b.serves_user_terminals
+    )
+
+
+def ut_uplink_beams() -> int:
+    """Receive beams available for UT uplink."""
+    return sum(
+        b.beams for b in SCHEDULE_S_UPLINK_BANDS if b.serves_user_terminals
+    )
+
+
+@dataclass(frozen=True)
+class UplinkBeamPlan:
+    """Per-cell uplink capacity, mirroring the downlink BeamPlan."""
+
+    ut_spectrum_mhz: float = 500.0
+    spectral_efficiency_bps_hz: float = DEFAULT_UPLINK_EFFICIENCY_BPS_HZ
+
+    def __post_init__(self) -> None:
+        if self.ut_spectrum_mhz <= 0.0 or self.spectral_efficiency_bps_hz <= 0.0:
+            raise CapacityModelError(
+                "uplink spectrum and efficiency must be positive"
+            )
+
+    @property
+    def cell_capacity_mbps(self) -> float:
+        """Max uplink capacity receivable from one cell (~1.25 Gbps)."""
+        return self.ut_spectrum_mhz * self.spectral_efficiency_bps_hz
+
+
+def starlink_uplink_plan(
+    spectral_efficiency_bps_hz: float = DEFAULT_UPLINK_EFFICIENCY_BPS_HZ,
+) -> UplinkBeamPlan:
+    """Uplink plan built from the Schedule S uplink table."""
+    return UplinkBeamPlan(
+        ut_spectrum_mhz=ut_uplink_spectrum_mhz(),
+        spectral_efficiency_bps_hz=spectral_efficiency_bps_hz,
+    )

@@ -1,0 +1,113 @@
+"""Physical constants and unit-conversion helpers.
+
+The library works internally in SI-adjacent network units:
+
+* spectrum in **MHz**
+* data rates in **Mbps** (1 Gbps = 1000 Mbps)
+* distances in **km**
+* angles in **radians** unless a name says otherwise
+* money in **USD**
+
+The helpers here exist so that call sites read as physics, not as magic
+numbers (``gbps(17.3)`` instead of ``17300.0``).
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Earth and orbital constants
+# ---------------------------------------------------------------------------
+
+#: Mean Earth radius in km (IUGG mean radius R1).
+EARTH_RADIUS_KM = 6371.0088
+
+#: Earth surface area in km^2 (sphere of mean radius).
+EARTH_SURFACE_AREA_KM2 = 4.0 * math.pi * EARTH_RADIUS_KM**2
+
+#: Standard gravitational parameter of Earth, km^3 / s^2.
+EARTH_MU_KM3_S2 = 398600.4418
+
+#: Earth's sidereal rotation rate, rad/s.
+EARTH_ROTATION_RAD_S = 7.2921150e-5
+
+#: Sidereal day length in seconds.
+SIDEREAL_DAY_S = 2.0 * math.pi / EARTH_ROTATION_RAD_S
+
+#: Speed of light, km/s.
+SPEED_OF_LIGHT_KM_S = 299792.458
+
+#: Boltzmann constant in dBW/K/Hz (for link budgets).
+BOLTZMANN_DBW_PER_K_HZ = -228.599
+
+# ---------------------------------------------------------------------------
+# Data-rate helpers (canonical unit: Mbps)
+# ---------------------------------------------------------------------------
+
+
+def mbps(value: float) -> float:
+    """Return ``value`` megabits/s expressed in the canonical rate unit."""
+    return float(value)
+
+
+def gbps(value: float) -> float:
+    """Return ``value`` gigabits/s expressed in Mbps."""
+    return float(value) * 1000.0
+
+
+def as_gbps(rate_mbps: float) -> float:
+    """Convert a canonical Mbps rate to Gbps for display."""
+    return rate_mbps / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# Spectrum helpers (canonical unit: MHz)
+# ---------------------------------------------------------------------------
+
+
+def mhz(value: float) -> float:
+    """Return ``value`` MHz expressed in the canonical spectrum unit."""
+    return float(value)
+
+
+def ghz(value: float) -> float:
+    """Return ``value`` GHz expressed in MHz."""
+    return float(value) * 1000.0
+
+
+def as_ghz(width_mhz: float) -> float:
+    """Convert a canonical MHz width to GHz for display."""
+    return width_mhz / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# Angle helpers
+# ---------------------------------------------------------------------------
+
+
+def deg2rad(degrees: float) -> float:
+    """Degrees to radians (thin wrapper, kept for call-site readability)."""
+    return math.radians(degrees)
+
+
+def rad2deg(radians: float) -> float:
+    """Radians to degrees."""
+    return math.degrees(radians)
+
+
+# ---------------------------------------------------------------------------
+# dB helpers
+# ---------------------------------------------------------------------------
+
+
+def db(ratio: float) -> float:
+    """Linear power ratio to decibels."""
+    if ratio <= 0.0:
+        raise ValueError(f"dB of non-positive ratio: {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Decibels to linear power ratio."""
+    return 10.0 ** (decibels / 10.0)

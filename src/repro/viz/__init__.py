@@ -1,0 +1,29 @@
+"""Presentation helpers: ASCII plots, aligned tables, CSV export.
+
+The library has no plotting dependency; figures are rendered as text for
+terminals and exported as CSV series for external plotting tools.
+"""
+
+from repro.viz.export import write_series_csv
+from repro.viz.geojson import (
+    cells_to_geojson,
+    counties_to_geojson,
+    gateways_to_geojson,
+    write_geojson,
+)
+from repro.viz.tables import format_table
+from repro.viz.textmap import density_map
+from repro.viz.textplot import heat_grid, line_plot, step_plot
+
+__all__ = [
+    "write_series_csv",
+    "cells_to_geojson",
+    "counties_to_geojson",
+    "gateways_to_geojson",
+    "write_geojson",
+    "format_table",
+    "density_map",
+    "heat_grid",
+    "line_plot",
+    "step_plot",
+]

@@ -1,0 +1,111 @@
+"""GeoJSON export for maps (cells, counties, gateways).
+
+The library renders figures as text, but the underlying geography — the
+Fig 1 map of un(der)served cells in particular — is best inspected in a
+real map tool. These helpers emit standard GeoJSON FeatureCollections.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import ReproError
+from repro.geo.hexgrid import HexGrid
+from repro.orbits.gateways import GatewaySite
+
+
+def _feature(geometry: Dict, properties: Dict) -> Dict:
+    return {"type": "Feature", "geometry": geometry, "properties": properties}
+
+
+def _collection(features: List[Dict]) -> Dict:
+    return {"type": "FeatureCollection", "features": features}
+
+
+def cells_to_geojson(
+    dataset: DemandDataset, max_cells: Optional[int] = None
+) -> Dict:
+    """Hexagon polygons for a dataset's cells, densest first.
+
+    ``max_cells`` truncates to the densest N (a national map has ~21k
+    cells; most map tools prefer fewer features).
+    """
+    grid = HexGrid(dataset.grid_resolution)
+    cells = dataset.cells_sorted_by_demand()
+    if max_cells is not None:
+        if max_cells <= 0:
+            raise ReproError(f"max_cells must be positive: {max_cells!r}")
+        cells = cells[:max_cells]
+    features = []
+    for cell in cells:
+        ring = [
+            [vertex.lon_deg, vertex.lat_deg]
+            for vertex in grid.cell_polygon(cell.cell)
+        ]
+        ring.append(ring[0])  # close the ring per the GeoJSON spec
+        county = dataset.counties[cell.county_id]
+        features.append(
+            _feature(
+                {"type": "Polygon", "coordinates": [ring]},
+                {
+                    "cell": cell.cell.token,
+                    "unserved": cell.unserved_locations,
+                    "underserved": cell.underserved_locations,
+                    "total": cell.total_locations,
+                    "county": county.name,
+                    "median_income_usd": round(
+                        county.median_household_income_usd
+                    ),
+                },
+            )
+        )
+    return _collection(features)
+
+
+def counties_to_geojson(dataset: DemandDataset) -> Dict:
+    """County seats as points with income properties."""
+    features = [
+        _feature(
+            {
+                "type": "Point",
+                "coordinates": [county.seat.lon_deg, county.seat.lat_deg],
+            },
+            {
+                "county_id": county.county_id,
+                "name": county.name,
+                "median_income_usd": round(county.median_household_income_usd),
+            },
+        )
+        for county in dataset.counties.values()
+    ]
+    return _collection(features)
+
+
+def gateways_to_geojson(gateways: Sequence[GatewaySite]) -> Dict:
+    """Gateway sites as points."""
+    if not gateways:
+        raise ReproError("no gateways to export")
+    features = [
+        _feature(
+            {
+                "type": "Point",
+                "coordinates": [g.position.lon_deg, g.position.lat_deg],
+            },
+            {"name": g.name},
+        )
+        for g in gateways
+    ]
+    return _collection(features)
+
+
+def write_geojson(collection: Dict, path: Union[str, Path]) -> Path:
+    """Write a FeatureCollection to disk, creating parent directories."""
+    if collection.get("type") != "FeatureCollection":
+        raise ReproError("not a FeatureCollection")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(collection))
+    return target

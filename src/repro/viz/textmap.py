@@ -1,0 +1,79 @@
+"""ASCII geographic density maps (Figure 1's map panel).
+
+Renders a demand dataset onto a character grid: each character cell
+aggregates the locations of the hex cells whose centers fall in it, shaded
+by density. Crude, but enough to see the paper's Fig 1 geography — the
+un(der)served belt through Appalachia and the rural South — in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.demand.dataset import DemandDataset
+from repro.errors import ReproError
+
+_SHADES = " .:-=+*#%@"
+
+
+def density_map(
+    dataset: DemandDataset,
+    width: int = 100,
+    height: int = 28,
+    bounds: Optional[Tuple[float, float, float, float]] = None,
+    title: str = "",
+    log_scale: bool = True,
+) -> str:
+    """Shaded map of locations per character cell.
+
+    ``bounds`` is (lat_min, lat_max, lon_min, lon_max); defaults to the
+    dataset's extent padded slightly. Shading is logarithmic by default
+    (the per-cell distribution is heavy-tailed).
+    """
+    if width < 10 or height < 5:
+        raise ReproError("map needs at least 10x5 characters")
+    lats = dataset.latitudes()
+    lons = np.array([c.center.lon_deg for c in dataset.cells])
+    counts = dataset.counts().astype(float)
+    if bounds is None:
+        pad_lat = (lats.max() - lats.min()) * 0.02 + 0.1
+        pad_lon = (lons.max() - lons.min()) * 0.02 + 0.1
+        bounds = (
+            lats.min() - pad_lat,
+            lats.max() + pad_lat,
+            lons.min() - pad_lon,
+            lons.max() + pad_lon,
+        )
+    lat_min, lat_max, lon_min, lon_max = bounds
+    if lat_min >= lat_max or lon_min >= lon_max:
+        raise ReproError("degenerate map bounds")
+
+    grid = np.zeros((height, width))
+    cols = ((lons - lon_min) / (lon_max - lon_min) * (width - 1)).astype(int)
+    rows = ((lat_max - lats) / (lat_max - lat_min) * (height - 1)).astype(int)
+    keep = (cols >= 0) & (cols < width) & (rows >= 0) & (rows < height)
+    np.add.at(grid, (rows[keep], cols[keep]), counts[keep])
+
+    shaded = grid.copy()
+    if log_scale:
+        shaded = np.log1p(shaded)
+    top = shaded.max()
+    if top == 0.0:
+        raise ReproError("nothing to draw inside the bounds")
+    lines = []
+    if title:
+        lines.append(title)
+    for row in shaded:
+        line = "".join(
+            _SHADES[int(value / top * (len(_SHADES) - 1))] for value in row
+        )
+        lines.append("|" + line + "|")
+    lines.append(
+        f"lat [{lat_min:.1f} .. {lat_max:.1f}], "
+        f"lon [{lon_min:.1f} .. {lon_max:.1f}]; "
+        f"'{_SHADES[-1]}' = {grid.max():,.0f} locations/char"
+        + (" (log shading)" if log_scale else "")
+    )
+    return "\n".join(lines)

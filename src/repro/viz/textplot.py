@@ -1,0 +1,157 @@
+"""ASCII renderings of the paper's figure types.
+
+Three primitives cover everything the experiments need: a line plot (CDFs,
+affordability curves), a step plot (Fig 3), and a shaded heat grid (Fig 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_SHADES = " .:-=+*#%@"
+
+
+def _scale(values: np.ndarray, size: int) -> np.ndarray:
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi == lo:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / (hi - lo) * (size - 1)
+    return np.rint(scaled).astype(int)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more y-series against shared x, as ASCII."""
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.size < 2:
+        raise ReproError("line plot needs at least two x points")
+    if not series:
+        raise ReproError("line plot needs at least one series")
+    markers = "ox+*sdv^"
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(x_arr, width)
+    for index, (_, y_values) in enumerate(series):
+        y_arr = np.asarray(y_values, dtype=float)
+        if y_arr.size != x_arr.size:
+            raise ReproError("series length does not match x length")
+        rows = np.rint(
+            (y_arr - y_lo) / (y_hi - y_lo) * (height - 1)
+        ).astype(int)
+        marker = markers[index % len(markers)]
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_label}  [{y_lo:g} .. {y_hi:g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label}  [{x_arr.min():g} .. {x_arr.max():g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def step_plot(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot step series given as (x, y) corner points per series."""
+    if not series:
+        raise ReproError("step plot needs at least one series")
+    all_points = [p for _, pts in series for p in pts]
+    if len(all_points) < 2:
+        raise ReproError("step plot needs at least two points")
+    xs = np.array([p[0] for p in all_points], dtype=float)
+    ys = np.array([p[1] for p in all_points], dtype=float)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    markers = "ox+*sdv^"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, points) in enumerate(series):
+        marker = markers[index % len(markers)]
+        ordered = sorted(points)
+        for i, (px, py) in enumerate(ordered):
+            col = int(round((px - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((py - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+            if i + 1 < len(ordered):
+                # Draw the horizontal run of the step to the next corner.
+                next_col = int(
+                    round((ordered[i + 1][0] - x_lo) / (x_hi - x_lo) * (width - 1))
+                )
+                for c in range(col + 1, next_col):
+                    if grid[height - 1 - row][c] == " ":
+                        grid[height - 1 - row][c] = "-"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_label}  [{y_lo:g} .. {y_hi:g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label}  [{x_lo:g} .. {x_hi:g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def heat_grid(
+    grid: np.ndarray,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str = "",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a matrix as shaded cells with min/max annotation."""
+    matrix = np.asarray(grid, dtype=float)
+    if matrix.ndim != 2:
+        raise ReproError(f"heat grid needs a 2-D matrix, got {matrix.ndim}-D")
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ReproError("heat grid labels do not match matrix shape")
+    lo = float(matrix.min())
+    hi = float(matrix.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    header = "      " + " ".join(f"{c!s:>3}" for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, matrix):
+        shades = []
+        for value in row:
+            shade = _SHADES[int((value - lo) / span * (len(_SHADES) - 1))]
+            shades.append(shade * 3)
+        lines.append(f"{label!s:>5} " + " ".join(shades))
+    lines.append(
+        f"scale: '{_SHADES[0]}' = {value_format.format(lo)}"
+        f" .. '{_SHADES[-1]}' = {value_format.format(hi)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Tests for the FTTH baseline cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fiber import FiberBuildModel
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture()
+def model():
+    return FiberBuildModel()
+
+
+class TestCostPerLocation:
+    def test_denser_is_cheaper(self, model):
+        assert model.cost_per_location_usd(100.0) < model.cost_per_location_usd(1.0)
+
+    def test_urban_cost_bracket(self, model):
+        # ~400 locations/km^2 (suburban): low thousands of dollars.
+        cost = model.cost_per_location_usd(400.0)
+        assert 1000.0 < cost < 4000.0
+
+    def test_remote_cost_bracket(self, model):
+        # 0.05 locations/km^2: BEAD "extremely high cost" territory.
+        cost = model.cost_per_location_usd(0.05)
+        assert cost > 50000.0
+
+    def test_rejects_nonpositive_density(self, model):
+        with pytest.raises(CapacityModelError):
+            model.cost_per_location_usd(0.0)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(CapacityModelError):
+            FiberBuildModel(cost_per_route_km_usd=0.0)
+        with pytest.raises(CapacityModelError):
+            FiberBuildModel(route_share=3.0)
+
+
+class TestDatasetCost:
+    def test_totals_consistent(self, model):
+        ds = build_toy_dataset([100, 1000])
+        result = model.dataset_cost(ds)
+        assert result["total_cost_usd"] > 0
+        assert result["min_cost_per_location_usd"] <= (
+            result["mean_cost_per_location_usd"]
+        ) <= result["max_cost_per_location_usd"]
+
+    def test_sparse_cells_dominate_max(self, model):
+        ds = build_toy_dataset([1, 3000])
+        result = model.dataset_cost(ds)
+        sparse_cost = model.cost_per_location_usd(1 / 252.903858182)
+        assert result["max_cost_per_location_usd"] == pytest.approx(sparse_cost)
+
+    def test_national_cost_magnitude(self, model, national_dataset):
+        """National FTTH for the un(der)served runs tens of billions."""
+        result = model.dataset_cost(national_dataset)
+        assert 1e10 < result["total_cost_usd"] < 1e12
+
+
+class TestMarginalCurve:
+    def test_monotone_increasing(self, model):
+        ds = build_toy_dataset([1, 10, 100, 1000, 3000])
+        curve = model.marginal_cost_curve(ds, points=5)
+        marginal = curve["marginal_cost_usd"]
+        assert np.all(np.diff(marginal) >= 0.0)
+
+    def test_cumulative_reaches_total(self, model):
+        ds = build_toy_dataset([10, 20, 30])
+        curve = model.marginal_cost_curve(ds, points=3)
+        assert curve["cumulative_locations"][-1] == 60
+
+    def test_rejects_single_point(self, model):
+        ds = build_toy_dataset([10])
+        with pytest.raises(CapacityModelError):
+            model.marginal_cost_curve(ds, points=1)

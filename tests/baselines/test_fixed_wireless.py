@@ -1,0 +1,56 @@
+"""Tests for the fixed-wireless baseline."""
+
+import pytest
+
+from repro.baselines.fixed_wireless import FixedWirelessModel
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture()
+def model():
+    return FixedWirelessModel()
+
+
+class TestTowerMath:
+    def test_locations_per_tower(self, model):
+        # 3000 Mbps * 20 / 100 Mbps = 600 locations.
+        assert model.locations_per_tower == 600
+
+    def test_empty_cell_needs_no_towers(self, model):
+        assert model.towers_for_cell(0, 252.9) == 0
+
+    def test_sparse_cell_needs_coverage_tower(self, model):
+        # One location still needs ceil(252.9 / (pi * 64)) = 2 towers of
+        # coverage to blanket the cell.
+        assert model.towers_for_cell(1, 252.9) == 2
+
+    def test_dense_cell_needs_capacity_towers(self, model):
+        assert model.towers_for_cell(5998, 252.9) == 10  # ceil(5998/600)
+
+    def test_rejects_negative_locations(self, model):
+        with pytest.raises(CapacityModelError):
+            model.towers_for_cell(-1, 252.9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CapacityModelError):
+            FixedWirelessModel(tower_capacity_mbps=0.0)
+        with pytest.raises(CapacityModelError):
+            FixedWirelessModel(oversubscription=0.0)
+
+
+class TestDeployment:
+    def test_toy_deployment(self, model):
+        ds = build_toy_dataset([1, 5998])
+        result = model.dataset_deployment(ds)
+        assert result["towers"] == 12
+        assert result["towers_for_peak_cell"] == 10
+        assert result["total_cost_usd"] == 12 * 250_000.0
+
+    def test_peak_demand_does_not_dominate_deployment(self, model, national_dataset):
+        """The P1/P2 contrast: in fixed wireless the peak cell is a tiny
+        fraction of the national deployment, unlike LEO where it sets the
+        whole constellation size."""
+        result = model.dataset_deployment(national_dataset)
+        assert result["towers_for_peak_cell"] / result["towers"] < 0.001

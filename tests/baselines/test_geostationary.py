@@ -1,0 +1,43 @@
+"""Tests for the GEO baseline."""
+
+import pytest
+
+from repro.baselines.geostationary import (
+    FCC_LOW_LATENCY_CUTOFF_MS,
+    GeostationaryModel,
+)
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+class TestLatency:
+    def test_propagation_rtt_about_477ms(self):
+        # 4 x 35786 km / c ~ 477 ms.
+        assert GeostationaryModel.propagation_rtt_ms() == pytest.approx(477.5, abs=1.0)
+
+    def test_fails_fcc_low_latency(self):
+        assert not GeostationaryModel.meets_low_latency()
+        assert GeostationaryModel.propagation_rtt_ms() > FCC_LOW_LATENCY_CUTOFF_MS
+
+
+class TestFleetSizing:
+    def test_total_demand_sizes_fleet(self):
+        model = GeostationaryModel()
+        ds = build_toy_dataset([100_000, 100_000])
+        result = model.satellites_for_dataset(ds)
+        # 200k locations * 100 Mbps / 20 oversub = 1 Tbps -> 1 satellite.
+        assert result["satellites"] == 1
+
+    def test_national_fleet_is_dozens_not_thousands(self, national_dataset):
+        """Contrast with P2: GEO needs ~double-digit satellites for the same
+        total demand that forces LEO past 40,000 — but can't meet latency."""
+        result = GeostationaryModel().satellites_for_dataset(national_dataset)
+        assert 10 <= result["satellites"] <= 50
+        assert not result["meets_low_latency"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CapacityModelError):
+            GeostationaryModel(satellite_capacity_mbps=0.0)
+        with pytest.raises(CapacityModelError):
+            GeostationaryModel(oversubscription=-1.0)

@@ -1,0 +1,95 @@
+"""Tests for the bent-pipe gateway analysis."""
+
+import pytest
+
+from repro.core.bentpipe import BentPipeAnalysis
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.orbits.gateways import (
+    DEFAULT_CONUS_GATEWAYS,
+    GATEWAY_MIN_ELEVATION_DEG,
+    GatewaySite,
+    bent_pipe_reach_km,
+)
+
+from tests.conftest import build_toy_dataset
+
+
+class TestReach:
+    def test_reach_at_550km(self):
+        # psi(550, 25) + psi(550, 10) in ground km: ~2600.
+        assert bent_pipe_reach_km(550.0) == pytest.approx(2605, abs=30)
+
+    def test_reach_grows_with_altitude(self):
+        assert bent_pipe_reach_km(1150.0) > bent_pipe_reach_km(550.0)
+
+    def test_reach_shrinks_with_masks(self):
+        tight = bent_pipe_reach_km(550.0, 40.0, 25.0)
+        loose = bent_pipe_reach_km(550.0, 25.0, 10.0)
+        assert tight < loose
+
+    def test_gateway_mask_constant(self):
+        assert GATEWAY_MIN_ELEVATION_DEG == 10.0
+
+    def test_default_gateways_in_conus(self):
+        for gateway in DEFAULT_CONUS_GATEWAYS:
+            assert 24.0 < gateway.position.lat_deg < 49.5
+            assert -125.0 < gateway.position.lon_deg < -66.0
+
+
+class TestAnalysis:
+    def test_nearby_gateway_covers(self):
+        ds = build_toy_dataset([100], latitudes=[37.0])
+        gateway = GatewaySite("near", LatLon(37.0, -89.5))
+        analysis = BentPipeAnalysis(ds, [gateway])
+        assert analysis.reachable_mask().all()
+
+    def test_distant_gateway_does_not_cover(self):
+        ds = build_toy_dataset([100], latitudes=[37.0])  # lon -90
+        gateway = GatewaySite("far", LatLon(48.0, -123.0))  # ~2900 km away
+        analysis = BentPipeAnalysis(ds, [gateway])
+        assert not analysis.reachable_mask().any()
+
+    def test_summary_counts_locations(self):
+        ds = build_toy_dataset([100, 200], latitudes=[37.0, 37.5])
+        gateway = GatewaySite("near", LatLon(37.0, -90.0))
+        summary = BentPipeAnalysis(ds, [gateway]).coverage_summary()
+        assert summary["locations_reachable"] == 300
+        assert summary["cell_fraction"] == 1.0
+
+    def test_empty_gateways_rejected(self):
+        ds = build_toy_dataset([100])
+        with pytest.raises(GeometryError):
+            BentPipeAnalysis(ds, [])
+
+    def test_national_default_gateways_cover_everything(self, national_dataset):
+        analysis = BentPipeAnalysis(national_dataset)
+        summary = analysis.coverage_summary()
+        assert summary["location_fraction"] == 1.0
+
+
+class TestGreedyCover:
+    def test_single_central_site_suffices_at_550(self, national_dataset):
+        """At 550 km the bent-pipe reach (~2600 km) lets one mid-CONUS
+        gateway cover the whole country — the constraint only binds at
+        lower altitudes or over oceans."""
+        analysis = BentPipeAnalysis(national_dataset)
+        chosen = analysis.greedy_minimum_gateways()
+        assert len(chosen) == 1
+
+    def test_low_altitude_needs_more_sites(self, national_dataset):
+        analysis = BentPipeAnalysis(
+            national_dataset,
+            altitude_km=340.0,
+            ut_elevation_deg=40.0,
+            gw_elevation_deg=25.0,
+        )
+        chosen = analysis.greedy_minimum_gateways()
+        assert len(chosen) >= 2
+
+    def test_uncoverable_raises(self):
+        ds = build_toy_dataset([100], latitudes=[37.0])
+        gateway = GatewaySite("far", LatLon(48.0, -123.0))
+        analysis = BentPipeAnalysis(ds, [gateway])
+        with pytest.raises(GeometryError):
+            analysis.greedy_minimum_gateways()

@@ -1,0 +1,58 @@
+"""Tests for the Table 1 capacity model."""
+
+import pytest
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.errors import CapacityModelError
+
+
+@pytest.fixture()
+def model():
+    return SatelliteCapacityModel()
+
+
+class TestTable1Numbers:
+    def test_cell_capacity(self, model):
+        # 3850 MHz x 4.5 b/Hz = 17,325 Mbps ("~17.3 Gbps" in the paper).
+        assert model.cell_capacity_mbps == pytest.approx(17325.0)
+
+    def test_peak_cell_demand(self, model):
+        assert model.cell_demand_mbps(5998) == pytest.approx(599800.0)
+
+    def test_max_oversubscription(self, model):
+        # 599.8 Gbps / 17.325 Gbps = 34.62, the paper's "~35:1".
+        ratio = model.required_oversubscription(5998)
+        assert ratio == pytest.approx(34.62, abs=0.01)
+        assert round(ratio) == 35
+
+    def test_zero_locations_zero_ratio(self, model):
+        assert model.required_oversubscription(0) == 0.0
+
+    def test_max_locations_at_20_to_1(self, model):
+        # floor(17325 * 20 / 100): the 20:1 per-cell cap.
+        assert model.max_locations_at_oversubscription(20.0) == 3465
+
+    def test_max_locations_at_35_to_1_covers_peak(self, model):
+        assert model.max_locations_at_oversubscription(35.0) >= 5998
+
+    def test_table1_formatting(self, model):
+        table = model.table1(5998)
+        assert table["UT downlink spectrum"] == "3850 MHz"
+        assert table["Max per-cell capacity"] == "~17.3 Gbps"
+        assert table["Peak Cell DL demand"] == "599.8 Gbps"
+        assert table["Max DL oversubscription"] == "~35:1"
+        assert table["FCC throughput requirement"] == "100/20 Mbps (DL/UL)"
+
+
+class TestValidation:
+    def test_rejects_negative_locations(self, model):
+        with pytest.raises(CapacityModelError):
+            model.cell_demand_mbps(-1)
+
+    def test_rejects_nonpositive_ratio(self, model):
+        with pytest.raises(CapacityModelError):
+            model.max_locations_at_oversubscription(0.0)
+
+    def test_rejects_nonpositive_per_location_rate(self):
+        with pytest.raises(CapacityModelError):
+            SatelliteCapacityModel(per_location_downlink_mbps=0.0)

@@ -1,0 +1,89 @@
+"""Tests for the equity / distributional analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.equity import EquityAnalysis
+from repro.econ.plans import STARLINK_RESIDENTIAL, XFINITY_300
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def national_equity(national_model):
+    return EquityAnalysis(national_model.dataset)
+
+
+class TestDeciles:
+    def test_deciles_partition_all_locations(self, national_equity):
+        deciles = national_equity.income_deciles()
+        total = sum(d.locations for d in deciles)
+        assert total == national_equity.dataset.total_locations
+
+    def test_ten_roughly_equal_deciles(self, national_equity):
+        deciles = national_equity.income_deciles()
+        assert len(deciles) == 10
+        shares = [d.share for d in deciles]
+        assert max(shares) < 0.12
+        assert min(shares) > 0.08
+
+    def test_income_ranges_ascend(self, national_equity):
+        deciles = national_equity.income_deciles()
+        lows = [d.income_low_usd for d in deciles]
+        assert lows == sorted(lows)
+
+    def test_toy_deciles(self):
+        analysis = EquityAnalysis(
+            build_toy_dataset([100, 100], incomes=[30000.0, 90000.0])
+        )
+        deciles = analysis.income_deciles()
+        # Two cells, even split: five deciles each.
+        assert sum(d.locations for d in deciles) == 200
+
+
+class TestLorenz:
+    def test_curve_endpoints(self, national_equity):
+        x, y = national_equity.lorenz_curve()
+        assert y[0] == pytest.approx(0.0)
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_curve_monotone(self, national_equity):
+        _, y = national_equity.lorenz_curve()
+        assert np.all(np.diff(y) >= -1e-12)
+
+    def test_gap_concentrates_in_poor_counties(self, national_equity):
+        """The synthetic map encodes the marginalization correlation."""
+        index = national_equity.concentration_index()
+        assert index > 0.05
+
+    def test_rejects_bad_points(self, national_equity):
+        with pytest.raises(CapacityModelError):
+            national_equity.lorenz_curve(points=1)
+
+
+class TestAffordabilityByDecile:
+    def test_monotone_in_income(self, national_equity):
+        rows = national_equity.affordability_by_decile(STARLINK_RESIDENTIAL)
+        fractions = [fraction for _, fraction in rows]
+        assert fractions == sorted(fractions)
+
+    def test_bottom_deciles_priced_out_of_starlink(self, national_equity):
+        rows = dict(national_equity.affordability_by_decile(STARLINK_RESIDENTIAL))
+        assert rows[1] == 0.0
+        assert rows[10] == 1.0
+
+    def test_cheap_plan_affordable_everywhere(self, national_equity):
+        rows = national_equity.affordability_by_decile(XFINITY_300)
+        assert all(fraction == 1.0 for _, fraction in rows)
+
+    def test_decile_view_consistent_with_f4(self, national_equity, national_model):
+        """Summing decile affordability recovers F4's aggregate share."""
+        deciles = national_equity.income_deciles()
+        rows = dict(national_equity.affordability_by_decile(STARLINK_RESIDENTIAL))
+        affordable = sum(
+            d.locations * rows[d.decile] for d in deciles
+        )
+        f4 = national_model.affordability.finding4()
+        expected = f4["total_locations"] - f4["unaffordable_starlink"]
+        assert affordable == pytest.approx(expected, rel=0.02)

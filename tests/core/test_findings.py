@@ -1,0 +1,55 @@
+"""Tests for the assembled findings F1-F4."""
+
+import pytest
+
+from repro.core.findings import compute_findings
+
+
+@pytest.fixture(scope="module")
+def findings(national_dataset, national_model):
+    return compute_findings(national_dataset, national_model.sizer)
+
+
+class TestF1(object):
+    def test_headline_numbers(self, findings):
+        assert findings.f1["peak_cell_locations"] == 5998
+        assert round(findings.f1["required_oversubscription"]) == 35
+        assert findings.f1["locations_in_cells_above_cap"] == 22428
+
+
+class TestF2:
+    def test_beamspread_2_size_exceeds_40k(self, findings):
+        """Paper: >40,000 satellites needed at beamspread < 2."""
+        assert findings.f2["size_at_beamspread_2"] > 40000
+
+    def test_more_than_32k_additional(self, findings):
+        """Paper: 'more than 32,000 additional satellites'."""
+        assert findings.f2["additional_over_current"] > 32000
+
+
+class TestF3:
+    def test_final_step_cost_spread(self, findings):
+        """Paper: 'from a couple hundred to a couple thousand'."""
+        assert 100 < findings.f3["cheapest_final_step_satellites"] < 1000
+        assert 1000 < findings.f3["priciest_final_step_satellites"] < 5000
+
+
+class TestF4:
+    def test_unaffordable_share(self, findings):
+        assert findings.f4["unaffordable_starlink_share"] == pytest.approx(
+            0.745, abs=0.005
+        )
+
+
+class TestText:
+    def test_text_mentions_key_quantities(self, findings):
+        text = findings.text()
+        assert "F1" in text and "F2" in text and "F3" in text and "F4" in text
+        assert "22,428" in text
+        assert "99.89%" in text
+        assert "3.5M" in text
+
+    def test_consistency_between_f1_and_f3(self, findings):
+        assert findings.f1["locations_unservable_at_acceptable"] == (
+            findings.f3["floor_unservable"]
+        )

@@ -1,0 +1,87 @@
+"""Tests for the end-to-end latency model."""
+
+import pytest
+
+from repro.core.latency import LatencyAnalysis, LatencySample
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.orbits.gateways import GatewaySite
+from repro.orbits.shells import GEN1_SHELLS
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def toy_latency():
+    dataset = build_toy_dataset(
+        [100, 200, 300], latitudes=[36.0, 37.0, 38.0]
+    )
+    return LatencyAnalysis(dataset, GEN1_SHELLS[0])
+
+
+class TestSample:
+    def test_bent_pipe_when_gateway_near(self, toy_latency):
+        sample = toy_latency.sample(0)
+        assert sample is not None
+        assert sample.mode == "bent-pipe"
+        assert sample.isl_km == 0.0
+
+    def test_rtt_small_for_leo(self, toy_latency):
+        sample = toy_latency.sample(1)
+        # 550 km orbit: propagation RTT is single-digit milliseconds.
+        assert 2.0 < sample.rtt_ms < 40.0
+
+    def test_rtt_is_twice_one_way(self):
+        sample = LatencySample(0, "bent-pipe", 600.0, 0.0, 900.0)
+        assert sample.rtt_ms == pytest.approx(2 * sample.one_way_ms)
+        assert sample.one_way_ms == pytest.approx(1500.0 / 299792.458 * 1000.0)
+
+    def test_out_of_range_cell_rejected(self, toy_latency):
+        with pytest.raises(GeometryError):
+            toy_latency.sample(99)
+
+    def test_isl_mode_when_gateways_far(self):
+        """With the only gateway across the continent, cells fall back to
+        ISL relay and still connect."""
+        dataset = build_toy_dataset([100], latitudes=[37.0])  # lon -90
+        far_gateway = [GatewaySite("far", LatLon(47.5, -122.0))]
+        analysis = LatencyAnalysis(dataset, GEN1_SHELLS[0], far_gateway)
+        sample = analysis.sample(0)
+        assert sample is not None
+        assert sample.mode == "isl"
+        assert sample.isl_km > 0.0
+        # Still far below the FCC cutoff despite the relay.
+        assert sample.rtt_ms < 100.0
+
+    def test_isl_latency_exceeds_bent_pipe(self):
+        dataset = build_toy_dataset([100], latitudes=[37.0])
+        near = LatencyAnalysis(
+            dataset, GEN1_SHELLS[0], [GatewaySite("near", LatLon(37.0, -90.5))]
+        )
+        far = LatencyAnalysis(
+            dataset, GEN1_SHELLS[0], [GatewaySite("far", LatLon(47.5, -122.0))]
+        )
+        assert far.sample(0).rtt_ms > near.sample(0).rtt_ms
+
+
+class TestSurvey:
+    def test_summary_fields(self, toy_latency):
+        summary = toy_latency.summary()
+        assert summary["cells_sampled"] == 3
+        assert 0.0 <= summary["bent_pipe_fraction"] <= 1.0
+        assert summary["rtt_ms_p50"] <= summary["rtt_ms_p95"] <= summary["rtt_ms_max"]
+        assert summary["meets_fcc_low_latency"]
+
+    def test_max_cells_subsampling(self, regional_dataset):
+        analysis = LatencyAnalysis(regional_dataset, GEN1_SHELLS[0])
+        samples = analysis.survey(max_cells=50)
+        assert 0 < len(samples) <= 120
+
+    def test_rejects_bad_max_cells(self, toy_latency):
+        with pytest.raises(GeometryError):
+            toy_latency.survey(max_cells=0)
+
+    def test_rejects_empty_gateways(self):
+        dataset = build_toy_dataset([100])
+        with pytest.raises(GeometryError):
+            LatencyAnalysis(dataset, GEN1_SHELLS[0], [])

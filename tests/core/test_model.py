@@ -1,0 +1,77 @@
+"""Tests for the StarlinkDivideModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import StarlinkDivideModel
+from repro.demand.synthetic import SyntheticMapConfig
+
+from tests.conftest import build_toy_dataset
+
+
+class TestFacade:
+    def test_figure1_distribution(self, national_model):
+        stats = national_model.figure1_distribution()
+        assert stats["max"] == 5998
+        assert stats["total_locations"] == 4_660_000
+
+    def test_figure1_cdf_shape(self, national_model):
+        grid, cdf = national_model.figure1_cdf(points=100)
+        assert grid.shape == cdf.shape == (100,)
+        assert cdf[0] <= cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0.0)
+
+    def test_table1_keys(self, national_model):
+        table = national_model.table1()
+        assert "UT downlink spectrum" in table
+        assert "Max DL oversubscription" in table
+
+    def test_figure2_grid_default_shape(self, national_model):
+        grid = national_model.figure2_grid()
+        assert grid.shape == (13, 26)  # beamspreads 2..14 x oversub 5..30
+
+    def test_table2_rows(self, national_model):
+        rows = national_model.table2()
+        assert len(rows) == 5
+        assert rows[0][0] == 1
+
+    def test_figure3_curves_keys(self, national_model):
+        curves = national_model.figure3_curves()
+        assert (1, 20) in curves
+        assert (5, 15) in curves
+        assert all(len(points) == 4 for points in curves.values())
+
+    def test_figure4_curves(self, national_model):
+        curves = national_model.figure4_curves()
+        assert len(curves) == 4
+
+    def test_findings_assemble(self, national_model):
+        findings = national_model.findings()
+        assert findings.f1 and findings.f2 and findings.f3 and findings.f4
+
+    def test_model_over_toy_dataset(self):
+        model = StarlinkDivideModel(build_toy_dataset([10, 5998]))
+        assert model.table1()["Peak Cell users"] == "5998 users"
+
+    def test_default_constructor_seed_override(self):
+        # A tiny config to keep this test fast but distinct.
+        config = SyntheticMapConfig(seed=77, total_locations=150_000)
+        model = StarlinkDivideModel.default(config)
+        assert model.dataset.total_locations == 150_000
+
+
+class TestFacadeExtensions:
+    def test_uplink_analysis(self, national_model):
+        summary = national_model.uplink_analysis().summary()
+        assert summary["peak_cell_locations"] == 5998
+
+    def test_equity_analysis(self, national_model):
+        assert national_model.equity_analysis().concentration_index() > 0.0
+
+    def test_optimizer(self, national_model):
+        plan = national_model.optimizer().evaluate(2, 20.0)
+        assert plan.constellation_size > 0
+
+    def test_bent_pipe_analysis(self, national_model):
+        summary = national_model.bent_pipe_analysis().coverage_summary()
+        assert summary["location_fraction"] == 1.0

@@ -1,0 +1,75 @@
+"""Tests for the deployment optimizer."""
+
+import pytest
+
+from repro.core.optimizer import DeploymentOptimizer, DeploymentPlan
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def national_optimizer(national_model):
+    return DeploymentOptimizer(national_model.dataset, national_model.sizer)
+
+
+class TestEvaluate:
+    def test_plan_fields(self, national_optimizer):
+        plan = national_optimizer.evaluate(2, 20.0)
+        assert plan.beamspread == 2
+        assert 0.0 < plan.service_fraction <= 1.0
+        assert plan.constellation_size > 0
+        assert plan.effective_size >= plan.constellation_size
+
+    def test_wider_spread_smaller_but_worse(self, national_optimizer):
+        narrow = national_optimizer.evaluate(1, 20.0)
+        wide = national_optimizer.evaluate(10, 20.0)
+        assert wide.constellation_size < narrow.constellation_size
+        assert wide.service_fraction <= narrow.service_fraction
+
+    def test_rejects_bad_beamspread(self, national_optimizer):
+        with pytest.raises(CapacityModelError):
+            national_optimizer.evaluate(0, 20.0)
+
+
+class TestCheapest:
+    def test_high_target_needs_narrow_beams(self, national_optimizer):
+        plan = national_optimizer.cheapest(0.9989)
+        assert plan is not None
+        assert plan.beamspread <= 2
+        assert plan.service_fraction >= 0.9989
+
+    def test_modest_target_is_much_cheaper(self, national_optimizer):
+        strict = national_optimizer.cheapest(0.9989)
+        loose = national_optimizer.cheapest(0.90)
+        assert loose.effective_size < strict.effective_size / 2
+
+    def test_impossible_target_returns_none(self, national_optimizer):
+        # 100.0% is unreachable at 20:1 (the 5,103-location floor).
+        assert national_optimizer.cheapest(1.0) is None
+
+    def test_respects_oversubscription_cap(self, national_optimizer):
+        plan = national_optimizer.cheapest(0.95, max_oversubscription=15.0)
+        assert plan.oversubscription <= 15.0
+
+    def test_rejects_bad_target(self, national_optimizer):
+        with pytest.raises(CapacityModelError):
+            national_optimizer.cheapest(0.0)
+
+    def test_full_service_possible_at_35_to_1(self, national_optimizer):
+        plan = national_optimizer.cheapest(1.0, max_oversubscription=35.0)
+        assert plan is not None
+        assert plan.service_fraction == 1.0
+
+
+class TestFrontier:
+    def test_monotone_cost(self, national_optimizer):
+        frontier = national_optimizer.frontier((0.80, 0.95, 0.9989))
+        sizes = [plan.effective_size for plan in frontier]
+        assert sizes == sorted(sizes)
+
+    def test_toy_dataset_served_fully(self):
+        optimizer = DeploymentOptimizer(build_toy_dataset([50, 100]))
+        plan = optimizer.cheapest(1.0)
+        assert plan is not None
+        assert plan.service_fraction == 1.0

@@ -1,0 +1,158 @@
+"""Tests for constellation sizing (Table 2, F2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sizing import (
+    ConstellationSizer,
+    DeploymentScenario,
+    sizing_reference_shells,
+)
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+PAPER_TABLE2 = {
+    1: (79287, 80567),
+    2: (40611, 41261),
+    5: (16486, 16750),
+    10: (8284, 8417),
+    15: (5532, 5621),
+}
+
+
+@pytest.fixture(scope="module")
+def national_sizer(national_model):
+    return national_model.sizer
+
+
+class TestTable2:
+    def test_matches_paper_within_2pct(self, national_sizer):
+        rows = national_sizer.table2(tuple(PAPER_TABLE2))
+        for spread, full, capped in rows:
+            paper_full, paper_capped = PAPER_TABLE2[int(spread)]
+            assert full == pytest.approx(paper_full, rel=0.02), spread
+            assert capped == pytest.approx(paper_capped, rel=0.02), spread
+
+    def test_capped_scenario_needs_more_satellites(self, national_sizer):
+        """The paper's max-20:1 column exceeds full service at every spread."""
+        for _, full, capped in national_sizer.table2():
+            assert capped > full
+
+    def test_inverse_proportional_to_cells_per_satellite(self, national_sizer):
+        """N * (1 + 20 s) is constant across beamspreads (paper's shape)."""
+        rows = national_sizer.table2((1, 2, 5, 10, 15))
+        products = [full * (1 + 20 * spread) for spread, full, _ in rows]
+        assert max(products) / min(products) == pytest.approx(1.0, abs=0.001)
+
+    def test_size_decreases_with_beamspread(self, national_sizer):
+        sizes = [full for _, full, _ in national_sizer.table2((1, 2, 5, 10, 15))]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestScenarioDetails:
+    def test_full_service_binds_on_peak_cell(self, national_sizer):
+        result = national_sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 1)
+        assert result.binding_cell_locations == 5998
+        assert result.binding_cell_beams == 4
+        assert result.cells_per_satellite == 21
+        assert result.oversubscription == pytest.approx(34.62, abs=0.01)
+
+    def test_capped_scenario_binds_on_cap(self, national_sizer):
+        result = national_sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 1
+        )
+        assert result.binding_cell_locations == 3465
+        assert result.binding_cell_beams == 4
+        assert result.oversubscription == 20.0
+
+    def test_binding_latitude_near_37(self, national_sizer):
+        result = national_sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 1)
+        assert result.binding_cell_latitude_deg == pytest.approx(37.0, abs=0.2)
+
+    def test_capped_binding_cell_sits_south_of_peak(self, national_sizer):
+        """Ties at the cap break toward the lowest-enhancement latitude."""
+        full = national_sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 1)
+        capped = national_sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 1
+        )
+        assert capped.latitude_enhancement < full.latitude_enhancement
+
+
+class TestToySizing:
+    def test_lower_latitude_needs_more_satellites(self):
+        north = build_toy_dataset([4000], latitudes=[45.0])
+        south = build_toy_dataset([4000], latitudes=[30.0])
+        n_north = ConstellationSizer(north).size_scenario(
+            DeploymentScenario.FULL_SERVICE, 1
+        )
+        n_south = ConstellationSizer(south).size_scenario(
+            DeploymentScenario.FULL_SERVICE, 1
+        )
+        assert n_south.constellation_size > n_north.constellation_size
+
+    def test_binding_cell_is_densest(self):
+        ds = build_toy_dataset([100, 4000, 50], latitudes=[30.0, 40.0, 45.0])
+        sizer = ConstellationSizer(ds)
+        peak, lat = sizer.binding_cell(ds.counts())
+        assert peak == 4000
+        assert lat == 40.0
+
+    def test_tie_break_prefers_lowest_enhancement(self):
+        ds = build_toy_dataset([4000, 4000], latitudes=[30.0, 45.0])
+        sizer = ConstellationSizer(ds)
+        _, lat = sizer.binding_cell(ds.counts())
+        assert lat == 30.0  # e(30) < e(45) for a 53-degree shell
+
+    def test_misaligned_served_counts_rejected(self):
+        ds = build_toy_dataset([100])
+        sizer = ConstellationSizer(ds)
+        with pytest.raises(CapacityModelError):
+            sizer.binding_cell(np.array([1, 2]))
+
+    def test_all_zero_served_rejected(self):
+        ds = build_toy_dataset([100])
+        sizer = ConstellationSizer(ds)
+        with pytest.raises(CapacityModelError):
+            sizer.binding_cell(np.array([0]))
+
+    def test_constellation_size_validation(self):
+        ds = build_toy_dataset([100])
+        sizer = ConstellationSizer(ds)
+        with pytest.raises(CapacityModelError):
+            sizer.constellation_size(0.0, 37.0)
+        with pytest.raises(CapacityModelError):
+            sizer.constellation_size(21.0, 60.0)  # above 53-degree shells
+
+    def test_reference_shells_are_53_degree(self):
+        for shell in sizing_reference_shells():
+            assert shell.inclination_deg == pytest.approx(53.0, abs=0.3)
+
+
+class TestCoverageFloor:
+    def test_floor_exceeds_peak_demand_bound_on_conus(self, national_sizer):
+        """The coverage-only requirement at CONUS's southern tip (25 N,
+        where 53-degree-shell density is lowest) exceeds the paper's
+        peak-demand-cell bound by ~8-14% — quantifying why the paper
+        calls Table 2 a *strict lower* bound."""
+        for spread in (1, 2, 5):
+            floor = national_sizer.coverage_floor(spread)
+            demand = national_sizer.size_scenario(
+                DeploymentScenario.FULL_SERVICE, spread
+            )
+            ratio = floor.constellation_size / demand.constellation_size
+            assert 1.05 < ratio < 1.20, spread
+
+    def test_floor_binds_at_southern_tip(self, national_sizer):
+        """CONUS coverage binds at the lowest-enhancement latitude (~25 N)."""
+        floor = national_sizer.coverage_floor(1)
+        assert floor.binding_cell_latitude_deg < 27.0
+
+    def test_floor_uses_all_beams(self, national_sizer):
+        floor = national_sizer.coverage_floor(3)
+        assert floor.cells_per_satellite == 24 * 3
+
+    def test_floor_scales_inverse_with_beamspread(self, national_sizer):
+        one = national_sizer.coverage_floor(1).constellation_size
+        five = national_sizer.coverage_floor(5).constellation_size
+        assert one / five == pytest.approx(5.0, rel=0.01)

@@ -1,0 +1,104 @@
+"""Tests for the diminishing-returns analysis (Fig 3, F3)."""
+
+import pytest
+
+from repro.core.tail import DiminishingReturnsAnalysis
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def national_tail(national_model):
+    return national_model.tail
+
+
+class TestBeamThresholds:
+    def test_beams_for_cap_at_20(self, national_tail):
+        # One beam serves 866 locations at 20:1 (4331.25 Mbps * 20 / 100).
+        assert national_tail.beams_for_cap(866, 20.0) == 1
+        assert national_tail.beams_for_cap(867, 20.0) == 2
+        assert national_tail.beams_for_cap(3465, 20.0) == 4
+
+    def test_cap_for_beams_roundtrip(self, national_tail):
+        for beams in (1, 2, 3, 4):
+            cap = national_tail.cap_for_beams(beams, 20.0)
+            assert national_tail.beams_for_cap(cap, 20.0) == beams
+            assert national_tail.beams_for_cap(cap + 1, 20.0) == min(beams + 1, 4) if beams < 4 else True
+
+    def test_rejects_bad_inputs(self, national_tail):
+        with pytest.raises(CapacityModelError):
+            national_tail.beams_for_cap(0, 20.0)
+        with pytest.raises(CapacityModelError):
+            national_tail.cap_for_beams(5, 20.0)
+
+
+class TestStepCurve:
+    def test_step_points_monotone(self, national_tail):
+        """Serving more locations (lower unserved) costs more satellites."""
+        points = national_tail.step_points(20.0, 10)
+        unserved = [p.locations_unserved for p in points]
+        sizes = [p.constellation_size for p in points]
+        assert unserved == sorted(unserved, reverse=True)
+        assert sizes == sorted(sizes)
+
+    def test_four_steps_at_20_to_1(self, national_tail):
+        points = national_tail.step_points(20.0, 5)
+        assert [p.peak_cell_beams for p in points] == [1, 2, 3, 4]
+
+    def test_floor_matches_f1(self, national_tail, national_model):
+        """The 4-beam cap's unserved floor equals F1's unservable count."""
+        full_cap = national_tail.cap_for_beams(4, 20.0)
+        floor = national_tail.unserved_at_cap(full_cap)
+        f1 = national_model.oversubscription.finding1()
+        assert floor == f1["locations_unservable_at_acceptable"]
+
+    def test_curve_contains_step_points(self, national_tail):
+        curve = national_tail.curve(20.0, 5, caps=range(860, 875))
+        beams = {p.per_cell_cap: p.peak_cell_beams for p in curve}
+        assert beams[866] == 1
+        assert beams[867] == 2
+
+    def test_final_step_cost_range_matches_f3(self, national_tail):
+        """F3: the last step costs hundreds to thousands of satellites."""
+        costs = {
+            s: national_tail.final_step_cost(20.0, s)["additional_satellites"]
+            for s in (1, 2, 5, 10, 15)
+        }
+        assert 3000 < costs[1] < 4500
+        assert 150 < costs[15] < 450
+        assert sorted(costs.values(), reverse=True) == [
+            costs[1], costs[2], costs[5], costs[10], costs[15]
+        ]
+
+    def test_final_step_gains_same_locations_regardless_of_spread(
+        self, national_tail
+    ):
+        gained = {
+            s: national_tail.final_step_cost(20.0, s)["locations_gained"]
+            for s in (1, 5, 15)
+        }
+        assert len(set(gained.values())) == 1
+
+
+class TestDropCellsStrategy:
+    def test_unserved_monotone(self, national_tail):
+        points = national_tail.drop_cells_curve(20.0, 5, max_dropped_cells=20)
+        unserved = [p.locations_unserved for p in points]
+        assert unserved == sorted(unserved)
+
+    def test_first_point_matches_cap_scenario(self, national_tail):
+        points = national_tail.drop_cells_curve(20.0, 1, max_dropped_cells=2)
+        capped = national_tail.point_at_cap(3465, 20.0, 1)
+        assert points[0].locations_unserved == capped.locations_unserved
+
+    def test_rejects_negative_budget(self, national_tail):
+        with pytest.raises(CapacityModelError):
+            national_tail.drop_cells_curve(20.0, 5, max_dropped_cells=-1)
+
+    def test_toy_exhausts_all_cells(self):
+        ds = build_toy_dataset([100, 200, 300])
+        tail = DiminishingReturnsAnalysis(ds)
+        points = tail.drop_cells_curve(20.0, 1, max_dropped_cells=10)
+        assert len(points) == 3  # stops when nothing is served
+        assert points[-1].per_cell_cap == 100

@@ -1,0 +1,83 @@
+"""Tests for the sizing uncertainty propagation."""
+
+import pytest
+
+from repro.core.sizing import DeploymentScenario
+from repro.core.uncertainty import (
+    ParameterRanges,
+    SizingUncertainty,
+)
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def national_uncertainty(national_dataset):
+    return SizingUncertainty(national_dataset, samples=32)
+
+
+class TestRanges:
+    def test_defaults_are_valid(self):
+        ParameterRanges()
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(CapacityModelError):
+            ParameterRanges(spectral_efficiency_bps_hz=(5.0, 4.0))
+        with pytest.raises(CapacityModelError):
+            ParameterRanges(cell_area_factor=(1.0, 1.0))
+
+
+class TestBands:
+    def test_band_ordering(self, national_uncertainty):
+        band = national_uncertainty.band(2)
+        assert band.p5 < band.p50 < band.p95
+
+    def test_point_estimate_inside_band(self, national_uncertainty):
+        band = national_uncertainty.band(2)
+        assert band.p5 < band.point_estimate < band.p95
+
+    def test_band_scales_with_beamspread(self, national_uncertainty):
+        narrow = national_uncertainty.band(1)
+        wide = national_uncertainty.band(10)
+        assert wide.p50 < narrow.p50
+        assert wide.p95 < narrow.p5  # bands at different spreads separate
+
+    def test_deterministic_given_seed(self, national_dataset):
+        a = SizingUncertainty(national_dataset, samples=16, seed=3).band(2)
+        b = SizingUncertainty(national_dataset, samples=16, seed=3).band(2)
+        assert a == b
+
+    def test_tighter_ranges_tighter_band(self, national_dataset):
+        loose = SizingUncertainty(national_dataset, samples=32).band(2)
+        tight = SizingUncertainty(
+            national_dataset,
+            ranges=ParameterRanges(
+                spectral_efficiency_bps_hz=(4.45, 4.55),
+                cell_area_factor=(0.98, 1.02),
+                binding_latitude_shift_deg=(-0.1, 0.1),
+            ),
+            samples=32,
+        ).band(2)
+        assert (tight.p95 - tight.p5) < (loose.p95 - loose.p5) / 3
+
+    def test_capped_scenario_supported(self, national_uncertainty):
+        band = national_uncertainty.band(
+            2, DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION
+        )
+        assert band.p50 > 0
+
+    def test_table_covers_all_spreads(self, national_uncertainty):
+        table = national_uncertainty.table((1, 5))
+        assert set(table) == {1, 5}
+
+    def test_rejects_tiny_sample(self, national_dataset):
+        with pytest.raises(CapacityModelError):
+            SizingUncertainty(national_dataset, samples=4)
+
+    def test_toy_dataset_works(self):
+        uncertainty = SizingUncertainty(
+            build_toy_dataset([4000]), samples=16
+        )
+        band = uncertainty.band(2)
+        assert band.p5 > 0

@@ -1,0 +1,90 @@
+"""Tests for the uplink-side capacity extension."""
+
+import pytest
+
+from repro.core.uplink import UplinkAnalysis, UplinkCapacityModel
+from repro.errors import CapacityModelError
+from repro.spectrum.uplink import (
+    UplinkBeamPlan,
+    starlink_uplink_plan,
+    ut_uplink_beams,
+    ut_uplink_spectrum_mhz,
+)
+
+from tests.conftest import build_toy_dataset
+
+
+class TestUplinkSpectrum:
+    def test_ut_uplink_is_500_mhz(self):
+        assert ut_uplink_spectrum_mhz() == pytest.approx(500.0)
+
+    def test_ut_uplink_beams(self):
+        assert ut_uplink_beams() == 8
+
+    def test_plan_capacity(self):
+        plan = starlink_uplink_plan()
+        assert plan.cell_capacity_mbps == pytest.approx(1250.0)
+
+    def test_plan_validation(self):
+        with pytest.raises(CapacityModelError):
+            UplinkBeamPlan(ut_spectrum_mhz=0.0)
+
+
+class TestUplinkModel:
+    def test_peak_cell_oversubscription(self):
+        model = UplinkCapacityModel()
+        # 5998 x 20 Mbps = 119,960 Mbps over 1250 Mbps -> ~96:1.
+        assert model.required_oversubscription(5998) == pytest.approx(95.97, abs=0.01)
+
+    def test_uplink_binds_harder_than_downlink(self):
+        from repro.core.capacity import SatelliteCapacityModel
+
+        uplink = UplinkCapacityModel()
+        downlink = SatelliteCapacityModel()
+        assert uplink.required_oversubscription(5998) > (
+            downlink.required_oversubscription(5998) * 2.5
+        )
+
+    def test_cap_at_20_to_1(self):
+        model = UplinkCapacityModel()
+        assert model.max_locations_at_oversubscription(20.0) == 1250
+
+    def test_zero_demand(self):
+        assert UplinkCapacityModel().required_oversubscription(0) == 0.0
+
+    def test_validation(self):
+        model = UplinkCapacityModel()
+        with pytest.raises(CapacityModelError):
+            model.cell_demand_mbps(-1)
+        with pytest.raises(CapacityModelError):
+            model.max_locations_at_oversubscription(0.0)
+        with pytest.raises(CapacityModelError):
+            UplinkCapacityModel(per_location_uplink_mbps=0.0)
+
+
+class TestUplinkAnalysis:
+    def test_toy_summary(self):
+        analysis = UplinkAnalysis(build_toy_dataset([100, 2000]))
+        summary = analysis.summary()
+        assert summary["peak_cell_locations"] == 2000
+        assert summary["per_cell_cap"] == 1250
+        assert summary["locations_unservable_at_acceptable"] == 750
+
+    def test_national_uplink_worse_than_downlink(self, national_model):
+        analysis = UplinkAnalysis(national_model.dataset)
+        uplink = analysis.summary()
+        downlink = national_model.oversubscription.finding1()
+        assert uplink["service_fraction_at_acceptable"] < (
+            downlink["service_fraction_at_acceptable"]
+        )
+        assert uplink["locations_unservable_at_acceptable"] > (
+            10 * downlink["locations_unservable_at_acceptable"]
+        )
+
+    def test_comparison_table_shape(self, national_model):
+        analysis = UplinkAnalysis(national_model.dataset)
+        table = analysis.comparison_table(
+            national_model.oversubscription.finding1()
+        )
+        assert set(table["capacity per cell"]) == {"downlink", "uplink"}
+        assert "96:1" in table["required oversubscription"]["uplink"]

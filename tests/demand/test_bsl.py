@@ -1,0 +1,57 @@
+"""Tests for County / ServiceCell dataclasses."""
+
+import pytest
+
+from repro.demand.bsl import County, ServiceCell
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId
+
+
+@pytest.fixture()
+def cell():
+    return ServiceCell(
+        cell=CellId(5, 10, -4),
+        center=LatLon(37.0, -82.5),
+        county_id=3,
+        unserved_locations=120,
+        underserved_locations=80,
+    )
+
+
+class TestServiceCell:
+    def test_total(self, cell):
+        assert cell.total_locations == 200
+
+    def test_latitude(self, cell):
+        assert cell.latitude_deg == 37.0
+
+    def test_demand_at_100mbps(self, cell):
+        assert cell.demand_mbps() == pytest.approx(20000.0)
+
+    def test_demand_custom_rate(self, cell):
+        assert cell.demand_mbps(25.0) == pytest.approx(5000.0)
+
+    def test_demand_rejects_nonpositive_rate(self, cell):
+        with pytest.raises(DatasetError):
+            cell.demand_mbps(0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(DatasetError):
+            ServiceCell(
+                cell=CellId(5, 0, 0),
+                center=LatLon(0.0, 0.0),
+                county_id=0,
+                unserved_locations=-1,
+                underserved_locations=0,
+            )
+
+
+class TestCounty:
+    def test_monthly_income(self):
+        county = County(1, "Test", LatLon(37.0, -82.0), 60000.0)
+        assert county.median_monthly_income_usd == pytest.approx(5000.0)
+
+    def test_rejects_nonpositive_income(self):
+        with pytest.raises(DatasetError):
+            County(1, "Broke", LatLon(0.0, 0.0), 0.0)

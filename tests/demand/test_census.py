@@ -1,0 +1,75 @@
+"""Tests for the income model's weighted-quantile construction."""
+
+import numpy as np
+import pytest
+
+from repro.demand.census import DEFAULT_INCOME_ANCHORS, IncomeModel
+from repro.errors import CalibrationError
+
+
+def weighted_share_below(incomes, weights, threshold):
+    total = sum(weights.values())
+    below = sum(
+        weights[county] for county, income in incomes.items() if income < threshold
+    )
+    return below / total
+
+
+class TestAssignment:
+    def test_weighted_quantiles_match_anchors(self):
+        """With many counties, the weighted shares land on the anchors."""
+        rng = np.random.default_rng(11)
+        weights = {i: int(w) for i, w in enumerate(rng.integers(50, 5000, size=2000))}
+        incomes = IncomeModel().assign_incomes(weights, np.random.default_rng(5))
+        share = weighted_share_below(incomes, weights, 72000.0)
+        assert share == pytest.approx(0.745, abs=0.01)
+        share = weighted_share_below(incomes, weights, 66450.0)
+        assert share == pytest.approx(0.6438, abs=0.01)
+
+    def test_all_counties_get_incomes(self):
+        weights = {0: 100, 1: 0, 2: 500}
+        incomes = IncomeModel().assign_incomes(weights, np.random.default_rng(0))
+        assert set(incomes) == {0, 1, 2}
+        for income in incomes.values():
+            assert income > 0
+
+    def test_zero_weight_counties_skew_wealthier(self):
+        rng = np.random.default_rng(4)
+        weights = {i: (1000 if i < 100 else 0) for i in range(200)}
+        incomes = IncomeModel().assign_incomes(weights, rng)
+        weighted = np.mean([incomes[i] for i in range(100)])
+        unweighted = np.mean([incomes[i] for i in range(100, 200)])
+        assert unweighted > weighted
+
+    def test_incomes_within_anchor_range(self):
+        weights = {i: 100 for i in range(500)}
+        incomes = IncomeModel().assign_incomes(weights, np.random.default_rng(9))
+        lo = DEFAULT_INCOME_ANCHORS[0][1]
+        hi = DEFAULT_INCOME_ANCHORS[-1][1]
+        for income in incomes.values():
+            assert lo <= income <= hi
+
+    def test_deterministic_given_rng_seed(self):
+        weights = {i: 10 * (i + 1) for i in range(50)}
+        a = IncomeModel().assign_incomes(weights, np.random.default_rng(42))
+        b = IncomeModel().assign_incomes(weights, np.random.default_rng(42))
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(CalibrationError):
+            IncomeModel().assign_incomes({}, np.random.default_rng(0))
+
+
+class TestAnchors:
+    def test_anchor_probabilities_increasing(self):
+        probs = [p for p, _ in DEFAULT_INCOME_ANCHORS]
+        assert probs == sorted(probs)
+
+    def test_floor_is_papers_implied_minimum(self):
+        # Fig 4's Starlink x-intercepts imply a ~$28,800 income floor.
+        assert DEFAULT_INCOME_ANCHORS[0][1] == pytest.approx(28800.0)
+
+    def test_f4_anchor_values(self):
+        anchor_map = dict(DEFAULT_INCOME_ANCHORS)
+        assert anchor_map[0.745] == 72000.0
+        assert anchor_map[0.6438] == 66450.0

@@ -1,0 +1,108 @@
+"""Tests for DemandDataset invariants and aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.demand.bsl import County, ServiceCell
+from repro.demand.dataset import DemandDataset
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId
+
+from tests.conftest import build_toy_dataset
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            DemandDataset(cells=[], counties={}, grid_resolution=5)
+
+    def test_duplicate_cell_rejected(self):
+        county = County(0, "C", LatLon(37.0, -90.0), 60000.0)
+        cell = ServiceCell(CellId(5, 0, 0), LatLon(37.0, -90.0), 0, 1, 0)
+        with pytest.raises(DatasetError):
+            DemandDataset(
+                cells=[cell, cell], counties={0: county}, grid_resolution=5
+            )
+
+    def test_unknown_county_rejected(self):
+        cell = ServiceCell(CellId(5, 0, 0), LatLon(37.0, -90.0), 99, 1, 0)
+        with pytest.raises(DatasetError):
+            DemandDataset(cells=[cell], counties={}, grid_resolution=5)
+
+    def test_resolution_mismatch_rejected(self):
+        county = County(0, "C", LatLon(37.0, -90.0), 60000.0)
+        cell = ServiceCell(CellId(4, 0, 0), LatLon(37.0, -90.0), 0, 1, 0)
+        with pytest.raises(DatasetError):
+            DemandDataset(cells=[cell], counties={0: county}, grid_resolution=5)
+
+
+class TestAggregates:
+    def test_total_locations(self, toy_dataset):
+        assert toy_dataset.total_locations == 10 + 100 + 1000 + 2000 + 5998
+
+    def test_occupied_cell_count(self, toy_dataset):
+        assert toy_dataset.occupied_cell_count == 5
+
+    def test_max_cell(self, toy_dataset):
+        assert toy_dataset.max_cell().total_locations == 5998
+
+    def test_counts_returns_copy(self, toy_dataset):
+        counts = toy_dataset.counts()
+        counts[0] = 999999
+        assert toy_dataset.counts()[0] == 10
+
+    def test_percentile_bounds(self, toy_dataset):
+        assert toy_dataset.percentile(0) == 10
+        assert toy_dataset.percentile(100) == 5998
+        with pytest.raises(DatasetError):
+            toy_dataset.percentile(101)
+
+    def test_sorted_by_demand(self, toy_dataset):
+        ordered = toy_dataset.cells_sorted_by_demand()
+        counts = [c.total_locations for c in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_locations_in_cells_above(self, toy_dataset):
+        assert toy_dataset.locations_in_cells_above(1500) == 2000 + 5998
+        assert toy_dataset.locations_in_cells_above(6000) == 0
+
+    def test_excess_locations_above(self, toy_dataset):
+        assert toy_dataset.excess_locations_above(1000) == 1000 + 4998
+        with pytest.raises(DatasetError):
+            toy_dataset.excess_locations_above(-1)
+
+    def test_income_share_below(self):
+        ds = build_toy_dataset(
+            [100, 300], incomes=[40000.0, 80000.0]
+        )
+        assert ds.location_weighted_income_share_below(50000.0) == pytest.approx(0.25)
+        assert ds.location_weighted_income_share_below(100000.0) == 1.0
+
+    def test_summary_mentions_key_stats(self, toy_dataset):
+        text = toy_dataset.summary()
+        assert "9,108" in text
+        assert "5998" in text
+
+
+class TestSubset:
+    def test_bbox_subset(self):
+        ds = build_toy_dataset([10, 20, 30], latitudes=[30.0, 35.0, 40.0])
+        subset = ds.subset_bbox(33.0, 41.0, -180.0, 180.0)
+        assert subset.total_locations == 50
+        assert len(subset.cells) == 2
+
+    def test_empty_bbox_rejected(self):
+        ds = build_toy_dataset([10])
+        with pytest.raises(DatasetError):
+            ds.subset_bbox(80.0, 85.0, 0.0, 1.0)
+
+    def test_subset_keeps_referenced_counties_only(self):
+        ds = build_toy_dataset([10, 20], latitudes=[30.0, 45.0])
+        subset = ds.subset_bbox(40.0, 50.0, -180.0, 180.0)
+        assert len(subset.counties) == 1
+
+    def test_national_subset_consistency(self, national_dataset):
+        subset = national_dataset.subset_bbox(36.0, 39.0, -90.0, -80.0)
+        assert 0 < subset.total_locations < national_dataset.total_locations
+        assert subset.max_cell().total_locations == 5998  # planted peak inside

@@ -1,0 +1,98 @@
+"""Tests for the Bass-diffusion growth model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.demand.growth import BassDiffusion, GrowthAnalysis
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+class TestBassDiffusion:
+    def test_starts_at_zero(self):
+        assert BassDiffusion().adoption(0.0) == 0.0
+
+    def test_approaches_ceiling(self):
+        diffusion = BassDiffusion(ceiling=0.8)
+        assert diffusion.adoption(100.0) == pytest.approx(0.8, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=50)
+    def test_monotone(self, t):
+        diffusion = BassDiffusion()
+        assert diffusion.adoption(t + 0.5) >= diffusion.adoption(t)
+
+    @given(st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=30)
+    def test_time_to_adoption_inverts(self, fraction):
+        diffusion = BassDiffusion()
+        t = diffusion.time_to_adoption(fraction)
+        assert diffusion.adoption(t) == pytest.approx(fraction, abs=1e-6)
+
+    def test_time_to_zero_is_zero(self):
+        assert BassDiffusion().time_to_adoption(0.0) == 0.0
+
+    def test_unreachable_fraction_rejected(self):
+        diffusion = BassDiffusion(ceiling=0.5)
+        with pytest.raises(CapacityModelError):
+            diffusion.time_to_adoption(0.6)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(CapacityModelError):
+            BassDiffusion().adoption(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(CapacityModelError):
+            BassDiffusion(innovation_p=0.0)
+        with pytest.raises(CapacityModelError):
+            BassDiffusion(ceiling=1.5)
+
+
+class TestGrowthAnalysis:
+    @pytest.fixture()
+    def analysis(self):
+        return GrowthAnalysis(build_toy_dataset([100, 1000, 5998]))
+
+    def test_subscribers_scale_with_adoption(self, analysis):
+        early = analysis.subscribers_at(1.0).sum()
+        late = analysis.subscribers_at(10.0).sum()
+        assert late > early
+        assert late <= 7098
+
+    def test_peak_oversubscription_grows(self, analysis):
+        assert analysis.peak_oversubscription_at(10.0) > (
+            analysis.peak_oversubscription_at(2.0)
+        )
+
+    def test_full_adoption_matches_static_model(self, analysis):
+        # At ~full adoption the peak oversub approaches the paper's 34.6.
+        assert analysis.peak_oversubscription_at(100.0) == pytest.approx(
+            34.62, abs=0.05
+        )
+
+    def test_cells_over_cap_monotone(self, analysis):
+        counts = [analysis.cells_over_cap_at(t) for t in (2.0, 7.0, 20.0)]
+        assert counts == sorted(counts)
+
+    def test_bind_time_consistent(self, analysis):
+        t = analysis.years_until_peak_cell_binds()
+        assert analysis.peak_oversubscription_at(t) == pytest.approx(20.0, abs=0.05)
+
+    def test_bind_never_happens_under_low_ceiling(self):
+        analysis = GrowthAnalysis(
+            build_toy_dataset([5998]), BassDiffusion(ceiling=0.3)
+        )
+        assert analysis.years_until_peak_cell_binds() == math.inf
+
+    def test_timeline_rows(self, analysis):
+        rows = analysis.timeline([1.0, 5.0])
+        assert len(rows) == 2
+        assert rows[0]["adoption"] < rows[1]["adoption"]
+
+    def test_validation(self):
+        with pytest.raises(CapacityModelError):
+            GrowthAnalysis(build_toy_dataset([10]), per_location_mbps=0.0)

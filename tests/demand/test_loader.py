@@ -1,0 +1,73 @@
+"""Tests for the demand dataset CSV round trip."""
+
+import numpy as np
+import pytest
+
+from repro.demand.loader import read_dataset, write_dataset
+from repro.errors import DatasetError
+
+from tests.conftest import build_toy_dataset
+
+
+class TestRoundTrip:
+    def test_toy_roundtrip(self, tmp_path):
+        original = build_toy_dataset(
+            [5, 50, 500], latitudes=[30.0, 35.0, 40.0], incomes=[40e3, 60e3, 90e3]
+        )
+        cells = tmp_path / "cells.csv"
+        counties = tmp_path / "counties.csv"
+        write_dataset(original, cells, counties)
+        loaded = read_dataset(cells, counties)
+        assert loaded.total_locations == original.total_locations
+        assert np.array_equal(loaded.counts(), original.counts())
+        assert [c.cell for c in loaded.cells] == [c.cell for c in original.cells]
+        for county_id, county in original.counties.items():
+            assert loaded.counties[county_id].median_household_income_usd == (
+                pytest.approx(county.median_household_income_usd)
+            )
+
+    def test_regional_roundtrip(self, tmp_path, regional_dataset):
+        cells = tmp_path / "cells.csv"
+        counties = tmp_path / "counties.csv"
+        write_dataset(regional_dataset, cells, counties)
+        loaded = read_dataset(cells, counties)
+        assert loaded.total_locations == regional_dataset.total_locations
+        assert loaded.grid_resolution == regional_dataset.grid_resolution
+        assert len(loaded.counties) == len(regional_dataset.counties)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_dataset(tmp_path / "nope.csv", tmp_path / "nope2.csv")
+
+    def test_wrong_headers(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c\n1,2,3\n")
+        good_counties = tmp_path / "counties.csv"
+        dataset = build_toy_dataset([1])
+        write_dataset(dataset, tmp_path / "cells.csv", good_counties)
+        with pytest.raises(DatasetError):
+            read_dataset(bad, good_counties)
+
+    def test_empty_cells_file(self, tmp_path):
+        dataset = build_toy_dataset([1])
+        cells = tmp_path / "cells.csv"
+        counties = tmp_path / "counties.csv"
+        write_dataset(dataset, cells, counties)
+        cells.write_text(
+            "cell_token,lat_deg,lon_deg,county_id,"
+            "unserved_locations,underserved_locations\n"
+        )
+        with pytest.raises(DatasetError):
+            read_dataset(cells, counties)
+
+    def test_duplicate_county_rejected(self, tmp_path):
+        dataset = build_toy_dataset([1])
+        cells = tmp_path / "cells.csv"
+        counties = tmp_path / "counties.csv"
+        write_dataset(dataset, cells, counties)
+        lines = counties.read_text().strip().splitlines()
+        counties.write_text("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.raises(DatasetError):
+            read_dataset(cells, counties)

@@ -1,0 +1,102 @@
+"""Tests for the quantile-curve calibration machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.demand.quantiles import QuantileCurve
+from repro.errors import CalibrationError
+
+
+@pytest.fixture()
+def curve():
+    return QuantileCurve([(0.0, 1.0), (0.5, 100.0), (0.9, 500.0), (1.0, 6000.0)])
+
+
+class TestConstruction:
+    def test_needs_two_anchors(self):
+        with pytest.raises(CalibrationError):
+            QuantileCurve([(0.5, 1.0)])
+
+    def test_rejects_decreasing_probabilities(self):
+        with pytest.raises(CalibrationError):
+            QuantileCurve([(0.5, 1.0), (0.4, 2.0)])
+
+    def test_rejects_decreasing_values(self):
+        with pytest.raises(CalibrationError):
+            QuantileCurve([(0.0, 10.0), (1.0, 5.0)])
+
+    def test_rejects_probabilities_outside_unit(self):
+        with pytest.raises(CalibrationError):
+            QuantileCurve([(-0.1, 1.0), (1.0, 2.0)])
+
+    def test_log_space_rejects_nonpositive(self):
+        with pytest.raises(CalibrationError):
+            QuantileCurve([(0.0, 0.0), (1.0, 1.0)])
+
+    def test_linear_space_allows_zero(self):
+        curve = QuantileCurve([(0.0, 0.0), (1.0, 1.0)], log_space=False)
+        assert curve.value(0.0) == 0.0
+
+
+class TestEvaluation:
+    def test_anchors_hit_exactly(self, curve):
+        for p, v in curve.anchors:
+            assert curve.value(p) == pytest.approx(v, rel=1e-9)
+
+    def test_clamps_out_of_range(self, curve):
+        assert curve.value(-0.5) == pytest.approx(1.0)
+        assert curve.value(1.5) == pytest.approx(6000.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=100)
+    def test_monotone(self, p):
+        curve = QuantileCurve(
+            [(0.0, 1.0), (0.5, 100.0), (0.9, 500.0), (1.0, 6000.0)]
+        )
+        assert curve.value(p + 0.001) >= curve.value(p) - 1e-9
+
+    def test_vectorized(self, curve):
+        values = curve.value(np.array([0.0, 0.5, 1.0]))
+        assert values.shape == (3,)
+        assert values[1] == pytest.approx(100.0)
+
+
+class TestInverse:
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50)
+    def test_roundtrip(self, p):
+        curve = QuantileCurve(
+            [(0.0, 1.0), (0.5, 100.0), (0.9, 500.0), (1.0, 6000.0)]
+        )
+        assert curve.probability(float(curve.value(p))) == pytest.approx(p, abs=1e-6)
+
+    def test_clamps_extremes(self, curve):
+        assert curve.probability(0.5) == 0.0
+        assert curve.probability(1e9) == 1.0
+
+
+class TestSampling:
+    def test_deterministic_sample_is_sorted(self, curve):
+        sample = curve.sample_deterministic(1000)
+        assert np.all(np.diff(sample) >= 0.0)
+
+    def test_deterministic_sample_matches_quantiles(self, curve):
+        sample = curve.sample_deterministic(10001)
+        assert np.percentile(sample, 90) == pytest.approx(500.0, rel=0.01)
+        assert np.percentile(sample, 50) == pytest.approx(100.0, rel=0.01)
+
+    def test_random_sample_matches_quantiles(self, curve):
+        rng = np.random.default_rng(7)
+        sample = curve.sample_random(20000, rng)
+        assert np.percentile(sample, 90) == pytest.approx(500.0, rel=0.05)
+
+    def test_rejects_nonpositive_size(self, curve):
+        with pytest.raises(CalibrationError):
+            curve.sample_deterministic(0)
+        with pytest.raises(CalibrationError):
+            curve.sample_random(-1, np.random.default_rng(0))
+
+    def test_mean_matches_sample_mean(self, curve):
+        sample_mean = curve.sample_deterministic(100001).mean()
+        assert curve.mean() == pytest.approx(sample_mean, rel=1e-3)

@@ -1,0 +1,83 @@
+"""Tests for study regions and region-configured generation."""
+
+import pytest
+
+from repro.demand.regions import StudyRegion, andes_highlands, northern_archipelago
+from repro.demand.synthetic import SyntheticMapConfig, generate_national_map
+from repro.errors import CalibrationError
+from repro.geo.coords import LatLon
+
+
+class TestStudyRegion:
+    def test_prebuilt_regions_valid(self):
+        for region in (andes_highlands(), northern_archipelago()):
+            assert region.boundary_polygon().area_km2() > 0
+
+    def test_peak_outside_boundary_rejected(self):
+        with pytest.raises(CalibrationError):
+            StudyRegion(
+                name="bad",
+                outline=((0.0, 0.0), (0.0, 1.0), (1.0, 1.0)),
+                county_count=5,
+                planted_peaks=((100, 10.0, 10.0),),
+                total_locations=1000,
+            )
+
+    def test_degenerate_outline_rejected(self):
+        with pytest.raises(CalibrationError):
+            StudyRegion(
+                name="bad",
+                outline=((0.0, 0.0), (1.0, 1.0)),
+                county_count=5,
+                planted_peaks=(),
+                total_locations=1000,
+            )
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(CalibrationError):
+            StudyRegion(
+                name="bad",
+                outline=((0.0, 0.0), (0.0, 1.0), (1.0, 1.0)),
+                county_count=0,
+                planted_peaks=(),
+                total_locations=1000,
+            )
+
+
+class TestRegionGeneration:
+    @pytest.fixture(scope="class")
+    def andes_dataset(self):
+        config = SyntheticMapConfig.for_region(andes_highlands(), seed=42)
+        return generate_national_map(config)
+
+    def test_totals_and_peak(self, andes_dataset):
+        region = andes_highlands()
+        assert andes_dataset.total_locations == region.total_locations
+        assert andes_dataset.max_cell().total_locations == 3200
+
+    def test_cells_inside_boundary(self, andes_dataset):
+        boundary = andes_highlands().boundary_polygon()
+        for cell in andes_dataset.cells[::50]:
+            assert boundary.contains(cell.center)
+
+    def test_county_count(self, andes_dataset):
+        assert len(andes_dataset.counties) == 120
+
+    def test_southern_hemisphere_latitudes(self, andes_dataset):
+        assert all(lat < 0 for lat in andes_dataset.latitudes())
+
+    def test_description_names_region(self, andes_dataset):
+        assert "Andes" in andes_dataset.description
+
+    def test_bulk_capped_below_modest_peak(self):
+        """Regions with modest planted peaks truncate the bulk tail."""
+        config = SyntheticMapConfig.for_region(northern_archipelago(), seed=1)
+        dataset = generate_national_map(config)
+        assert dataset.max_cell().total_locations == 1800
+
+    def test_for_region_allows_overrides(self):
+        config = SyntheticMapConfig.for_region(
+            andes_highlands(), seed=7, unserved_fraction=0.8
+        )
+        assert config.unserved_fraction == 0.8
+        assert config.region_outline == andes_highlands().outline

@@ -1,0 +1,31 @@
+"""Tests for the packaged sample dataset."""
+
+import pytest
+
+from repro.demand.samples import load_sample_region
+
+
+class TestSampleRegion:
+    def test_loads_and_validates(self):
+        dataset = load_sample_region()
+        assert dataset.total_locations == 225_227
+        assert len(dataset.cells) == 864
+        assert len(dataset.counties) == 155
+
+    def test_contains_planted_peak(self):
+        dataset = load_sample_region()
+        assert dataset.max_cell().total_locations == 5998
+        assert dataset.max_cell().latitude_deg == pytest.approx(37.0, abs=0.2)
+
+    def test_usable_by_the_model(self):
+        from repro import StarlinkDivideModel
+
+        model = StarlinkDivideModel(load_sample_region())
+        assert model.table1()["Peak Cell users"] == "5998 users"
+
+    def test_matches_live_generation(self, national_dataset):
+        """The packaged extract equals the same bbox of the default map."""
+        live = national_dataset.subset_bbox(36.0, 39.5, -89.6, -80.0)
+        packaged = load_sample_region()
+        assert packaged.total_locations == live.total_locations
+        assert [c.cell for c in packaged.cells] == [c.cell for c in live.cells]

@@ -1,0 +1,83 @@
+"""Tests for the served-population / defection extension."""
+
+import numpy as np
+import pytest
+
+from repro.demand.served import DefectionAnalysis, ServedLayerConfig
+from repro.errors import CapacityModelError
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture()
+def analysis():
+    return DefectionAnalysis(build_toy_dataset([100, 1000, 5998]))
+
+
+class TestServedLayer:
+    def test_counts_positive_and_deterministic(self, analysis):
+        served = analysis.served_counts()
+        assert np.all(served >= 0)
+        again = DefectionAnalysis(build_toy_dataset([100, 1000, 5998]))
+        assert np.array_equal(served, again.served_counts())
+
+    def test_different_seed_different_layer(self):
+        a = DefectionAnalysis(
+            build_toy_dataset([100]), ServedLayerConfig(seed=1)
+        )
+        b = DefectionAnalysis(
+            build_toy_dataset([100]), ServedLayerConfig(seed=2)
+        )
+        assert not np.array_equal(a.served_counts(), b.served_counts())
+
+    def test_config_validation(self):
+        with pytest.raises(CapacityModelError):
+            ServedLayerConfig(median_served_per_cell=0.0)
+        with pytest.raises(CapacityModelError):
+            ServedLayerConfig(sigma=-1.0)
+
+
+class TestDefection:
+    def test_zero_defection_is_baseline(self, analysis):
+        effective = analysis.effective_counts(0.0)
+        assert np.array_equal(effective, np.array([100.0, 1000.0, 5998.0]))
+
+    def test_effective_counts_monotone(self, analysis):
+        low = analysis.effective_counts(0.05).sum()
+        high = analysis.effective_counts(0.20).sum()
+        assert high > low
+
+    def test_fraction_bounds(self, analysis):
+        with pytest.raises(CapacityModelError):
+            analysis.effective_counts(-0.1)
+        with pytest.raises(CapacityModelError):
+            analysis.effective_counts(1.1)
+
+    def test_summary_fields(self, analysis):
+        summary = analysis.summary_at(0.1)
+        assert summary["peak_cell_load"] >= 5998.0
+        assert summary["required_oversubscription"] >= 34.6
+
+    def test_sweep_monotone_in_floor(self, analysis):
+        floors = [
+            entry["unservable_at_20"]
+            for entry in analysis.sweep([0.0, 0.1, 0.3])
+        ]
+        assert floors == sorted(floors)
+
+    def test_national_floor_doubles_early(self, national_dataset):
+        analysis = DefectionAnalysis(national_dataset)
+        doubling = analysis.defection_that_doubles_floor()
+        assert 0.0 < doubling < 0.25
+
+    def test_doubling_is_consistent(self, national_dataset):
+        analysis = DefectionAnalysis(national_dataset)
+        doubling = analysis.defection_that_doubles_floor()
+        baseline = analysis.summary_at(0.0)["unservable_at_20"]
+        at_doubling = analysis.summary_at(doubling)["unservable_at_20"]
+        assert at_doubling == pytest.approx(2.0 * baseline, rel=0.02)
+
+    def test_no_floor_raises(self):
+        analysis = DefectionAnalysis(build_toy_dataset([10]))
+        with pytest.raises(CapacityModelError):
+            analysis.defection_that_doubles_floor()

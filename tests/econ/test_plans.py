@@ -1,0 +1,56 @@
+"""Tests for the broadband plan catalog."""
+
+import pytest
+
+from repro.errors import CapacityModelError
+from repro.econ.plans import (
+    SPECTRUM_INTERNET_PREMIER,
+    STARLINK_RESIDENTIAL,
+    XFINITY_300,
+    BroadbandPlan,
+    reference_plans,
+)
+
+
+class TestCatalog:
+    def test_starlink_price(self):
+        assert STARLINK_RESIDENTIAL.monthly_cost_usd == 120.0
+
+    def test_terrestrial_prices(self):
+        assert XFINITY_300.monthly_cost_usd == 40.0
+        assert SPECTRUM_INTERNET_PREMIER.monthly_cost_usd == 50.0
+
+    def test_all_reference_plans_meet_reliable_broadband(self):
+        for plan in reference_plans():
+            assert plan.meets_reliable_broadband, plan.name
+
+    def test_reference_plan_count(self):
+        assert len(reference_plans()) == 3
+
+
+class TestPlanBehaviour:
+    def test_discount(self):
+        discounted = STARLINK_RESIDENTIAL.with_monthly_discount(9.25, "w/ Lifeline")
+        assert discounted.monthly_cost_usd == pytest.approx(110.75)
+        assert "Lifeline" in discounted.name
+        assert discounted.download_mbps == STARLINK_RESIDENTIAL.download_mbps
+
+    def test_discount_floors_at_zero(self):
+        cheap = XFINITY_300.with_monthly_discount(100.0, "free")
+        assert cheap.monthly_cost_usd == 0.0
+
+    def test_negative_discount_rejected(self):
+        with pytest.raises(CapacityModelError):
+            XFINITY_300.with_monthly_discount(-1.0, "bad")
+
+    def test_slow_plan_fails_reliable_broadband(self):
+        slow = BroadbandPlan("DSL", "legacy", 45.0, 25.0, 3.0)
+        assert not slow.meets_reliable_broadband
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(CapacityModelError):
+            BroadbandPlan("bad", "x", -5.0, 100.0, 20.0)
+
+    def test_rejects_nonpositive_speeds(self):
+        with pytest.raises(CapacityModelError):
+            BroadbandPlan("bad", "x", 50.0, 0.0, 20.0)

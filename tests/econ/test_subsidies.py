@@ -1,0 +1,41 @@
+"""Tests for subsidy models."""
+
+import pytest
+
+from repro.errors import CapacityModelError
+from repro.econ.plans import STARLINK_RESIDENTIAL
+from repro.econ.subsidies import LIFELINE, Subsidy, acp_style_subsidy
+
+
+class TestLifeline:
+    def test_amount(self):
+        assert LIFELINE.monthly_amount_usd == 9.25
+
+    def test_applied_to_starlink_gives_paper_price(self):
+        plan = LIFELINE.apply(STARLINK_RESIDENTIAL)
+        assert plan.monthly_cost_usd == pytest.approx(110.75)
+
+    def test_eligibility_cap_is_135pct_poverty(self):
+        assert LIFELINE.income_cap_usd_per_year == pytest.approx(1.35 * 32150.0)
+
+    def test_low_income_household_eligible(self):
+        assert LIFELINE.eligible(30000.0)
+
+    def test_high_income_household_ineligible(self):
+        assert not LIFELINE.eligible(100000.0)
+
+
+class TestSubsidy:
+    def test_universal_subsidy(self):
+        subsidy = Subsidy("universal", 10.0)
+        assert subsidy.eligible(1e9)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(CapacityModelError):
+            Subsidy("bad", -1.0)
+
+    def test_acp_counterfactual(self):
+        acp = acp_style_subsidy(30.0)
+        plan = acp.apply(STARLINK_RESIDENTIAL)
+        assert plan.monthly_cost_usd == pytest.approx(90.0)
+        assert acp.eligible(50000.0)

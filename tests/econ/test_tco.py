@@ -1,0 +1,74 @@
+"""Tests for the constellation cost model."""
+
+import pytest
+
+from repro.econ.tco import ConstellationCostModel
+from repro.errors import CapacityModelError
+
+
+@pytest.fixture()
+def costs():
+    return ConstellationCostModel()
+
+
+class TestPerSatellite:
+    def test_capex_is_build_plus_launch(self, costs):
+        assert costs.capex_per_satellite_usd == pytest.approx(2_200_000.0)
+
+    def test_annualized_includes_ops(self, costs):
+        expected = 2_200_000.0 / 5.0 + 100_000.0
+        assert costs.annual_cost_per_satellite_usd == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(CapacityModelError):
+            ConstellationCostModel(satellite_lifetime_years=0.0)
+        with pytest.raises(CapacityModelError):
+            ConstellationCostModel(satellite_build_cost_usd=-1.0)
+
+
+class TestFleet:
+    def test_capex_scales_linearly(self, costs):
+        assert costs.constellation_capex_usd(100) == pytest.approx(
+            100 * costs.capex_per_satellite_usd
+        )
+
+    def test_zero_satellites_cost_nothing(self, costs):
+        assert costs.constellation_capex_usd(0) == 0.0
+        assert costs.annual_cost_usd(0) == 0.0
+
+    def test_negative_satellites_rejected(self, costs):
+        with pytest.raises(CapacityModelError):
+            costs.constellation_capex_usd(-1)
+
+    def test_monthly_cost_per_location(self, costs):
+        # 1000 satellites over 100k locations.
+        annual = costs.annual_cost_usd(1000)
+        assert costs.monthly_cost_per_location_usd(1000, 100_000) == (
+            pytest.approx(annual / 100_000 / 12.0)
+        )
+
+    def test_monthly_cost_requires_locations(self, costs):
+        with pytest.raises(CapacityModelError):
+            costs.monthly_cost_per_location_usd(10, 0)
+
+
+class TestMarginal:
+    def test_final_step_numbers(self, costs):
+        # F3's s=1 step: ~3600 satellites for ~8100 locations.
+        summary = costs.marginal_summary(3619, 8107)
+        assert summary["capex_per_location_usd"] > 500_000.0
+        assert summary["monthly_cost_per_location_usd"] > 10_000.0
+
+    def test_requires_positive_locations(self, costs):
+        with pytest.raises(CapacityModelError):
+            costs.marginal_summary(100, 0)
+
+    def test_cheaper_model_lowers_floor(self):
+        cheap = ConstellationCostModel(
+            satellite_build_cost_usd=200_000.0,
+            launch_cost_per_satellite_usd=300_000.0,
+        )
+        default = ConstellationCostModel()
+        assert cheap.monthly_cost_per_location_usd(1000, 1000) < (
+            default.monthly_cost_per_location_usd(1000, 1000)
+        )

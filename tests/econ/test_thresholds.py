@@ -1,0 +1,55 @@
+"""Tests for the 2% affordability rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapacityModelError
+from repro.econ.thresholds import (
+    AFFORDABILITY_INCOME_SHARE,
+    affordability_income_floor_usd_per_year,
+    is_affordable,
+)
+
+
+class TestIncomeFloor:
+    def test_papers_worked_example(self):
+        """$110.75/mo at 2% requires $66,450/yr — stated in the paper."""
+        assert affordability_income_floor_usd_per_year(110.75) == pytest.approx(66450.0)
+
+    def test_starlink_base_floor(self):
+        assert affordability_income_floor_usd_per_year(120.0) == pytest.approx(72000.0)
+
+    def test_terrestrial_floors(self):
+        assert affordability_income_floor_usd_per_year(40.0) == pytest.approx(24000.0)
+        assert affordability_income_floor_usd_per_year(50.0) == pytest.approx(30000.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(CapacityModelError):
+            affordability_income_floor_usd_per_year(-1.0)
+
+    def test_rejects_nonpositive_share(self):
+        with pytest.raises(CapacityModelError):
+            affordability_income_floor_usd_per_year(50.0, income_share=0.0)
+
+
+class TestIsAffordable:
+    def test_default_share_is_2pct(self):
+        assert AFFORDABILITY_INCOME_SHARE == 0.02
+
+    def test_exactly_at_threshold_is_affordable(self):
+        assert is_affordable(120.0, 72000.0)
+
+    def test_just_below_threshold_income(self):
+        assert not is_affordable(120.0, 71999.0)
+
+    def test_rejects_nonpositive_income(self):
+        with pytest.raises(CapacityModelError):
+            is_affordable(120.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=1000.0, max_value=500000.0),
+    )
+    def test_consistent_with_floor(self, cost, income):
+        floor = affordability_income_floor_usd_per_year(cost)
+        assert is_affordable(cost, income) == (income >= floor - 1e-6)

@@ -1,0 +1,113 @@
+"""End-to-end tests: every experiment reproduces its paper artifact.
+
+These are the acceptance tests of DESIGN.md section 6 — shape and headline
+numbers per table/figure.
+"""
+
+import pytest
+
+from repro.experiments import all_experiment_ids, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results(national_model):
+    return {
+        experiment_id: run_experiment(experiment_id, national_model)
+        for experiment_id in all_experiment_ids()
+    }
+
+
+class TestStructure:
+    def test_every_result_has_text_and_csv(self, results):
+        for experiment_id, result in results.items():
+            assert result.text, experiment_id
+            assert result.csv_headers, experiment_id
+            assert result.csv_rows, experiment_id
+            for row in result.csv_rows:
+                assert len(row) == len(result.csv_headers), experiment_id
+
+    def test_metrics_are_numeric(self, results):
+        for experiment_id, result in results.items():
+            for key, value in result.metrics.items():
+                assert isinstance(value, (int, float)), (experiment_id, key)
+
+
+class TestFigure1:
+    def test_percentiles(self, results):
+        metrics = results["fig1"].metrics
+        assert metrics["p90"] == pytest.approx(552, abs=3)
+        assert metrics["p99"] == pytest.approx(1437, rel=0.01)
+        assert metrics["max"] == 5998
+
+    def test_annotations_in_text(self, results):
+        assert "90th percentile" in results["fig1"].text
+        assert "5998" in results["fig1"].text
+
+
+class TestTable1:
+    def test_exact_values(self, results):
+        metrics = results["tab1"].metrics
+        assert metrics["ut_spectrum_mhz"] == pytest.approx(3850.0)
+        assert metrics["cell_capacity_mbps"] == pytest.approx(17325.0)
+        assert round(metrics["max_oversubscription"]) == 35
+
+    def test_band_table_rendered(self, results):
+        assert "3850/8850 MHz" in results["tab1"].text
+
+
+class TestFigure2:
+    def test_fraction_range_matches_colorbar(self, results):
+        metrics = results["fig2"].metrics
+        assert metrics["min_fraction"] == pytest.approx(0.36, abs=0.02)
+        assert metrics["max_fraction"] >= 0.99
+
+    def test_csv_covers_full_grid(self, results):
+        assert len(results["fig2"].csv_rows) == 13 * 26
+
+
+class TestTable2:
+    def test_within_2pct_of_paper(self, results):
+        assert results["tab2"].metrics["worst_relative_error"] < 0.02
+
+    def test_headline_sizes(self, results):
+        metrics = results["tab2"].metrics
+        assert metrics["size_full_s1"] == pytest.approx(79287, rel=0.02)
+        assert metrics["size_full_s2"] > 40000
+
+
+class TestFigure3:
+    def test_floor_matches_paper_annotation(self, results):
+        # Paper Fig 3 annotation (3): 5103 locations unservable at 20:1.
+        assert results["fig3"].metrics["floor_unservable"] == pytest.approx(
+            5103, abs=60
+        )
+
+    def test_final_step_cost_bracket(self, results):
+        metrics = results["fig3"].metrics
+        assert metrics["final_step_satellites_s15"] < 1000 < (
+            metrics["final_step_satellites_s1"]
+        )
+
+
+class TestFigure4:
+    def test_f4_counts(self, results):
+        metrics = results["fig4"].metrics
+        assert metrics["unaffordable_starlink_at_2pct"] == pytest.approx(
+            3.47e6, rel=0.01
+        )
+        assert metrics["unaffordable_lifeline_at_2pct"] == pytest.approx(
+            3.0e6, rel=0.01
+        )
+
+    def test_zero_crossing_ratio(self, results):
+        metrics = results["fig4"].metrics
+        ratio = metrics["lifeline_zero_crossing"] / metrics["starlink_zero_crossing"]
+        assert ratio == pytest.approx(110.75 / 120.0, abs=0.03)
+
+
+class TestValidation:
+    def test_simulator_agrees_with_theory(self, results):
+        metrics = results["val"].metrics
+        assert metrics["worst_density_error"] < 0.05
+        assert metrics["min_coverage_fraction"] > 0.85
+        assert metrics["demand_satisfaction"] > 0.9

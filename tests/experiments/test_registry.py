@@ -1,0 +1,39 @@
+"""Tests for the experiment registry plumbing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import all_experiment_ids, get_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = all_experiment_ids()
+        for expected in ("fig1", "tab1", "fig2", "tab2", "fig3", "fig4", "val"):
+            assert expected in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")
+
+    def test_run_experiment_uses_given_model(self, national_model):
+        result = run_experiment("tab1", national_model)
+        assert result.experiment_id == "tab1"
+
+
+class TestDeterminism:
+    def test_experiment_reruns_identically(self, national_model):
+        """Same model in, same CSV out (no hidden randomness)."""
+        from repro.experiments import run_experiment
+
+        first = run_experiment("tab2", national_model)
+        second = run_experiment("tab2", national_model)
+        assert list(first.csv_rows) == list(second.csv_rows)
+        assert first.metrics == second.metrics
+
+    def test_paper_ids_precede_extensions(self):
+        from repro.experiments import all_experiment_ids
+
+        ids = all_experiment_ids()
+        assert ids.index("fig1") < ids.index("uplink")
+        assert ids.index("fig4") < ids.index("equity")

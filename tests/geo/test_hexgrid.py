@@ -1,0 +1,212 @@
+"""Tests for the hexagonal discrete global grid."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon, haversine_km
+from repro.geo.hexgrid import (
+    CellId,
+    H3_MEAN_HEX_AREA_KM2,
+    HexGrid,
+    STARLINK_CELL_RESOLUTION,
+)
+from repro.geo.polygon import Polygon
+
+lat_strategy = st.floats(min_value=-75.0, max_value=75.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return HexGrid(STARLINK_CELL_RESOLUTION)
+
+
+class TestCellId:
+    def test_token_roundtrip(self):
+        cell = CellId(5, -714, 581)
+        assert CellId.from_token(cell.token) == cell
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=-100000, max_value=100000),
+        st.integers(min_value=-100000, max_value=100000),
+    )
+    def test_token_roundtrip_property(self, res, q, r):
+        cell = CellId(res, q, r)
+        assert CellId.from_token(cell.token) == cell
+
+    def test_tokens_are_unique(self):
+        tokens = {
+            CellId(5, q, r).token for q in range(-10, 10) for r in range(-10, 10)
+        }
+        assert len(tokens) == 400
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(GeometryError):
+            CellId(11, 0, 0)
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(GeometryError):
+            CellId.from_token("not-a-token")
+
+    def test_ordering_is_stable(self):
+        assert CellId(5, 0, 0) < CellId(5, 0, 1) < CellId(5, 1, 0)
+
+
+class TestGridBasics:
+    def test_resolution5_area_matches_h3(self, grid):
+        assert grid.cell_area_km2 == pytest.approx(252.903858182)
+
+    def test_hex_size_consistent_with_area(self, grid):
+        area = 3.0 * math.sqrt(3.0) / 2.0 * grid.hex_size_km**2
+        assert area == pytest.approx(grid.cell_area_km2)
+
+    def test_area_table_aperture7(self):
+        for res in range(1, 11):
+            ratio = H3_MEAN_HEX_AREA_KM2[res - 1] / H3_MEAN_HEX_AREA_KM2[res]
+            assert ratio == pytest.approx(7.0, rel=0.03)
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(GeometryError):
+            HexGrid(resolution=42)
+
+
+class TestPointToCell:
+    @given(lat_strategy, lon_strategy)
+    @settings(max_examples=200)
+    def test_center_is_nearby(self, lat, lon):
+        """The assigned cell's center lies within one circumradius, after
+        accounting for the equal-area projection's north-south stretch of
+        ground distance by 1/cos(lat)."""
+        grid = HexGrid(5)
+        point = LatLon(lat, lon)
+        center = grid.center(grid.cell_for(point))
+        bound = grid.hex_size_km / math.cos(math.radians(abs(lat))) * 1.1
+        assert haversine_km(point, center) <= bound
+
+    @given(lat_strategy, lon_strategy)
+    @settings(max_examples=100)
+    def test_center_maps_to_own_cell(self, lat, lon):
+        grid = HexGrid(5)
+        cell = grid.cell_for(LatLon(lat, lon))
+        assert grid.cell_for(grid.center(cell)) == cell
+
+    def test_deterministic(self, grid):
+        p = LatLon(37.0, -82.5)
+        assert grid.cell_for(p) == grid.cell_for(p)
+
+
+class TestTopology:
+    def test_six_neighbors(self, grid):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        neighbors = grid.neighbors(cell)
+        assert len(neighbors) == 6
+        assert len(set(neighbors)) == 6
+        assert cell not in neighbors
+
+    def test_neighbors_at_distance_one(self, grid):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        for neighbor in grid.neighbors(cell):
+            assert grid.distance(cell, neighbor) == 1
+
+    def test_neighbor_symmetry(self, grid):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        for neighbor in grid.neighbors(cell):
+            assert cell in grid.neighbors(neighbor)
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5])
+    def test_ring_size(self, grid, k):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        ring = grid.ring(cell, k)
+        assert len(ring) == (6 * k if k > 0 else 1)
+        for member in ring:
+            assert grid.distance(cell, member) == k
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_disk_size(self, grid, k):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        disk = grid.disk(cell, k)
+        assert len(disk) == 1 + 3 * k * (k + 1)
+        assert len(set(disk)) == len(disk)
+
+    def test_negative_ring_rejected(self, grid):
+        with pytest.raises(GeometryError):
+            grid.ring(grid.cell_for(LatLon(0.0, 0.0)), -1)
+
+    def test_distance_triangle_inequality(self, grid):
+        a = grid.cell_for(LatLon(40.0, -100.0))
+        b = grid.cell_for(LatLon(41.0, -99.0))
+        c = grid.cell_for(LatLon(39.0, -101.5))
+        assert grid.distance(a, c) <= grid.distance(a, b) + grid.distance(b, c)
+
+    def test_foreign_resolution_rejected(self, grid):
+        foreign = CellId(4, 0, 0)
+        with pytest.raises(GeometryError):
+            grid.neighbors(foreign)
+
+
+class TestEnumeration:
+    def test_bbox_contains_center_cells(self, grid):
+        cells = list(grid.cells_in_bbox(39.0, 40.0, -101.0, -100.0))
+        assert cells
+        for cell in cells:
+            center = grid.center(cell)
+            assert 39.0 <= center.lat_deg <= 40.0
+            assert -101.0 <= center.lon_deg <= -100.0
+
+    def test_bbox_cell_count_matches_area(self, grid):
+        """Cell count approximates bbox area / cell area."""
+        cells = list(grid.cells_in_bbox(39.0, 41.0, -102.0, -100.0))
+        # 2 x 2 degree box at 40 N: width 2*111.2*cos(40), height 2*111.2.
+        area = (2 * 111.19) ** 2 * math.cos(math.radians(40.0))
+        expected = area / grid.cell_area_km2
+        assert len(cells) == pytest.approx(expected, rel=0.05)
+
+    def test_inverted_bbox_rejected(self, grid):
+        with pytest.raises(GeometryError):
+            list(grid.cells_in_bbox(41.0, 39.0, -102.0, -100.0))
+
+    def test_polygon_cover_subset_of_bbox(self, grid):
+        triangle = Polygon(
+            [LatLon(39.0, -101.0), LatLon(40.0, -101.0), LatLon(39.0, -100.0)]
+        )
+        covered = grid.cells_covering(triangle)
+        assert covered
+        boxed = set(grid.cells_in_bbox(39.0, 40.0, -101.0, -100.0))
+        assert set(covered) <= boxed
+
+    def test_cell_polygon_has_six_vertices(self, grid):
+        cell = grid.cell_for(LatLon(40.0, -100.0))
+        vertices = grid.cell_polygon(cell)
+        assert len(vertices) == 6
+        center = grid.center(cell)
+        for vertex in vertices:
+            assert haversine_km(center, vertex) <= grid.hex_size_km * 2.0
+
+
+class TestEdgeGeometry:
+    def test_dateline_points_resolve_to_valid_cells(self, grid):
+        """Points just west and east of the antimeridian both resolve to
+        cells whose centers map back to legal coordinates near them."""
+        for lon in (179.95, -179.95):
+            cell = grid.cell_for(LatLon(10.0, lon))
+            center = grid.center(cell)
+            assert center.lat_deg == pytest.approx(10.0, abs=0.5)
+            assert -180.0 <= center.lon_deg < 180.0
+            assert abs(abs(center.lon_deg) - 180.0) < 0.5
+
+    def test_equator_cells_symmetric(self, grid):
+        north = grid.cell_for(LatLon(0.01, -100.0))
+        south = grid.cell_for(LatLon(-0.01, -100.0))
+        assert abs(grid.center(north).lat_deg) < 0.2
+        assert abs(grid.center(south).lat_deg) < 0.2
+
+    def test_every_conus_state_box_contains_cells(self, grid):
+        from repro.geo.us_boundary import STATE_BBOXES
+
+        for state, (lat_min, lat_max, lon_min, lon_max) in STATE_BBOXES.items():
+            cells = list(grid.cells_in_bbox(lat_min, lat_max, lon_min, lon_max))
+            assert cells, state

@@ -1,0 +1,146 @@
+"""Tests for geographic polygons and the CONUS boundary."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.geo.polygon import Polygon
+from repro.geo.us_boundary import (
+    CONUS_LAND_AREA_KM2,
+    STATE_BBOXES,
+    conus_bbox,
+    conus_polygon,
+)
+
+
+@pytest.fixture()
+def unit_square():
+    """Roughly 1x1 degree box near the equator."""
+    return Polygon(
+        [
+            LatLon(0.0, 0.0),
+            LatLon(0.0, 1.0),
+            LatLon(1.0, 1.0),
+            LatLon(1.0, 0.0),
+        ]
+    )
+
+
+class TestPolygonBasics:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([LatLon(0.0, 0.0), LatLon(1.0, 1.0)])
+
+    def test_rejects_hemispheric_span(self):
+        with pytest.raises(GeometryError):
+            Polygon(
+                [LatLon(0.0, -170.0), LatLon(0.0, 170.0), LatLon(10.0, 0.0)]
+            )
+
+    def test_contains_interior(self, unit_square):
+        assert unit_square.contains(LatLon(0.5, 0.5))
+
+    def test_excludes_exterior(self, unit_square):
+        assert not unit_square.contains(LatLon(2.0, 0.5))
+        assert not unit_square.contains(LatLon(0.5, -0.5))
+
+    def test_area_of_degree_square(self, unit_square):
+        # 1 degree ~ 111.19 km at the equator.
+        assert unit_square.area_km2() == pytest.approx(111.19**2, rel=0.01)
+
+    def test_centroid_of_square(self, unit_square):
+        centroid = unit_square.centroid()
+        assert centroid.lat_deg == pytest.approx(0.5, abs=0.01)
+        assert centroid.lon_deg == pytest.approx(0.5, abs=0.01)
+
+    def test_bounds(self, unit_square):
+        assert unit_square.bounds() == (0.0, 1.0, 0.0, 1.0)
+
+    def test_vertex_order_does_not_change_area(self):
+        vertices = [
+            LatLon(0.0, 0.0),
+            LatLon(0.0, 1.0),
+            LatLon(1.0, 1.0),
+            LatLon(1.0, 0.0),
+        ]
+        clockwise = Polygon(list(reversed(vertices)))
+        counter = Polygon(vertices)
+        assert clockwise.area_km2() == pytest.approx(counter.area_km2())
+
+
+class TestConusBoundary:
+    def test_area_close_to_published(self):
+        area = conus_polygon().area_km2()
+        assert area == pytest.approx(CONUS_LAND_AREA_KM2, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "lat,lon",
+        [
+            (39.1, -94.6),  # Kansas City
+            (40.0, -83.0),  # Columbus
+            (33.45, -112.07),  # Phoenix
+            (46.9, -110.0),  # central Montana
+            (31.0, -98.0),  # central Texas
+        ],
+    )
+    def test_contains_interior_cities(self, lat, lon):
+        assert conus_polygon().contains(LatLon(lat, lon))
+
+    @pytest.mark.parametrize(
+        "lat,lon",
+        [
+            (30.0, -70.0),  # Atlantic
+            (30.0, -130.0),  # Pacific
+            (55.0, -100.0),  # Canada
+            (20.0, -100.0),  # Mexico
+            (64.8, -147.7),  # Fairbanks, AK (excluded by design)
+        ],
+    )
+    def test_excludes_exterior_points(self, lat, lon):
+        assert not conus_polygon().contains(LatLon(lat, lon))
+
+    def test_bbox_latitudes(self):
+        lat_min, lat_max, lon_min, lon_max = conus_bbox()
+        assert lat_min == pytest.approx(25.1, abs=1.0)
+        assert lat_max == pytest.approx(49.0, abs=0.1)
+        assert lon_min < -124.0
+        assert lon_max > -67.0
+
+    def test_state_bboxes_inside_conus_bbox(self):
+        lat_min, lat_max, lon_min, lon_max = conus_bbox()
+        for state, (s_lat_min, s_lat_max, s_lon_min, s_lon_max) in STATE_BBOXES.items():
+            assert lat_min <= s_lat_min < s_lat_max <= lat_max, state
+            assert lon_min <= s_lon_min < s_lon_max <= lon_max, state
+
+
+class TestEdgeCases:
+    def test_point_far_outside_bbox(self, unit_square):
+        assert not unit_square.contains(LatLon(50.0, 50.0))
+
+    def test_concave_polygon(self):
+        # An L-shape: the notch must be excluded.
+        ell = Polygon(
+            [
+                LatLon(0.0, 0.0),
+                LatLon(0.0, 2.0),
+                LatLon(1.0, 2.0),
+                LatLon(1.0, 1.0),
+                LatLon(2.0, 1.0),
+                LatLon(2.0, 0.0),
+            ]
+        )
+        assert ell.contains(LatLon(0.5, 1.5))
+        assert ell.contains(LatLon(1.5, 0.5))
+        assert not ell.contains(LatLon(1.5, 1.5))  # the notch
+
+    def test_triangle_area_half_of_square(self):
+        square = Polygon(
+            [LatLon(0.0, 0.0), LatLon(0.0, 1.0), LatLon(1.0, 1.0), LatLon(1.0, 0.0)]
+        )
+        triangle = Polygon(
+            [LatLon(0.0, 0.0), LatLon(0.0, 1.0), LatLon(1.0, 0.0)]
+        )
+        assert triangle.area_km2() == pytest.approx(square.area_km2() / 2, rel=1e-6)
+
+    def test_centroid_inside_convex_polygon(self, unit_square):
+        assert unit_square.contains(unit_square.centroid())

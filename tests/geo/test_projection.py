@@ -1,0 +1,76 @@
+"""Tests for the equal-area cylindrical projection."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geo.coords import LatLon
+from repro.geo.projection import EqualAreaProjection
+from repro.units import EARTH_RADIUS_KM
+
+
+@pytest.fixture()
+def projection():
+    return EqualAreaProjection()
+
+
+class TestForward:
+    def test_origin(self, projection):
+        assert projection.forward(LatLon(0.0, 0.0)) == (0.0, 0.0)
+
+    def test_north_pole_y(self, projection):
+        _, y = projection.forward(LatLon(90.0, 0.0))
+        assert y == pytest.approx(EARTH_RADIUS_KM)
+
+    def test_x_scales_with_longitude(self, projection):
+        x, _ = projection.forward(LatLon(0.0, 90.0))
+        assert x == pytest.approx(math.pi / 2.0 * EARTH_RADIUS_KM)
+
+    def test_rejects_bad_latitude(self, projection):
+        with pytest.raises(GeometryError):
+            projection.forward(LatLon(91.0, 0.0))
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(GeometryError):
+            EqualAreaProjection(radius_km=0.0)
+
+
+class TestRoundTrip:
+    @given(
+        st.floats(min_value=-89.0, max_value=89.0),
+        st.floats(min_value=-179.9, max_value=179.9),
+    )
+    def test_forward_inverse(self, lat, lon):
+        projection = EqualAreaProjection()
+        point = LatLon(lat, lon)
+        x, y = projection.forward(point)
+        back = projection.inverse(x, y)
+        assert back.lat_deg == pytest.approx(lat, abs=1e-9)
+        assert back.lon_deg == pytest.approx(lon, abs=1e-9)
+
+    def test_inverse_clamps_beyond_pole(self, projection):
+        point = projection.inverse(0.0, EARTH_RADIUS_KM * 1.001)
+        assert point.lat_deg == pytest.approx(90.0)
+
+
+class TestAreaPreservation:
+    def test_total_plane_area_equals_sphere(self, projection):
+        plane_area = projection.width_km * projection.height_km
+        sphere_area = 4.0 * math.pi * EARTH_RADIUS_KM**2
+        assert plane_area == pytest.approx(sphere_area)
+
+    @pytest.mark.parametrize("lat", [0.0, 30.0, 45.0, 60.0])
+    def test_band_area_matches_spherical_band(self, projection, lat):
+        """A 1-degree band's projected area equals its spherical area."""
+        y1 = projection.forward(LatLon(lat, 0.0))[1]
+        y2 = projection.forward(LatLon(lat + 1.0, 0.0))[1]
+        plane_band = (y2 - y1) * projection.width_km
+        sphere_band = (
+            2.0
+            * math.pi
+            * EARTH_RADIUS_KM**2
+            * (math.sin(math.radians(lat + 1.0)) - math.sin(math.radians(lat)))
+        )
+        assert plane_band == pytest.approx(sphere_band, rel=1e-12)

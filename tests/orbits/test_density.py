@@ -1,0 +1,173 @@
+"""Tests for the latitude density theory behind Table 2."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.errors import GeometryError
+from repro.orbits.density import (
+    ShellMixDensity,
+    band_enhancement,
+    latitude_enhancement,
+    latitude_pdf,
+)
+from repro.orbits.shells import GEN1_SHELLS, Shell, current_deployment
+from repro.orbits.walker import WalkerDelta
+from repro.units import EARTH_SURFACE_AREA_KM2
+
+
+class TestLatitudePdf:
+    def test_integrates_to_one(self):
+        # Substituting x = sin(phi)/sin(i) removes the edge singularity:
+        # the pdf mass is (1/pi) * integral dx / sqrt(1 - x^2) = 1 exactly;
+        # numerically, integrate in latitude with a tight edge cutoff and
+        # account for the small analytic tail mass beyond the cutoff.
+        cutoff = 52.99
+        value, _ = integrate.quad(
+            lambda phi: latitude_pdf(phi, 53.0) * math.pi / 180.0,
+            -cutoff,
+            cutoff,
+            limit=500,
+        )
+        tail = 1.0 - (2.0 / math.pi) * math.asin(
+            math.sin(math.radians(cutoff)) / math.sin(math.radians(53.0))
+        )
+        assert value + tail == pytest.approx(1.0, abs=2e-3)
+
+    def test_zero_outside_coverage(self):
+        assert latitude_pdf(60.0, 53.0) == 0.0
+        assert latitude_pdf(-54.0, 53.0) == 0.0
+
+    def test_symmetric(self):
+        assert latitude_pdf(30.0, 53.0) == pytest.approx(latitude_pdf(-30.0, 53.0))
+
+    def test_retrograde_equivalent(self):
+        # A 97.6-degree shell covers like an 82.4-degree shell.
+        assert latitude_pdf(45.0, 97.6) == pytest.approx(latitude_pdf(45.0, 82.4))
+
+
+class TestEnhancement:
+    def test_known_values(self):
+        # e(0; 53) = (2/pi)/sin(53).
+        expected = (2.0 / math.pi) / math.sin(math.radians(53.0))
+        assert latitude_enhancement(0.0, 53.0) == pytest.approx(expected)
+
+    def test_table2_back_solve(self):
+        """e at ~37 N for a 53-degree shell is ~1.21 — the factor that
+        makes Table 2's numbers come out (see DESIGN.md 4.3)."""
+        assert latitude_enhancement(37.0, 53.0) == pytest.approx(1.21, abs=0.01)
+
+    def test_increases_toward_inclination(self):
+        values = [latitude_enhancement(lat, 53.0) for lat in (0, 20, 40, 50)]
+        assert values == sorted(values)
+
+    def test_raises_outside_coverage(self):
+        with pytest.raises(GeometryError):
+            latitude_enhancement(55.0, 53.0)
+
+    def test_sphere_average_is_one(self):
+        value, _ = integrate.quad(
+            lambda phi: latitude_enhancement(math.degrees(phi), 53.0)
+            * math.cos(phi)
+            / 2.0,
+            -math.radians(53.0) + 1e-9,
+            math.radians(53.0) - 1e-9,
+            limit=300,
+        )
+        assert value == pytest.approx(1.0, abs=1e-4)
+
+    def test_band_enhancement_finite_at_edge(self):
+        value = band_enhancement(53.0, 53.0, band_halfwidth_deg=0.5)
+        assert np.isfinite(value)
+        assert value > latitude_enhancement(50.0, 53.0)
+
+    def test_band_enhancement_matches_point_away_from_edge(self):
+        band = band_enhancement(30.0, 53.0, band_halfwidth_deg=0.25)
+        point = latitude_enhancement(30.0, 53.0)
+        assert band == pytest.approx(point, rel=1e-3)
+
+    def test_band_enhancement_zero_outside(self):
+        assert band_enhancement(70.0, 53.0) == 0.0
+
+    def test_bad_inclination_rejected(self):
+        with pytest.raises(GeometryError):
+            latitude_enhancement(0.0, 0.0)
+
+
+class TestShellMix:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(GeometryError):
+            ShellMixDensity([])
+
+    def test_single_shell_equals_function(self):
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        assert mix.enhancement(30.0) == pytest.approx(
+            latitude_enhancement(30.0, 53.0)
+        )
+
+    def test_mix_is_weighted_average(self):
+        shells = [GEN1_SHELLS[0], GEN1_SHELLS[2]]  # 53 deg and 70 deg
+        mix = ShellMixDensity(shells)
+        w1 = 1584 / (1584 + 720)
+        w2 = 720 / (1584 + 720)
+        expected = w1 * latitude_enhancement(30.0, 53.0) + (
+            w2 * latitude_enhancement(30.0, 70.0)
+        )
+        assert mix.enhancement(30.0) == pytest.approx(expected)
+
+    def test_high_latitude_served_only_by_high_inclination(self):
+        mix = ShellMixDensity(current_deployment())
+        # 60 N is above the 53-degree shells but under 70/97.6.
+        assert mix.enhancement(60.0) > 0.0
+        pure53 = ShellMixDensity([GEN1_SHELLS[0]])
+        assert pure53.enhancement(52.0) > 0.0
+        assert pure53.enhancement(54.0) == 0.0
+
+    def test_density_per_km2(self):
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        density = mix.density_per_km2(0.0)
+        uniform = 1584 / EARTH_SURFACE_AREA_KM2
+        assert density == pytest.approx(uniform * mix.enhancement(0.0))
+
+    def test_constellation_size_roundtrip(self):
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        density = mix.density_per_km2(37.0)
+        size = mix.constellation_size_for_local_density(density, 37.0)
+        assert size == pytest.approx(1584, rel=1e-9)
+
+    def test_size_raises_for_uncovered_latitude(self):
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        with pytest.raises(GeometryError):
+            mix.constellation_size_for_local_density(1e-5, 60.0)
+
+    def test_size_rejects_nonpositive_density(self):
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        with pytest.raises(GeometryError):
+            mix.constellation_size_for_local_density(0.0, 30.0)
+
+
+class TestEmpiricalValidation:
+    def test_walker_histogram_matches_theory(self):
+        """Propagated Walker shell density matches e(phi) within 3%."""
+        shell = GEN1_SHELLS[0]
+        walker = WalkerDelta.from_shell(shell)
+        samples = []
+        for t in np.linspace(0.0, 5700.0, 30):
+            lats, _ = walker.subsatellite_points(float(t))
+            samples.append(lats)
+        all_lats = np.concatenate(samples)
+        mix = ShellMixDensity([shell])
+        edges = np.linspace(-45.0, 45.0, 19)
+        centers, empirical = mix.empirical_latitude_histogram(all_lats, edges)
+        for lat, value in zip(centers, empirical):
+            assert value == pytest.approx(mix.enhancement(float(lat)), rel=0.03)
+
+    def test_histogram_requires_samples(self):
+        from repro.errors import SimulationError  # noqa: F401
+        mix = ShellMixDensity([GEN1_SHELLS[0]])
+        centers, empirical = mix.empirical_latitude_histogram(
+            np.array([10.0]), np.array([0.0, 20.0])
+        )
+        assert centers.shape == (1,)

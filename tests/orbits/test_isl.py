@@ -1,0 +1,88 @@
+"""Tests for the +Grid ISL topology."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import GeometryError
+from repro.orbits.isl import (
+    degree_histogram,
+    isl_graph,
+    isl_path_km,
+    plus_grid_edges,
+)
+from repro.orbits.shells import GEN1_SHELLS, Shell
+from repro.orbits.walker import WalkerDelta
+
+
+@pytest.fixture(scope="module")
+def small_walker():
+    return WalkerDelta.from_shell(Shell("test", 60, 550.0, 53.0, 6, 10))
+
+
+@pytest.fixture(scope="module")
+def small_graph(small_walker):
+    return isl_graph(small_walker)
+
+
+class TestTopology:
+    def test_edge_count_is_2n(self, small_walker):
+        # Each satellite contributes one intra-plane and one cross-plane
+        # edge; as an undirected simple graph that's 2N edges.
+        edges = plus_grid_edges(small_walker)
+        assert len(edges) == 2 * small_walker.total
+
+    def test_four_regular(self, small_graph, small_walker):
+        histogram = degree_histogram(small_graph)
+        assert histogram == {4: small_walker.total}
+
+    def test_connected(self, small_graph):
+        assert nx.is_connected(small_graph)
+
+    def test_intra_plane_ring(self, small_walker, small_graph):
+        # Satellites 0..9 are plane 0; consecutive slots are linked.
+        assert small_graph.has_edge(0, 1)
+        assert small_graph.has_edge(9, 0)
+
+    def test_cross_plane_link(self, small_walker, small_graph):
+        # Slot 3 of plane 0 links to slot 3 of plane 1 (index 13).
+        assert small_graph.has_edge(3, 13)
+
+
+class TestDistances:
+    def test_intra_plane_distance_uniform(self, small_walker, small_graph):
+        """All intra-plane links in one ring have equal length."""
+        lengths = [
+            small_graph.edges[slot, (slot + 1) % 10]["distance_km"]
+            for slot in range(10)
+        ]
+        assert max(lengths) - min(lengths) < 1e-6
+
+    def test_distances_positive_and_sub_orbital(self, small_graph):
+        for _, _, data in small_graph.edges(data=True):
+            assert 0.0 < data["distance_km"] < 2.0 * (6371.0 + 550.0)
+
+    def test_path_to_self_is_zero(self, small_graph):
+        length, path = isl_path_km(small_graph, 5, 5)
+        assert length == 0.0
+        assert path == [5]
+
+    def test_path_triangle_inequality(self, small_graph):
+        d02, _ = isl_path_km(small_graph, 0, 2)
+        d01, _ = isl_path_km(small_graph, 0, 1)
+        d12, _ = isl_path_km(small_graph, 1, 2)
+        assert d02 <= d01 + d12 + 1e-9
+
+    def test_out_of_range_rejected(self, small_graph):
+        with pytest.raises(GeometryError):
+            isl_path_km(small_graph, 0, 10_000)
+
+
+class TestStarlinkShell:
+    def test_gen1_shell1_graph(self):
+        walker = WalkerDelta.from_shell(GEN1_SHELLS[0])
+        graph = isl_graph(walker)
+        assert graph.number_of_nodes() == 1584
+        assert graph.number_of_edges() == 2 * 1584
+        assert degree_histogram(graph) == {4: 1584}

@@ -1,0 +1,115 @@
+"""Tests for circular-orbit propagation and frame conversions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.orbits.kepler import (
+    CircularOrbit,
+    ecef_to_latlon,
+    eci_to_ecef,
+    gmst_rad,
+)
+from repro.units import EARTH_RADIUS_KM, SIDEREAL_DAY_S
+
+
+@pytest.fixture()
+def starlink_orbit():
+    return CircularOrbit(altitude_km=550.0, inclination_deg=53.0)
+
+
+class TestOrbitValidation:
+    def test_rejects_nonpositive_altitude(self):
+        with pytest.raises(GeometryError):
+            CircularOrbit(altitude_km=0.0, inclination_deg=53.0)
+
+    def test_rejects_bad_inclination(self):
+        with pytest.raises(GeometryError):
+            CircularOrbit(altitude_km=550.0, inclination_deg=181.0)
+
+    def test_polar_orbit_allowed(self):
+        CircularOrbit(altitude_km=560.0, inclination_deg=97.6)
+
+
+class TestOrbitKinematics:
+    def test_period_at_550km(self, starlink_orbit):
+        # Known value: ~95.5 minutes at 550 km.
+        assert starlink_orbit.period_s == pytest.approx(95.5 * 60.0, rel=0.01)
+
+    def test_kepler_third_law(self):
+        low = CircularOrbit(altitude_km=550.0, inclination_deg=53.0)
+        high = CircularOrbit(altitude_km=1150.0, inclination_deg=53.0)
+        ratio = (high.period_s / low.period_s) ** 2
+        expected = (high.semi_major_axis_km / low.semi_major_axis_km) ** 3
+        assert ratio == pytest.approx(expected, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=20000.0))
+    @settings(max_examples=50)
+    def test_radius_is_constant(self, time_s):
+        orbit = CircularOrbit(altitude_km=550.0, inclination_deg=53.0)
+        radius = np.linalg.norm(orbit.position_eci(time_s))
+        assert radius == pytest.approx(orbit.semi_major_axis_km, rel=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=20000.0))
+    @settings(max_examples=50)
+    def test_latitude_bounded_by_inclination(self, time_s):
+        orbit = CircularOrbit(altitude_km=550.0, inclination_deg=53.0)
+        lat, _ = orbit.subsatellite_point(time_s)
+        assert abs(lat) <= 53.0 + 1e-9
+
+    def test_periodicity(self, starlink_orbit):
+        p0 = starlink_orbit.position_eci(0.0)
+        p1 = starlink_orbit.position_eci(starlink_orbit.period_s)
+        assert np.allclose(p0, p1, atol=1e-6)
+
+    def test_positions_eci_matches_scalar(self, starlink_orbit):
+        times = np.array([0.0, 100.0, 2000.0])
+        batch = starlink_orbit.positions_eci(times)
+        for t, row in zip(times, batch):
+            assert np.allclose(row, starlink_orbit.position_eci(float(t)))
+
+    def test_equatorial_orbit_stays_equatorial(self):
+        orbit = CircularOrbit(altitude_km=550.0, inclination_deg=0.001)
+        for t in (0.0, 500.0, 3000.0):
+            lat, _ = orbit.subsatellite_point(t)
+            assert abs(lat) < 0.01
+
+
+class TestFrames:
+    def test_gmst_zero_at_epoch(self):
+        assert gmst_rad(0.0) == 0.0
+
+    def test_gmst_full_turn_per_sidereal_day(self):
+        assert gmst_rad(SIDEREAL_DAY_S) == pytest.approx(0.0, abs=1e-6)
+        assert gmst_rad(SIDEREAL_DAY_S / 2.0) == pytest.approx(math.pi, rel=1e-9)
+
+    def test_rotation_preserves_norm_and_z(self):
+        position = np.array([7000.0, 100.0, 3000.0])
+        rotated = eci_to_ecef(position, 1234.0)
+        assert np.linalg.norm(rotated) == pytest.approx(np.linalg.norm(position))
+        assert rotated[2] == pytest.approx(position[2])
+
+    def test_identity_at_epoch(self):
+        position = np.array([7000.0, 100.0, 3000.0])
+        assert np.allclose(eci_to_ecef(position, 0.0), position)
+
+    def test_ecef_to_latlon_poles_and_equator(self):
+        lat, lon, alt = ecef_to_latlon(np.array([0.0, 0.0, 7000.0]))
+        assert lat == pytest.approx(90.0)
+        assert alt == pytest.approx(7000.0 - EARTH_RADIUS_KM)
+        lat, lon, _ = ecef_to_latlon(np.array([7000.0, 0.0, 0.0]))
+        assert lat == pytest.approx(0.0)
+        assert lon == pytest.approx(0.0)
+
+    def test_ecef_to_latlon_rejects_origin(self):
+        with pytest.raises(GeometryError):
+            ecef_to_latlon(np.zeros(3))
+
+    def test_batch_conversion(self):
+        positions = np.array([[7000.0, 0.0, 0.0], [0.0, 7000.0, 0.0]])
+        lat, lon, alt = ecef_to_latlon(positions)
+        assert lat.shape == (2,)
+        assert lon[1] == pytest.approx(90.0)

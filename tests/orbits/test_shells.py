@@ -1,0 +1,48 @@
+"""Tests for the Starlink shell catalog."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.orbits.shells import (
+    GEN1_SHELLS,
+    GEN2A_SHELLS,
+    Shell,
+    current_deployment,
+    gen1_constellation,
+    total_satellites,
+)
+
+
+class TestCatalog:
+    def test_gen1_total_is_4408(self):
+        assert total_satellites(GEN1_SHELLS) == 4408
+
+    def test_gen2a_total_is_7500(self):
+        assert total_satellites(GEN2A_SHELLS) == 7500
+
+    def test_current_deployment_is_about_8000(self):
+        total = total_satellites(current_deployment())
+        assert total == pytest.approx(8000, abs=50)
+
+    def test_gen1_constellation_copy(self):
+        shells = gen1_constellation()
+        shells.append(shells[0])
+        assert len(gen1_constellation()) == 5
+
+    def test_shell_plane_arithmetic(self):
+        for shell in list(GEN1_SHELLS) + list(GEN2A_SHELLS):
+            assert shell.planes * shell.sats_per_plane == shell.satellite_count
+
+    def test_altitudes_are_leo(self):
+        for shell in current_deployment():
+            assert 500.0 <= shell.altitude_km <= 600.0
+
+
+class TestShellValidation:
+    def test_rejects_mismatched_planes(self):
+        with pytest.raises(GeometryError):
+            Shell("bad", 100, 550.0, 53.0, 7, 13)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Shell("empty", 0, 550.0, 53.0, 0, 0)

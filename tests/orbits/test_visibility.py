@@ -1,0 +1,106 @@
+"""Tests for visibility geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.orbits.visibility import (
+    STARLINK_MIN_ELEVATION_DEG,
+    coverage_central_angle_rad,
+    elevation_deg,
+    footprint_area_km2,
+    satellites_in_view,
+    slant_range_km,
+)
+from repro.units import EARTH_RADIUS_KM
+
+
+class TestCoverageAngle:
+    def test_known_starlink_geometry(self):
+        # 550 km altitude, 25-degree mask:
+        # acos(0.9205 * cos 25) - 25 deg ~ 8.46 degrees.
+        psi = coverage_central_angle_rad(550.0, 25.0)
+        assert math.degrees(psi) == pytest.approx(8.46, abs=0.05)
+
+    def test_zero_elevation_is_horizon_limit(self):
+        psi = coverage_central_angle_rad(550.0, 0.0)
+        expected = math.acos(EARTH_RADIUS_KM / (EARTH_RADIUS_KM + 550.0))
+        assert psi == pytest.approx(expected)
+
+    @given(st.floats(min_value=200.0, max_value=2000.0))
+    def test_monotone_in_altitude(self, altitude):
+        assert coverage_central_angle_rad(altitude + 50.0, 25.0) > (
+            coverage_central_angle_rad(altitude, 25.0)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=80.0))
+    def test_monotone_in_elevation(self, elevation):
+        assert coverage_central_angle_rad(550.0, elevation) > (
+            coverage_central_angle_rad(550.0, elevation + 5.0)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(GeometryError):
+            coverage_central_angle_rad(-1.0, 25.0)
+        with pytest.raises(GeometryError):
+            coverage_central_angle_rad(550.0, 90.0)
+
+
+class TestFootprint:
+    def test_area_formula(self):
+        psi = coverage_central_angle_rad(550.0, 25.0)
+        expected = 2.0 * math.pi * EARTH_RADIUS_KM**2 * (1.0 - math.cos(psi))
+        assert footprint_area_km2(550.0, 25.0) == pytest.approx(expected)
+
+    def test_covers_thousands_of_cells(self):
+        # The paper's geometry: one satellite sees thousands of res-5 cells.
+        assert footprint_area_km2(550.0) / 252.9 > 5000
+
+
+class TestSlantRange:
+    def test_nadir_is_altitude(self):
+        assert slant_range_km(550.0, 0.0) == pytest.approx(550.0)
+
+    def test_edge_longer_than_nadir(self):
+        psi = coverage_central_angle_rad(550.0, 25.0)
+        assert slant_range_km(550.0, psi) > 550.0
+
+
+class TestElevation:
+    def test_satellite_overhead(self):
+        assert elevation_deg(40.0, -100.0, 40.0, -100.0, 550.0) == pytest.approx(90.0)
+
+    def test_far_satellite_below_horizon(self):
+        elev = elevation_deg(40.0, -100.0, -40.0, 80.0, 550.0)
+        assert elev < 0.0
+
+    def test_elevation_at_coverage_edge_matches_mask(self):
+        psi = coverage_central_angle_rad(550.0, 25.0)
+        # Move the satellite psi away in latitude.
+        elev = elevation_deg(0.0, 0.0, math.degrees(psi), 0.0, 550.0)
+        assert elev == pytest.approx(25.0, abs=0.01)
+
+    def test_array_broadcast(self):
+        lats = np.array([0.0, 5.0, 60.0])
+        lons = np.zeros(3)
+        elev = elevation_deg(0.0, 0.0, lats, lons, 550.0)
+        assert elev.shape == (3,)
+        assert elev[0] > elev[1] > elev[2]
+
+
+class TestSatellitesInView:
+    def test_mask_matches_threshold(self):
+        sat_lats = np.array([0.0, 3.0, 8.0, 40.0])
+        sat_lons = np.zeros(4)
+        mask = satellites_in_view(0.0, 0.0, sat_lats, sat_lons, 550.0)
+        elev = elevation_deg(0.0, 0.0, sat_lats, sat_lons, 550.0)
+        assert np.array_equal(mask, elev >= STARLINK_MIN_ELEVATION_DEG)
+
+    def test_overhead_always_in_view(self):
+        mask = satellites_in_view(
+            37.0, -95.0, np.array([37.0]), np.array([-95.0]), 550.0
+        )
+        assert mask.all()

@@ -1,0 +1,73 @@
+"""Tests for Walker-delta constellation generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.orbits.kepler import eci_to_ecef, ecef_to_latlon
+from repro.orbits.shells import GEN1_SHELLS
+from repro.orbits.walker import WalkerDelta
+
+
+@pytest.fixture(scope="module")
+def shell1():
+    return WalkerDelta.from_shell(GEN1_SHELLS[0])
+
+
+class TestConstruction:
+    def test_from_shell(self, shell1):
+        assert shell1.total == 1584
+        assert shell1.planes == 72
+        assert shell1.sats_per_plane == 22
+        assert shell1.inclination_deg == 53.0
+
+    def test_rejects_indivisible_total(self):
+        with pytest.raises(GeometryError):
+            WalkerDelta(total=10, planes=3, phasing=0, inclination_deg=53, altitude_km=550)
+
+    def test_rejects_bad_phasing(self):
+        with pytest.raises(GeometryError):
+            WalkerDelta(total=12, planes=3, phasing=3, inclination_deg=53, altitude_km=550)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            WalkerDelta(total=0, planes=1, phasing=0, inclination_deg=53, altitude_km=550)
+
+
+class TestLayout:
+    def test_orbit_count(self, shell1):
+        assert len(shell1.orbits()) == shell1.total
+
+    def test_unique_raan_per_plane(self, shell1):
+        raans = {o.raan_deg for o in shell1.orbits()}
+        assert len(raans) == shell1.planes
+
+    def test_positions_match_orbit_propagation(self, shell1):
+        time_s = 731.0
+        batch = shell1.positions_eci(time_s)
+        orbits = shell1.orbits()
+        for index in (0, 1, 22, 100, 1583):
+            expected = orbits[index].position_eci(time_s)
+            assert np.allclose(batch[index], expected, atol=1e-6), index
+
+    def test_all_radii_equal(self, shell1):
+        batch = shell1.positions_eci(500.0)
+        radii = np.linalg.norm(batch, axis=1)
+        assert np.allclose(radii, radii[0])
+
+    def test_latitudes_bounded(self, shell1):
+        lats, lons = shell1.subsatellite_points(1234.0)
+        assert lats.shape == (1584,)
+        assert np.all(np.abs(lats) <= 53.0 + 1e-6)
+        assert np.all(lons >= -180.0) and np.all(lons < 180.0)
+
+    def test_satellites_spread_in_longitude(self, shell1):
+        _, lons = shell1.subsatellite_points(0.0)
+        # A Walker shell spans all longitudes: every 30-degree bin occupied.
+        bins, _ = np.histogram(lons, bins=np.arange(-180.0, 181.0, 30.0))
+        assert np.all(bins > 0)
+
+    def test_phasing_changes_layout(self):
+        base = WalkerDelta(total=40, planes=4, phasing=0, inclination_deg=53, altitude_km=550)
+        phased = WalkerDelta(total=40, planes=4, phasing=1, inclination_deg=53, altitude_km=550)
+        assert not np.allclose(base.positions_eci(0.0), phased.positions_eci(0.0))

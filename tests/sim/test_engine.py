@@ -1,0 +1,33 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationClock
+
+
+class TestClock:
+    def test_step_count(self):
+        clock = SimulationClock(duration_s=60.0, step_s=10.0)
+        assert clock.step_count == 6
+
+    def test_times_sequence(self):
+        clock = SimulationClock(duration_s=30.0, step_s=10.0, start_s=5.0)
+        assert list(clock.times()) == [5.0, 15.0, 25.0]
+
+    def test_duration_exclusive_of_end(self):
+        clock = SimulationClock(duration_s=100.0, step_s=30.0)
+        times = list(clock.times())
+        assert times == [0.0, 30.0, 60.0]
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=0.0, step_s=1.0)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=10.0, step_s=0.0)
+
+    def test_rejects_step_longer_than_duration(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=10.0, step_s=20.0)

@@ -1,0 +1,83 @@
+"""Tests for metric accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import CoverageMetrics, SimulationReport
+
+
+@pytest.fixture()
+def metrics():
+    return CoverageMetrics(cell_count=3)
+
+
+def record(metrics, covered, allocated, in_view, lats, beams=None):
+    metrics.record_step(
+        covered=np.array(covered, dtype=bool),
+        allocated_mbps=np.array(allocated, dtype=float),
+        in_view_counts=np.array(in_view, dtype=int),
+        satellite_latitudes=np.array(lats, dtype=float),
+        beams_used=None if beams is None else np.array(beams, dtype=int),
+    )
+
+
+class TestAccumulation:
+    def test_coverage_fraction(self, metrics):
+        record(metrics, [1, 1, 0], [10.0, 5.0, 0.0], [2, 1, 0], [10.0])
+        record(metrics, [1, 0, 0], [10.0, 0.0, 0.0], [2, 0, 0], [20.0])
+        fractions = metrics.coverage_fraction()
+        assert fractions.tolist() == [1.0, 0.5, 0.0]
+
+    def test_mean_allocated(self, metrics):
+        record(metrics, [1, 0, 0], [10.0, 0.0, 0.0], [1, 0, 0], [0.0])
+        record(metrics, [1, 0, 0], [30.0, 0.0, 0.0], [1, 0, 0], [0.0])
+        assert metrics.mean_allocated_mbps()[0] == pytest.approx(20.0)
+
+    def test_mean_in_view(self, metrics):
+        record(metrics, [1, 1, 1], [1.0, 1.0, 1.0], [4, 2, 0], [0.0])
+        assert metrics.mean_satellites_in_view().tolist() == [4.0, 2.0, 0.0]
+
+    def test_latitude_samples_concatenate(self, metrics):
+        record(metrics, [1, 1, 1], [1.0] * 3, [1] * 3, [5.0, -5.0])
+        record(metrics, [1, 1, 1], [1.0] * 3, [1] * 3, [15.0])
+        assert metrics.all_latitude_samples().tolist() == [5.0, -5.0, 15.0]
+
+    def test_peak_beams_tracked(self, metrics):
+        record(metrics, [1, 1, 1], [1.0] * 3, [1] * 3, [0.0], beams=[3, 7])
+        record(metrics, [1, 1, 1], [1.0] * 3, [1] * 3, [0.0], beams=[2, 5])
+        assert metrics.peak_beams_used == 7
+
+
+class TestErrors:
+    def test_rejects_zero_cells(self):
+        with pytest.raises(SimulationError):
+            CoverageMetrics(cell_count=0)
+
+    def test_rejects_misaligned_arrays(self, metrics):
+        with pytest.raises(SimulationError):
+            record(metrics, [1, 1], [1.0, 1.0], [1, 1], [0.0])
+
+    def test_summaries_require_steps(self, metrics):
+        with pytest.raises(SimulationError):
+            metrics.coverage_fraction()
+        with pytest.raises(SimulationError):
+            metrics.all_latitude_samples()
+
+
+class TestReport:
+    def test_text_contains_key_fields(self):
+        report = SimulationReport(
+            steps=10,
+            cells=100,
+            satellites=1584,
+            min_coverage_fraction=0.95,
+            mean_coverage_fraction=0.99,
+            mean_satellites_in_view=20.5,
+            demand_satisfaction=0.97,
+            peak_beams_used=24,
+        )
+        text = report.text()
+        assert "1584" in text
+        assert "0.950" in text
+        assert "97.0%" in text

@@ -1,0 +1,63 @@
+"""Tests for the Schedule S band table (paper Table 1 inputs)."""
+
+import pytest
+
+from repro.errors import CapacityModelError
+from repro.spectrum.bands import (
+    BandAllocation,
+    BandUsage,
+    SCHEDULE_S_BANDS,
+    gateway_downlink_spectrum_mhz,
+    total_downlink_beams,
+    total_downlink_spectrum_mhz,
+    ut_downlink_beams,
+    ut_downlink_spectrum_mhz,
+)
+
+
+class TestPaperTotals:
+    def test_ut_spectrum_is_3850_mhz(self):
+        assert ut_downlink_spectrum_mhz() == pytest.approx(3850.0)
+
+    def test_total_spectrum_is_8850_mhz(self):
+        assert total_downlink_spectrum_mhz() == pytest.approx(8850.0)
+
+    def test_ut_beams_are_24(self):
+        assert ut_downlink_beams() == 24
+
+    def test_total_beams_are_28(self):
+        assert total_downlink_beams() == 28
+
+    def test_gateway_only_spectrum_is_5000_mhz(self):
+        assert gateway_downlink_spectrum_mhz() == pytest.approx(5000.0)
+
+
+class TestBandRows:
+    def test_five_bands(self):
+        assert len(SCHEDULE_S_BANDS) == 5
+
+    @pytest.mark.parametrize(
+        "index,width",
+        [(0, 2050.0), (1, 500.0), (2, 800.0), (3, 500.0), (4, 5000.0)],
+    )
+    def test_band_widths(self, index, width):
+        assert SCHEDULE_S_BANDS[index].width_mhz == pytest.approx(width)
+
+    def test_e_band_is_gateway_only(self):
+        e_band = SCHEDULE_S_BANDS[4]
+        assert e_band.usage is BandUsage.GATEWAY
+        assert not e_band.serves_user_terminals
+
+    def test_flexible_bands_serve_uts(self):
+        assert SCHEDULE_S_BANDS[2].serves_user_terminals
+        assert SCHEDULE_S_BANDS[3].serves_user_terminals
+
+
+class TestValidation:
+    def test_inverted_band_rejected(self):
+        with pytest.raises(CapacityModelError):
+            BandAllocation("bad", 12.0, 11.0, 4, BandUsage.USER_TERMINAL)
+
+    def test_beamless_band_rejected(self):
+        with pytest.raises(CapacityModelError):
+            BandAllocation("bad", 11.0, 12.0, 0, BandUsage.USER_TERMINAL)

@@ -1,0 +1,99 @@
+"""Tests for the spot-beam capacity model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapacityModelError
+from repro.spectrum.beams import (
+    BeamPlan,
+    STARLINK_BEAM_PLAN,
+    starlink_beam_plan,
+)
+
+
+class TestStarlinkPlan:
+    def test_cell_capacity_is_17325_mbps(self):
+        # 3850 MHz x 4.5 b/Hz: the paper rounds to 17.3 Gbps.
+        assert STARLINK_BEAM_PLAN.cell_capacity_mbps == pytest.approx(17325.0)
+
+    def test_beam_capacity_is_quarter(self):
+        assert STARLINK_BEAM_PLAN.beam_capacity_mbps == pytest.approx(17325.0 / 4)
+
+    def test_built_from_schedule_s(self):
+        plan = starlink_beam_plan()
+        assert plan.beams_per_satellite == 24
+        assert plan.ut_spectrum_mhz == pytest.approx(3850.0)
+
+    def test_efficiency_override(self):
+        plan = starlink_beam_plan(spectral_efficiency_bps_hz=3.0)
+        assert plan.cell_capacity_mbps == pytest.approx(11550.0)
+
+
+class TestBeamsForDemand:
+    def test_zero_demand_needs_no_beams(self):
+        assert STARLINK_BEAM_PLAN.beams_for_demand(0.0) == 0
+
+    def test_one_beam_boundary(self):
+        beam = STARLINK_BEAM_PLAN.beam_capacity_mbps
+        assert STARLINK_BEAM_PLAN.beams_for_demand(beam) == 1
+        assert STARLINK_BEAM_PLAN.beams_for_demand(beam + 1.0) == 2
+
+    def test_full_cell_needs_four_beams(self):
+        assert STARLINK_BEAM_PLAN.beams_for_demand(17325.0) == 4
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.beams_for_demand(17326.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.beams_for_demand(-1.0)
+
+    @given(st.floats(min_value=1.0, max_value=17325.0))
+    def test_beams_cover_demand(self, demand):
+        beams = STARLINK_BEAM_PLAN.beams_for_demand(demand)
+        assert beams * STARLINK_BEAM_PLAN.beam_capacity_mbps >= demand - 1e-6
+        assert (beams - 1) * STARLINK_BEAM_PLAN.beam_capacity_mbps < demand
+
+
+class TestCellsPerSatellite:
+    def test_papers_formula(self):
+        # 4 beams pinned, 20 free: 1 + 20 * s.
+        for spread in (1, 2, 5, 10, 15):
+            assert STARLINK_BEAM_PLAN.cells_per_satellite(4, spread) == (
+                1 + 20 * spread
+            )
+
+    def test_fewer_pinned_beams_cover_more(self):
+        assert STARLINK_BEAM_PLAN.cells_per_satellite(3, 10) == 1 + 21 * 10
+
+    def test_rejects_bad_beams(self):
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.cells_per_satellite(0, 1)
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.cells_per_satellite(5, 1)
+
+    def test_rejects_sub_unity_beamspread(self):
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.cells_per_satellite(4, 0.5)
+
+
+class TestBeamspreadCapacity:
+    def test_spreading_divides_capacity(self):
+        full = STARLINK_BEAM_PLAN.cell_capacity_with_beamspread_mbps(1.0)
+        spread = STARLINK_BEAM_PLAN.cell_capacity_with_beamspread_mbps(5.0)
+        assert spread == pytest.approx(full / 5.0)
+
+    def test_rejects_sub_unity(self):
+        with pytest.raises(CapacityModelError):
+            STARLINK_BEAM_PLAN.cell_capacity_with_beamspread_mbps(0.9)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_spectrum(self):
+        with pytest.raises(CapacityModelError):
+            BeamPlan(ut_spectrum_mhz=0.0)
+
+    def test_rejects_max_beams_above_total(self):
+        with pytest.raises(CapacityModelError):
+            BeamPlan(beams_per_satellite=4, max_beams_per_cell=5)

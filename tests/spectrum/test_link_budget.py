@@ -1,0 +1,86 @@
+"""Tests for link budgets and the spectral-efficiency derivation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapacityModelError
+from repro.spectrum.link_budget import (
+    DVB_S2X_MODCODS,
+    LinkBudget,
+    free_space_path_loss_db,
+    shannon_spectral_efficiency,
+    spectral_efficiency_from_snr_db,
+)
+
+
+class TestFspl:
+    def test_known_value(self):
+        # FSPL(1 km, 1 GHz) = 32.45 + 20 log10(d_km) + 20 log10(f_MHz)
+        #                   = 32.45 + 0 + 60 = 92.45 dB.
+        assert free_space_path_loss_db(1.0, 1.0) == pytest.approx(92.45, abs=0.01)
+
+    def test_inverse_square_law(self):
+        near = free_space_path_loss_db(100.0, 11.7)
+        far = free_space_path_loss_db(200.0, 11.7)
+        assert far - near == pytest.approx(20.0 * math.log10(2.0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CapacityModelError):
+            free_space_path_loss_db(0.0, 11.7)
+        with pytest.raises(CapacityModelError):
+            free_space_path_loss_db(100.0, -1.0)
+
+
+class TestSpectralEfficiency:
+    def test_shannon_at_0db(self):
+        assert shannon_spectral_efficiency(0.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-10.0, max_value=30.0))
+    def test_modcod_below_shannon(self, snr_db):
+        assert spectral_efficiency_from_snr_db(snr_db) <= (
+            shannon_spectral_efficiency(snr_db) + 1e-9
+        )
+
+    @given(st.floats(min_value=-10.0, max_value=29.0))
+    def test_modcod_monotone(self, snr_db):
+        assert spectral_efficiency_from_snr_db(snr_db + 1.0) >= (
+            spectral_efficiency_from_snr_db(snr_db)
+        )
+
+    def test_link_down_below_most_robust(self):
+        assert spectral_efficiency_from_snr_db(-10.0) == 0.0
+
+    def test_modcod_table_is_sorted(self):
+        thresholds = [t for t, _ in DVB_S2X_MODCODS]
+        efficiencies = [e for _, e in DVB_S2X_MODCODS]
+        assert thresholds == sorted(thresholds)
+        assert efficiencies == sorted(efficiencies)
+
+
+class TestLinkBudget:
+    def test_default_reproduces_papers_efficiency(self):
+        """The default Starlink-like budget lands near the paper's 4.5 b/Hz."""
+        budget = LinkBudget()
+        assert budget.spectral_efficiency() == pytest.approx(4.5, abs=0.2)
+
+    def test_shannon_bound_above_modcod(self):
+        budget = LinkBudget()
+        assert budget.shannon_efficiency() > budget.spectral_efficiency()
+
+    def test_capacity_scales_with_bandwidth(self):
+        narrow = LinkBudget(bandwidth_mhz=125.0)
+        wide = LinkBudget(bandwidth_mhz=250.0)
+        # Same C/N0 but halved bandwidth raises SNR; capacity should not
+        # double going from narrow to wide.
+        assert wide.channel_capacity_mbps() < 2.0 * narrow.channel_capacity_mbps()
+
+    def test_longer_range_lowers_snr(self):
+        near = LinkBudget(slant_range_km=600.0)
+        far = LinkBudget(slant_range_km=1200.0)
+        assert far.carrier_to_noise_db() < near.carrier_to_noise_db()
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(CapacityModelError):
+            LinkBudget(bandwidth_mhz=0.0)

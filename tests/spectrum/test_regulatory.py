@@ -1,0 +1,30 @@
+"""Tests for the regulatory constants."""
+
+from repro.spectrum.regulatory import (
+    FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION,
+    RELIABLE_BROADBAND_DOWNLINK_MBPS,
+    RELIABLE_BROADBAND_UPLINK_MBPS,
+    is_reliable_broadband,
+)
+
+
+class TestReliableBroadband:
+    def test_definition_values(self):
+        assert RELIABLE_BROADBAND_DOWNLINK_MBPS == 100.0
+        assert RELIABLE_BROADBAND_UPLINK_MBPS == 20.0
+
+    def test_exactly_at_bar(self):
+        assert is_reliable_broadband(100.0, 20.0)
+
+    def test_below_download_bar(self):
+        assert not is_reliable_broadband(99.9, 20.0)
+
+    def test_below_upload_bar(self):
+        assert not is_reliable_broadband(100.0, 19.9)
+
+    def test_comfortably_above(self):
+        assert is_reliable_broadband(300.0, 30.0)
+
+
+def test_fcc_oversubscription_cap_is_20():
+    assert FCC_FIXED_WIRELESS_MAX_OVERSUBSCRIPTION == 20.0

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface.
+
+CLI tests run against a small synthetic map via --seed to keep them fast;
+the default national map takes a couple of seconds to generate per process.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "tab2" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestRun:
+    def test_run_tab1_prints_table(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "3850 MHz" in out
+        assert "~35:1" in out
+
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        assert main(["run", "tab2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "tab2.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "nope"])
+
+
+class TestSummary:
+    def test_summary_prints_findings(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "F4" in out
+        assert "4,660,000" in out
+
+
+class TestExportData:
+    def test_export_writes_csvs(self, tmp_path, capsys):
+        assert main(["export-data", str(tmp_path)]) == 0
+        assert (tmp_path / "cells.csv").exists()
+        assert (tmp_path / "counties.csv").exists()
+
+
+class TestSimulate:
+    def test_simulate_prints_report(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--lat-min", "37", "--lat-max", "38",
+                "--lon-min", "-83", "--lon-max", "-82",
+                "--duration", "120", "--step", "60",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "handovers" in out
+
+    def test_simulate_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--strategy", "nope"])
+
+
+class TestExportGeojson:
+    def test_writes_three_collections(self, tmp_path, capsys):
+        assert main(
+            ["export-geojson", str(tmp_path), "--max-cells", "50"]
+        ) == 0
+        import json
+
+        cells = json.loads((tmp_path / "cells.geojson").read_text())
+        assert len(cells["features"]) == 50
+        assert (tmp_path / "counties.geojson").exists()
+        assert (tmp_path / "gateways.geojson").exists()

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here (the simulator-heavy studies take tens of
+seconds); each is executed in-process via runpy against the real national
+dataset, so a broken public API surfaces as a failing example.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Table 1" in out
+        assert "F4" in out
+
+    def test_regional_study(self, capsys):
+        out = run_example("regional_digital_divide.py", capsys)
+        assert "Appalachia" in out
+        assert "99.89%" in out
+
+    def test_future_work_regions(self, capsys):
+        out = run_example("future_work_other_regions.py", capsys)
+        assert "Andes Highlands" in out
+        assert "Northern Archipelago" in out
+
+    def test_affordability_policy(self, capsys):
+        out = run_example("affordability_policy.py", capsys)
+        assert "Lifeline" in out
+        assert "as affordable as the $40 cable reference plan" in out

@@ -1,0 +1,113 @@
+"""Cross-module integration tests: internal consistency of the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import StarlinkDivideModel
+from repro.core.sizing import DeploymentScenario
+from repro.demand.census import IncomeModel
+from repro.demand.synthetic import SyntheticMapConfig, generate_national_map
+
+
+class TestPipelineConsistency:
+    def test_f1_fraction_equals_floor_over_total(self, national_model):
+        f1 = national_model.oversubscription.finding1()
+        expected = 1.0 - (
+            f1["locations_unservable_at_acceptable"]
+            / national_model.dataset.total_locations
+        )
+        assert f1["service_fraction_at_acceptable"] == pytest.approx(expected)
+
+    def test_table2_columns_consistent_with_scenarios(self, national_model):
+        rows = national_model.table2((2,))
+        full = national_model.sizer.size_scenario(
+            DeploymentScenario.FULL_SERVICE, 2
+        )
+        capped = national_model.sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
+        )
+        assert rows[0][1] == full.constellation_size
+        assert rows[0][2] == capped.constellation_size
+
+    def test_fig3_rightmost_matches_table2(self, national_model):
+        """The 4-beam point of the Fig 3 cap sweep equals... Table 2's
+        full-geometry sizing at the peak cell's latitude."""
+        point = national_model.tail.point_at_cap(3465, 20.0, 1)
+        full = national_model.sizer.size_scenario(
+            DeploymentScenario.FULL_SERVICE, 1
+        )
+        # Same beams (4) and same binding latitude (peak cell kept served).
+        assert point.constellation_size == full.constellation_size
+
+    def test_fig4_curve_at_2pct_equals_f4(self, national_model):
+        f4 = national_model.affordability.finding4()
+        curves = national_model.figure4_curves()
+        starlink = next(
+            c for c in curves if c.plan.name == "Starlink Residential"
+        )
+        assert starlink.at_share(0.02) == f4["unaffordable_starlink"]
+
+    def test_fig2_grid_agrees_with_stats(self, national_model):
+        grid = national_model.figure2_grid((20,), (2,))
+        stats = national_model.oversubscription.stats(20.0, 2.0)
+        assert grid[0, 0] == pytest.approx(stats.cell_service_fraction)
+
+
+class TestAlternativeConfigurations:
+    def test_higher_income_noise_preserves_f4(self):
+        """F4 is an anchor-matching construction: ranking noise must not
+        move the headline shares."""
+        config = SyntheticMapConfig(
+            seed=3,
+            total_locations=400_000,
+            income_model=IncomeModel(noise_sd=2.0),
+        )
+        model = StarlinkDivideModel.default(config)
+        f4 = model.affordability.finding4()
+        assert f4["unaffordable_starlink_share"] == pytest.approx(0.745, abs=0.01)
+
+    def test_smaller_map_scales_f1_but_not_table1(self):
+        config = SyntheticMapConfig(seed=9, total_locations=500_000)
+        model = StarlinkDivideModel.default(config)
+        # Table 1 depends only on the peak cell, which is planted.
+        assert round(
+            model.capacity.required_oversubscription(
+                model.dataset.max_cell().total_locations
+            )
+        ) == 35
+        # F1's absolute counts shrink with the map.
+        f1 = model.oversubscription.finding1()
+        assert f1["locations_in_cells_above_cap"] == 22428  # planted peaks
+        assert f1["share_in_cells_above_cap"] > 0.04  # bigger share of less
+
+    def test_denser_spectral_efficiency_shrinks_constellation(self):
+        from repro.core.capacity import SatelliteCapacityModel
+        from repro.core.sizing import ConstellationSizer
+        from repro.spectrum.beams import starlink_beam_plan
+
+        dataset = generate_national_map(
+            SyntheticMapConfig(seed=2, total_locations=300_000)
+        )
+        low = ConstellationSizer(
+            dataset,
+            SatelliteCapacityModel(starlink_beam_plan(3.0)),
+        ).size_scenario(DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2)
+        high = ConstellationSizer(
+            dataset,
+            SatelliteCapacityModel(starlink_beam_plan(6.0)),
+        ).size_scenario(DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2)
+        # Higher efficiency -> cap rises -> same beams serve more -> the
+        # binding cell still pins 4 beams, so sizes match; but the
+        # *unservable floor* shrinks.
+        low_floor = dataset.excess_locations_above(
+            SatelliteCapacityModel(
+                starlink_beam_plan(3.0)
+            ).max_locations_at_oversubscription(20.0)
+        )
+        high_floor = dataset.excess_locations_above(
+            SatelliteCapacityModel(
+                starlink_beam_plan(6.0)
+            ).max_locations_at_oversubscription(20.0)
+        )
+        assert high_floor < low_floor
+        assert low.binding_cell_beams == high.binding_cell_beams == 4

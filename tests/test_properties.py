@@ -1,0 +1,126 @@
+"""Property-based invariants across the capacity model.
+
+Hypothesis-driven checks of the analytical relationships every experiment
+relies on, over randomly generated toy datasets and parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.core.sizing import ConstellationSizer, DeploymentScenario
+from repro.core.tail import DiminishingReturnsAnalysis
+
+from tests.conftest import build_toy_dataset
+
+counts_strategy = st.lists(
+    st.integers(min_value=1, max_value=5998), min_size=1, max_size=30
+)
+ratio_strategy = st.floats(min_value=1.0, max_value=40.0)
+spread_strategy = st.sampled_from([1, 2, 3, 5, 8, 10, 15])
+
+
+class TestServabilityProperties:
+    @given(counts_strategy, ratio_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_served_locations_never_exceed_total(self, counts, ratio):
+        analysis = OversubscriptionAnalysis(build_toy_dataset(counts))
+        stats = analysis.stats(ratio)
+        assert 0 <= stats.locations_served <= stats.locations_total
+
+    @given(counts_strategy, ratio_strategy, spread_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_more_oversubscription_never_hurts(self, counts, ratio, spread):
+        analysis = OversubscriptionAnalysis(build_toy_dataset(counts))
+        before = analysis.stats(ratio, spread).locations_served
+        after = analysis.stats(ratio * 1.5, spread).locations_served
+        assert after >= before
+
+    @given(counts_strategy, ratio_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_beamspread_never_helps_capacity(self, counts, ratio):
+        analysis = OversubscriptionAnalysis(build_toy_dataset(counts))
+        narrow = analysis.stats(ratio, 1.0).locations_served
+        wide = analysis.stats(ratio, 4.0).locations_served
+        assert wide <= narrow
+
+    @given(counts_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_oversubscription_at_35_serves_everything(self, counts):
+        analysis = OversubscriptionAnalysis(build_toy_dataset(counts))
+        stats = analysis.stats(35.0, 1.0)
+        assert stats.locations_unserved == 0
+
+
+class TestSizingProperties:
+    @given(counts_strategy, spread_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_size_decreases_with_beamspread(self, counts, spread):
+        sizer = ConstellationSizer(build_toy_dataset(counts))
+        small = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, spread)
+        smaller = sizer.size_scenario(
+            DeploymentScenario.FULL_SERVICE, spread + 1
+        )
+        assert smaller.constellation_size < small.constellation_size
+
+    @given(counts_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_capped_scenario_never_cheaper_when_peak_saturates(self, counts):
+        """When the peak cell exceeds the 20:1 cap, both scenarios pin the
+        full beamset on it, so capping can only move the binding cell
+        toward lower enhancement — never shrink the constellation."""
+        counts = counts + [5998]  # guarantee a saturating peak
+        sizer = ConstellationSizer(build_toy_dataset(counts))
+        full = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 2)
+        capped = sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
+        )
+        assert capped.constellation_size >= full.constellation_size * 0.999
+
+    def test_small_dataset_capped_can_be_cheaper(self):
+        """With a sub-cap peak, 20:1 provisioning legitimately needs fewer
+        beams on the binding cell than 1:1 full service."""
+        sizer = ConstellationSizer(build_toy_dataset([100]))
+        full = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 2)
+        capped = sizer.size_scenario(
+            DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
+        )
+        assert capped.constellation_size <= full.constellation_size
+
+    @given(
+        st.integers(min_value=1, max_value=5998),
+        st.floats(min_value=26.0, max_value=48.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binding_beams_match_capacity_model(self, count, latitude):
+        dataset = build_toy_dataset([count], latitudes=[latitude])
+        sizer = ConstellationSizer(dataset)
+        result = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, 1)
+        capacity = SatelliteCapacityModel()
+        ratio = capacity.required_oversubscription(count)
+        if ratio <= 1.0:
+            assert result.binding_cell_beams >= 1
+        assert 1 <= result.binding_cell_beams <= 4
+
+
+class TestTailProperties:
+    @given(counts_strategy, spread_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_step_curve_monotone(self, counts, spread):
+        tail = DiminishingReturnsAnalysis(build_toy_dataset(counts))
+        points = tail.step_points(20.0, spread)
+        sizes = [p.constellation_size for p in points]
+        unserved = [p.locations_unserved for p in points]
+        assert sizes == sorted(sizes)
+        assert unserved == sorted(unserved, reverse=True)
+
+    @given(counts_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_unserved_at_cap_matches_numpy(self, counts):
+        tail = DiminishingReturnsAnalysis(build_toy_dataset(counts))
+        arr = np.array(counts)
+        for cap in (100, 866, 3465):
+            expected = int(np.maximum(arr - cap, 0).sum())
+            assert tail.unserved_at_cap(cap) == expected

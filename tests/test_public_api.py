@@ -1,0 +1,64 @@
+"""Public-API contract: exports resolve, and public items are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.geo",
+    "repro.orbits",
+    "repro.spectrum",
+    "repro.demand",
+    "repro.econ",
+    "repro.sim",
+    "repro.baselines",
+    "repro.experiments",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    def test_package_has_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and package.__doc__.strip()
+
+    def test_public_classes_and_functions_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            item = getattr(package, name)
+            if inspect.isclass(item) or inspect.isfunction(item):
+                assert item.__doc__ and item.__doc__.strip(), (
+                    f"{package_name}.{name} lacks a docstring"
+                )
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestModuleDocstrings:
+    def test_every_source_module_documented(self):
+        """Every module in the package carries a module docstring."""
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            source = path.read_text()
+            stripped = source.lstrip()
+            if not stripped:
+                continue  # empty __init__ markers
+            assert stripped.startswith(('"""', "'''")), path

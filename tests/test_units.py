@@ -1,0 +1,61 @@
+"""Tests for unit helpers and physical constants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_earth_surface_area(self):
+        assert units.EARTH_SURFACE_AREA_KM2 == pytest.approx(5.1006e8, rel=1e-3)
+
+    def test_sidereal_day(self):
+        # 23h 56m 4s.
+        assert units.SIDEREAL_DAY_S == pytest.approx(86164.1, abs=0.5)
+
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT_KM_S == pytest.approx(299792.458)
+
+
+class TestRateHelpers:
+    def test_gbps_in_mbps(self):
+        assert units.gbps(17.3) == pytest.approx(17300.0)
+
+    def test_as_gbps_inverts(self):
+        assert units.as_gbps(units.gbps(3.5)) == pytest.approx(3.5)
+
+    def test_mbps_identity(self):
+        assert units.mbps(100.0) == 100.0
+
+
+class TestSpectrumHelpers:
+    def test_ghz_in_mhz(self):
+        assert units.ghz(2.05) == pytest.approx(2050.0)
+
+    def test_as_ghz_inverts(self):
+        assert units.as_ghz(units.ghz(11.7)) == pytest.approx(11.7)
+
+
+class TestAngleHelpers:
+    @given(st.floats(min_value=-360.0, max_value=360.0))
+    def test_deg_rad_roundtrip(self, angle):
+        assert units.rad2deg(units.deg2rad(angle)) == pytest.approx(angle)
+
+
+class TestDbHelpers:
+    def test_db_of_10_is_10(self):
+        assert units.db(10.0) == pytest.approx(10.0)
+
+    def test_from_db_inverts(self):
+        assert units.from_db(units.db(42.0)) == pytest.approx(42.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_roundtrip(self, decibels):
+        assert units.db(units.from_db(decibels)) == pytest.approx(decibels)

@@ -1,0 +1,30 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.export import write_series_csv
+
+
+class TestWriteSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "series.csv"
+        write_series_csv(path, ("x", "y"), [(1, 2), (3, 4)])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        write_series_csv(path, ("h",), [(1,)])
+        assert path.exists()
+
+    def test_rejects_empty_headers(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_series_csv(tmp_path / "x.csv", (), [])
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_series_csv(tmp_path / "x.csv", ("a", "b"), [(1,)])

@@ -1,0 +1,76 @@
+"""Tests for GeoJSON export."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.orbits.gateways import DEFAULT_CONUS_GATEWAYS
+from repro.viz.geojson import (
+    cells_to_geojson,
+    counties_to_geojson,
+    gateways_to_geojson,
+    write_geojson,
+)
+
+from tests.conftest import build_toy_dataset
+
+
+@pytest.fixture()
+def dataset():
+    return build_toy_dataset([10, 500, 100])
+
+
+class TestCells:
+    def test_feature_per_cell(self, dataset):
+        collection = cells_to_geojson(dataset)
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == 3
+
+    def test_densest_first_truncation(self, dataset):
+        collection = cells_to_geojson(dataset, max_cells=1)
+        (feature,) = collection["features"]
+        assert feature["properties"]["total"] == 500
+
+    def test_polygon_ring_closed(self, dataset):
+        feature = cells_to_geojson(dataset)["features"][0]
+        ring = feature["geometry"]["coordinates"][0]
+        assert len(ring) == 7
+        assert ring[0] == ring[-1]
+
+    def test_properties_include_income(self, dataset):
+        feature = cells_to_geojson(dataset)["features"][0]
+        assert feature["properties"]["median_income_usd"] == 60000
+
+    def test_rejects_nonpositive_max(self, dataset):
+        with pytest.raises(ReproError):
+            cells_to_geojson(dataset, max_cells=0)
+
+    def test_serializable(self, dataset):
+        json.dumps(cells_to_geojson(dataset))
+
+
+class TestPoints:
+    def test_counties(self, dataset):
+        collection = counties_to_geojson(dataset)
+        assert len(collection["features"]) == len(dataset.counties)
+        assert collection["features"][0]["geometry"]["type"] == "Point"
+
+    def test_gateways(self):
+        collection = gateways_to_geojson(DEFAULT_CONUS_GATEWAYS)
+        assert len(collection["features"]) == len(DEFAULT_CONUS_GATEWAYS)
+
+    def test_empty_gateways_rejected(self):
+        with pytest.raises(ReproError):
+            gateways_to_geojson([])
+
+
+class TestWrite:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = write_geojson(cells_to_geojson(dataset), tmp_path / "m" / "c.geojson")
+        loaded = json.loads(path.read_text())
+        assert loaded["type"] == "FeatureCollection"
+
+    def test_rejects_non_collection(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_geojson({"type": "Feature"}, tmp_path / "x.geojson")

@@ -1,0 +1,31 @@
+"""Tests for text table formatting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_values_present(self):
+        text = format_table(("k", "v"), [("alpha", 42)])
+        assert "alpha" in text
+        assert "42" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table((), [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(("a", "b"), [(1,)])

@@ -1,0 +1,50 @@
+"""Tests for the ASCII density map."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.textmap import density_map
+
+from tests.conftest import build_toy_dataset
+
+
+class TestDensityMap:
+    def test_renders_grid_with_bounds_line(self):
+        ds = build_toy_dataset([100, 500], latitudes=[35.0, 40.0])
+        text = density_map(ds, width=40, height=10, title="toy")
+        lines = text.splitlines()
+        assert lines[0] == "toy"
+        assert len(lines) == 12  # title + 10 rows + bounds line
+        assert "lat [" in lines[-1]
+
+    def test_denser_cell_shades_darker(self):
+        ds = build_toy_dataset([1, 5000], latitudes=[30.0, 45.0])
+        text = density_map(ds, width=40, height=10, log_scale=False)
+        rows = text.splitlines()[:-1]
+        # The dense (northern -> upper) cell gets the darkest shade.
+        top_half = "".join(rows[: len(rows) // 2])
+        assert "@" in top_half
+
+    def test_custom_bounds_filter(self):
+        ds = build_toy_dataset([100, 100], latitudes=[30.0, 45.0])
+        text = density_map(ds, width=40, height=10, bounds=(44.0, 46.0, -91.0, -89.0))
+        assert "lat [44.0 .. 46.0]" in text
+
+    def test_rejects_tiny_canvas(self):
+        ds = build_toy_dataset([10])
+        with pytest.raises(ReproError):
+            density_map(ds, width=5, height=2)
+
+    def test_rejects_degenerate_bounds(self):
+        ds = build_toy_dataset([10])
+        with pytest.raises(ReproError):
+            density_map(ds, bounds=(10.0, 10.0, 0.0, 1.0))
+
+    def test_rejects_empty_window(self):
+        ds = build_toy_dataset([10], latitudes=[30.0])
+        with pytest.raises(ReproError):
+            density_map(ds, bounds=(50.0, 60.0, 0.0, 1.0))
+
+    def test_national_map_renders(self, national_dataset):
+        text = density_map(national_dataset)
+        assert "locations/char" in text

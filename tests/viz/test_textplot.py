@@ -1,0 +1,73 @@
+"""Tests for ASCII plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.textplot import heat_grid, line_plot, step_plot
+
+
+class TestLinePlot:
+    def test_renders_axes_and_legend(self):
+        x = np.linspace(0, 10, 50)
+        text = line_plot(x, [("rise", x * 2.0)], x_label="t", y_label="v")
+        assert "legend: o=rise" in text
+        assert "x: t" in text
+        assert "[0 .. 10]" in text
+
+    def test_multiple_series_markers(self):
+        x = np.linspace(0, 1, 10)
+        text = line_plot(x, [("a", x), ("b", 1 - x)])
+        assert "o=a" in text and "x=b" in text
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ReproError):
+            line_plot([0, 1], [])
+
+    def test_rejects_short_x(self):
+        with pytest.raises(ReproError):
+            line_plot([0], [("a", [1])])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ReproError):
+            line_plot([0, 1, 2], [("a", [1, 2])])
+
+    def test_constant_series_renders(self):
+        text = line_plot([0, 1, 2], [("flat", [5, 5, 5])])
+        assert "flat" in text
+
+
+class TestStepPlot:
+    def test_renders_steps(self):
+        series = [("line", [(0, 10), (5, 8), (10, 4)])]
+        text = step_plot(series, title="steps")
+        assert text.startswith("steps")
+        assert "o=line" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            step_plot([])
+
+    def test_rejects_single_point_total(self):
+        with pytest.raises(ReproError):
+            step_plot([("one", [(0, 1)])])
+
+
+class TestHeatGrid:
+    def test_renders_scale(self):
+        grid = np.array([[0.0, 0.5], [0.5, 1.0]])
+        text = heat_grid(grid, ["r1", "r2"], ["c1", "c2"])
+        assert "scale:" in text
+        assert "0.00" in text and "1.00" in text
+
+    def test_rejects_wrong_labels(self):
+        with pytest.raises(ReproError):
+            heat_grid(np.zeros((2, 2)), ["r1"], ["c1", "c2"])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproError):
+            heat_grid(np.zeros(4), ["a"], ["b"])
+
+    def test_constant_grid(self):
+        text = heat_grid(np.full((1, 3), 0.7), ["r"], ["a", "b", "c"])
+        assert "0.70" in text

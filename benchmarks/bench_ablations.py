@@ -2,38 +2,41 @@
 
 Each ablation sweeps one model ingredient and reports how the headline
 results move — quantifying which assumptions the conclusions are and are
-not sensitive to.
+not sensitive to. The capacity-model ablations drive
+:class:`repro.runner.SweepRunner` — the same grid machinery behind
+``repro-divide sweep`` — via its ``spectral_efficiency`` /
+``max_beams_per_cell`` ablation parameters.
 """
 
 import pytest
 
-from repro.core.capacity import SatelliteCapacityModel
 from repro.core.sizing import ConstellationSizer, DeploymentScenario
 from repro.orbits.density import ShellMixDensity
 from repro.orbits.shells import GEN1_SHELLS, current_deployment
-from repro.spectrum.beams import BeamPlan, starlink_beam_plan
+from repro.runner import ParameterGrid, ResultCache, SweepRunner
 from repro.viz.tables import format_table
 
 
 def bench_ablation_spectral_efficiency(benchmark, national_model):
     """Sweep the ~4.5 b/Hz assumption: how do F1's quantities move?"""
+    grid = ParameterGrid(
+        {
+            "spectral_efficiency": (3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0),
+            "oversubscription": (20,),
+        }
+    )
 
     def sweep():
-        rows = []
-        for efficiency in (3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0):
-            capacity = SatelliteCapacityModel(starlink_beam_plan(efficiency))
-            peak = national_model.dataset.max_cell().total_locations
-            cap20 = capacity.max_locations_at_oversubscription(20.0)
-            floor = national_model.dataset.excess_locations_above(cap20)
-            rows.append(
-                (
-                    efficiency,
-                    f"{capacity.required_oversubscription(peak):.1f}",
-                    cap20,
-                    floor,
-                )
+        report = SweepRunner("served", grid).run(model=national_model)
+        return [
+            (
+                r.params["spectral_efficiency"],
+                f"{r.metrics['required_oversubscription']:.1f}",
+                r.metrics["per_cell_cap"],
+                r.metrics["locations_unserved"],
             )
-        return rows
+            for r in report.results
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
     # More efficiency -> lower required oversubscription, smaller floor.
@@ -51,21 +54,20 @@ def bench_ablation_spectral_efficiency(benchmark, national_model):
 
 def bench_ablation_beams_per_cell(benchmark, national_model):
     """Sweep the 4-beams-per-cell FCC constraint."""
+    grid = ParameterGrid(
+        {"max_beams_per_cell": (2, 3, 4, 6, 8), "beamspread": (2,)}
+    )
 
     def sweep():
-        rows = []
-        for max_beams in (2, 3, 4, 6, 8):
-            plan = BeamPlan(max_beams_per_cell=max_beams)
-            sizer = ConstellationSizer(
-                national_model.dataset, SatelliteCapacityModel(plan)
+        report = SweepRunner("sizing", grid).run(model=national_model)
+        return [
+            (
+                r.params["max_beams_per_cell"],
+                r.metrics["binding_beams_capped"],
+                r.metrics["constellation_capped"],
             )
-            result = sizer.size_scenario(
-                DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, 2
-            )
-            rows.append(
-                (max_beams, result.binding_cell_beams, result.constellation_size)
-            )
-        return rows
+            for r in report.results
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
     # More beams pinned on the peak cell -> fewer free beams -> larger N.
@@ -73,6 +75,29 @@ def bench_ablation_beams_per_cell(benchmark, national_model):
     assert sizes == sorted(sizes)
     print("\n[ablation: max beams per cell]")
     print(format_table(("max beams/cell", "binding beams", "N @ s=2"), rows))
+
+
+def bench_sweep_runner_cache_warm(benchmark, national_model, tmp_path):
+    """A cache-warm sweep is near-free: every task answers from disk."""
+    grid = ParameterGrid(
+        {"beamspread": (1, 2, 5, 10, 15), "oversubscription": (10, 20, 30)}
+    )
+    cache = ResultCache(tmp_path / "cache")
+    cold = SweepRunner("served", grid, cache=cache).run(model=national_model)
+    assert cold.hit_rate == 0.0
+
+    def warm():
+        return SweepRunner("served", grid, cache=cache).run(
+            model=national_model
+        )
+
+    report = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert report.hit_rate == 1.0
+    assert [r.metrics for r in report.results] == [
+        r.metrics for r in cold.results
+    ]
+    benchmark.extra_info["tasks"] = len(report.results)
+    benchmark.extra_info["hit_rate"] = report.hit_rate
 
 
 def bench_ablation_shell_mix(benchmark, national_model):

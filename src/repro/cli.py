@@ -5,7 +5,10 @@ Subcommands::
     repro-divide list                 # available experiments
     repro-divide summary              # dataset + findings overview
     repro-divide run fig1 [...]       # run experiments, print renderings
-    repro-divide run all --out out/   # run everything, export CSVs
+    repro-divide run all --parallel 4 # run everything over 4 processes
+    repro-divide sweep served \\
+        --grid "beamspread=1,2,5;oversubscription=10,15,20,25" \\
+        --parallel 4 --cache-dir cache/ --out sweep.csv
     repro-divide export-data out/     # write the synthetic dataset CSVs
 """
 
@@ -19,7 +22,11 @@ from typing import List, Optional
 from repro.core.model import StarlinkDivideModel
 from repro.demand.loader import write_dataset
 from repro.demand.synthetic import SyntheticMapConfig
-from repro.experiments import all_experiment_ids, run_experiment
+from repro.experiments import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
 from repro.viz.export import write_series_csv
 
 
@@ -44,9 +51,13 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = all_experiment_ids() if "all" in args.experiments else args.experiments
+    if args.parallel < 1:
+        print(f"--parallel must be >= 1, got {args.parallel}", file=sys.stderr)
+        return 2
     model = _build_model(args.seed)
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, model)
+    for experiment_id, result in _run_experiments(
+        ids, model, args.seed, args.parallel
+    ):
         print(f"=== {result.title} ===")
         print(result.text)
         print()
@@ -54,6 +65,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path = Path(args.out) / f"{experiment_id}.csv"
             write_series_csv(path, result.csv_headers, result.csv_rows)
             print(f"[wrote {path}]")
+    return 0
+
+
+def _run_experiments(ids, model, seed, n_workers):
+    """Yield (id, result) in request order, fanning out when asked."""
+    import concurrent.futures
+    import functools
+
+    from repro.runner import tasks as runner_tasks
+
+    # Validate every id up front so a typo fails before any fan-out.
+    for experiment_id in ids:
+        get_experiment(experiment_id)
+    if n_workers == 1 or len(ids) <= 1:
+        for experiment_id in ids:
+            yield experiment_id, run_experiment(experiment_id, model)
+        return
+    builder = functools.partial(runner_tasks.build_default_model, seed)
+    # Forked workers inherit the parent's model; spawn rebuilds from
+    # the seed via the initializer.
+    runner_tasks._WORKER_MODEL = model
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_workers, len(ids)),
+            initializer=runner_tasks._worker_init,
+            initargs=(builder,),
+        ) as pool:
+            futures = [
+                pool.submit(runner_tasks._worker_run_experiment, experiment_id)
+                for experiment_id in ids
+            ]
+            for experiment_id, future in zip(ids, futures):
+                yield experiment_id, future.result()
+    finally:
+        runner_tasks._WORKER_MODEL = None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.runner import ParameterGrid, ResultCache, SweepRunner
+    from repro.runner.tasks import build_default_model
+    from repro.viz.tables import format_table
+
+    try:
+        grid = ParameterGrid.from_spec(args.grid)
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        import functools
+
+        runner = SweepRunner(
+            args.function,
+            grid,
+            n_workers=args.parallel,
+            cache=cache,
+            model_builder=functools.partial(build_default_model, args.seed),
+        )
+        report = runner.run(model=_build_model(args.seed))
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    headers, rows = report.table()
+    print(
+        format_table(
+            headers, rows, title=f"sweep {args.function}: {len(rows)} tasks"
+        )
+    )
+    print()
+    print(report.summary())
+    if args.out:
+        path = write_series_csv(args.out, headers, rows)
+        print(f"[wrote {path}]")
     return 0
 
 
@@ -157,7 +238,55 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--out", default=None, help="directory for CSV export"
     )
+    run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan experiments over N worker processes (default: serial)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep (parallel, cached)",
+        description=(
+            "Fan a parameter grid over worker processes with a "
+            "content-addressed on-disk result cache; repeated sweeps "
+            "are near-free. Grid syntax: name=v1,v2[;name=...]"
+        ),
+    )
+    sweep_parser.add_argument(
+        "function",
+        choices=("served", "sizing", "tail", "experiment"),
+        help="sweep function (see repro.runner)",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        required=True,
+        help='parameter grid, e.g. "beamspread=1,2,5;oversubscription=10,20"',
+    )
+    sweep_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker process count (default: serial)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every task; do not read or write the cache",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, help="CSV file for the sweep table"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     export_parser = sub.add_parser(
         "export-data", help="write the synthetic dataset as CSV"

@@ -123,6 +123,25 @@ class DemandDataset:
         excess = self._counts - cap_per_cell
         return int(excess[excess > 0].sum())
 
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 content address of the dataset's analytical inputs.
+
+        Covers exactly what the analyses consume — grid resolution and
+        the per-cell count/latitude/income arrays — so two datasets
+        with the same fingerprint yield the same metrics everywhere.
+        Used as the dataset component of sweep-runner cache keys.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(str(self.grid_resolution).encode("ascii"))
+        digest.update(self._counts.tobytes())
+        digest.update(np.ascontiguousarray(self._latitudes).tobytes())
+        digest.update(np.ascontiguousarray(self._incomes).tobytes())
+        return digest.hexdigest()
+
     # -- slicing ------------------------------------------------------------
 
     def subset_bbox(

@@ -30,3 +30,7 @@ class DatasetError(ReproError):
 
 class SimulationError(ReproError):
     """Constellation simulation failed an internal consistency check."""
+
+
+class RunnerError(ReproError):
+    """Invalid sweep specification or runner configuration."""

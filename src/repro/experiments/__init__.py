@@ -11,6 +11,7 @@ from repro.experiments.registry import (
     all_experiment_ids,
     get_experiment,
     run_experiment,
+    run_experiment_metrics,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "all_experiment_ids",
     "get_experiment",
     "run_experiment",
+    "run_experiment_metrics",
 ]

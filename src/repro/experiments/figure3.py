@@ -43,9 +43,18 @@ def run(model: StarlinkDivideModel) -> ExperimentResult:
         x_label="locations left unserved",
         y_label="constellation size",
     )
+    # The final-step sweep rides the runner (serial, in-process), the
+    # same path `repro-divide sweep tail` exercises from the CLI.
+    from repro.runner import ParameterGrid, SweepRunner
+
+    report = SweepRunner(
+        "tail",
+        ParameterGrid(
+            {"beamspread": (1, 2, 5, 10, 15), "oversubscription": (20,)}
+        ),
+    ).run(model=model)
     final_steps = {
-        spread: model.tail.final_step_cost(20, spread)
-        for spread in (1, 2, 5, 10, 15)
+        int(r.params["beamspread"]): r.metrics for r in report.results
     }
     notes = "\n".join(
         f"s={spread}: the final step serves "

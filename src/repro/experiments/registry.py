@@ -93,3 +93,14 @@ def run_experiment(
     """Run one experiment, building the default model if none is given."""
     runner = get_experiment(experiment_id)
     return runner(model or StarlinkDivideModel.default())
+
+
+def run_experiment_metrics(
+    experiment_id: str, model: Optional[StarlinkDivideModel] = None
+) -> Dict[str, float]:
+    """One experiment's headline metrics dict.
+
+    The sweep runner's entry point into the registry: metrics are flat
+    JSON scalars, so they cache and compare across processes directly.
+    """
+    return dict(run_experiment(experiment_id, model).metrics)

@@ -17,8 +17,25 @@ PAPER_TABLE2 = {
 
 
 def run(model: StarlinkDivideModel) -> ExperimentResult:
-    """Regenerate Table 2 and compare against the paper's values."""
-    ours = model.table2(tuple(PAPER_TABLE2))
+    """Regenerate Table 2 and compare against the paper's values.
+
+    The beamspread sweep goes through :class:`repro.runner.SweepRunner`
+    (serial, in-process) so ``repro-divide sweep sizing`` and this
+    experiment share one code path.
+    """
+    from repro.runner import ParameterGrid, SweepRunner
+
+    report = SweepRunner(
+        "sizing", ParameterGrid({"beamspread": tuple(PAPER_TABLE2)})
+    ).run(model=model)
+    ours = [
+        (
+            float(r.params["beamspread"]),
+            int(r.metrics["constellation_full"]),
+            int(r.metrics["constellation_capped"]),
+        )
+        for r in report.results
+    ]
     rows = []
     worst_error = 0.0
     for spread, full, capped in ours:

@@ -1,0 +1,97 @@
+"""Content-addressed on-disk result cache for sweep tasks.
+
+A task's cache key is the SHA-256 of (sweep id, canonicalised params,
+dataset fingerprint) — see :func:`task_key`. Payloads are JSON files
+named ``<key>.json`` under the cache directory, written atomically
+(tmp file + rename) so a crashed run never leaves a truncated entry.
+JSON round-trips ints and floats exactly (``repr``-based), so a metric
+loaded from cache is bit-identical to the freshly computed one.
+
+The cache directory resolves, in order: explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, ``.repro-cache`` under the
+current directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.errors import RunnerError
+from repro.runner.grid import canonical_params
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def task_key(
+    sweep_id: str, params: Mapping[str, object], dataset_fingerprint: str
+) -> str:
+    """SHA-256 content address of one sweep task."""
+    blob = "\n".join(
+        (str(sweep_id), canonical_params(params), str(dataset_fingerprint))
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON payloads keyed by content address, one file per entry."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        root = cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise RunnerError(f"cannot create cache dir {self.root}: {exc}")
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise RunnerError(f"malformed cache key {key!r}")
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached payload, or None on miss (or unreadable entry)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A corrupt or half-written entry is a miss; the fresh
+            # result overwrites it.
+            return None
+
+    def put(self, key: str, payload: Mapping) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        encoded = json.dumps(payload, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise RunnerError(f"cannot write cache entry {path}: {exc}")
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r})"

@@ -1,0 +1,247 @@
+"""The sweep runner: a parameter grid fanned over worker processes.
+
+:class:`SweepRunner` executes one sweep function (see
+:mod:`repro.runner.tasks`) at every point of a :class:`ParameterGrid`:
+
+* serially in-process when ``n_workers == 1`` (the default, and the
+  fallback every other mode must agree with byte-for-byte);
+* over a :class:`concurrent.futures.ProcessPoolExecutor` when
+  ``n_workers > 1``, each worker holding one model instance;
+* consulting a content-addressed :class:`ResultCache` first, so a
+  repeated sweep is near-free — cache hits never reach the pool.
+
+Tasks are enumerated in grid order and results are returned in that
+same order regardless of completion order, which is what makes serial,
+parallel, and cache-warm runs directly comparable. Each task carries a
+deterministic seed derived from its content address.
+
+Under the ``fork`` start method (the Linux default) workers inherit the
+parent's already-built model, so parallel sweeps pay no per-worker
+rebuild. Under ``spawn``, pass a picklable ``model_builder`` (a
+module-level function or :func:`functools.partial` of one) and each
+worker rebuilds from it once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import StarlinkDivideModel
+from repro.errors import RunnerError
+from repro.runner import tasks as _tasks
+from repro.runner.cache import ResultCache, task_key
+from repro.runner.grid import ParameterGrid
+from repro.runner.tasks import build_default_model, get_sweep_function, task_seed
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one grid point: params in, metrics (and provenance) out."""
+
+    index: int
+    params: Dict[str, object]
+    metrics: Dict[str, float]
+    seed: int
+    cache_hit: bool
+    wall_s: float
+
+
+@dataclass
+class SweepReport:
+    """All task results of one sweep, plus timing and cache statistics."""
+
+    sweep_id: str
+    dataset_fingerprint: str
+    n_workers: int
+    results: List[TaskResult] = field(default_factory=list)
+    total_wall_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        """Tasks answered from the cache."""
+        return sum(1 for r in self.results if r.cache_hit)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of tasks answered from the cache."""
+        return self.cache_hits / len(self.results) if self.results else 0.0
+
+    @property
+    def task_wall_times(self) -> List[float]:
+        """Per-task wall seconds, in grid order."""
+        return [r.wall_s for r in self.results]
+
+    def metric_names(self) -> List[str]:
+        """Union of metric keys across tasks, sorted for stable output."""
+        names = set()
+        for result in self.results:
+            names.update(result.metrics)
+        return sorted(names)
+
+    def table(self) -> Tuple[Sequence[str], List[Sequence[object]]]:
+        """(headers, rows) of params + metrics, in grid order.
+
+        The rows depend only on the grid and the dataset — never on
+        worker count, completion order, or cache temperature — so two
+        runs of the same sweep render byte-identical tables.
+        """
+        param_names = list(self.results[0].params) if self.results else []
+        metric_names = self.metric_names()
+        headers = [*param_names, *metric_names]
+        rows: List[Sequence[object]] = []
+        for result in self.results:
+            rows.append(
+                [result.params.get(p, "") for p in param_names]
+                + [result.metrics.get(m, "") for m in metric_names]
+            )
+        return headers, rows
+
+    def summary(self) -> str:
+        """One-line human summary (timing varies run to run)."""
+        return (
+            f"{self.sweep_id}: {len(self.results)} tasks in "
+            f"{self.total_wall_s:.2f}s ({self.n_workers} worker"
+            f"{'s' if self.n_workers != 1 else ''}); cache hits "
+            f"{self.cache_hits}/{len(self.results)} "
+            f"({self.hit_rate:.1%})"
+        )
+
+
+class SweepRunner:
+    """Run one sweep function over a parameter grid, cached and parallel."""
+
+    def __init__(
+        self,
+        sweep_id: str,
+        grid: ParameterGrid,
+        n_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        model_builder: Optional[Callable[[], StarlinkDivideModel]] = None,
+        progress: Optional[Callable[[TaskResult], None]] = None,
+    ):
+        if n_workers < 1:
+            raise RunnerError(f"n_workers must be >= 1: {n_workers!r}")
+        self.sweep_id = sweep_id
+        self.function = get_sweep_function(sweep_id)
+        self.grid = grid
+        self.n_workers = n_workers
+        self.cache = cache
+        self.model_builder = model_builder
+        self.progress = progress
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit(self, result: TaskResult) -> None:
+        if self.progress is not None:
+            self.progress(result)
+
+    def _finish(
+        self, index: int, params: Dict, metrics: Dict, key: Optional[str],
+        started: float,
+    ) -> TaskResult:
+        if self.cache is not None and key is not None:
+            self.cache.put(
+                key,
+                {
+                    "sweep": self.sweep_id,
+                    "params": params,
+                    "metrics": metrics,
+                    "seed": task_seed(self.sweep_id, params),
+                },
+            )
+        result = TaskResult(
+            index=index,
+            params=params,
+            metrics=metrics,
+            seed=task_seed(self.sweep_id, params),
+            cache_hit=False,
+            wall_s=time.perf_counter() - started,
+        )
+        self._emit(result)
+        return result
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self, model: Optional[StarlinkDivideModel] = None) -> SweepReport:
+        """Execute every grid point; results come back in grid order."""
+        sweep_started = time.perf_counter()
+        builder = self.model_builder or functools.partial(
+            build_default_model, None
+        )
+        if model is None:
+            model = builder()
+        fingerprint = model.dataset.fingerprint()
+
+        all_params = list(self.grid)
+        slots: List[Optional[TaskResult]] = [None] * len(all_params)
+        pending: List[Tuple[int, Dict, Optional[str]]] = []
+
+        for index, params in enumerate(all_params):
+            key = None
+            if self.cache is not None:
+                key = task_key(self.sweep_id, params, fingerprint)
+                payload = self.cache.get(key)
+                if payload is not None and "metrics" in payload:
+                    result = TaskResult(
+                        index=index,
+                        params=params,
+                        metrics=payload["metrics"],
+                        seed=payload.get(
+                            "seed", task_seed(self.sweep_id, params)
+                        ),
+                        cache_hit=True,
+                        wall_s=0.0,
+                    )
+                    slots[index] = result
+                    self._emit(result)
+                    continue
+            pending.append((index, params, key))
+
+        if pending and self.n_workers == 1:
+            for index, params, key in pending:
+                started = time.perf_counter()
+                metrics = self.function(
+                    model, params, task_seed(self.sweep_id, params)
+                )
+                slots[index] = self._finish(index, params, metrics, key, started)
+        elif pending:
+            # Seed the module global so forked workers inherit the model
+            # instead of rebuilding; spawn falls back to the builder.
+            _tasks._WORKER_MODEL = model
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.n_workers, len(pending)),
+                    initializer=_tasks._worker_init,
+                    initargs=(builder,),
+                ) as pool:
+                    started_at = {}
+                    futures = {}
+                    for index, params, key in pending:
+                        started_at[index] = time.perf_counter()
+                        future = pool.submit(
+                            _tasks._worker_run_sweep, self.sweep_id, params
+                        )
+                        futures[future] = (index, params, key)
+                    for future in concurrent.futures.as_completed(futures):
+                        index, params, key = futures[future]
+                        metrics = future.result()
+                        slots[index] = self._finish(
+                            index, params, metrics, key, started_at[index]
+                        )
+            finally:
+                _tasks._WORKER_MODEL = None
+
+        report = SweepReport(
+            sweep_id=self.sweep_id,
+            dataset_fingerprint=fingerprint,
+            n_workers=self.n_workers,
+            results=[r for r in slots if r is not None],
+            total_wall_s=time.perf_counter() - sweep_started,
+        )
+        if len(report.results) != len(all_params):  # pragma: no cover
+            raise RunnerError("sweep lost tasks; this is a bug")
+        return report

@@ -1,0 +1,219 @@
+"""Sweep functions and worker-process plumbing.
+
+A *sweep function* maps ``(model, params, seed)`` to a flat dict of
+JSON-scalar metrics. The built-ins cover the paper's parameter sweeps:
+
+``served``
+    Servability at one (oversubscription, beamspread) point — the Fig 2
+    / F1 quantities.
+``sizing``
+    Constellation sizes for one beamspread — the Table 2 quantities.
+``tail``
+    Final-step cost at one (oversubscription, beamspread) — the Fig 3 /
+    F3 quantities.
+``experiment``
+    Any registered experiment id (``params["experiment"]``), returning
+    its headline metrics.
+
+``served`` and ``sizing`` also honour the ablation parameters
+``spectral_efficiency`` (b/Hz) and ``max_beams_per_cell``, rebuilding
+the capacity model per task — this is how the ablation benches drive
+the runner.
+
+Everything here must stay importable at module top level: worker
+processes resolve sweep functions by id and model builders by pickle,
+so neither can be a closure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.core.model import StarlinkDivideModel
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.core.sizing import ConstellationSizer, DeploymentScenario
+from repro.core.tail import DiminishingReturnsAnalysis
+from repro.errors import RunnerError
+from repro.runner.grid import canonical_params
+from repro.spectrum.beams import BeamPlan, starlink_beam_plan
+
+#: Signature of a sweep function.
+SweepFunction = Callable[[StarlinkDivideModel, Mapping, int], Dict[str, float]]
+
+
+def task_seed(sweep_id: str, params: Mapping[str, object]) -> int:
+    """Deterministic 32-bit seed for one task, stable across processes."""
+    blob = f"{sweep_id}\n{canonical_params(params)}"
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _capacity_for(
+    model: StarlinkDivideModel, params: Mapping
+) -> SatelliteCapacityModel:
+    """The model's capacity, or a rebuilt one if ablation params are set."""
+    efficiency = params.get("spectral_efficiency")
+    max_beams = params.get("max_beams_per_cell")
+    if efficiency is None and max_beams is None:
+        return model.capacity
+    plan = starlink_beam_plan(float(efficiency)) if efficiency else None
+    if max_beams is not None:
+        base = plan or model.capacity.beam_plan
+        plan = BeamPlan(
+            beams_per_satellite=base.beams_per_satellite,
+            max_beams_per_cell=int(max_beams),
+            ut_spectrum_mhz=base.ut_spectrum_mhz,
+            spectral_efficiency_bps_hz=base.spectral_efficiency_bps_hz,
+        )
+    return SatelliteCapacityModel(plan)
+
+
+def sweep_served(
+    model: StarlinkDivideModel, params: Mapping, seed: int
+) -> Dict[str, float]:
+    """Servability at one (oversubscription, beamspread) grid point."""
+    ratio = float(params.get("oversubscription", 20.0))
+    spread = float(params.get("beamspread", 1.0))
+    capacity = _capacity_for(model, params)
+    analysis = (
+        model.oversubscription
+        if capacity is model.capacity
+        else OversubscriptionAnalysis(model.dataset, capacity)
+    )
+    stats = analysis.stats(ratio, spread)
+    peak = model.dataset.max_cell().total_locations
+    return {
+        "per_cell_cap": int(analysis.cell_location_cap(ratio, spread)),
+        "cells_fully_served": int(stats.cells_fully_served),
+        "cell_service_fraction": float(stats.cell_service_fraction),
+        "locations_served": int(stats.locations_served),
+        "locations_unserved": int(stats.locations_unserved),
+        "location_service_fraction": float(stats.location_service_fraction),
+        "required_oversubscription": float(
+            capacity.required_oversubscription(peak)
+        ),
+    }
+
+
+def sweep_sizing(
+    model: StarlinkDivideModel, params: Mapping, seed: int
+) -> Dict[str, float]:
+    """Constellation sizes at one beamspread (the Table 2 row)."""
+    spread = float(params.get("beamspread", 1.0))
+    ratio = float(params.get("oversubscription", 20.0))
+    capacity = _capacity_for(model, params)
+    sizer = (
+        model.sizer
+        if capacity is model.capacity
+        else ConstellationSizer(model.dataset, capacity)
+    )
+    full = sizer.size_scenario(DeploymentScenario.FULL_SERVICE, spread)
+    capped = sizer.size_scenario(
+        DeploymentScenario.MAX_ACCEPTABLE_OVERSUBSCRIPTION, spread, ratio
+    )
+    return {
+        "constellation_full": int(full.constellation_size),
+        "constellation_capped": int(capped.constellation_size),
+        "binding_beams_full": int(full.binding_cell_beams),
+        "binding_beams_capped": int(capped.binding_cell_beams),
+        "required_oversubscription": float(full.oversubscription),
+    }
+
+
+def sweep_tail(
+    model: StarlinkDivideModel, params: Mapping, seed: int
+) -> Dict[str, float]:
+    """Final-step cost at one (oversubscription, beamspread) point."""
+    ratio = float(params.get("oversubscription", 20.0))
+    spread = float(params.get("beamspread", 1.0))
+    capacity = _capacity_for(model, params)
+    tail = (
+        model.tail
+        if capacity is model.capacity
+        else DiminishingReturnsAnalysis(
+            model.dataset, ConstellationSizer(model.dataset, capacity)
+        )
+    )
+    cost = tail.final_step_cost(ratio, spread)
+    return {key: int(value) for key, value in cost.items()}
+
+
+def sweep_experiment(
+    model: StarlinkDivideModel, params: Mapping, seed: int
+) -> Dict[str, float]:
+    """Headline metrics of one registered experiment id."""
+    from repro.experiments.registry import run_experiment_metrics
+
+    experiment_id = params.get("experiment")
+    if not experiment_id:
+        raise RunnerError(
+            "the 'experiment' sweep needs an 'experiment' grid axis"
+        )
+    return run_experiment_metrics(str(experiment_id), model)
+
+
+#: Sweep function registry, keyed by the id the CLI exposes.
+SWEEP_FUNCTIONS: Dict[str, SweepFunction] = {
+    "served": sweep_served,
+    "sizing": sweep_sizing,
+    "tail": sweep_tail,
+    "experiment": sweep_experiment,
+}
+
+
+def all_sweep_ids() -> List[str]:
+    """Registered sweep function ids."""
+    return list(SWEEP_FUNCTIONS)
+
+
+def get_sweep_function(sweep_id: str) -> SweepFunction:
+    """Resolve a sweep id, raising :class:`RunnerError` if unknown."""
+    if sweep_id not in SWEEP_FUNCTIONS:
+        raise RunnerError(
+            f"unknown sweep {sweep_id!r}; known: {sorted(SWEEP_FUNCTIONS)}"
+        )
+    return SWEEP_FUNCTIONS[sweep_id]
+
+
+def build_default_model(seed: Optional[int] = None) -> StarlinkDivideModel:
+    """Default model builder: the calibrated national map at ``seed``."""
+    from repro.demand.synthetic import SyntheticMapConfig
+
+    config = SyntheticMapConfig(seed=seed) if seed is not None else None
+    return StarlinkDivideModel.default(config)
+
+
+# -- worker-process state ---------------------------------------------------
+#
+# Each worker builds (or, under the fork start method, inherits) one model
+# and reuses it for every task it executes. The parent seeds
+# ``_WORKER_MODEL`` before creating the pool so that forked children skip
+# the rebuild entirely; under spawn the initializer rebuilds from the
+# (picklable) builder.
+
+_WORKER_MODEL: Optional[StarlinkDivideModel] = None
+
+
+def _worker_init(builder: Callable[[], StarlinkDivideModel]) -> None:
+    global _WORKER_MODEL
+    if _WORKER_MODEL is None:
+        _WORKER_MODEL = builder()
+
+
+def _worker_run_sweep(sweep_id: str, params: Dict) -> Dict[str, float]:
+    """Execute one sweep task against the worker's model."""
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise RunnerError("worker has no model; pool initializer did not run")
+    function = get_sweep_function(sweep_id)
+    return function(_WORKER_MODEL, params, task_seed(sweep_id, params))
+
+
+def _worker_run_experiment(experiment_id: str):
+    """Execute one registered experiment against the worker's model."""
+    from repro.experiments.registry import run_experiment
+
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise RunnerError("worker has no model; pool initializer did not run")
+    return run_experiment(experiment_id, _WORKER_MODEL)

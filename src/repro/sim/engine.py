@@ -32,7 +32,15 @@ class SimulationClock:
 
     @property
     def step_count(self) -> int:
-        return int(self.duration_s / self.step_s)
+        # duration/step can land one float ulp below an integer (e.g.
+        # 0.3/0.1 == 2.999...96), which plain truncation undercounts;
+        # absorb that rounding error before flooring. A genuinely
+        # fractional final step (e.g. 2.9) still truncates.
+        ratio = self.duration_s / self.step_s
+        floored = int(ratio)
+        if ratio - floored > 1.0 - 1e-9:
+            floored += 1
+        return floored
 
     def times(self) -> Iterator[float]:
         """Yield each step's start time."""

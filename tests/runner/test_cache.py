@@ -1,0 +1,82 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import CACHE_DIR_ENV, ResultCache, task_key
+
+
+class TestTaskKey:
+    def test_stable_across_calls(self):
+        a = task_key("served", {"s": 2, "r": 20}, "f" * 64)
+        b = task_key("served", {"r": 20, "s": 2}, "f" * 64)
+        assert a == b and len(a) == 64
+
+    def test_sensitive_to_every_component(self):
+        base = task_key("served", {"s": 2}, "aa")
+        assert task_key("sizing", {"s": 2}, "aa") != base
+        assert task_key("served", {"s": 3}, "aa") != base
+        assert task_key("served", {"s": 2}, "bb") != base
+
+    def test_integral_float_params_share_a_key(self):
+        assert task_key("served", {"s": 2.0}, "aa") == task_key(
+            "served", {"s": 2}, "aa"
+        )
+
+
+class TestResultCache:
+    def test_creates_cache_dir(self, tmp_path):
+        root = tmp_path / "deep" / "cache"
+        ResultCache(root)
+        assert root.is_dir()
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key("served", {"s": 2}, "aa")
+        payload = {"metrics": {"x": 1, "y": 2.5}, "seed": 7}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("ab" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, {"metrics": {}})
+        assert cache.get(key) == {"metrics": {}}
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"metrics": {"v": 1}})
+        cache.put(key, {"metrics": {"v": 2}})
+        assert cache.get(key)["metrics"]["v"] == 2
+        assert len(cache) == 1
+
+    def test_float_fidelity_through_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        value = 0.9989049356223176
+        cache.put(key, {"metrics": {"fraction": value}})
+        assert cache.get(key)["metrics"]["fraction"] == value
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(RunnerError):
+            cache.path_for("../escape")
+
+    def test_env_var_default_dir(self, tmp_path, monkeypatch):
+        root = tmp_path / "from-env"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(root))
+        cache = ResultCache()
+        assert cache.root == root and root.is_dir()
+
+    def test_no_stray_tmp_files_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"metrics": {}})
+        assert not list(tmp_path.glob(".tmp-*"))

@@ -1,0 +1,220 @@
+"""Tests for the sweep runner.
+
+The load-bearing property — serial, parallel, and cache-warm execution
+of the same grid produce identical results in identical order — is
+checked both on fixed grids and property-based over random grids and
+datasets (hypothesis). Worker processes are real
+``ProcessPoolExecutor`` children, not mocks.
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import StarlinkDivideModel
+from repro.errors import RunnerError
+from repro.runner import (
+    ParameterGrid,
+    ResultCache,
+    SweepRunner,
+    all_sweep_ids,
+    get_sweep_function,
+    task_seed,
+)
+from tests.conftest import build_toy_dataset
+
+
+def toy_model(counts=(10, 100, 1000, 2000, 5998)) -> StarlinkDivideModel:
+    """A tiny model the tests (and forked workers) can build in ~1 ms."""
+    return StarlinkDivideModel(build_toy_dataset(list(counts)))
+
+
+GRID_12 = ParameterGrid(
+    {"beamspread": (1, 2, 5), "oversubscription": (10, 15, 20, 25)}
+)
+
+
+def metrics_of(report):
+    return [(r.params, r.metrics) for r in report.results]
+
+
+class TestSerialExecution:
+    def test_results_follow_grid_order(self):
+        report = SweepRunner("served", GRID_12).run(model=toy_model())
+        assert [r.params for r in report.results] == list(GRID_12)
+        assert [r.index for r in report.results] == list(range(12))
+
+    def test_metrics_are_json_scalars(self):
+        import json
+
+        report = SweepRunner("served", GRID_12).run(model=toy_model())
+        for result in report.results:
+            json.dumps(result.metrics)
+
+    def test_progress_hook_sees_every_task(self):
+        seen = []
+        SweepRunner("served", GRID_12, progress=seen.append).run(
+            model=toy_model()
+        )
+        assert len(seen) == 12
+        assert all(not r.cache_hit for r in seen)
+
+    def test_task_seeds_deterministic_and_distinct(self):
+        report = SweepRunner("served", GRID_12).run(model=toy_model())
+        seeds = [r.seed for r in report.results]
+        assert seeds == [
+            task_seed("served", p) for p in GRID_12
+        ]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_unknown_sweep_id_rejected(self):
+        with pytest.raises(RunnerError):
+            SweepRunner("nope", GRID_12)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(RunnerError):
+            SweepRunner("served", GRID_12, n_workers=0)
+
+    def test_all_sweep_ids_resolve(self):
+        for sweep_id in all_sweep_ids():
+            assert callable(get_sweep_function(sweep_id))
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self):
+        model = toy_model()
+        serial = SweepRunner("served", GRID_12).run(model=model)
+        parallel = SweepRunner("served", GRID_12, n_workers=4).run(model=model)
+        assert metrics_of(serial) == metrics_of(parallel)
+
+    def test_sizing_sweep_parallel_matches_serial(self):
+        model = toy_model()
+        grid = ParameterGrid({"beamspread": (1, 2, 5, 10, 15)})
+        serial = SweepRunner("sizing", grid).run(model=model)
+        parallel = SweepRunner("sizing", grid, n_workers=2).run(model=model)
+        assert metrics_of(serial) == metrics_of(parallel)
+
+    def test_more_workers_than_tasks(self):
+        model = toy_model()
+        grid = ParameterGrid({"beamspread": (1, 2)})
+        report = SweepRunner("served", grid, n_workers=8).run(model=model)
+        assert len(report.results) == 2
+
+
+class TestCache:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner("served", GRID_12, cache=cache).run(model=model)
+        warm = SweepRunner("served", GRID_12, cache=cache).run(model=model)
+        assert cold.hit_rate == 0.0
+        assert warm.hit_rate == 1.0
+        assert metrics_of(cold) == metrics_of(warm)
+
+    def test_partial_overlap_partial_hits(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        small = ParameterGrid({"beamspread": (1, 2), "oversubscription": (20,)})
+        SweepRunner("served", small, cache=cache).run(model=model)
+        bigger = ParameterGrid(
+            {"beamspread": (1, 2, 5), "oversubscription": (20,)}
+        )
+        report = SweepRunner("served", bigger, cache=cache).run(model=model)
+        assert report.cache_hits == 2
+        assert report.hit_rate == pytest.approx(2 / 3)
+
+    def test_different_dataset_does_not_share_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        grid = ParameterGrid({"beamspread": (1,)})
+        SweepRunner("served", grid, cache=cache).run(model=toy_model())
+        other = toy_model(counts=(5, 50, 500))
+        report = SweepRunner("served", grid, cache=cache).run(model=other)
+        assert report.hit_rate == 0.0
+
+    def test_cache_warm_parallel_never_spawns_work(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        SweepRunner("served", GRID_12, cache=cache).run(model=model)
+        warm = SweepRunner("served", GRID_12, n_workers=4, cache=cache).run(
+            model=model
+        )
+        assert warm.hit_rate == 1.0
+        assert all(r.wall_s == 0.0 for r in warm.results)
+
+
+class TestExperimentSweep:
+    def test_experiment_axis_runs_registry_experiments(self):
+        model = toy_model()
+        grid = ParameterGrid({"experiment": ("fig1",)})
+        report = SweepRunner("experiment", grid).run(model=model)
+        assert report.results[0].metrics["max"] == 5998
+
+    def test_missing_experiment_axis_raises(self):
+        grid = ParameterGrid({"beamspread": (1,)})
+        with pytest.raises(RunnerError):
+            SweepRunner("experiment", grid).run(model=toy_model())
+
+
+# -- property-based: the modes must agree -----------------------------------
+
+counts_strategy = st.lists(
+    st.integers(min_value=1, max_value=6000), min_size=1, max_size=12
+)
+spreads_strategy = st.lists(
+    st.sampled_from([1, 2, 3, 5, 8, 10, 15]), min_size=1, max_size=3, unique=True
+)
+ratios_strategy = st.lists(
+    st.sampled_from([5, 10, 15, 20, 25, 30]), min_size=1, max_size=3, unique=True
+)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(counts=counts_strategy, spreads=spreads_strategy, ratios=ratios_strategy)
+def test_property_serial_parallel_cache_agree(tmp_path_factory, counts, spreads, ratios):
+    """Same grid, same dataset: serial == parallel == cache-warm."""
+    model = toy_model(counts)
+    grid = ParameterGrid(
+        {"beamspread": spreads, "oversubscription": ratios}
+    )
+    cache_dir = tmp_path_factory.mktemp("sweep-cache")
+    serial = SweepRunner(
+        "served", grid, cache=ResultCache(cache_dir)
+    ).run(model=model)
+    parallel = SweepRunner("served", grid, n_workers=2).run(model=model)
+    warm = SweepRunner(
+        "served", grid, cache=ResultCache(cache_dir)
+    ).run(model=model)
+    assert metrics_of(serial) == metrics_of(parallel) == metrics_of(warm)
+    assert serial.hit_rate == 0.0
+    assert warm.hit_rate == 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(counts=counts_strategy, ratio=st.sampled_from([5, 10, 20, 40]))
+def test_property_served_metrics_conserve_locations(counts, ratio):
+    """Served + unserved always equals the dataset total."""
+    model = toy_model(counts)
+    grid = ParameterGrid({"oversubscription": (ratio,)})
+    report = SweepRunner("served", grid).run(model=model)
+    metrics = report.results[0].metrics
+    total = model.dataset.total_locations
+    assert metrics["locations_served"] + metrics["locations_unserved"] == total
+    assert 0.0 <= metrics["location_service_fraction"] <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(counts=counts_strategy)
+def test_property_fingerprint_tracks_content(counts):
+    """Equal datasets share a fingerprint; different counts never do."""
+    a = build_toy_dataset(list(counts))
+    b = build_toy_dataset(list(counts))
+    assert a.fingerprint() == b.fingerprint()
+    bumped = list(counts)
+    bumped[0] += 1
+    c = build_toy_dataset(bumped)
+    assert c.fingerprint() != a.fingerprint()

@@ -20,6 +20,27 @@ class TestClock:
         times = list(clock.times())
         assert times == [0.0, 30.0, 60.0]
 
+    def test_step_count_float_division_regression(self):
+        # 0.3 / 0.1 is 2.999...96 in binary floating point; plain
+        # truncation used to yield 2 steps instead of 3.
+        clock = SimulationClock(duration_s=0.3, step_s=0.1)
+        assert clock.step_count == 3
+        assert len(list(clock.times())) == 3
+
+    @pytest.mark.parametrize(
+        "duration, step, expected",
+        [
+            (0.6, 0.2, 3),
+            (0.7, 0.1, 7),
+            (1.2, 0.4, 3),
+            (2.9, 1.0, 2),  # a genuinely fractional final step truncates
+            (86400.0, 0.1, 864000),
+        ],
+    )
+    def test_step_count_near_integer_ratios(self, duration, step, expected):
+        clock = SimulationClock(duration_s=duration, step_s=step)
+        assert clock.step_count == expected
+
     def test_rejects_nonpositive_duration(self):
         with pytest.raises(SimulationError):
             SimulationClock(duration_s=0.0, step_s=1.0)

@@ -44,6 +44,115 @@ class TestRun:
             main(["run", "nope"])
 
 
+class TestRunParallel:
+    def test_parallel_matches_serial_output(self, capsys):
+        assert main(["run", "tab2", "fig1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "tab2", "fig1", "--parallel", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_parallel_rejects_nonpositive_worker_count(self, capsys):
+        assert main(["run", "tab2", "--parallel", "0"]) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_parallel_unknown_experiment_fails_before_fanout(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "tab2", "nope", "--parallel", "2"])
+
+
+GRID_12 = "beamspread=1,2,5;oversubscription=10,15,20,25"
+
+
+class TestSweep:
+    def test_serial_parallel_and_cache_warm_are_byte_identical(
+        self, tmp_path, capsys
+    ):
+        """The acceptance criterion: a 12-point grid, three ways."""
+        out = {}
+        for name, extra in (
+            ("serial", ["--cache-dir", str(tmp_path / "c1")]),
+            ("parallel", ["--parallel", "4", "--cache-dir", str(tmp_path / "c2")]),
+            ("warm", ["--cache-dir", str(tmp_path / "c1")]),
+        ):
+            csv = tmp_path / f"{name}.csv"
+            assert (
+                main(
+                    ["sweep", "served", "--grid", GRID_12, "--out", str(csv)]
+                    + extra
+                )
+                == 0
+            )
+            out[name] = capsys.readouterr().out
+            assert csv.exists()
+        assert (
+            (tmp_path / "serial.csv").read_bytes()
+            == (tmp_path / "parallel.csv").read_bytes()
+            == (tmp_path / "warm.csv").read_bytes()
+        )
+        assert "cache hits 0/12 (0.0%)" in out["serial"]
+        assert "cache hits 0/12 (0.0%)" in out["parallel"]
+        assert "cache hits 12/12 (100.0%)" in out["warm"]
+
+    def test_creates_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "nested" / "cache"
+        assert (
+            main(
+                [
+                    "sweep", "sizing",
+                    "--grid", "beamspread=1,2",
+                    "--cache-dir", str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        assert cache_dir.is_dir()
+        assert list(cache_dir.glob("*.json"))
+        assert "constellation_full" in capsys.readouterr().out
+
+    def test_no_cache_leaves_no_files(self, tmp_path, capsys):
+        cache_dir = tmp_path / "unused"
+        assert (
+            main(
+                [
+                    "sweep", "served",
+                    "--grid", "beamspread=1",
+                    "--no-cache",
+                    "--cache-dir", str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        assert not cache_dir.exists()
+        assert "cache hits 0/1" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "grid", ["bogus", "a=", "=1,2", "a=1;a=2", ""]
+    )
+    def test_malformed_grid_exits_2(self, grid, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "served",
+                    "--grid", grid,
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "sweep failed" in capsys.readouterr().err
+
+    def test_unknown_sweep_function_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "frobnicate", "--grid", "a=1"])
+
+    def test_grid_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "served"])
+
+
 class TestSummary:
     def test_summary_prints_findings(self, capsys):
         assert main(["summary"]) == 0

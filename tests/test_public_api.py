@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.sim",
     "repro.baselines",
     "repro.experiments",
+    "repro.runner",
     "repro.viz",
 ]
 

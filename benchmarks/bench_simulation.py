@@ -1,0 +1,111 @@
+"""Simulation fast-path benches: steps/sec for each layer at Gen1 scale.
+
+Benchmarks the three layers the vectorized path accelerates — visibility
+(the precomputed :class:`~repro.sim.visibility_index.VisibilityIndex` vs
+the per-step KD-tree rebuild), beam assignment (CSR kernels vs the
+:mod:`repro.sim.slow_reference` loops), and the end-to-end simulation —
+at the paper's headline scale: all five Gen1 shells over the calibrated
+national dataset. ``repro-divide bench`` runs the same measurements from
+the CLI and writes ``BENCH_simulation.json``.
+"""
+
+import pytest
+
+from repro.orbits.shells import GEN1_SHELLS
+from repro.sim import bench as simbench
+from repro.sim.bench import BENCH_STRATEGIES
+from repro.sim.engine import SimulationClock
+from repro.sim.simulation import ConstellationSimulation
+
+STEPS = 5
+STEP_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def simulation(national_model):
+    sim = ConstellationSimulation(
+        list(GEN1_SHELLS), national_model.dataset, engine="fast"
+    )
+    sim.visibility_index  # build the index once, outside any timed region
+    return sim
+
+
+@pytest.fixture(scope="module")
+def clock():
+    return SimulationClock(duration_s=STEPS * STEP_S, step_s=STEP_S)
+
+
+def _times(clock):
+    return list(clock.times())
+
+
+def bench_visibility_fast(benchmark, simulation, clock):
+    """VisibilityIndex.query: rotate cached geometry, query the cell tree."""
+    times = _times(clock)
+
+    def run():
+        for time_s in times:
+            simulation.visibility_index.query(time_s)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_s"] = STEPS / benchmark.stats.stats.min
+
+
+def bench_visibility_reference(benchmark, simulation, clock):
+    """Original path: rebuild the satellite KD-tree every step."""
+    times = _times(clock)
+
+    def run():
+        for time_s in times:
+            simulation._visibility(time_s)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_s"] = STEPS / benchmark.stats.stats.min
+
+
+@pytest.mark.parametrize("strategy_id", sorted(BENCH_STRATEGIES))
+def bench_assignment_fast(benchmark, simulation, strategy_id):
+    """Vectorized CSR kernels on one step's real visibility relation."""
+    fast_cls, _ = BENCH_STRATEGIES[strategy_id]
+    csr, _ = simulation.visibility_index.query(0.0)
+    benchmark.pedantic(
+        lambda: fast_cls().assign_csr(
+            csr, simulation.demands_mbps, simulation.beam_plan
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("strategy_id", sorted(BENCH_STRATEGIES))
+def bench_assignment_reference(benchmark, simulation, strategy_id):
+    """slow_reference loops on the same relation, for the speedup ratio."""
+    _, reference_cls = BENCH_STRATEGIES[strategy_id]
+    csr, _ = simulation.visibility_index.query(0.0)
+    lists = csr.to_lists()
+    benchmark.pedantic(
+        lambda: reference_cls().assign(
+            lists,
+            simulation.demands_mbps,
+            simulation.satellite_count,
+            simulation.beam_plan,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_end_to_end_greedy(benchmark, national_model, clock):
+    """Full fast-engine run; extra_info records the reference speedup."""
+
+    def run():
+        timings, identical = simbench.bench_end_to_end(
+            list(GEN1_SHELLS), national_model.dataset, "greedy", clock
+        )
+        assert identical
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = timings.speedup
+    benchmark.extra_info["fast_steps_per_s"] = STEPS / timings.fast_s
+    assert timings.speedup > 1.0

@@ -10,6 +10,7 @@ Subcommands::
         --grid "beamspread=1,2,5;oversubscription=10,15,20,25" \\
         --parallel 4 --cache-dir cache/ --out sweep.csv
     repro-divide export-data out/     # write the synthetic dataset CSVs
+    repro-divide bench                # fast-vs-reference simulation bench
 """
 
 from __future__ import annotations
@@ -202,6 +203,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import (
+        format_bench_summary,
+        run_simulation_bench,
+        write_bench_json,
+    )
+
+    model = _build_model(args.seed)
+    results = run_simulation_bench(
+        quick=args.quick,
+        steps=args.steps,
+        repeat=args.repeat,
+        dataset=model.dataset,
+    )
+    print(format_bench_summary(results))
+    path = write_bench_json(results, args.out)
+    print(f"wrote {path}")
+    if not results["all_reports_identical"]:
+        print("ERROR: fast and reference engines disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_export_data(args: argparse.Namespace) -> int:
     model = _build_model(args.seed)
     out = Path(args.directory)
@@ -320,6 +344,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--shells", choices=("gen1-53", "current"), default="gen1-53"
     )
     sim_parser.set_defaults(func=_cmd_simulate)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark the fast simulation path against the reference",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario for CI smoke runs (one shell, regional cells)",
+    )
+    bench_parser.add_argument(
+        "--steps", type=int, default=None, help="override simulated step count"
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1, help="repeats per timing (best-of)"
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_simulation.json", help="results JSON path"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

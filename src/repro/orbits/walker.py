@@ -77,6 +77,12 @@ class WalkerDelta:
                 )
         return orbits
 
+    @property
+    def mean_motion_rad_s(self) -> float:
+        """Shared orbital angular rate of every satellite in the shell."""
+        a = EARTH_RADIUS_KM + self.altitude_km
+        return math.sqrt(EARTH_MU_KM3_S2 / a**3)
+
     def positions_eci(self, time_s: float) -> np.ndarray:
         """ECI positions (total, 3) of all satellites at ``time_s``.
 
@@ -84,18 +90,51 @@ class WalkerDelta:
         """
         a = EARTH_RADIUS_KM + self.altitude_km
         inc = math.radians(self.inclination_deg)
-        n = math.sqrt(EARTH_MU_KM3_S2 / a**3)
+        n = self.mean_motion_rad_s
+        u = self._arg_latitudes_rad() + n * time_s
+        x_orb = a * np.cos(u)
+        y_orb = a * np.sin(u)
+        return self._plane_to_eci(x_orb, y_orb, inc)
+
+    def eci_state_basis(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached geometry for propagation-by-rotation: ``(pos0, tan0)``.
+
+        Every orbit here is circular with the same angular rate ``n``, so a
+        satellite's ECI position is a rotation *within its own plane* of its
+        epoch position::
+
+            pos(t) = cos(n t) * pos0 + sin(n t) * tan0
+
+        where ``pos0`` is the epoch position and ``tan0`` the in-plane
+        tangent ``d pos / du`` at epoch (both ``(total, 3)``). Callers can
+        therefore propagate the whole shell with two scalar trig calls and
+        a fused multiply-add instead of per-satellite trigonometry.
+        """
+        a = EARTH_RADIUS_KM + self.altitude_km
+        inc = math.radians(self.inclination_deg)
+        u0 = self._arg_latitudes_rad()
+        cos_u = np.cos(u0)
+        sin_u = np.sin(u0)
+        pos0 = self._plane_to_eci(a * cos_u, a * sin_u, inc)
+        tan0 = self._plane_to_eci(-a * sin_u, a * cos_u, inc)
+        return pos0, tan0
+
+    def _arg_latitudes_rad(self) -> np.ndarray:
+        """Epoch argument of latitude per satellite, (planes, sats_per_plane)."""
         planes = np.arange(self.planes)
         slots = np.arange(self.sats_per_plane)
-        raan = np.radians(360.0 * planes / self.planes)[:, None]
         phase_unit = math.radians(360.0 * self.phasing / self.total)
-        arg0 = (
+        return (
             np.radians(360.0 * slots / self.sats_per_plane)[None, :]
             + phase_unit * planes[:, None]
         )
-        u = arg0 + n * time_s
-        x_orb = a * np.cos(u)
-        y_orb = a * np.sin(u)
+
+    def _plane_to_eci(
+        self, x_orb: np.ndarray, y_orb: np.ndarray, inc: float
+    ) -> np.ndarray:
+        """Rotate per-plane orbital coordinates into ECI, (total, 3)."""
+        planes = np.arange(self.planes)
+        raan = np.radians(360.0 * planes / self.planes)[:, None]
         x = x_orb * np.cos(raan) - y_orb * math.cos(inc) * np.sin(raan)
         y = x_orb * np.sin(raan) + y_orb * math.cos(inc) * np.cos(raan)
         z = y_orb * math.sin(inc)

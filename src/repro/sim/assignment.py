@@ -9,17 +9,27 @@ its beams. Two strategies are provided:
   picture).
 * :class:`ProportionalFair` — one beam per cell first (coverage before
   capacity), then distribute leftover beams by remaining demand.
+
+Both run on the CSR visibility arrays of
+:class:`~repro.sim.visibility_index.CSRVisibility` via fast kernels that
+hoist all per-cell NumPy work (demand ordering, beam requirements) into
+bulk operations done once per step; the old per-cell
+``np.argsort(-free_beams[sats])`` is replaced by a single best-candidate
+scan with an early exit on untouched satellites. The kernels are
+outcome-identical to the original interpreted loops, which are retained
+verbatim in :mod:`repro.sim.slow_reference` for differential testing.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.sim.visibility_index import CSRVisibility
 from repro.spectrum.beams import BeamPlan
 
 
@@ -27,7 +37,10 @@ from repro.spectrum.beams import BeamPlan
 class AssignmentOutcome:
     """Result of one step's beam assignment.
 
-    ``allocated_mbps[i]`` is the capacity delivered to cell ``i``;
+    ``allocated_mbps[i]`` is the capacity delivered to cell ``i``, clamped
+    to the cell's provisioned demand; ``capacity_pointed_mbps[i]`` the raw
+    beam capacity pointed at the cell (>= allocated, since a cell whose
+    demand is below one beam still consumes a whole beam);
     ``beams_used[j]`` the number of beams satellite ``j`` spent;
     ``covered[i]`` whether cell ``i`` received at least one beam;
     ``serving_satellite[i]`` the primary satellite pointing at cell ``i``
@@ -38,13 +51,16 @@ class AssignmentOutcome:
     allocated_mbps: np.ndarray
     beams_used: np.ndarray
     covered: np.ndarray
-    serving_satellite: np.ndarray = None  # type: ignore[assignment]
+    serving_satellite: Optional[np.ndarray] = None
+    capacity_pointed_mbps: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.serving_satellite is None:
             self.serving_satellite = np.full(
                 self.covered.shape[0], -1, dtype=int
             )
+        if self.capacity_pointed_mbps is None:
+            self.capacity_pointed_mbps = self.allocated_mbps.copy()
 
     @property
     def cells_covered(self) -> int:
@@ -80,6 +96,25 @@ class BeamAssignmentStrategy(abc.ABC):
             Beam counts and capacities.
         """
 
+    def assign_csr(
+        self,
+        visibility: CSRVisibility,
+        demands_mbps: np.ndarray,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        """Assign beams from a CSR visibility relation.
+
+        Strategies with a vectorized kernel override this; the default
+        adapts back to the per-cell list API so legacy strategies keep
+        working inside the fast simulation path.
+        """
+        return self.assign(
+            visibility.to_lists(),
+            demands_mbps,
+            visibility.n_satellites,
+            plan,
+        )
+
     @staticmethod
     def _check_inputs(
         visible: List[np.ndarray], demands_mbps: np.ndarray
@@ -90,6 +125,23 @@ class BeamAssignmentStrategy(abc.ABC):
             )
         if np.any(demands_mbps < 0.0):
             raise SimulationError("negative cell demand")
+
+    @staticmethod
+    def _check_csr(
+        visibility: CSRVisibility, demands_mbps: np.ndarray
+    ) -> None:
+        if visibility.n_cells != demands_mbps.shape[0]:
+            raise SimulationError(
+                "visibility relation and demand vector are misaligned"
+            )
+        if np.any(demands_mbps < 0.0):
+            raise SimulationError("negative cell demand")
+
+
+def _beams_needed(demands_mbps: np.ndarray, plan: BeamPlan) -> np.ndarray:
+    """Per-cell beam requirement, computed in bulk."""
+    needed = np.ceil(demands_mbps / plan.beam_capacity_mbps).astype(np.int64)
+    return np.minimum(np.maximum(needed, 1), plan.max_beams_per_cell)
 
 
 class GreedyDemandFirst(BeamAssignmentStrategy):
@@ -103,45 +155,70 @@ class GreedyDemandFirst(BeamAssignmentStrategy):
         plan: BeamPlan,
     ) -> AssignmentOutcome:
         self._check_inputs(visible, demands_mbps)
+        return self.assign_csr(
+            CSRVisibility.from_lists(visible, satellite_count),
+            demands_mbps,
+            plan,
+        )
+
+    def assign_csr(
+        self,
+        visibility: CSRVisibility,
+        demands_mbps: np.ndarray,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        self._check_csr(visibility, demands_mbps)
         n_cells = demands_mbps.shape[0]
-        free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
-        allocated = np.zeros(n_cells)
-        covered = np.zeros(n_cells, dtype=bool)
-        serving = np.full(n_cells, -1, dtype=int)
-        order = np.argsort(-demands_mbps, kind="stable")
+        budget = plan.beams_per_satellite
+        order = np.argsort(-demands_mbps, kind="stable").tolist()
+        needed = _beams_needed(demands_mbps, plan).tolist()
+        indptr = visibility.indptr.tolist()
+        indices = visibility.indices.tolist()
+        free = [budget] * visibility.n_satellites
+        serving = [-1] * n_cells
+        granted = [0] * n_cells
         for cell in order:
-            sats = visible[cell]
-            if sats.size == 0:
+            start = indptr[cell]
+            end = indptr[cell + 1]
+            if start == end:
                 continue
-            needed = max(
-                1,
-                int(np.ceil(demands_mbps[cell] / plan.beam_capacity_mbps)),
-            )
-            needed = min(needed, plan.max_beams_per_cell)
-            granted = 0
-            # Prefer the visible satellite with the most free beams so that
-            # multi-beam cells are served by a single satellite when possible.
-            for sat in sats[np.argsort(-free_beams[sats], kind="stable")]:
-                take = min(needed - granted, int(free_beams[sat]))
-                if take <= 0:
-                    continue
-                free_beams[sat] -= take
-                if granted == 0:
-                    serving[cell] = int(sat)
-                granted += take
-                if granted == needed:
+            need = needed[cell]
+            got = 0
+            serve = -1
+            # Take from the candidate with the most free beams until the
+            # need is met; a chosen satellite is either drained or finishes
+            # the cell, so repeated best-candidate scans visit candidates
+            # in exactly the order the full descending sort used to. A
+            # candidate with an untouched budget can't be beaten, so the
+            # scan stops at the first one (the common case).
+            while got < need:
+                best = -1
+                best_free = 0
+                for sat in indices[start:end]:
+                    beams = free[sat]
+                    if beams > best_free:
+                        best_free = beams
+                        best = sat
+                        if beams == budget:
+                            break
+                if best < 0:
                     break
-            if granted > 0:
-                covered[cell] = True
-                allocated[cell] = min(
-                    granted * plan.beam_capacity_mbps,
-                    max(demands_mbps[cell], plan.beam_capacity_mbps),
-                )
-        return AssignmentOutcome(
-            allocated_mbps=allocated,
-            beams_used=plan.beams_per_satellite - free_beams,
-            covered=covered,
-            serving_satellite=serving,
+                take = need - got
+                if take > best_free:
+                    take = best_free
+                free[best] -= take
+                if got == 0:
+                    serve = best
+                got += take
+            if got:
+                serving[cell] = serve
+                granted[cell] = got
+        return _finish_outcome(
+            np.array(granted, dtype=np.int64),
+            np.array(serving, dtype=int),
+            np.array(free, dtype=int),
+            demands_mbps,
+            plan,
         )
 
 
@@ -156,63 +233,106 @@ class ProportionalFair(BeamAssignmentStrategy):
         plan: BeamPlan,
     ) -> AssignmentOutcome:
         self._check_inputs(visible, demands_mbps)
+        return self.assign_csr(
+            CSRVisibility.from_lists(visible, satellite_count),
+            demands_mbps,
+            plan,
+        )
+
+    def assign_csr(
+        self,
+        visibility: CSRVisibility,
+        demands_mbps: np.ndarray,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        self._check_csr(visibility, demands_mbps)
         n_cells = demands_mbps.shape[0]
-        free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
-        beams_granted = np.zeros(n_cells, dtype=int)
+        budget = plan.beams_per_satellite
+        capacity = plan.beam_capacity_mbps
+        indptr = visibility.indptr.tolist()
+        indices = visibility.indices.tolist()
+        free = [budget] * visibility.n_satellites
+        granted = [0] * n_cells
+        serving = [-1] * n_cells
         covered = np.zeros(n_cells, dtype=bool)
-        serving = np.full(n_cells, -1, dtype=int)
 
         def grant_one(cell: int) -> bool:
-            sats = visible[cell]
-            if sats.size == 0:
+            best = -1
+            best_free = 0
+            for sat in indices[indptr[cell] : indptr[cell + 1]]:
+                beams = free[sat]
+                if beams > best_free:
+                    best_free = beams
+                    best = sat
+                    if beams == budget:
+                        break
+            if best < 0:
                 return False
-            candidates = sats[free_beams[sats] > 0]
-            if candidates.size == 0:
-                return False
-            sat = candidates[int(np.argmax(free_beams[candidates]))]
-            free_beams[sat] -= 1
-            if beams_granted[cell] == 0:
-                serving[cell] = int(sat)
-            beams_granted[cell] += 1
+            free[best] -= 1
+            if granted[cell] == 0:
+                serving[cell] = best
+            granted[cell] += 1
             return True
 
-        # Pass 1: coverage. Every cell with a visible satellite gets a
-        # beam, scarcest cells (fewest visible satellites) first so that
-        # footprint-edge cells claim their few candidates before interior
-        # cells drain them.
-        scarcity_order = np.argsort(
-            np.array([v.size for v in visible]), kind="stable"
-        )
-        for cell in scarcity_order:
-            covered[cell] = grant_one(int(cell))
+        # Pass 1: coverage, scarcest cells (fewest visible satellites)
+        # first so footprint-edge cells claim their few candidates before
+        # interior cells drain them.
+        for cell in np.argsort(visibility.counts(), kind="stable").tolist():
+            covered[cell] = grant_one(cell)
 
         # Pass 2: capacity. Repeatedly grant a beam to the cell with the
-        # largest unmet demand until nothing more can be granted; cells
-        # whose visible satellites are exhausted drop out individually.
-        blocked = np.zeros(n_cells, dtype=bool)
+        # largest unmet demand; a cell leaves the pool when satisfied, at
+        # its per-cell beam cap, or blocked (visible satellites drained).
+        # ``key`` is the unmet demand of still-eligible cells and -inf for
+        # the rest — maintained incrementally, since each grant changes
+        # exactly one cell.
+        granted_np = np.array(granted, dtype=np.int64)
+        unmet = demands_mbps - granted_np * capacity
+        key = np.where(
+            covered & (unmet > 0.0) & (granted_np < plan.max_beams_per_cell),
+            unmet,
+            -np.inf,
+        )
+        max_beams = plan.max_beams_per_cell
         while True:
-            unmet = demands_mbps - beams_granted * plan.beam_capacity_mbps
-            eligible = np.flatnonzero(
-                (unmet > 0.0)
-                & covered
-                & ~blocked
-                & (beams_granted < plan.max_beams_per_cell)
-            )
-            if eligible.size == 0:
+            cell = int(np.argmax(key))
+            if key[cell] == -np.inf:
                 break
-            cell = int(eligible[int(np.argmax(unmet[eligible]))])
-            if not grant_one(cell):
-                blocked[cell] = True
-        allocated = np.minimum(
-            beams_granted * plan.beam_capacity_mbps,
-            np.maximum(demands_mbps, covered * plan.beam_capacity_mbps),
+            if grant_one(cell):
+                beams = granted[cell]
+                remaining = demands_mbps[cell] - beams * capacity
+                key[cell] = (
+                    remaining
+                    if (remaining > 0.0 and beams < max_beams)
+                    else -np.inf
+                )
+            else:
+                key[cell] = -np.inf
+        return _finish_outcome(
+            np.array(granted, dtype=np.int64),
+            np.array(serving, dtype=int),
+            np.array(free, dtype=int),
+            demands_mbps,
+            plan,
         )
-        return AssignmentOutcome(
-            allocated_mbps=allocated,
-            beams_used=plan.beams_per_satellite - free_beams,
-            covered=covered,
-            serving_satellite=serving,
-        )
+
+
+def _finish_outcome(
+    granted: np.ndarray,
+    serving: np.ndarray,
+    free_beams: np.ndarray,
+    demands_mbps: np.ndarray,
+    plan: BeamPlan,
+) -> AssignmentOutcome:
+    """Assemble the outcome arrays from per-cell grants (bulk ops)."""
+    pointed = granted * plan.beam_capacity_mbps
+    return AssignmentOutcome(
+        allocated_mbps=np.minimum(pointed, demands_mbps),
+        beams_used=plan.beams_per_satellite - free_beams,
+        covered=granted > 0,
+        serving_satellite=serving,
+        capacity_pointed_mbps=pointed,
+    )
 
 
 class StickyGreedy(GreedyDemandFirst):
@@ -225,7 +345,7 @@ class StickyGreedy(GreedyDemandFirst):
     """
 
     def __init__(self) -> None:
-        self._previous: np.ndarray | None = None
+        self._previous: Optional[np.ndarray] = None
 
     def assign(
         self,
@@ -260,6 +380,19 @@ class StickyGreedy(GreedyDemandFirst):
         self._previous = outcome.serving_satellite.copy()
         return outcome
 
+    def assign_csr(
+        self,
+        visibility: CSRVisibility,
+        demands_mbps: np.ndarray,
+        plan: BeamPlan,
+    ) -> AssignmentOutcome:
+        return self.assign(
+            visibility.to_lists(),
+            demands_mbps,
+            visibility.n_satellites,
+            plan,
+        )
+
     def _assign_prefer_first(
         self,
         visible: List[np.ndarray],
@@ -270,38 +403,27 @@ class StickyGreedy(GreedyDemandFirst):
         """Greedy pass that honours each cell's candidate ordering."""
         n_cells = demands_mbps.shape[0]
         free_beams = np.full(satellite_count, plan.beams_per_satellite, dtype=int)
-        allocated = np.zeros(n_cells)
-        covered = np.zeros(n_cells, dtype=bool)
+        granted = np.zeros(n_cells, dtype=np.int64)
         serving = np.full(n_cells, -1, dtype=int)
         order = np.argsort(-demands_mbps, kind="stable")
+        needed_all = _beams_needed(demands_mbps, plan)
         for cell in order:
             sats = visible[cell]
             if sats.size == 0:
                 continue
-            needed = max(
-                1, int(np.ceil(demands_mbps[cell] / plan.beam_capacity_mbps))
-            )
-            needed = min(needed, plan.max_beams_per_cell)
-            granted = 0
+            needed = needed_all[cell]
+            got = 0
             for sat in sats:  # candidate order IS the preference order
-                take = min(needed - granted, int(free_beams[sat]))
+                take = min(needed - got, int(free_beams[sat]))
                 if take <= 0:
                     continue
                 free_beams[sat] -= take
-                if granted == 0:
+                if got == 0:
                     serving[cell] = int(sat)
-                granted += take
-                if granted == needed:
+                got += take
+                if got == needed:
                     break
-            if granted > 0:
-                covered[cell] = True
-                allocated[cell] = min(
-                    granted * plan.beam_capacity_mbps,
-                    max(demands_mbps[cell], plan.beam_capacity_mbps),
-                )
-        return AssignmentOutcome(
-            allocated_mbps=allocated,
-            beams_used=plan.beams_per_satellite - free_beams,
-            covered=covered,
-            serving_satellite=serving,
+            granted[cell] = got
+        return _finish_outcome(
+            granted, serving, free_beams, demands_mbps, plan
         )

@@ -1,0 +1,295 @@
+"""Simulation performance benchmark: fast path vs retained reference.
+
+Measures three layers at a configurable scale (default: Gen1 shells over
+the calibrated national dataset, the paper's headline configuration):
+
+* **visibility-only** — :class:`VisibilityIndex.query` vs the original
+  per-step KD-tree rebuild,
+* **assignment-only** — the vectorized CSR kernels vs the
+  :mod:`repro.sim.slow_reference` loops on one step's real relation,
+* **end-to-end** — full :meth:`ConstellationSimulation.run` on both
+  engines, asserting the two :class:`SimulationReport` results are
+  identical field-for-field.
+
+``run_simulation_bench`` returns a JSON-serializable dict (written to
+``BENCH_simulation.json`` by ``repro-divide bench``) so every commit can
+extend a machine-readable performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.orbits.shells import GEN1_SHELLS
+from repro.sim.assignment import GreedyDemandFirst, ProportionalFair
+from repro.sim.engine import SimulationClock
+from repro.sim.simulation import ConstellationSimulation
+from repro.sim.slow_reference import (
+    ReferenceGreedyDemandFirst,
+    ReferenceProportionalFair,
+)
+
+#: strategy id -> (fast class, reference class)
+BENCH_STRATEGIES = {
+    "greedy": (GreedyDemandFirst, ReferenceGreedyDemandFirst),
+    "fair": (ProportionalFair, ReferenceProportionalFair),
+}
+
+#: Region used by ``--quick`` runs (the test suite's Appalachian subset).
+QUICK_BBOX = (37.0, 38.5, -83.5, -81.0)
+
+
+@dataclass(frozen=True)
+class BenchTimings:
+    """Best-of-``repeat`` wall times for one benchmarked operation."""
+
+    fast_s: float
+    reference_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_s / self.fast_s if self.fast_s > 0 else float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "fast_s": self.fast_s,
+            "reference_s": self.reference_s,
+            "speedup": self.speedup,
+        }
+
+
+def _best_of(repeat: int, fn: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_visibility(
+    simulation: ConstellationSimulation,
+    times_s: List[float],
+    repeat: int = 1,
+) -> BenchTimings:
+    """Time the fast index vs the per-step rebuild over ``times_s``."""
+    index = simulation.visibility_index  # build outside the timed region
+
+    def fast() -> None:
+        for time_s in times_s:
+            index.query(time_s)
+
+    def reference() -> None:
+        for time_s in times_s:
+            simulation._visibility(time_s)
+
+    return BenchTimings(
+        fast_s=_best_of(repeat, fast), reference_s=_best_of(repeat, reference)
+    )
+
+
+def bench_assignment(
+    simulation: ConstellationSimulation,
+    strategy_id: str,
+    time_s: float = 0.0,
+    repeat: int = 1,
+) -> BenchTimings:
+    """Time one strategy's fast kernel vs its reference loop at ``time_s``."""
+    fast_cls, reference_cls = BENCH_STRATEGIES[strategy_id]
+    csr, _ = simulation.visibility_index.query(time_s)
+    lists = csr.to_lists()
+    demands = simulation.demands_mbps
+    plan = simulation.beam_plan
+
+    def fast() -> None:
+        fast_cls().assign_csr(csr, demands, plan)
+
+    def reference() -> None:
+        reference_cls().assign(lists, demands, simulation.satellite_count, plan)
+
+    return BenchTimings(
+        fast_s=_best_of(repeat, fast), reference_s=_best_of(repeat, reference)
+    )
+
+
+def bench_end_to_end(
+    shells,
+    dataset,
+    strategy_id: str,
+    clock: SimulationClock,
+    repeat: int = 1,
+) -> Tuple[BenchTimings, bool]:
+    """Time full runs on both engines; also report whether the two
+    :class:`SimulationReport` results are identical."""
+    fast_cls, reference_cls = BENCH_STRATEGIES[strategy_id]
+
+    def build(engine: str) -> ConstellationSimulation:
+        strategy = fast_cls() if engine == "fast" else reference_cls()
+        return ConstellationSimulation(
+            shells, dataset, strategy=strategy, engine=engine
+        )
+
+    reports = {}
+
+    def run(engine: str) -> None:
+        simulation = build(engine)
+        metrics = simulation.run(clock)
+        reports[engine] = simulation.report(metrics)
+
+    timings = BenchTimings(
+        fast_s=_best_of(repeat, lambda: run("fast")),
+        reference_s=_best_of(repeat, lambda: run("reference")),
+    )
+    return timings, reports["fast"] == reports["reference"]
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def run_simulation_bench(
+    quick: bool = False,
+    steps: Optional[int] = None,
+    step_s: float = 60.0,
+    repeat: int = 1,
+    dataset=None,
+) -> Dict:
+    """Run the full benchmark suite; returns the JSON-ready results dict.
+
+    ``quick`` shrinks the scenario (one shell, a regional cell subset,
+    fewer steps) for CI smoke runs; the default measures the acceptance
+    configuration (all Gen1 shells x national dataset).
+    """
+    if dataset is None:
+        from repro.demand.synthetic import generate_national_map
+
+        dataset = generate_national_map()
+    if quick:
+        dataset = dataset.subset_bbox(*QUICK_BBOX, "bench quick region")
+        shells = list(GEN1_SHELLS[:1])
+        step_count = steps if steps is not None else 2
+    else:
+        shells = list(GEN1_SHELLS)
+        step_count = steps if steps is not None else 5
+    if step_count < 1:
+        raise SimulationError(f"bench needs at least one step: {step_count}")
+    clock = SimulationClock(duration_s=step_count * step_s, step_s=step_s)
+    times = list(clock.times())
+
+    probe = ConstellationSimulation(shells, dataset, engine="fast")
+    build_start = time.perf_counter()
+    probe.visibility_index  # force the one-time index build
+    index_build_s = time.perf_counter() - build_start
+
+    visibility = bench_visibility(probe, times, repeat=repeat)
+    assignment = {
+        strategy_id: bench_assignment(probe, strategy_id, repeat=repeat)
+        for strategy_id in BENCH_STRATEGIES
+    }
+    end_to_end = {}
+    reports_identical = {}
+    for strategy_id in BENCH_STRATEGIES:
+        timings, identical = bench_end_to_end(
+            shells, dataset, strategy_id, clock, repeat=repeat
+        )
+        end_to_end[strategy_id] = timings
+        reports_identical[strategy_id] = identical
+
+    import numpy
+    import scipy
+
+    return {
+        "schema": "repro-bench-simulation/1",
+        "commit": _git_commit(),
+        "config": {
+            "quick": quick,
+            "cells": len(dataset.cells),
+            "satellites": probe.satellite_count,
+            "shells": [shell.name for shell in shells],
+            "steps": step_count,
+            "step_s": step_s,
+            "repeat": repeat,
+            "strategies": sorted(BENCH_STRATEGIES),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "scipy": scipy.__version__,
+        },
+        "visibility": {
+            **visibility.as_dict(),
+            "index_build_s": index_build_s,
+            "steps_per_s_fast": step_count / visibility.fast_s,
+            "steps_per_s_reference": step_count / visibility.reference_s,
+        },
+        "assignment": {
+            strategy_id: timings.as_dict()
+            for strategy_id, timings in assignment.items()
+        },
+        "end_to_end": {
+            strategy_id: {
+                **timings.as_dict(),
+                "reports_identical": reports_identical[strategy_id],
+            }
+            for strategy_id, timings in end_to_end.items()
+        },
+        "headline_speedup": end_to_end["greedy"].speedup,
+        "all_reports_identical": all(reports_identical.values()),
+    }
+
+
+def write_bench_json(results: Dict, path) -> Path:
+    """Write benchmark results as pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_bench_summary(results: Dict) -> str:
+    """Human-readable one-screen summary of a benchmark results dict."""
+    config = results["config"]
+    lines = [
+        "simulation bench: {cells} cells x {satellites} satellites "
+        "({steps} steps{quick})".format(
+            cells=config["cells"],
+            satellites=config["satellites"],
+            steps=config["steps"],
+            quick=", quick" if config["quick"] else "",
+        ),
+        "  visibility: {fast_s:.3f}s fast vs {reference_s:.3f}s reference "
+        "({speedup:.1f}x)".format(**results["visibility"]),
+    ]
+    for strategy_id, timings in sorted(results["assignment"].items()):
+        lines.append(
+            "  assignment[{id}]: {fast_s:.3f}s fast vs {reference_s:.3f}s "
+            "reference ({speedup:.1f}x)".format(id=strategy_id, **timings)
+        )
+    for strategy_id, timings in sorted(results["end_to_end"].items()):
+        lines.append(
+            "  end-to-end[{id}]: {fast_s:.3f}s fast vs {reference_s:.3f}s "
+            "reference ({speedup:.1f}x, reports identical: "
+            "{reports_identical})".format(id=strategy_id, **timings)
+        )
+    lines.append(
+        "  headline end-to-end speedup: %.1fx" % results["headline_speedup"]
+    )
+    return "\n".join(lines)

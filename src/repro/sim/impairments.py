@@ -101,6 +101,32 @@ class RainFade(Impairment):
         return scaled
 
 
+def _combined_keep_mask(
+    impairments: Sequence[Impairment],
+    satellite_count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    keep = np.ones(satellite_count, dtype=bool)
+    for impairment in impairments:
+        mask = impairment.filter_satellites(satellite_count, rng)
+        if mask is not None:
+            if mask.shape != (satellite_count,):
+                raise SimulationError("impairment mask misshapen")
+            keep &= mask
+    return keep
+
+
+def _scaled_demands(
+    impairments: Sequence[Impairment],
+    demands_mbps: np.ndarray,
+    cell_positions: Sequence[LatLon],
+) -> np.ndarray:
+    demands = demands_mbps
+    for impairment in impairments:
+        demands = impairment.scale_demands(demands, cell_positions)
+    return demands
+
+
 def apply_impairments(
     impairments: Sequence[Impairment],
     visible: List[np.ndarray],
@@ -113,16 +139,28 @@ def apply_impairments(
 
     Returns (filtered visibility lists, scaled demand vector).
     """
-    keep = np.ones(satellite_count, dtype=bool)
-    for impairment in impairments:
-        mask = impairment.filter_satellites(satellite_count, rng)
-        if mask is not None:
-            if mask.shape != (satellite_count,):
-                raise SimulationError("impairment mask misshapen")
-            keep &= mask
+    keep = _combined_keep_mask(impairments, satellite_count, rng)
     if not keep.all():
         visible = [sats[keep[sats]] for sats in visible]
-    demands = demands_mbps
-    for impairment in impairments:
-        demands = impairment.scale_demands(demands, cell_positions)
+    demands = _scaled_demands(impairments, demands_mbps, cell_positions)
     return visible, demands
+
+
+def apply_impairments_csr(
+    impairments: Sequence[Impairment],
+    visibility,
+    demands_mbps: np.ndarray,
+    cell_positions: Sequence[LatLon],
+    rng: np.random.Generator,
+) -> tuple:
+    """CSR twin of :func:`apply_impairments`.
+
+    Takes and returns a :class:`~repro.sim.visibility_index.CSRVisibility`;
+    the satellite filter is a single vectorized mask application instead
+    of a per-cell list rebuild.
+    """
+    keep = _combined_keep_mask(impairments, visibility.n_satellites, rng)
+    if not keep.all():
+        visibility = visibility.filter_satellites(keep)
+    demands = _scaled_demands(impairments, demands_mbps, cell_positions)
+    return visibility, demands

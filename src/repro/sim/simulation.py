@@ -4,6 +4,18 @@ Per step: propagate every shell, find the satellites visible from each
 demand cell (a KD-tree over ECEF positions, since "within central angle
 psi" is "within chord distance 2R sin(psi/2)" on the sphere), hand the
 visibility relation to a beam-assignment strategy, and accumulate metrics.
+
+Two engines produce each step's visibility relation:
+
+* ``engine="fast"`` (default) — a precomputed
+  :class:`~repro.sim.visibility_index.VisibilityIndex` that builds its
+  KD-tree once and propagates satellites by rotating cached epoch
+  geometry, handing strategies a CSR array relation.
+* ``engine="reference"`` — the original per-step KD-tree rebuild over
+  Python lists, retained for differential testing and benchmarking
+  (see ``repro-divide bench``).
+
+Both engines produce identical results; ``repro-divide bench`` asserts it.
 """
 
 from __future__ import annotations
@@ -27,8 +39,13 @@ from repro.orbits.visibility import (
 from repro.orbits.walker import WalkerDelta
 from repro.sim.assignment import BeamAssignmentStrategy, GreedyDemandFirst
 from repro.sim.engine import SimulationClock
-from repro.sim.impairments import Impairment, apply_impairments
+from repro.sim.impairments import (
+    Impairment,
+    apply_impairments,
+    apply_impairments_csr,
+)
 from repro.sim.metrics import CoverageMetrics, SimulationReport
+from repro.sim.visibility_index import VisibilityIndex
 from repro.spectrum.beams import BeamPlan, starlink_beam_plan
 from repro.units import EARTH_RADIUS_KM
 
@@ -47,6 +64,7 @@ class ConstellationSimulation:
         gateways: Optional[Sequence["GatewaySite"]] = None,
         impairments: Optional[Sequence["Impairment"]] = None,
         impairment_seed: int = 0,
+        engine: str = "fast",
     ):
         """Set up the simulation.
 
@@ -57,6 +75,10 @@ class ConstellationSimulation:
 
         ``impairments`` (see :mod:`repro.sim.impairments`) inject
         satellite outages and weather derating into every step.
+
+        ``engine`` selects the visibility machinery: ``"fast"`` (the
+        vectorized :class:`VisibilityIndex` path) or ``"reference"``
+        (the original per-step KD-tree rebuild).
         """
         if not shells:
             raise SimulationError("simulation needs at least one shell")
@@ -64,6 +86,9 @@ class ConstellationSimulation:
             raise SimulationError(
                 f"oversubscription must be positive: {oversubscription!r}"
             )
+        if engine not in ("fast", "reference"):
+            raise SimulationError(f"unknown simulation engine: {engine!r}")
+        self.engine = engine
         self.shells = list(shells)
         self.dataset = dataset
         self.beam_plan = beam_plan or starlink_beam_plan()
@@ -117,6 +142,20 @@ class ConstellationSimulation:
                 )
                 for s in self.shells
             ]
+        self._index: Optional[VisibilityIndex] = None
+
+    @property
+    def visibility_index(self) -> VisibilityIndex:
+        """The precomputed fast-path visibility index (built lazily)."""
+        if self._index is None:
+            self._index = VisibilityIndex(
+                self.walkers,
+                self._cell_ecef,
+                self._chord_radii,
+                gateway_ecef=self._gateway_ecef if self.gateways else None,
+                gateway_radii_km=self._gateway_radii if self.gateways else None,
+            )
+        return self._index
 
     @staticmethod
     def _cells_to_ecef(dataset: DemandDataset) -> np.ndarray:
@@ -133,8 +172,24 @@ class ConstellationSimulation:
             axis=-1,
         )
 
+    def visibility(self, time_s: float):
+        """(visible sat-index lists per cell, all sat latitudes) at a time.
+
+        Served by the fast index unless ``engine="reference"``; both
+        produce the same per-cell arrays.
+        """
+        if self.engine == "fast":
+            csr, sat_lats = self.visibility_index.query(time_s)
+            return csr.to_lists(), sat_lats
+        return self._visibility(time_s)
+
     def _visibility(self, time_s: float):
-        """(visible sat-index lists per cell, all sat latitudes) at a time."""
+        """Reference visibility: per-step KD-tree rebuild (original code).
+
+        Kept verbatim as the baseline the fast
+        :class:`VisibilityIndex` is differentially tested and
+        benchmarked against.
+        """
         visible_per_cell: List[List[int]] = [[] for _ in range(len(self.dataset.cells))]
         all_lats: List[np.ndarray] = []
         offset = 0
@@ -172,21 +227,10 @@ class ConstellationSimulation:
         """Run the simulation, returning the raw metric accumulators."""
         metrics = CoverageMetrics(cell_count=len(self.dataset.cells))
         for time_s in clock.times():
-            visible, sat_lats = self._visibility(time_s)
-            demands = self.demands_mbps
-            if self.impairments:
-                visible, demands = apply_impairments(
-                    self.impairments,
-                    visible,
-                    demands,
-                    self._cell_positions,
-                    self.satellite_count,
-                    self._impairment_rng,
-                )
-            outcome = self.strategy.assign(
-                visible, demands, self.satellite_count, self.beam_plan
-            )
-            in_view = np.array([v.size for v in visible], dtype=np.int64)
+            if self.engine == "fast":
+                outcome, in_view, sat_lats = self._step_fast(time_s)
+            else:
+                outcome, in_view, sat_lats = self._step_reference(time_s)
             if int(outcome.beams_used.max(initial=0)) > self.beam_plan.beams_per_satellite:
                 raise SimulationError("strategy oversubscribed a satellite's beams")
             metrics.record_step(
@@ -198,6 +242,40 @@ class ConstellationSimulation:
                 serving_satellite=outcome.serving_satellite,
             )
         return metrics
+
+    def _step_fast(self, time_s: float):
+        """One step on the CSR fast path."""
+        csr, sat_lats = self.visibility_index.query(time_s)
+        demands = self.demands_mbps
+        if self.impairments:
+            csr, demands = apply_impairments_csr(
+                self.impairments,
+                csr,
+                demands,
+                self._cell_positions,
+                self._impairment_rng,
+            )
+        outcome = self.strategy.assign_csr(csr, demands, self.beam_plan)
+        return outcome, csr.counts(), sat_lats
+
+    def _step_reference(self, time_s: float):
+        """One step on the original list-of-arrays path."""
+        visible, sat_lats = self._visibility(time_s)
+        demands = self.demands_mbps
+        if self.impairments:
+            visible, demands = apply_impairments(
+                self.impairments,
+                visible,
+                demands,
+                self._cell_positions,
+                self.satellite_count,
+                self._impairment_rng,
+            )
+        outcome = self.strategy.assign(
+            visible, demands, self.satellite_count, self.beam_plan
+        )
+        in_view = np.array([v.size for v in visible], dtype=np.int64)
+        return outcome, in_view, sat_lats
 
     def report(self, metrics: CoverageMetrics) -> SimulationReport:
         """Summarize a finished run."""

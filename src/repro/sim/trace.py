@@ -77,7 +77,7 @@ def record_trace(
     allocated: List[np.ndarray] = []
     serving: List[np.ndarray] = []
     for time_s in clock.times():
-        visible, _ = simulation._visibility(time_s)
+        visible, _ = simulation.visibility(time_s)
         demands = simulation.demands_mbps
         if simulation.impairments:
             from repro.sim.impairments import apply_impairments

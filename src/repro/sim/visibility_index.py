@@ -1,0 +1,228 @@
+"""Compact visibility relation and the precomputed index that builds it.
+
+The simulation's visibility relation ("which satellites can serve which
+cells right now") was originally a Python list of per-cell index arrays,
+rebuilt from a fresh per-shell KD-tree every step. This module replaces
+both halves with array machinery:
+
+* :class:`CSRVisibility` stores the relation in CSR form — one flat
+  ``indices`` array of satellite ids plus an ``indptr`` offset array —
+  so strategies, impairments, and metrics can operate on it with bulk
+  NumPy ops. ``to_lists()`` adapts back to the legacy list-of-arrays API.
+* :class:`VisibilityIndex` precomputes everything that does not change
+  between steps: the KD-tree over the (static, Earth-fixed) demand
+  cells, and each shell's epoch ECI geometry. Per step, satellite
+  positions are a *rotation* of the cached epoch geometry (circular
+  orbits: ``pos(t) = cos(nt) pos0 + sin(nt) tan0``, then one Earth-spin
+  matrix), so a step costs two scalar trig calls per shell plus sparse
+  KD-tree range queries — no tree is ever rebuilt.
+
+Gateway (bent-pipe) eligibility becomes a boolean ndarray mask computed
+from direct satellite-to-gateway distances instead of a Python set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import SimulationError
+from repro.orbits.kepler import ecef_to_latlon, gmst_rad
+from repro.orbits.walker import WalkerDelta
+
+
+@dataclass(frozen=True)
+class CSRVisibility:
+    """A cell -> visible-satellites relation in CSR form.
+
+    ``indices[indptr[c]:indptr[c + 1]]`` are the satellite ids visible
+    from cell ``c``, in ascending order when produced by
+    :class:`VisibilityIndex` (matching the legacy per-cell arrays).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    n_satellites: int
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise SimulationError("malformed CSR indptr")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise SimulationError("CSR indptr does not span indices")
+
+    @property
+    def n_cells(self) -> int:
+        return self.indptr.shape[0] - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def cell(self, cell_index: int) -> np.ndarray:
+        """Satellite ids visible from one cell (a view, do not mutate)."""
+        return self.indices[self.indptr[cell_index] : self.indptr[cell_index + 1]]
+
+    def counts(self) -> np.ndarray:
+        """Visible-satellite count per cell."""
+        return np.diff(self.indptr)
+
+    def to_lists(self) -> List[np.ndarray]:
+        """Legacy list-of-arrays view (views into ``indices``)."""
+        return np.split(self.indices, self.indptr[1:-1])
+
+    @classmethod
+    def from_lists(
+        cls, visible: Sequence[np.ndarray], n_satellites: int
+    ) -> "CSRVisibility":
+        """Pack per-cell index arrays into CSR, preserving per-cell order."""
+        counts = np.fromiter(
+            (len(v) for v in visible), dtype=np.int64, count=len(visible)
+        )
+        indptr = np.zeros(len(visible) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if indptr[-1] == 0:
+            indices = np.empty(0, dtype=np.int64)
+        else:
+            indices = np.concatenate(
+                [np.asarray(v, dtype=np.int64) for v in visible if len(v)]
+            )
+        return cls(indptr=indptr, indices=indices, n_satellites=n_satellites)
+
+    def filter_satellites(self, keep: np.ndarray) -> "CSRVisibility":
+        """Drop satellites where ``keep`` is False (vectorized)."""
+        if keep.shape != (self.n_satellites,):
+            raise SimulationError("satellite keep-mask misshapen")
+        mask = keep[self.indices]
+        cell_ids = np.repeat(np.arange(self.n_cells, dtype=np.int64), self.counts())
+        indptr = np.zeros(self.n_cells + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(cell_ids[mask], minlength=self.n_cells), out=indptr[1:]
+        )
+        return CSRVisibility(
+            indptr=indptr,
+            indices=self.indices[mask],
+            n_satellites=self.n_satellites,
+        )
+
+
+@dataclass(frozen=True)
+class _ShellGeometry:
+    """Per-shell cached epoch geometry and query radii."""
+
+    pos0: np.ndarray  # (total, 3) ECI positions at epoch
+    tan0: np.ndarray  # (total, 3) in-plane tangents at epoch
+    mean_motion_rad_s: float
+    chord_radius_km: float
+    gateway_radius_km: float
+    offset: int  # global id of this shell's first satellite
+    total: int
+
+
+class VisibilityIndex:
+    """Precomputed geometry answering "who sees whom" for every step.
+
+    Build once per simulation; call :meth:`query` per step. The demand
+    cells are fixed in the Earth frame, so their KD-tree is built a
+    single time here; satellites are propagated by rotating cached epoch
+    ECI geometry and range-queried against that fixed tree.
+    """
+
+    def __init__(
+        self,
+        walkers: Sequence[WalkerDelta],
+        cell_ecef: np.ndarray,
+        chord_radii_km: Sequence[float],
+        gateway_ecef: Optional[np.ndarray] = None,
+        gateway_radii_km: Optional[Sequence[float]] = None,
+    ):
+        if len(walkers) != len(chord_radii_km):
+            raise SimulationError("one chord radius per shell required")
+        if (gateway_ecef is None) != (gateway_radii_km is None):
+            raise SimulationError(
+                "gateway positions and radii must be given together"
+            )
+        self._cell_tree = cKDTree(cell_ecef)
+        self._n_cells = cell_ecef.shape[0]
+        self._gateway_ecef = gateway_ecef
+        self._shells: List[_ShellGeometry] = []
+        offset = 0
+        for index, walker in enumerate(walkers):
+            pos0, tan0 = walker.eci_state_basis()
+            self._shells.append(
+                _ShellGeometry(
+                    pos0=pos0,
+                    tan0=tan0,
+                    mean_motion_rad_s=walker.mean_motion_rad_s,
+                    chord_radius_km=chord_radii_km[index],
+                    gateway_radius_km=(
+                        gateway_radii_km[index] if gateway_radii_km else 0.0
+                    ),
+                    offset=offset,
+                    total=walker.total,
+                )
+            )
+            offset += walker.total
+        self.n_satellites = offset
+
+    def satellite_ecef(self, shell_index: int, time_s: float) -> np.ndarray:
+        """ECEF positions (total, 3) of one shell's satellites at a time."""
+        shell = self._shells[shell_index]
+        angle = shell.mean_motion_rad_s * time_s
+        eci = math.cos(angle) * shell.pos0 + math.sin(angle) * shell.tan0
+        theta = gmst_rad(time_s)
+        cos_t = math.cos(theta)
+        sin_t = math.sin(theta)
+        rotation = np.array(
+            [[cos_t, sin_t, 0.0], [-sin_t, cos_t, 0.0], [0.0, 0.0, 1.0]]
+        )
+        return eci @ rotation.T
+
+    def gateway_eligibility(
+        self, shell_index: int, sat_ecef: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Boolean mask of satellites currently seeing any gateway."""
+        if self._gateway_ecef is None:
+            return None
+        radius = self._shells[shell_index].gateway_radius_km
+        deltas = sat_ecef[:, None, :] - self._gateway_ecef[None, :, :]
+        within = (deltas**2).sum(axis=-1) <= radius * radius
+        return within.any(axis=1)
+
+    def query(self, time_s: float):
+        """(CSR visibility, satellite latitudes in degrees) at ``time_s``."""
+        pair_cells: List[np.ndarray] = []
+        pair_sats: List[np.ndarray] = []
+        lats: List[np.ndarray] = []
+        for shell_index, shell in enumerate(self._shells):
+            ecef = self.satellite_ecef(shell_index, time_s)
+            lat, _, _ = ecef_to_latlon(ecef)
+            lats.append(lat)
+            eligible = self.gateway_eligibility(shell_index, ecef)
+            sat_tree = cKDTree(ecef)
+            pairs = sat_tree.sparse_distance_matrix(
+                self._cell_tree, shell.chord_radius_km, output_type="ndarray"
+            )
+            sats = pairs["i"].astype(np.int64)
+            cells = pairs["j"].astype(np.int64)
+            if eligible is not None:
+                keep = eligible[sats]
+                sats = sats[keep]
+                cells = cells[keep]
+            pair_sats.append(sats + shell.offset)
+            pair_cells.append(cells)
+        cells = np.concatenate(pair_cells)
+        sats = np.concatenate(pair_sats)
+        # Group pairs by cell with satellites ascending inside each cell —
+        # the order the per-shell KD-tree rebuild used to produce. A single
+        # argsort of the fused (cell, satellite) key does both at once.
+        order = np.argsort(cells * self.n_satellites + sats)
+        indptr = np.zeros(self._n_cells + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cells, minlength=self._n_cells), out=indptr[1:])
+        csr = CSRVisibility(
+            indptr=indptr, indices=sats[order], n_satellites=self.n_satellites
+        )
+        return csr, np.concatenate(lats)

@@ -1,0 +1,153 @@
+"""Differential tests for the fast visibility path.
+
+The precomputed :class:`VisibilityIndex` (one KD-tree over the static
+cells, satellites propagated by rotating cached epoch geometry) must
+produce exactly the same per-cell visibility relation as the original
+per-step KD-tree rebuild (:meth:`ConstellationSimulation._visibility`),
+at any time, with or without the bent-pipe gateway mask.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.orbits.gateways import DEFAULT_CONUS_GATEWAYS
+from repro.orbits.shells import GEN1_SHELLS
+from repro.orbits.walker import WalkerDelta
+from repro.sim.simulation import ConstellationSimulation
+from repro.sim.visibility_index import CSRVisibility, VisibilityIndex
+
+
+@pytest.fixture(scope="module")
+def regional_sim(regional_dataset):
+    return ConstellationSimulation(GEN1_SHELLS[:2], regional_dataset)
+
+
+@pytest.fixture(scope="module")
+def gateway_sim(regional_dataset):
+    return ConstellationSimulation(
+        GEN1_SHELLS[:1], regional_dataset, gateways=DEFAULT_CONUS_GATEWAYS
+    )
+
+
+def assert_matches_reference(sim, time_s):
+    """Fast index output == reference rebuild output, cell for cell."""
+    csr, fast_lats = sim.visibility_index.query(time_s)
+    reference, reference_lats = sim._visibility(time_s)
+    assert csr.n_cells == len(reference)
+    for cell_index, expected in enumerate(reference):
+        np.testing.assert_array_equal(csr.cell(cell_index), expected)
+    np.testing.assert_allclose(fast_lats, reference_lats, atol=1e-9)
+
+
+class TestCSRVisibility:
+    def _relation(self):
+        return [
+            np.array([0, 2], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([1, 2, 3], dtype=np.int64),
+        ]
+
+    def test_round_trip_lists(self):
+        lists = self._relation()
+        csr = CSRVisibility.from_lists(lists, n_satellites=4)
+        assert csr.n_cells == 3
+        assert csr.nnz == 5
+        for rebuilt, original in zip(csr.to_lists(), lists):
+            np.testing.assert_array_equal(rebuilt, original)
+
+    def test_cell_and_counts(self):
+        csr = CSRVisibility.from_lists(self._relation(), n_satellites=4)
+        np.testing.assert_array_equal(csr.counts(), [2, 0, 3])
+        np.testing.assert_array_equal(csr.cell(2), [1, 2, 3])
+
+    def test_filter_satellites_matches_list_filter(self):
+        lists = self._relation()
+        csr = CSRVisibility.from_lists(lists, n_satellites=4)
+        keep = np.array([True, False, True, False])
+        filtered = csr.filter_satellites(keep)
+        expected = [sats[keep[sats]] for sats in lists]
+        for rebuilt, original in zip(filtered.to_lists(), expected):
+            np.testing.assert_array_equal(rebuilt, original)
+        assert filtered.n_satellites == csr.n_satellites
+
+    def test_rejects_misshapen_indptr(self):
+        with pytest.raises(SimulationError):
+            CSRVisibility(
+                indptr=np.array([0, 1], dtype=np.int64),
+                indices=np.array([0, 1], dtype=np.int64),
+                n_satellites=2,
+            )
+
+
+class TestEciStateBasis:
+    def test_basis_reproduces_direct_propagation(self):
+        walker = WalkerDelta.from_shell(GEN1_SHELLS[0])
+        pos0, tan0 = walker.eci_state_basis()
+        n = walker.mean_motion_rad_s
+        for time_s in (0.0, 17.0, 600.0, 5431.5):
+            angle = n * time_s
+            rotated = np.cos(angle) * pos0 + np.sin(angle) * tan0
+            np.testing.assert_allclose(
+                rotated, walker.positions_eci(time_s), atol=1e-6
+            )
+
+    def test_epoch_basis_is_exact_position(self):
+        walker = WalkerDelta.from_shell(GEN1_SHELLS[1])
+        pos0, _ = walker.eci_state_basis()
+        np.testing.assert_allclose(pos0, walker.positions_eci(0.0), atol=1e-9)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("time_s", [0.0, 60.0, 600.0, 3600.0])
+    def test_matches_reference_rebuild(self, regional_sim, time_s):
+        assert_matches_reference(regional_sim, time_s)
+
+    @pytest.mark.parametrize("time_s", [0.0, 300.0])
+    def test_matches_reference_with_gateways(self, gateway_sim, time_s):
+        assert_matches_reference(gateway_sim, time_s)
+
+    @given(time_s=st.floats(min_value=0.0, max_value=86400.0))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference_at_random_times(self, regional_sim, time_s):
+        assert_matches_reference(regional_sim, time_s)
+
+    def test_simulation_visibility_uses_selected_engine(
+        self, regional_dataset
+    ):
+        fast = ConstellationSimulation(
+            GEN1_SHELLS[:1], regional_dataset, engine="fast"
+        )
+        reference = ConstellationSimulation(
+            GEN1_SHELLS[:1], regional_dataset, engine="reference"
+        )
+        fast_lists, _ = fast.visibility(120.0)
+        reference_lists, _ = reference.visibility(120.0)
+        for a, b in zip(fast_lists, reference_lists):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rejects_unknown_engine(self, regional_dataset):
+        with pytest.raises(SimulationError):
+            ConstellationSimulation(
+                GEN1_SHELLS[:1], regional_dataset, engine="warp"
+            )
+
+
+class TestIndexValidation:
+    def test_rejects_mismatched_radii(self, regional_sim):
+        with pytest.raises(SimulationError):
+            VisibilityIndex(
+                regional_sim.walkers,
+                regional_sim._cell_ecef,
+                regional_sim._chord_radii[:1],
+            )
+
+    def test_gateway_radii_required_with_gateways(self, gateway_sim):
+        with pytest.raises(SimulationError):
+            VisibilityIndex(
+                gateway_sim.walkers,
+                gateway_sim._cell_ecef,
+                gateway_sim._chord_radii,
+                gateway_ecef=gateway_sim._gateway_ecef,
+            )

@@ -11,6 +11,7 @@ Subcommands::
         --parallel 4 --cache-dir cache/ --out sweep.csv
     repro-divide export-data out/     # write the synthetic dataset CSVs
     repro-divide bench                # fast-vs-reference simulation bench
+    repro-divide bench-locations     # columnar-vs-reference location bench
 """
 
 from __future__ import annotations
@@ -226,6 +227,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_locations(args: argparse.Namespace) -> int:
+    from repro.demand.bench import (
+        format_locations_bench_summary,
+        run_locations_bench,
+    )
+    from repro.sim.bench import write_bench_json
+
+    model = _build_model(args.seed)
+    results = run_locations_bench(
+        quick=args.quick,
+        repeat=args.repeat,
+        seed=args.explode_seed,
+        dataset=model.dataset,
+    )
+    print(format_locations_bench_summary(results))
+    path = write_bench_json(results, args.out)
+    print(f"wrote {path}")
+    if not results["all_identical"]:
+        print(
+            "ERROR: columnar and reference location pipelines disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_export_data(args: argparse.Namespace) -> int:
     model = _build_model(args.seed)
     out = Path(args.directory)
@@ -364,6 +391,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_simulation.json", help="results JSON path"
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    bench_locations_parser = sub.add_parser(
+        "bench-locations",
+        help="benchmark the columnar location pipeline against the reference",
+    )
+    bench_locations_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario for CI smoke runs (regional cell subset)",
+    )
+    bench_locations_parser.add_argument(
+        "--repeat", type=int, default=1, help="repeats per timing (best-of)"
+    )
+    bench_locations_parser.add_argument(
+        "--explode-seed",
+        type=int,
+        default=0,
+        help="seed for the location explode draws",
+    )
+    bench_locations_parser.add_argument(
+        "--out", default="BENCH_locations.json", help="results JSON path"
+    )
+    bench_locations_parser.set_defaults(func=_cmd_bench_locations)
     return parser
 
 

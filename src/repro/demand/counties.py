@@ -30,7 +30,13 @@ def sample_county_seats(
     rng: np.random.Generator,
     max_attempts_factor: int = 200,
 ) -> List[LatLon]:
-    """Rejection-sample ``count`` county-seat points inside ``polygon``."""
+    """Rejection-sample ``count`` county-seat points inside ``polygon``.
+
+    Candidates are drawn uniformly by area — uniform in (lon, sin(lat)) —
+    in whole batches and filtered with one vectorized
+    :meth:`~repro.geo.polygon.Polygon.contains_many` call per batch,
+    instead of one scalar containment test per draw.
+    """
     if count <= 0:
         raise DatasetError(f"county count must be positive: {count!r}")
     lat_min, lat_max, lon_min, lon_max = polygon.bounds()
@@ -45,14 +51,21 @@ def sample_county_seats(
             raise DatasetError(
                 f"could not place {count} county seats after {attempts} draws"
             )
-        attempts += 1
-        # Sample uniformly by area: uniform in (lon, sin(lat)).
-        lon = rng.uniform(lon_min, lon_max)
-        y = rng.uniform(y_min, y_max)
-        point = projection.inverse(projection.forward(LatLon(0.0, lon))[0], y)
-        candidate = LatLon(point.lat_deg, lon)
-        if polygon.contains(candidate):
-            seats.append(candidate)
+        # Overdraw modestly; the acceptance rate is land-area / bbox-area
+        # (~2x for CONUS), so a couple of rounds usually finish the job.
+        batch = min(
+            max(2 * (count - len(seats)), 64), max_attempts - attempts
+        )
+        attempts += batch
+        lons = rng.uniform(lon_min, lon_max, size=batch)
+        ys = rng.uniform(y_min, y_max, size=batch)
+        sin_lat = np.clip(ys / projection.radius_km, -1.0, 1.0)
+        lats = np.degrees(np.arcsin(sin_lat))
+        accepted = polygon.contains_many(lats, lons)
+        for lat, lon in zip(lats[accepted], lons[accepted]):
+            if len(seats) == count:
+                break
+            seats.append(LatLon(float(lat), float(lon)))
     return seats
 
 
@@ -63,10 +76,20 @@ def assign_to_nearest_seat(
     if not seats:
         raise DatasetError("no county seats to assign to")
     projection = EqualAreaProjection()
-    seat_xy = np.array([projection.forward(s) for s in seats])
-    point_xy = np.array([projection.forward(p) for p in points])
-    if point_xy.size == 0:
+    seat_xy = np.column_stack(
+        projection.forward_many(
+            np.array([s.lat_deg for s in seats], dtype=float),
+            np.array([s.lon_deg for s in seats], dtype=float),
+        )
+    )
+    if len(points) == 0:
         return np.zeros(0, dtype=int)
+    point_xy = np.column_stack(
+        projection.forward_many(
+            np.array([p.lat_deg for p in points], dtype=float),
+            np.array([p.lon_deg for p in points], dtype=float),
+        )
+    )
     tree = cKDTree(seat_xy)
     _, indices = tree.query(point_xy)
     return np.asarray(indices, dtype=int)

@@ -14,8 +14,23 @@ This module bridges the two:
   location-level data from elsewhere;
 * CSV read/write in a BDC-like schema.
 
-Intended for regional studies; exploding all 4.66 M national locations
-works but costs memory.
+The record-at-a-time functions above are the **scalar reference path**:
+one frozen :class:`LocationRecord` per location, fine for regional
+studies but too slow (and memory-hungry) for the national 4.66 M-location
+scale. The **columnar fast path** mirrors each of them on
+:class:`LocationTable`, a structure-of-arrays with one NumPy column per
+attribute:
+
+* :func:`explode_cells_table` / :func:`bin_table` are outcome-identical
+  to :func:`explode_cells` / :func:`bin_locations` (they replay the same
+  per-cell RNG stream, so even the sampled positions match bit-for-bit);
+* :func:`write_table_csv` / :func:`read_table_csv` stream the same
+  BDC-like CSV schema in chunks (byte-compatible with the record I/O);
+* :meth:`LocationTable.to_npz` / :meth:`LocationTable.from_npz` persist
+  the columns directly for fast reload.
+
+``benchmarks/bench_locations.py`` and ``repro-divide bench-locations``
+measure both paths; see docs/PERFORMANCE.md for current numbers.
 """
 
 from __future__ import annotations
@@ -24,16 +39,20 @@ import csv
 import enum
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.demand.dataset import DemandDataset
 from repro.errors import DatasetError
 from repro.geo.coords import LatLon
-from repro.geo.hexgrid import CellId, HexGrid
+from repro.geo.hexgrid import CellId, HexGrid, pack_cell_keys
 from repro.geo.projection import EqualAreaProjection
-from repro.spectrum.regulatory import is_reliable_broadband
+from repro.spectrum.regulatory import (
+    RELIABLE_BROADBAND_DOWNLINK_MBPS,
+    RELIABLE_BROADBAND_UPLINK_MBPS,
+    is_reliable_broadband,
+)
 
 
 class TechnologyCode(enum.IntEnum):
@@ -91,6 +110,36 @@ _UNDERSERVED_OFFERS: Tuple[Tuple[TechnologyCode, float, float, float], ...] = (
 )
 
 
+def _offer_columns(
+    offers: Tuple[Tuple[TechnologyCode, float, float, float], ...]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Offer profiles as (technology, downlink, uplink, cdf) lookup columns.
+
+    The cdf replicates ``Generator.choice(len(offers), p=weights)``
+    internals (cumsum normalized by its last entry, searched with
+    ``side="right"``), so drawing via ``cdf.searchsorted(rng.random(n))``
+    consumes the same stream and returns the same indices as ``choice`` —
+    without per-call weight validation overhead.
+    """
+    cdf = np.cumsum(np.asarray([w for _, _, _, w in offers], dtype=float))
+    cdf /= cdf[-1]
+    return (
+        np.array([int(t) for t, _, _, _ in offers], dtype=np.int16),
+        np.array([dl for _, dl, _, _ in offers], dtype=float),
+        np.array([ul for _, _, ul, _ in offers], dtype=float),
+        cdf,
+    )
+
+
+_UNSERVED_COLUMNS = _offer_columns(_UNSERVED_OFFERS)
+_UNDERSERVED_COLUMNS = _offer_columns(_UNDERSERVED_OFFERS)
+
+#: Valid FCC technology codes, for vectorized validation.
+_VALID_TECHNOLOGY_CODES = np.array(
+    sorted(int(t) for t in TechnologyCode), dtype=np.int16
+)
+
+
 def explode_cells(
     dataset: DemandDataset, seed: int = 0
 ) -> List[LocationRecord]:
@@ -136,21 +185,25 @@ def explode_cells(
     return records
 
 
+_ROOT3 = float(np.sqrt(3.0))
+
+
 def _uniform_hexagon_points(
     rng: np.random.Generator, count: int, cx: float, cy: float, size_km: float
 ) -> np.ndarray:
     """``count`` points uniform in a flat-top hexagon centered at (cx, cy)."""
     points = np.empty((count, 2))
     filled = 0
-    apothem = size_km * np.sqrt(3.0) / 2.0
+    apothem = size_km * _ROOT3 / 2.0
     while filled < count:
         need = count - filled
         xs = rng.uniform(-size_km, size_km, size=2 * need + 8)
         ys = rng.uniform(-apothem, apothem, size=2 * need + 8)
         # Flat-top hexagon: flat edges at |y| = apothem, sloped edges run
         # from (s, 0) to (s/2, apothem), i.e. |y| <= sqrt(3) * (s - |x|).
-        inside = (np.abs(ys) <= apothem) & (
-            np.abs(ys) <= np.sqrt(3.0) * (size_km - np.abs(xs))
+        abs_ys = np.abs(ys)
+        inside = (abs_ys <= apothem) & (
+            abs_ys <= _ROOT3 * (size_km - np.abs(xs))
         )
         good = np.flatnonzero(inside)[:need]
         points[filled : filled + good.size, 0] = xs[good] + cx
@@ -232,6 +285,13 @@ def read_locations_csv(path: Union[str, Path]) -> List[LocationRecord]:
                 f"{file_path}: unexpected headers {reader.fieldnames}"
             )
         for row in reader:
+            try:
+                technology = TechnologyCode(int(row["technology"]))
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{file_path}: location {row['location_id']}: "
+                    f"unknown technology code {row['technology']!r}"
+                ) from exc
             records.append(
                 LocationRecord(
                     location_id=int(row["location_id"]),
@@ -240,9 +300,409 @@ def read_locations_csv(path: Union[str, Path]) -> List[LocationRecord]:
                     ),
                     cell=CellId.from_token(row["cell_token"]),
                     county_id=int(row["county_id"]),
-                    technology=TechnologyCode(int(row["technology"])),
+                    technology=technology,
                     max_download_mbps=float(row["max_download_mbps"]),
                     max_upload_mbps=float(row["max_upload_mbps"]),
                 )
             )
     return records
+
+
+# ---------------------------------------------------------------------------
+# Columnar fast path
+# ---------------------------------------------------------------------------
+
+#: NPZ column names, in schema order (mirrors ``_LOCATION_HEADERS``).
+_TABLE_COLUMNS = (
+    "location_id",
+    "lat_deg",
+    "lon_deg",
+    "cell_key",
+    "county_id",
+    "technology",
+    "max_download_mbps",
+    "max_upload_mbps",
+)
+
+
+@dataclass(eq=False)
+class LocationTable:
+    """Structure-of-arrays over broadband serviceable locations.
+
+    One NumPy column per :class:`LocationRecord` attribute; cells are the
+    packed uint64 keys of :attr:`~repro.geo.hexgrid.CellId.key`. Converts
+    losslessly to and from record lists, so the columnar pipeline and the
+    scalar reference interoperate freely.
+    """
+
+    location_id: np.ndarray
+    lat_deg: np.ndarray
+    lon_deg: np.ndarray
+    cell_key: np.ndarray
+    county_id: np.ndarray
+    technology: np.ndarray
+    max_download_mbps: np.ndarray
+    max_upload_mbps: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.location_id = np.asarray(self.location_id, dtype=np.int64)
+        self.lat_deg = np.asarray(self.lat_deg, dtype=float)
+        self.lon_deg = np.asarray(self.lon_deg, dtype=float)
+        self.cell_key = np.asarray(self.cell_key, dtype=np.uint64)
+        self.county_id = np.asarray(self.county_id, dtype=np.int64)
+        self.technology = np.asarray(self.technology, dtype=np.int16)
+        self.max_download_mbps = np.asarray(
+            self.max_download_mbps, dtype=float
+        )
+        self.max_upload_mbps = np.asarray(self.max_upload_mbps, dtype=float)
+        lengths = {len(self._column(name)) for name in _TABLE_COLUMNS}
+        if len(lengths) > 1:
+            raise DatasetError(
+                f"location table columns have unequal lengths: {sorted(lengths)}"
+            )
+        if len(self) and (
+            (self.max_download_mbps < 0.0).any()
+            or (self.max_upload_mbps < 0.0).any()
+        ):
+            negative = np.flatnonzero(
+                (self.max_download_mbps < 0.0) | (self.max_upload_mbps < 0.0)
+            )[0]
+            raise DatasetError(
+                f"location {int(self.location_id[negative])}: negative speeds"
+            )
+        if len(self):
+            unknown = ~np.isin(self.technology, _VALID_TECHNOLOGY_CODES)
+            if unknown.any():
+                bad = int(self.technology[unknown][0])
+                raise DatasetError(f"unknown technology code {bad!r}")
+
+    def _column(self, name: str) -> np.ndarray:
+        return getattr(self, name)
+
+    def __len__(self) -> int:
+        return len(self.location_id)
+
+    # -- masks --------------------------------------------------------------
+
+    def is_served(self) -> np.ndarray:
+        """Vectorized :attr:`LocationRecord.is_served` (100/20 bar)."""
+        return (
+            self.max_download_mbps >= RELIABLE_BROADBAND_DOWNLINK_MBPS
+        ) & (self.max_upload_mbps >= RELIABLE_BROADBAND_UPLINK_MBPS)
+
+    def is_unserved(self) -> np.ndarray:
+        """Vectorized :attr:`LocationRecord.is_unserved` (FCC 25/3 bar)."""
+        return (self.max_download_mbps < 25.0) | (self.max_upload_mbps < 3.0)
+
+    # -- record interop ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[LocationRecord]) -> "LocationTable":
+        """Columnarize a record list (lossless)."""
+        records = list(records)
+        return cls(
+            location_id=np.array(
+                [r.location_id for r in records], dtype=np.int64
+            ),
+            lat_deg=np.array(
+                [r.position.lat_deg for r in records], dtype=float
+            ),
+            lon_deg=np.array(
+                [r.position.lon_deg for r in records], dtype=float
+            ),
+            cell_key=np.array([r.cell.key for r in records], dtype=np.uint64),
+            county_id=np.array([r.county_id for r in records], dtype=np.int64),
+            technology=np.array(
+                [int(r.technology) for r in records], dtype=np.int16
+            ),
+            max_download_mbps=np.array(
+                [r.max_download_mbps for r in records], dtype=float
+            ),
+            max_upload_mbps=np.array(
+                [r.max_upload_mbps for r in records], dtype=float
+            ),
+        )
+
+    def to_records(self) -> List[LocationRecord]:
+        """Materialize one :class:`LocationRecord` per row (lossless)."""
+        cells: Dict[int, CellId] = {}
+        records = []
+        for i in range(len(self)):
+            key = int(self.cell_key[i])
+            cell = cells.get(key)
+            if cell is None:
+                cell = cells[key] = CellId.from_key(key)
+            records.append(
+                LocationRecord(
+                    location_id=int(self.location_id[i]),
+                    position=LatLon(
+                        float(self.lat_deg[i]), float(self.lon_deg[i])
+                    ),
+                    cell=cell,
+                    county_id=int(self.county_id[i]),
+                    technology=TechnologyCode(int(self.technology[i])),
+                    max_download_mbps=float(self.max_download_mbps[i]),
+                    max_upload_mbps=float(self.max_upload_mbps[i]),
+                )
+            )
+        return records
+
+    def equals(self, other: "LocationTable") -> bool:
+        """Exact column-wise equality with another table."""
+        return all(
+            np.array_equal(self._column(name), other._column(name))
+            for name in _TABLE_COLUMNS
+        )
+
+    # -- NPZ persistence -----------------------------------------------------
+
+    def to_npz(self, path: Union[str, Path]) -> Path:
+        """Persist all columns to an uncompressed ``.npz`` archive."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(
+            target, **{name: self._column(name) for name in _TABLE_COLUMNS}
+        )
+        # np.savez appends .npz when the name lacks it; report the real path.
+        return target if target.suffix == ".npz" else Path(f"{target}.npz")
+
+    @classmethod
+    def from_npz(cls, path: Union[str, Path]) -> "LocationTable":
+        """Load a table written by :meth:`to_npz`."""
+        file_path = Path(path)
+        if not file_path.exists():
+            raise DatasetError(f"no such file: {file_path}")
+        with np.load(file_path) as archive:
+            missing = [
+                name for name in _TABLE_COLUMNS if name not in archive.files
+            ]
+            if missing:
+                raise DatasetError(
+                    f"{file_path}: missing location table columns {missing}"
+                )
+            return cls(**{name: archive[name] for name in _TABLE_COLUMNS})
+
+
+def explode_cells_table(
+    dataset: DemandDataset, seed: int = 0
+) -> LocationTable:
+    """Columnar :func:`explode_cells`: same records, one table, far faster.
+
+    Replays the reference implementation's RNG stream exactly — the same
+    per-cell :func:`_uniform_hexagon_points` and offer draws in the same
+    order — but materializes columns instead of 4.66 M frozen dataclass
+    instances, and unprojects every sampled point in one
+    :meth:`~repro.geo.projection.EqualAreaProjection.inverse_many` call.
+    ``explode_cells_table(d, s)`` is bit-identical to
+    ``LocationTable.from_records(explode_cells(d, s))``.
+    """
+    rng = np.random.default_rng(seed)
+    grid = HexGrid(dataset.grid_resolution)
+    projection = EqualAreaProjection()
+    size_km = grid.hex_size_km
+    cell_keys = np.array([c.cell.key for c in dataset.cells], dtype=np.uint64)
+    center_lat, center_lon = grid.centers_many(cell_keys)
+    center_x, center_y = projection.forward_many(center_lat, center_lon)
+    total = sum(
+        c.unserved_locations + c.underserved_locations for c in dataset.cells
+    )
+    x = np.empty(total)
+    y = np.empty(total)
+    keys = np.empty(total, dtype=np.uint64)
+    counties = np.empty(total, dtype=np.int64)
+    technology = np.empty(total, dtype=np.int16)
+    downlink = np.empty(total)
+    uplink = np.empty(total)
+    offset = 0
+    for index, cell in enumerate(dataset.cells):
+        cx = center_x[index]
+        cy = center_y[index]
+        for count, (tech_col, dl_col, ul_col, cdf) in (
+            (cell.unserved_locations, _UNSERVED_COLUMNS),
+            (cell.underserved_locations, _UNDERSERVED_COLUMNS),
+        ):
+            if count == 0:
+                continue
+            points = _uniform_hexagon_points(rng, count, cx, cy, size_km)
+            choices = cdf.searchsorted(rng.random(count), side="right")
+            span = slice(offset, offset + count)
+            x[span] = points[:, 0]
+            y[span] = points[:, 1]
+            keys[span] = cell_keys[index]
+            counties[span] = cell.county_id
+            technology[span] = tech_col[choices]
+            downlink[span] = dl_col[choices]
+            uplink[span] = ul_col[choices]
+            offset += count
+    lat, lon = projection.inverse_many(x, y)
+    return LocationTable(
+        location_id=np.arange(total, dtype=np.int64),
+        lat_deg=lat,
+        lon_deg=lon,
+        cell_key=keys,
+        county_id=counties,
+        technology=technology,
+        max_download_mbps=downlink,
+        max_upload_mbps=uplink,
+    )
+
+
+def bin_table(
+    table: LocationTable, resolution: int
+) -> Dict[CellId, Tuple[int, int]]:
+    """Columnar :func:`bin_locations`: identical counts via ``np.unique``.
+
+    Cells are re-derived from positions with
+    :meth:`~repro.geo.hexgrid.HexGrid.cell_for_many` (bit-identical to the
+    scalar ``cell_for``), then aggregated with one unique/bincount pass
+    over the packed keys instead of a per-record dict update.
+    """
+    grid = HexGrid(resolution)
+    keep = ~table.is_served()
+    keys = grid.cell_for_many(table.lat_deg[keep], table.lon_deg[keep])
+    unserved = table.is_unserved()[keep]
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    unserved_counts = np.bincount(
+        inverse[unserved], minlength=len(unique_keys)
+    )
+    underserved_counts = np.bincount(
+        inverse[~unserved], minlength=len(unique_keys)
+    )
+    return {
+        CellId.from_key(int(key)): (int(u), int(d))
+        for key, u, d in zip(unique_keys, unserved_counts, underserved_counts)
+    }
+
+
+def write_table_csv(
+    table: LocationTable,
+    path: Union[str, Path],
+    chunk_size: int = 200_000,
+) -> Path:
+    """Chunked CSV writer, byte-identical to :func:`write_locations_csv`.
+
+    Streams ``chunk_size`` rows at a time (bounded memory at national
+    scale) and formats from columns — no intermediate record objects.
+    """
+    if chunk_size <= 0:
+        raise DatasetError(f"chunk size must be positive: {chunk_size!r}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    unique_keys, inverse = np.unique(table.cell_key, return_inverse=True)
+    tokens = np.array([f"{int(key):015x}" for key in unique_keys])
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_LOCATION_HEADERS)
+        for start in range(0, len(table), chunk_size):
+            stop = start + chunk_size
+            rows = zip(
+                table.location_id[start:stop].tolist(),
+                table.lat_deg[start:stop].tolist(),
+                table.lon_deg[start:stop].tolist(),
+                tokens[inverse[start:stop]].tolist(),
+                table.county_id[start:stop].tolist(),
+                table.technology[start:stop].tolist(),
+                table.max_download_mbps[start:stop].tolist(),
+                table.max_upload_mbps[start:stop].tolist(),
+            )
+            writer.writerows(
+                (
+                    location_id,
+                    "%.6f" % lat,
+                    "%.6f" % lon,
+                    token,
+                    county_id,
+                    technology,
+                    "%.1f" % downlink,
+                    "%.1f" % uplink,
+                )
+                for (
+                    location_id,
+                    lat,
+                    lon,
+                    token,
+                    county_id,
+                    technology,
+                    downlink,
+                    uplink,
+                ) in rows
+            )
+    return target
+
+
+def _csv_chunks(
+    reader: Iterator[List[str]], chunk_size: int
+) -> Iterator[List[List[str]]]:
+    """Yield raw CSV rows in lists of at most ``chunk_size``."""
+    chunk: List[List[str]] = []
+    for row in reader:
+        chunk.append(row)
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def read_table_csv(
+    path: Union[str, Path], chunk_size: int = 500_000
+) -> LocationTable:
+    """Chunked CSV reader for the BDC-like schema, returning a table.
+
+    Accepts exactly the files :func:`write_locations_csv` /
+    :func:`write_table_csv` produce; parses ``chunk_size`` rows at a time
+    into columns so the peak overhead is one chunk of strings, not a full
+    record list. Unknown technology codes raise :class:`DatasetError`.
+    """
+    if chunk_size <= 0:
+        raise DatasetError(f"chunk size must be positive: {chunk_size!r}")
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"no such file: {file_path}")
+    parts: List[Tuple[np.ndarray, ...]] = []
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        headers = next(reader, None)
+        if headers != _LOCATION_HEADERS:
+            raise DatasetError(
+                f"{file_path}: unexpected headers {headers}"
+            )
+        for chunk in _csv_chunks(reader, chunk_size):
+            columns = list(zip(*chunk))
+            tokens, token_inverse = np.unique(
+                np.array(columns[3]), return_inverse=True
+            )
+            try:
+                keys = np.array(
+                    [int(token, 16) for token in tokens], dtype=np.uint64
+                )
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{file_path}: malformed cell token"
+                ) from exc
+            technology = np.array(columns[5], dtype=np.int16)
+            unknown = ~np.isin(technology, _VALID_TECHNOLOGY_CODES)
+            if unknown.any():
+                bad_row = chunk[int(np.flatnonzero(unknown)[0])]
+                raise DatasetError(
+                    f"{file_path}: location {bad_row[0]}: unknown "
+                    f"technology code {bad_row[5]!r}"
+                )
+            parts.append(
+                (
+                    np.array(columns[0], dtype=np.int64),
+                    np.array(columns[1], dtype=float),
+                    np.array(columns[2], dtype=float),
+                    keys[token_inverse],
+                    np.array(columns[4], dtype=np.int64),
+                    technology,
+                    np.array(columns[6], dtype=float),
+                    np.array(columns[7], dtype=float),
+                )
+            )
+    if not parts:
+        empty = np.zeros(0)
+        return LocationTable(empty, empty, empty, empty, empty, empty, empty, empty)
+    return LocationTable(
+        *(np.concatenate(column) for column in zip(*parts))
+    )

@@ -137,7 +137,13 @@ def generate_national_map(
     all_cells = grid.cells_covering(boundary)
     if not all_cells:
         raise CalibrationError("study-region polygon covers no cells")
-    centers = [grid.center(c) for c in all_cells]
+    center_lats, center_lons = grid.centers_many(
+        np.array([c.key for c in all_cells], dtype=np.uint64)
+    )
+    centers = [
+        LatLon(float(lat), float(lon))
+        for lat, lon in zip(center_lats, center_lons)
+    ]
 
     curve = QuantileCurve(config.cell_count_anchors)
     planted_total = sum(n for n, _, _ in config.planted_peaks)

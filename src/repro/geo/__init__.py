@@ -14,9 +14,15 @@ from repro.geo.coords import (
     normalize_lon,
     validate_latlon,
 )
-from repro.geo.hexgrid import CellId, HexGrid, H3_MEAN_HEX_AREA_KM2
+from repro.geo.hexgrid import (
+    CellId,
+    HexGrid,
+    H3_MEAN_HEX_AREA_KM2,
+    pack_cell_keys,
+    unpack_cell_keys,
+)
 from repro.geo.polygon import Polygon
-from repro.geo.projection import EqualAreaProjection
+from repro.geo.projection import EqualAreaProjection, normalize_lon_many
 from repro.geo.us_boundary import conus_polygon, CONUS_LAND_AREA_KM2
 
 __all__ = [
@@ -29,8 +35,11 @@ __all__ = [
     "CellId",
     "HexGrid",
     "H3_MEAN_HEX_AREA_KM2",
+    "pack_cell_keys",
+    "unpack_cell_keys",
     "Polygon",
     "EqualAreaProjection",
+    "normalize_lon_many",
     "conus_polygon",
     "CONUS_LAND_AREA_KM2",
 ]

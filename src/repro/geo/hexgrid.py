@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geo.coords import LatLon
 from repro.geo.projection import EqualAreaProjection
@@ -64,6 +66,43 @@ _COORD_BIAS = 1 << (_COORD_BITS - 1)
 _COORD_MASK = (1 << _COORD_BITS) - 1
 
 
+def pack_cell_keys(resolution: int, q: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Pack axial coordinate arrays into uint64 cell keys.
+
+    The key is the integer value of :attr:`CellId.token` (the hex-string
+    token is just ``f"{key:015x}"``), so packed keys, tokens, and
+    :class:`CellId` objects all round-trip losslessly.
+    """
+    if not 0 <= resolution < len(H3_MEAN_HEX_AREA_KM2):
+        raise GeometryError(f"unsupported resolution: {resolution!r}")
+    q = np.asarray(q, dtype=np.int64)
+    r = np.asarray(r, dtype=np.int64)
+    if q.size and (
+        (q < -_COORD_BIAS).any()
+        or (q >= _COORD_BIAS).any()
+        or (r < -_COORD_BIAS).any()
+        or (r >= _COORD_BIAS).any()
+    ):
+        raise GeometryError("axial coordinate out of range")
+    packed = (
+        (np.uint64(resolution & 0xF) << np.uint64(2 * _COORD_BITS))
+        | ((q + _COORD_BIAS).astype(np.uint64) << np.uint64(_COORD_BITS))
+        | (r + _COORD_BIAS).astype(np.uint64)
+    )
+    return packed
+
+
+def unpack_cell_keys(
+    keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_cell_keys`: (resolution, q, r) int64 arrays."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    resolution = (keys >> np.uint64(2 * _COORD_BITS)).astype(np.int64) & 0xF
+    q = ((keys >> np.uint64(_COORD_BITS)).astype(np.int64) & _COORD_MASK) - _COORD_BIAS
+    r = (keys.astype(np.int64) & _COORD_MASK) - _COORD_BIAS
+    return resolution, q, r
+
+
 @dataclass(frozen=True, order=True)
 class CellId:
     """A grid cell: resolution plus axial (q, r) lattice coordinates."""
@@ -80,14 +119,29 @@ class CellId:
                 raise GeometryError(f"axial coordinate {name}={coord!r} out of range")
 
     @property
-    def token(self) -> str:
-        """Hex-string token for CSV round trips (H3-index analogue)."""
-        packed = (
+    def key(self) -> int:
+        """Packed 64-bit integer key (columnar analogue of :attr:`token`)."""
+        return (
             (self.resolution & 0xF) << (2 * _COORD_BITS)
             | ((self.q + _COORD_BIAS) & _COORD_MASK) << _COORD_BITS
             | ((self.r + _COORD_BIAS) & _COORD_MASK)
         )
-        return f"{packed:015x}"
+
+    @property
+    def token(self) -> str:
+        """Hex-string token for CSV round trips (H3-index analogue)."""
+        return f"{self.key:015x}"
+
+    @classmethod
+    def from_key(cls, key: int) -> "CellId":
+        """Inverse of :attr:`key`."""
+        key = int(key)
+        if not 0 <= key < (1 << 60):
+            raise GeometryError(f"cell key out of range: {key!r}")
+        resolution = (key >> (2 * _COORD_BITS)) & 0xF
+        q = ((key >> _COORD_BITS) & _COORD_MASK) - _COORD_BIAS
+        r = (key & _COORD_MASK) - _COORD_BIAS
+        return cls(resolution, q, r)
 
     @classmethod
     def from_token(cls, token: str) -> "CellId":
@@ -96,10 +150,7 @@ class CellId:
             packed = int(token, 16)
         except ValueError as exc:
             raise GeometryError(f"malformed cell token: {token!r}") from exc
-        resolution = (packed >> (2 * _COORD_BITS)) & 0xF
-        q = ((packed >> _COORD_BITS) & _COORD_MASK) - _COORD_BIAS
-        r = (packed & _COORD_MASK) - _COORD_BIAS
-        return cls(resolution, q, r)
+        return cls.from_key(packed)
 
 
 class HexGrid:
@@ -129,6 +180,39 @@ class HexGrid:
         x, y = self.projection.forward(point)
         q, r = self._axial_round(*self._axial_fractional(x, y))
         return CellId(self.resolution, q, r)
+
+    def cell_for_many(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray
+    ) -> np.ndarray:
+        """Packed uint64 cell keys for arrays of points (see :attr:`CellId.key`).
+
+        Bit-identical to ``cell_for(LatLon(lat, lon)).key`` per point;
+        materialize objects with :meth:`CellId.from_key` where needed.
+        """
+        x, y = self.projection.forward_many(lat_deg, lon_deg)
+        a = self.hex_size_km
+        qf = (2.0 / 3.0) * x / a
+        rf = (-x / 3.0 + math.sqrt(3.0) / 3.0 * y) / a
+        q, r = _axial_round_many(qf, rf)
+        return pack_cell_keys(self.resolution, q, r)
+
+    def centers_many(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Geographic centers for an array of packed cell keys.
+
+        Returns (lat_deg, lon_deg) arrays, bit-identical to
+        :meth:`center` applied per cell.
+        """
+        resolution, q, r = unpack_cell_keys(keys)
+        if resolution.size and (resolution != self.resolution).any():
+            bad = int(resolution[resolution != self.resolution][0])
+            raise GeometryError(
+                f"cell resolution {bad} does not match grid "
+                f"resolution {self.resolution}"
+            )
+        a = self.hex_size_km
+        x = a * 1.5 * q.astype(float)
+        y = a * math.sqrt(3.0) * (r.astype(float) + q.astype(float) / 2.0)
+        return self.projection.inverse_many(x, y)
 
     def center(self, cell: CellId) -> LatLon:
         """Geographic center of ``cell``."""
@@ -224,12 +308,46 @@ class HexGrid:
                     yield CellId(self.resolution, q, r)
 
     def cells_covering(self, polygon: "Polygon") -> List[CellId]:
-        """Cells whose centers fall inside ``polygon`` (H3 polyfill analogue)."""
+        """Cells whose centers fall inside ``polygon`` (H3 polyfill analogue).
+
+        Vectorized: enumerates the candidate lattice block in bulk and
+        filters with :meth:`Polygon.contains_many`; produces exactly the
+        cells (in the same q-then-r order) the scalar
+        ``cells_in_bbox`` + ``contains`` loop did.
+        """
         lat_min, lat_max, lon_min, lon_max = polygon.bounds()
+        if lat_min > lat_max or lon_min > lon_max:
+            raise GeometryError("bounding box min exceeds max")
+        x_min, y_min = self.projection.forward(LatLon(lat_min, lon_min))
+        x_max, y_max = self.projection.forward(LatLon(lat_max, lon_max))
+        if x_min > x_max:
+            raise GeometryError("bounding box straddles the antimeridian")
+        a = self.hex_size_km
+        root3 = math.sqrt(3.0)
+        q_values = np.arange(
+            int(math.floor(x_min / (1.5 * a))) - 1,
+            int(math.ceil(x_max / (1.5 * a))) + 2,
+            dtype=np.int64,
+        )
+        r_lo = np.floor(y_min / (root3 * a) - q_values / 2.0).astype(np.int64) - 1
+        r_hi = np.ceil(y_max / (root3 * a) - q_values / 2.0).astype(np.int64) + 1
+        lengths = r_hi - r_lo + 1
+        q = np.repeat(q_values, lengths)
+        # r runs r_lo..r_hi within each q block: a global arange minus each
+        # block's running offset, plus its r_lo.
+        offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        r = np.arange(lengths.sum(), dtype=np.int64) - np.repeat(
+            offsets, lengths
+        ) + np.repeat(r_lo, lengths)
+        cx = a * 1.5 * q.astype(float)
+        cy = a * root3 * (r.astype(float) + q.astype(float) / 2.0)
+        in_box = (cx >= x_min) & (cx <= x_max) & (cy >= y_min) & (cy <= y_max)
+        q, r = q[in_box], r[in_box]
+        lat, lon = self.projection.inverse_many(cx[in_box], cy[in_box])
+        inside = polygon.contains_many(lat, lon)
         return [
-            cell
-            for cell in self.cells_in_bbox(lat_min, lat_max, lon_min, lon_max)
-            if polygon.contains(self.center(cell))
+            CellId(self.resolution, int(qq), int(rr))
+            for qq, rr in zip(q[inside], r[inside])
         ]
 
     # -- internals ------------------------------------------------------------
@@ -271,6 +389,29 @@ class HexGrid:
         elif dr > ds:
             r = -q - s
         return int(q), int(r)
+
+
+def _axial_round_many(
+    qf: np.ndarray, rf: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized cube-coordinate rounding, identical to ``_axial_round``.
+
+    Both use round-half-even (``round`` / ``np.rint``), and the two
+    correction branches are mutually exclusive, so the scalar's
+    sequential updates translate directly to masked selects.
+    """
+    sf = -qf - rf
+    q = np.rint(qf)
+    r = np.rint(rf)
+    s = np.rint(sf)
+    dq = np.abs(q - qf)
+    dr = np.abs(r - rf)
+    ds = np.abs(s - sf)
+    fix_q = (dq > dr) & (dq > ds)
+    fix_r = ~fix_q & (dr > ds)
+    q_out = np.where(fix_q, -r - s, q)
+    r_out = np.where(fix_r, -q - s, r)
+    return q_out.astype(np.int64), r_out.astype(np.int64)
 
 
 # Imported at the bottom to avoid a cycle: polygon.py does not import hexgrid.

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geo.coords import LatLon
 from repro.geo.projection import EqualAreaProjection
@@ -48,6 +50,28 @@ class Polygon:
                 x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
                 if px < x_cross:
                     inside = not inside
+        return inside
+
+    def contains_many(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`contains` over point arrays (boolean mask).
+
+        Same even-odd rule, same arithmetic per edge, so the mask is
+        identical to mapping :meth:`contains` over the points.
+        """
+        px, py = EqualAreaProjection().forward_many(lat_deg, lon_deg)
+        inside = np.zeros(px.shape, dtype=bool)
+        n = len(self._xy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for i in range(n):
+                x1, y1 = self._xy[i]
+                x2, y2 = self._xy[(i + 1) % n]
+                crossing = (y1 > py) != (y2 > py)
+                if not crossing.any():
+                    continue
+                x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+                inside ^= crossing & (px < x_cross)
         return inside
 
     def area_km2(self) -> float:

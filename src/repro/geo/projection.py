@@ -17,9 +17,22 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geo.coords import LatLon, normalize_lon
 from repro.units import EARTH_RADIUS_KM
+
+
+def normalize_lon_many(lon_deg: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.geo.coords.normalize_lon` (to [-180, 180))."""
+    # The initial + 180.0 copies, so the in-place steps never touch the
+    # caller's array; this kernel sits under every bulk (un)projection.
+    lon = np.asarray(lon_deg, dtype=float) + 180.0
+    np.fmod(lon, 360.0, out=lon)
+    lon[lon < 0.0] += 360.0
+    lon -= 180.0
+    return lon
 
 
 class EqualAreaProjection:
@@ -58,6 +71,48 @@ class EqualAreaProjection:
         still map to a legal latitude.
         """
         sin_lat = min(1.0, max(-1.0, y / self.radius_km))
-        lat = math.degrees(math.asin(sin_lat))
+        # np.arcsin, not math.asin: the two can differ in the last ulp, and
+        # the scalar and vectorized paths must agree bit-for-bit so that
+        # `inverse_many` is differentially testable against this method.
+        lat = math.degrees(float(np.arcsin(sin_lat)))
         lon = normalize_lon(math.degrees(x / self.radius_km))
         return LatLon(lat, lon)
+
+    # -- vectorized paths ---------------------------------------------------
+
+    def forward_many(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`forward`: degree arrays to planar (x, y) km.
+
+        Bit-identical to mapping :meth:`forward` over the points.
+        """
+        lat = np.asarray(lat_deg, dtype=float)
+        lon = np.asarray(lon_deg, dtype=float)
+        if lat.shape != lon.shape:
+            raise GeometryError(
+                f"latitude/longitude shape mismatch: {lat.shape} vs {lon.shape}"
+            )
+        in_range = (lat >= -90.0) & (lat <= 90.0)
+        if lat.size and not in_range.all():
+            bad = lat[~in_range][0]
+            raise GeometryError(f"latitude out of range: {bad!r}")
+        x = self.radius_km * np.radians(normalize_lon_many(lon))
+        y = self.radius_km * np.sin(np.radians(lat))
+        return x, y
+
+    def inverse_many(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`inverse`: planar km arrays to (lat, lon) degrees.
+
+        Bit-identical to mapping :meth:`inverse` over the points.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape:
+            raise GeometryError(f"x/y shape mismatch: {x.shape} vs {y.shape}")
+        sin_lat = np.clip(y / self.radius_km, -1.0, 1.0)
+        lat = np.degrees(np.arcsin(sin_lat))
+        lon = normalize_lon_many(np.degrees(x / self.radius_km))
+        return lat, lon

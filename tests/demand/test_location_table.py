@@ -1,0 +1,270 @@
+"""Differential tests: columnar location pipeline vs the scalar reference.
+
+The fast path (:class:`LocationTable`, :func:`explode_cells_table`,
+:func:`bin_table`, the chunked CSV I/O) must be outcome-identical — to the
+bit, including RNG draws — to the record-at-a-time reference
+(:func:`explode_cells`, :func:`bin_locations`, the record CSV I/O) on
+arbitrary datasets, and the binary NPZ format must round-trip losslessly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.demand.bsl import County, ServiceCell
+from repro.demand.dataset import DemandDataset
+from repro.demand.locations import (
+    LocationRecord,
+    LocationTable,
+    TechnologyCode,
+    bin_locations,
+    bin_table,
+    explode_cells,
+    explode_cells_table,
+    read_locations_csv,
+    read_table_csv,
+    write_locations_csv,
+    write_table_csv,
+)
+from repro.errors import DatasetError
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId, HexGrid
+
+from tests.conftest import build_toy_dataset
+
+
+def _dataset_from_counts(counts):
+    """A dataset with explicit (unserved, underserved) per cell."""
+    grid = HexGrid(5)
+    cells = []
+    counties = {}
+    for index, (unserved, underserved) in enumerate(counts):
+        cell = CellId(5, 3 * index - 4, -index)
+        counties[index] = County(
+            county_id=index,
+            name=f"Toy {index}",
+            seat=LatLon(37.0, -90.0),
+            median_household_income_usd=60000.0,
+        )
+        cells.append(
+            ServiceCell(
+                cell=cell,
+                center=grid.center(cell),
+                county_id=index,
+                unserved_locations=unserved,
+                underserved_locations=underserved,
+            )
+        )
+    return DemandDataset(
+        cells=cells, counties=counties, grid_resolution=5, description="toy"
+    )
+
+
+count_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=60),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestExplodeDifferential:
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_table_matches_records(self, counts, seed):
+        dataset = _dataset_from_counts(counts)
+        table = explode_cells_table(dataset, seed=seed)
+        reference = LocationTable.from_records(explode_cells(dataset, seed=seed))
+        assert table.equals(reference)
+
+    def test_empty_dataset_cells(self):
+        table = explode_cells_table(_dataset_from_counts([(0, 0), (0, 0)]))
+        assert len(table) == 0
+
+    def test_fixture_dataset(self, toy_dataset):
+        table = explode_cells_table(toy_dataset, seed=3)
+        reference = LocationTable.from_records(
+            explode_cells(toy_dataset, seed=3)
+        )
+        assert table.equals(reference)
+
+
+class TestBinDifferential:
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_bin_table_matches_bin_locations(self, counts, seed):
+        dataset = _dataset_from_counts(counts)
+        table = explode_cells_table(dataset, seed=seed)
+        records = explode_cells(dataset, seed=seed)
+        assert bin_table(table, 5) == bin_locations(records, 5)
+
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_bin_of_explode_reproduces_source_counts(self, counts, seed):
+        """Explode then bin is the exact identity on per-cell counts."""
+        dataset = _dataset_from_counts(counts)
+        binned = bin_table(explode_cells_table(dataset, seed=seed), 5)
+        expected = {
+            cell.cell: (cell.unserved_locations, cell.underserved_locations)
+            for cell in dataset.cells
+            if cell.unserved_locations + cell.underserved_locations > 0
+        }
+        assert binned == expected
+
+    def test_served_rows_dropped(self):
+        table = LocationTable(
+            location_id=np.array([0, 1]),
+            lat_deg=np.array([37.0, 37.0]),
+            lon_deg=np.array([-90.0, -90.0]),
+            cell_key=np.array([CellId(5, 0, 0).key] * 2, dtype=np.uint64),
+            county_id=np.array([0, 0]),
+            technology=np.array(
+                [int(TechnologyCode.FIBER), int(TechnologyCode.CABLE)]
+            ),
+            max_download_mbps=np.array([1000.0, 75.0]),
+            max_upload_mbps=np.array([100.0, 10.0]),
+        )
+        binned = bin_table(table, 5)
+        ((unserved, underserved),) = binned.values()
+        assert (unserved, underserved) == (0, 1)
+
+
+class TestCsvDifferential:
+    @given(count_pairs, st.integers(min_value=1, max_value=97))
+    @settings(max_examples=10, deadline=None)
+    def test_bytes_and_chunked_read(self, counts, chunk_size):
+        import tempfile
+        from pathlib import Path
+
+        dataset = _dataset_from_counts(counts)
+        records = explode_cells(dataset, seed=5)
+        table = explode_cells_table(dataset, seed=5)
+        with tempfile.TemporaryDirectory() as tmp:
+            reference_path = Path(tmp) / "reference.csv"
+            fast_path = Path(tmp) / "fast.csv"
+            write_locations_csv(records, reference_path)
+            write_table_csv(table, fast_path, chunk_size=chunk_size)
+            assert (
+                fast_path.read_bytes() == reference_path.read_bytes()
+            )
+            loaded = read_table_csv(fast_path, chunk_size=chunk_size)
+            reference = LocationTable.from_records(
+                read_locations_csv(reference_path)
+            )
+            assert loaded.equals(reference)
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_table_csv(tmp_path / "nope.csv")
+
+    def test_read_bad_headers(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(DatasetError):
+            read_table_csv(bad)
+
+    def test_read_empty_body(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        write_locations_csv([], empty)
+        assert len(read_table_csv(empty)) == 0
+
+    def test_read_unknown_technology_code(self, tmp_path):
+        dataset = build_toy_dataset([3])
+        path = write_locations_csv(explode_cells(dataset, seed=1), tmp_path / "t.csv")
+        text = path.read_text()
+        lines = text.splitlines()
+        fields = lines[1].split(",")
+        fields[5] = "999"
+        lines[1] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError, match="unknown technology code"):
+            read_table_csv(path)
+
+    def test_read_malformed_token(self, tmp_path):
+        dataset = build_toy_dataset([3])
+        path = write_locations_csv(explode_cells(dataset, seed=1), tmp_path / "t.csv")
+        text = path.read_text()
+        lines = text.splitlines()
+        fields = lines[1].split(",")
+        fields[3] = "zz-not-hex"
+        lines[1] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError, match="malformed cell token"):
+            read_table_csv(path)
+
+    def test_rejects_nonpositive_chunk_size(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([3]))
+        with pytest.raises(DatasetError):
+            write_table_csv(table, tmp_path / "t.csv", chunk_size=0)
+        with pytest.raises(DatasetError):
+            read_table_csv(tmp_path / "t.csv", chunk_size=-1)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([40, 7]), seed=2)
+        path = table.to_npz(tmp_path / "table")
+        assert path.suffix == ".npz"
+        assert LocationTable.from_npz(path).equals(table)
+
+    def test_explicit_npz_suffix(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([4]), seed=2)
+        path = table.to_npz(tmp_path / "table.npz")
+        assert path == tmp_path / "table.npz"
+        assert LocationTable.from_npz(path).equals(table)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            LocationTable.from_npz(tmp_path / "nope.npz")
+
+    def test_missing_columns(self, tmp_path):
+        target = tmp_path / "partial.npz"
+        np.savez(target, location_id=np.array([0]))
+        with pytest.raises(DatasetError, match="missing location table columns"):
+            LocationTable.from_npz(target)
+
+
+class TestTableValidation:
+    def _columns(self, **overrides):
+        base = dict(
+            location_id=np.array([0]),
+            lat_deg=np.array([37.0]),
+            lon_deg=np.array([-90.0]),
+            cell_key=np.array([CellId(5, 0, 0).key], dtype=np.uint64),
+            county_id=np.array([0]),
+            technology=np.array([int(TechnologyCode.CABLE)]),
+            max_download_mbps=np.array([75.0]),
+            max_upload_mbps=np.array([10.0]),
+        )
+        base.update(overrides)
+        return base
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(DatasetError, match="unequal lengths"):
+            LocationTable(**self._columns(county_id=np.array([0, 1])))
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(DatasetError, match="negative speeds"):
+            LocationTable(
+                **self._columns(max_download_mbps=np.array([-1.0]))
+            )
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(DatasetError, match="unknown technology code"):
+            LocationTable(**self._columns(technology=np.array([999])))
+
+    def test_masks_match_record_properties(self):
+        records = explode_cells(build_toy_dataset([30, 30]), seed=9)
+        table = LocationTable.from_records(records)
+        assert table.is_served().tolist() == [r.is_served for r in records]
+        assert table.is_unserved().tolist() == [
+            r.is_unserved for r in records
+        ]
+
+    def test_to_records_roundtrip(self):
+        records = explode_cells(build_toy_dataset([25]), seed=4)
+        table = LocationTable.from_records(records)
+        assert table.to_records() == records
+        assert len(table) == len(records)

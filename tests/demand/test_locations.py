@@ -123,6 +123,30 @@ class TestCsv:
         with pytest.raises(DatasetError):
             read_locations_csv(bad)
 
+    def test_unknown_technology_code(self, small_records, tmp_path):
+        """A malformed technology column is a dataset error, not a bare
+        ValueError escaping from the enum constructor."""
+        _, records = small_records
+        path = write_locations_csv(records[:3], tmp_path / "locs.csv")
+        lines = path.read_text().splitlines()
+        fields = lines[1].split(",")
+        fields[5] = "999"
+        lines[1] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError, match="unknown technology code"):
+            read_locations_csv(path)
+
+    def test_non_integer_technology_code(self, small_records, tmp_path):
+        _, records = small_records
+        path = write_locations_csv(records[:1], tmp_path / "locs.csv")
+        lines = path.read_text().splitlines()
+        fields = lines[1].split(",")
+        fields[5] = "fiber"
+        lines[1] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError, match="unknown technology code"):
+            read_locations_csv(path)
+
 
 class TestRecordValidation:
     def test_negative_speed_rejected(self):

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -12,6 +13,8 @@ from repro.geo.hexgrid import (
     H3_MEAN_HEX_AREA_KM2,
     HexGrid,
     STARLINK_CELL_RESOLUTION,
+    pack_cell_keys,
+    unpack_cell_keys,
 )
 from repro.geo.polygon import Polygon
 
@@ -185,6 +188,115 @@ class TestEnumeration:
         center = grid.center(cell)
         for vertex in vertices:
             assert haversine_km(center, vertex) <= grid.hex_size_km * 2.0
+
+
+class TestPackedKeys:
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-100000, max_value=100000),
+                st.integers(min_value=-100000, max_value=100000),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_pack_matches_cellid_key(self, res, coords):
+        q = np.array([qq for qq, _ in coords])
+        r = np.array([rr for _, rr in coords])
+        keys = pack_cell_keys(res, q, r)
+        assert keys.dtype == np.uint64
+        assert keys.tolist() == [
+            CellId(res, qq, rr).key for qq, rr in coords
+        ]
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=-100000, max_value=100000),
+        st.integers(min_value=-100000, max_value=100000),
+    )
+    def test_pack_unpack_roundtrip(self, res, q, r):
+        keys = pack_cell_keys(res, np.array([q]), np.array([r]))
+        res_out, q_out, r_out = unpack_cell_keys(keys)
+        assert (int(res_out[0]), int(q_out[0]), int(r_out[0])) == (res, q, r)
+
+    def test_key_token_consistency(self):
+        cell = CellId(5, -714, 581)
+        assert cell.token == f"{cell.key:015x}"
+        assert CellId.from_key(cell.key) == cell
+
+    def test_from_key_rejects_out_of_range(self):
+        with pytest.raises(GeometryError):
+            CellId.from_key(1 << 60)
+        with pytest.raises(GeometryError):
+            CellId.from_key(-1)
+
+    def test_pack_rejects_bad_resolution(self):
+        with pytest.raises(GeometryError):
+            pack_cell_keys(42, np.array([0]), np.array([0]))
+
+    def test_pack_rejects_out_of_range_coordinate(self):
+        with pytest.raises(GeometryError):
+            pack_cell_keys(5, np.array([1 << 27]), np.array([0]))
+
+
+class TestVectorized:
+    """Array paths must match the scalar cell_for/center bit-for-bit."""
+
+    @given(
+        st.lists(
+            st.tuples(lat_strategy, lon_strategy), min_size=1, max_size=25
+        )
+    )
+    @settings(max_examples=100)
+    def test_cell_for_many_matches_cell_for(self, points):
+        grid = HexGrid(5)
+        lats = np.array([lat for lat, _ in points])
+        lons = np.array([lon for _, lon in points])
+        keys = grid.cell_for_many(lats, lons)
+        assert keys.tolist() == [
+            grid.cell_for(LatLon(lat, lon)).key for lat, lon in points
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-500, max_value=500),
+                st.integers(min_value=-300, max_value=300),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=100)
+    def test_centers_many_matches_center(self, coords):
+        grid = HexGrid(5)
+        cells = [CellId(5, q, r) for q, r in coords]
+        keys = np.array([c.key for c in cells], dtype=np.uint64)
+        lat, lon = grid.centers_many(keys)
+        centers = [grid.center(c) for c in cells]
+        assert lat.tolist() == [c.lat_deg for c in centers]
+        assert lon.tolist() == [c.lon_deg for c in centers]
+
+    def test_centers_many_rejects_foreign_resolution(self, grid):
+        with pytest.raises(GeometryError):
+            grid.centers_many(
+                np.array([CellId(4, 0, 0).key], dtype=np.uint64)
+            )
+
+    def test_cells_covering_matches_scalar_filter(self, grid):
+        """The vectorized polyfill equals bbox enumeration + contains."""
+        triangle = Polygon(
+            [LatLon(39.0, -101.0), LatLon(40.5, -101.0), LatLon(39.0, -99.2)]
+        )
+        covered = grid.cells_covering(triangle)
+        expected = [
+            cell
+            for cell in grid.cells_in_bbox(*triangle.bounds())
+            if triangle.contains(grid.center(cell))
+        ]
+        assert covered == expected
 
 
 class TestEdgeGeometry:

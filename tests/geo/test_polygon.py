@@ -1,5 +1,6 @@
 """Tests for geographic polygons and the CONUS boundary."""
 
+import numpy as np
 import pytest
 
 from repro.errors import GeometryError
@@ -66,6 +67,40 @@ class TestPolygonBasics:
         clockwise = Polygon(list(reversed(vertices)))
         counter = Polygon(vertices)
         assert clockwise.area_km2() == pytest.approx(counter.area_km2())
+
+
+class TestContainsMany:
+    def test_matches_scalar_on_random_points(self):
+        rng = np.random.default_rng(11)
+        polygon = conus_polygon()
+        lats = rng.uniform(20.0, 55.0, size=500)
+        lons = rng.uniform(-130.0, -60.0, size=500)
+        mask = polygon.contains_many(lats, lons)
+        assert mask.tolist() == [
+            polygon.contains(LatLon(lat, lon))
+            for lat, lon in zip(lats, lons)
+        ]
+
+    def test_empty_input(self, unit_square):
+        mask = unit_square.contains_many(np.zeros(0), np.zeros(0))
+        assert mask.shape == (0,)
+
+    def test_points_on_concave_polygon(self):
+        arrow = Polygon(
+            [
+                LatLon(0.0, 0.0),
+                LatLon(2.0, 1.0),
+                LatLon(0.0, 2.0),
+                LatLon(0.8, 1.0),
+            ]
+        )
+        lats = np.array([0.5, 0.5, 1.5])
+        lons = np.array([0.5, 1.0, 1.0])
+        mask = arrow.contains_many(lats, lons)
+        assert mask.tolist() == [
+            arrow.contains(LatLon(lat, lon))
+            for lat, lon in zip(lats, lons)
+        ]
 
 
 class TestConusBoundary:

@@ -2,12 +2,13 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import GeometryError
-from repro.geo.coords import LatLon
-from repro.geo.projection import EqualAreaProjection
+from repro.geo.coords import LatLon, normalize_lon
+from repro.geo.projection import EqualAreaProjection, normalize_lon_many
 from repro.units import EARTH_RADIUS_KM
 
 
@@ -53,6 +54,94 @@ class TestRoundTrip:
     def test_inverse_clamps_beyond_pole(self, projection):
         point = projection.inverse(0.0, EARTH_RADIUS_KM * 1.001)
         assert point.lat_deg == pytest.approx(90.0)
+
+
+#: Hypothesis strategy for short coordinate lists (degrees, any range).
+_coord_lists = st.lists(
+    st.floats(min_value=-1000.0, max_value=1000.0), min_size=1, max_size=30
+)
+
+
+class TestVectorized:
+    """The array paths must match the scalar paths bit-for-bit."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-90.0, max_value=90.0),
+                st.floats(min_value=-1000.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_forward_many_matches_forward(self, points):
+        projection = EqualAreaProjection()
+        lats = np.array([lat for lat, _ in points])
+        lons = np.array([lon for _, lon in points])
+        x, y = projection.forward_many(lats, lons)
+        scalar = [projection.forward(LatLon(lat, lon)) for lat, lon in points]
+        assert x.tolist() == [sx for sx, _ in scalar]
+        assert y.tolist() == [sy for _, sy in scalar]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-25000.0, max_value=25000.0),
+                st.floats(min_value=-8000.0, max_value=8000.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_inverse_many_matches_inverse(self, points):
+        projection = EqualAreaProjection()
+        x = np.array([px for px, _ in points])
+        y = np.array([py for _, py in points])
+        lat, lon = projection.inverse_many(x, y)
+        scalar = [projection.inverse(px, py) for px, py in points]
+        assert lat.tolist() == [p.lat_deg for p in scalar]
+        assert lon.tolist() == [p.lon_deg for p in scalar]
+
+    @given(_coord_lists)
+    def test_normalize_lon_many_matches_scalar(self, lons):
+        result = normalize_lon_many(np.array(lons))
+        assert result.tolist() == [normalize_lon(lon) for lon in lons]
+
+    def test_normalize_lon_many_leaves_input_untouched(self):
+        lons = np.array([500.0, -500.0, 10.0])
+        normalize_lon_many(lons)
+        assert lons.tolist() == [500.0, -500.0, 10.0]
+
+    def test_forward_many_rejects_bad_latitude(self):
+        with pytest.raises(GeometryError):
+            EqualAreaProjection().forward_many(
+                np.array([0.0, 91.0]), np.array([0.0, 0.0])
+            )
+
+    def test_forward_many_rejects_nan_latitude(self):
+        with pytest.raises(GeometryError):
+            EqualAreaProjection().forward_many(
+                np.array([float("nan")]), np.array([0.0])
+            )
+
+    def test_forward_many_rejects_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            EqualAreaProjection().forward_many(
+                np.array([0.0, 1.0]), np.array([0.0])
+            )
+
+    def test_inverse_many_rejects_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            EqualAreaProjection().inverse_many(
+                np.array([0.0, 1.0]), np.array([0.0])
+            )
+
+    def test_inverse_many_clamps_beyond_pole(self):
+        lat, _ = EqualAreaProjection().inverse_many(
+            np.array([0.0]), np.array([EARTH_RADIUS_KM * 1.001])
+        )
+        assert lat[0] == pytest.approx(90.0)
 
 
 class TestAreaPreservation:

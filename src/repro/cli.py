@@ -11,16 +11,27 @@ Subcommands::
         --parallel 4 --cache-dir cache/ --out sweep.csv
     repro-divide export-data out/     # write the synthetic dataset CSVs
     repro-divide bench                # fast-vs-reference simulation bench
-    repro-divide bench-locations     # columnar-vs-reference location bench
+    repro-divide bench-locations      # columnar-vs-reference location bench
+    repro-divide report sweep.manifest.json  # render run telemetry
+
+Global flags: ``--log-level`` picks the console verbosity,
+``--log-json PATH`` tees every log record (plus the final span forest
+and metric snapshot) into a JSONL telemetry stream, and ``--quiet``
+silences everything below ERROR. Tables, summaries, and findings stay
+on stdout; diagnostics ("wrote ...", progress, errors) go through the
+``repro`` logger on stderr. Sweeps and benches additionally write a
+:class:`~repro.obs.RunManifest` next to their ``--out`` file.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.model import StarlinkDivideModel
 from repro.demand.loader import write_dataset
 from repro.demand.synthetic import SyntheticMapConfig
@@ -29,12 +40,39 @@ from repro.experiments import (
     get_experiment,
     run_experiment,
 )
+from repro.obs.writer import LOG_LEVELS
 from repro.viz.export import write_series_csv
+
+_log = obs.get_logger("cli")
 
 
 def _build_model(seed: Optional[int]) -> StarlinkDivideModel:
     config = SyntheticMapConfig(seed=seed) if seed is not None else None
     return StarlinkDivideModel.default(config)
+
+
+def _write_manifest(
+    args: argparse.Namespace,
+    command: str,
+    out_path,
+    params_hash: Optional[str] = None,
+    dataset_fingerprint: Optional[str] = None,
+    engine: Optional[str] = None,
+    extra: Optional[dict] = None,
+) -> Path:
+    """Write the RunManifest next to ``out_path`` and log where."""
+    manifest = obs.collect_manifest(
+        command=command,
+        argv=getattr(args, "_argv", []),
+        params_hash=params_hash,
+        dataset_fingerprint=dataset_fingerprint,
+        engine=engine,
+        events_path=args.log_json,
+        extra=extra,
+    )
+    path = manifest.write(obs.manifest_path_for(out_path))
+    _log.info("wrote manifest %s", path)
+    return path
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -54,7 +92,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = all_experiment_ids() if "all" in args.experiments else args.experiments
     if args.parallel < 1:
-        print(f"--parallel must be >= 1, got {args.parallel}", file=sys.stderr)
+        _log.error("--parallel must be >= 1, got %d", args.parallel)
         return 2
     model = _build_model(args.seed)
     for experiment_id, result in _run_experiments(
@@ -66,7 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.out:
             path = Path(args.out) / f"{experiment_id}.csv"
             write_series_csv(path, result.csv_headers, result.csv_rows)
-            print(f"[wrote {path}]")
+            _log.info("wrote %s", path)
     return 0
 
 
@@ -124,7 +162,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         report = runner.run(model=_build_model(args.seed))
     except ReproError as exc:
-        print(f"sweep failed: {exc}", file=sys.stderr)
+        _log.error("sweep failed: %s", exc)
         return 2
     headers, rows = report.table()
     print(
@@ -136,7 +174,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(report.summary())
     if args.out:
         path = write_series_csv(args.out, headers, rows)
-        print(f"[wrote {path}]")
+        _log.info("wrote %s", path)
+        _write_manifest(
+            args,
+            command="sweep",
+            out_path=path,
+            params_hash=hashlib.sha256(
+                f"{args.function}\n{args.grid}".encode("utf-8")
+            ).hexdigest()[:16],
+            dataset_fingerprint=report.dataset_fingerprint,
+            extra={
+                "summary": report.summary(),
+                "tasks": len(report.results),
+                "cache_hits": report.cache_hits,
+                "n_workers": report.n_workers,
+            },
+        )
     return 0
 
 
@@ -165,7 +218,7 @@ def _cmd_export_geojson(args: argparse.Namespace) -> int:
         ),
     ]
     for path in written:
-        print(f"wrote {path}")
+        _log.info("wrote %s", path)
     return 0
 
 
@@ -198,7 +251,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         strategy=strategies[args.strategy](),
     )
     clock = SimulationClock(duration_s=args.duration, step_s=args.step)
-    print(region.summary())
+    _log.info("%s", region.summary())
     metrics = simulation.run(clock)
     print(simulation.report(metrics).text())
     return 0
@@ -220,9 +273,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(format_bench_summary(results))
     path = write_bench_json(results, args.out)
-    print(f"wrote {path}")
+    _log.info("wrote %s", path)
+    _write_manifest(
+        args,
+        command="bench",
+        out_path=path,
+        dataset_fingerprint=model.dataset.fingerprint(),
+        engine="fast+reference",
+        extra={"all_reports_identical": results["all_reports_identical"]},
+    )
     if not results["all_reports_identical"]:
-        print("ERROR: fast and reference engines disagree", file=sys.stderr)
+        _log.error("fast and reference engines disagree")
         return 1
     return 0
 
@@ -243,12 +304,17 @@ def _cmd_bench_locations(args: argparse.Namespace) -> int:
     )
     print(format_locations_bench_summary(results))
     path = write_bench_json(results, args.out)
-    print(f"wrote {path}")
+    _log.info("wrote %s", path)
+    _write_manifest(
+        args,
+        command="bench-locations",
+        out_path=path,
+        dataset_fingerprint=model.dataset.fingerprint(),
+        engine="columnar+reference",
+        extra={"all_identical": results["all_identical"]},
+    )
     if not results["all_identical"]:
-        print(
-            "ERROR: columnar and reference location pipelines disagree",
-            file=sys.stderr,
-        )
+        _log.error("columnar and reference location pipelines disagree")
         return 1
     return 0
 
@@ -259,7 +325,18 @@ def _cmd_export_data(args: argparse.Namespace) -> int:
     cells = out / "cells.csv"
     counties = out / "counties.csv"
     write_dataset(model.dataset, cells, counties)
-    print(f"wrote {cells} and {counties}")
+    _log.info("wrote %s and %s", cells, counties)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        print(obs.format_report(args.path, top=args.top))
+    except ReproError as exc:
+        _log.error("report failed: %s", exc)
+        return 2
     return 0
 
 
@@ -272,6 +349,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="synthetic map seed"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="console diagnostics verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "tee log records, the span forest, and the final metric "
+            "snapshot into this JSONL telemetry file"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="silence diagnostics below ERROR (tables still print)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -414,12 +511,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_locations.json", help="results JSON path"
     )
     bench_locations_parser.set_defaults(func=_cmd_bench_locations)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render run telemetry: span trees, metrics, cache hit rates",
+        description=(
+            "Inspect the telemetry a run left behind. PATH may be one "
+            "*.manifest.json, one *.jsonl event stream, or a directory "
+            "holding either."
+        ),
+    )
+    report_parser.add_argument(
+        "path", help="manifest file, JSONL event stream, or directory"
+    )
+    report_parser.add_argument(
+        "--top", type=int, default=10, help="slowest stages to list"
+    )
+    report_parser.set_defaults(func=_cmd_report)
     return parser
+
+
+def _flush_telemetry(writer: "obs.TelemetryWriter") -> None:
+    """Append the span forest and final metric snapshot to the stream."""
+    for record in obs.tracer().as_dicts():
+        writer.emit({"type": "span", **record})
+    writer.emit({"type": "metrics", "metrics": obs.registry().snapshot()})
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
+    writer = obs.TelemetryWriter(args.log_json) if args.log_json else None
+    obs.setup_logging(
+        level="error" if args.quiet else args.log_level, writer=writer
+    )
+    obs.reset()
+    try:
+        code = args.func(args)
+        if writer is not None:
+            _flush_telemetry(writer)
+        return code
+    finally:
+        if writer is not None:
+            writer.close()
 
 
 if __name__ == "__main__":

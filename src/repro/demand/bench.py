@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro import obs
 from repro.demand.locations import (
     LocationTable,
     bin_locations,
@@ -92,10 +93,11 @@ def run_locations_bench(
     def reference_explode() -> None:
         results["records"] = explode_cells(dataset, seed=seed)
 
-    explode = BenchTimings(
-        fast_s=_best_of(repeat, fast_explode),
-        reference_s=_best_of(repeat, reference_explode),
-    )
+    with obs.span("bench.locations.explode"):
+        explode = BenchTimings(
+            fast_s=_best_of(repeat, fast_explode),
+            reference_s=_best_of(repeat, reference_explode),
+        )
     table: LocationTable = results["table"]
     records = results["records"]
     explode_identical = table.equals(LocationTable.from_records(records))
@@ -106,16 +108,18 @@ def run_locations_bench(
     def reference_bin() -> None:
         results["reference_bins"] = bin_locations(records, resolution)
 
-    binning = BenchTimings(
-        fast_s=_best_of(repeat, fast_bin),
-        reference_s=_best_of(repeat, reference_bin),
-    )
+    with obs.span("bench.locations.bin"):
+        binning = BenchTimings(
+            fast_s=_best_of(repeat, fast_bin),
+            reference_s=_best_of(repeat, reference_bin),
+        )
     bin_identical = results["fast_bins"] == results["reference_bins"]
 
     io_rows = min(len(table), IO_ROW_CAP)
     io_table = _table_slice(table, io_rows)
     io_records = records[:io_rows]
-    with tempfile.TemporaryDirectory() as tmp:
+    with obs.span("bench.locations.io", rows=io_rows), \
+            tempfile.TemporaryDirectory() as tmp:
         fast_csv = Path(tmp) / "fast.csv"
         reference_csv = Path(tmp) / "reference.csv"
         csv_write = BenchTimings(

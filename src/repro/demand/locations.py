@@ -43,6 +43,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.demand.dataset import DemandDataset
 from repro.errors import DatasetError
 from repro.geo.coords import LatLon
@@ -460,9 +461,11 @@ class LocationTable:
         """Persist all columns to an uncompressed ``.npz`` archive."""
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(
-            target, **{name: self._column(name) for name in _TABLE_COLUMNS}
-        )
+        with obs.span("locations.npz.write", rows=len(self)):
+            np.savez(
+                target,
+                **{name: self._column(name) for name in _TABLE_COLUMNS},
+            )
         # np.savez appends .npz when the name lacks it; report the real path.
         return target if target.suffix == ".npz" else Path(f"{target}.npz")
 
@@ -472,7 +475,7 @@ class LocationTable:
         file_path = Path(path)
         if not file_path.exists():
             raise DatasetError(f"no such file: {file_path}")
-        with np.load(file_path) as archive:
+        with obs.span("locations.npz.read"), np.load(file_path) as archive:
             missing = [
                 name for name in _TABLE_COLUMNS if name not in archive.files
             ]
@@ -496,6 +499,17 @@ def explode_cells_table(
     ``explode_cells_table(d, s)`` is bit-identical to
     ``LocationTable.from_records(explode_cells(d, s))``.
     """
+    span = obs.span(
+        "locations.explode", cells=len(dataset.cells), seed=seed
+    )
+    with span:
+        return _explode_cells_table(dataset, seed, span)
+
+
+def _explode_cells_table(
+    dataset: DemandDataset, seed: int, span
+) -> LocationTable:
+    """The :func:`explode_cells_table` body, under its telemetry span."""
     rng = np.random.default_rng(seed)
     grid = HexGrid(dataset.grid_resolution)
     projection = EqualAreaProjection()
@@ -506,6 +520,10 @@ def explode_cells_table(
     total = sum(
         c.unserved_locations + c.underserved_locations for c in dataset.cells
     )
+    span.set(rows=total)
+    registry = obs.registry()
+    registry.counter("locations.explode.rows").inc(total)
+    registry.counter("locations.explode.cells").inc(len(dataset.cells))
     x = np.empty(total)
     y = np.empty(total)
     keys = np.empty(total, dtype=np.uint64)
@@ -557,21 +575,28 @@ def bin_table(
     scalar ``cell_for``), then aggregated with one unique/bincount pass
     over the packed keys instead of a per-record dict update.
     """
-    grid = HexGrid(resolution)
-    keep = ~table.is_served()
-    keys = grid.cell_for_many(table.lat_deg[keep], table.lon_deg[keep])
-    unserved = table.is_unserved()[keep]
-    unique_keys, inverse = np.unique(keys, return_inverse=True)
-    unserved_counts = np.bincount(
-        inverse[unserved], minlength=len(unique_keys)
-    )
-    underserved_counts = np.bincount(
-        inverse[~unserved], minlength=len(unique_keys)
-    )
-    return {
-        CellId.from_key(int(key)): (int(u), int(d))
-        for key, u, d in zip(unique_keys, unserved_counts, underserved_counts)
-    }
+    with obs.span("locations.bin", rows=len(table)) as span:
+        grid = HexGrid(resolution)
+        keep = ~table.is_served()
+        keys = grid.cell_for_many(table.lat_deg[keep], table.lon_deg[keep])
+        unserved = table.is_unserved()[keep]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        unserved_counts = np.bincount(
+            inverse[unserved], minlength=len(unique_keys)
+        )
+        underserved_counts = np.bincount(
+            inverse[~unserved], minlength=len(unique_keys)
+        )
+        span.set(cells_out=len(unique_keys))
+        registry = obs.registry()
+        registry.counter("locations.bin.rows").inc(len(table))
+        registry.counter("locations.bin.cells_out").inc(len(unique_keys))
+        return {
+            CellId.from_key(int(key)): (int(u), int(d))
+            for key, u, d in zip(
+                unique_keys, unserved_counts, underserved_counts
+            )
+        }
 
 
 def write_table_csv(
@@ -588,6 +613,16 @@ def write_table_csv(
         raise DatasetError(f"chunk size must be positive: {chunk_size!r}")
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    with obs.span("locations.csv.write", rows=len(table)):
+        obs.registry().counter("locations.csv.rows_written").inc(len(table))
+        _write_table_csv_body(table, target, chunk_size)
+    return target
+
+
+def _write_table_csv_body(
+    table: LocationTable, target: Path, chunk_size: int
+) -> None:
+    """The :func:`write_table_csv` body, under its telemetry span."""
     unique_keys, inverse = np.unique(table.cell_key, return_inverse=True)
     tokens = np.array([f"{int(key):015x}" for key in unique_keys])
     with target.open("w", newline="") as handle:
@@ -627,7 +662,6 @@ def write_table_csv(
                     uplink,
                 ) in rows
             )
-    return target
 
 
 def _csv_chunks(
@@ -659,6 +693,15 @@ def read_table_csv(
     file_path = Path(path)
     if not file_path.exists():
         raise DatasetError(f"no such file: {file_path}")
+    with obs.span("locations.csv.read") as span:
+        table = _read_table_csv_body(file_path, chunk_size)
+        span.set(rows=len(table))
+        obs.registry().counter("locations.csv.rows_read").inc(len(table))
+        return table
+
+
+def _read_table_csv_body(file_path: Path, chunk_size: int) -> LocationTable:
+    """The :func:`read_table_csv` body, under its telemetry span."""
     parts: List[Tuple[np.ndarray, ...]] = []
     with file_path.open(newline="") as handle:
         reader = csv.reader(handle)

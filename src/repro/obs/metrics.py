@@ -1,0 +1,246 @@
+"""A process-local registry of counters, gauges, and histograms.
+
+Instruments are created on demand and live for the registry's lifetime::
+
+    from repro.obs import registry
+
+    registry().counter("sim.steps").inc()
+    registry().counter("sim.csr.nnz").inc(csr.indices.size)
+    registry().gauge("sim.cells").set(n_cells)
+    registry().histogram("runner.task.wall_s").observe(wall)
+
+Naming convention: dotted, lowercase, ``<layer>.<thing>[.<aspect>]``
+(``runner.cache.hits``, ``locations.explode.rows``); units spelled out
+as a suffix when not obvious (``_s``, ``_mbps``, ``_bytes``).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-ready dicts.
+:meth:`MetricsRegistry.diff` subtracts two snapshots and
+:meth:`MetricsRegistry.merge` adds one into a live registry — together
+they are what makes metrics safe across ``ProcessPoolExecutor``
+workers: each worker diffs its registry around a task and ships the
+delta home, and merged parent counters equal the serial run's exactly
+(counter adds are integer/float sums, so order does not matter).
+
+Disabling the registry (``enabled = False``) turns every ``inc`` /
+``set`` / ``observe`` into a single attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Samples kept per histogram for percentile estimates. Observations
+#: past the cap still update count/total/min/max.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing number (int or float)."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value: float = 0
+        self._registry = registry
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (default 1); no-op when the registry is disabled."""
+        if self._registry.enabled:
+            self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value: Optional[float] = None
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        """Record the current value; no-op when the registry is disabled."""
+        if self._registry.enabled:
+            self.value = value
+
+
+class Histogram:
+    """Count/total/min/max plus a bounded sample reservoir for quantiles."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+        self._registry = registry
+
+    def observe(self, value: float) -> None:
+        """Record one observation; no-op when the registry is disabled."""
+        if not self._registry.enabled:
+            return
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the retained samples (None if empty)."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+
+class MetricsRegistry:
+    """All instruments of one process, keyed by name."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first touch) -----------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name, self)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, self)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, self)
+        return instrument
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready copy of every instrument's current state."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+                if gauge.value is not None
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "p50": hist.quantile(0.50),
+                    "p95": hist.quantile(0.95),
+                }
+                for name, hist in sorted(self._histograms.items())
+                if hist.count
+            },
+        }
+
+    @staticmethod
+    def diff(
+        before: Dict[str, Dict[str, object]],
+        after: Dict[str, Dict[str, object]],
+    ) -> Dict[str, Dict[str, object]]:
+        """The delta snapshot ``after - before``.
+
+        Counters and histogram count/total subtract; zero counter deltas
+        are dropped. Gauges and histogram min/max/quantiles keep their
+        ``after`` values (a gauge has no meaningful difference).
+        """
+        counters = {}
+        for name, value in after.get("counters", {}).items():
+            delta = value - before.get("counters", {}).get(name, 0)
+            if delta:
+                counters[name] = delta
+        histograms = {}
+        for name, stats in after.get("histograms", {}).items():
+            prior = before.get("histograms", {}).get(
+                name, {"count": 0, "total": 0.0}
+            )
+            count = stats["count"] - prior["count"]
+            if count:
+                histograms[name] = {
+                    **stats,
+                    "count": count,
+                    "total": stats["total"] - prior["total"],
+                }
+        return {
+            "counters": counters,
+            "gauges": dict(after.get("gauges", {})),
+            "histograms": histograms,
+        }
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a (delta) snapshot into this registry.
+
+        Counter values and histogram count/total add; gauges overwrite;
+        histogram min/max combine. Used by the sweep runner to absorb
+        worker-side metric deltas, and commutative over counters so the
+        merged totals match the serial run regardless of completion
+        order.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, stats in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += stats.get("count", 0)
+            hist.total += stats.get("total", 0.0)
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = stats.get(bound)
+                if incoming is not None:
+                    current = getattr(hist, bound)
+                    setattr(
+                        hist,
+                        bound,
+                        incoming if current is None else pick(current, incoming),
+                    )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, or between CLI commands)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def counter_items(self) -> List[Tuple[str, float]]:
+        """Sorted (name, value) counter pairs (for reports)."""
+        return sorted(
+            (name, counter.value) for name, counter in self._counters.items()
+        )
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"MetricsRegistry({state}, {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )

@@ -1,0 +1,188 @@
+"""JSONL telemetry sink and the stdlib-``logging`` bridge.
+
+:class:`TelemetryWriter` appends one JSON object per line to a file —
+log records, finished spans, metric snapshots, trace rows — the
+machine-readable twin of the human console output. Events are flushed
+per line so a crashed run still leaves a readable file.
+
+The logging bridge configures the package logger (``repro.*``) exactly
+once per CLI invocation: :func:`setup_logging` installs a console
+handler (plain or JSON formatting) and, when a writer is given, a
+:class:`TelemetryLogHandler` that tees every record into the JSONL
+stream. Library modules just do::
+
+    from repro.obs import get_logger
+
+    log = get_logger(__name__)
+    log.info("sweep finished: %d tasks", n)
+
+and inherit whatever the application configured. Nothing here touches
+the root logger, so embedding applications stay in control.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, TextIO, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TelemetryWriter",
+    "TelemetryLogHandler",
+    "JsonLineFormatter",
+    "read_events",
+    "setup_logging",
+    "get_logger",
+]
+
+#: Root of the package logger hierarchy the bridge configures.
+PACKAGE_LOGGER = "repro"
+
+#: Recognised ``--log-level`` names, lowest to highest severity.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class TelemetryWriter:
+    """Append JSON-object events to a ``.jsonl`` file, one per line."""
+
+    def __init__(self, path: Union[str, Path], append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = self.path.open(
+            "a" if append else "w", encoding="utf-8"
+        )
+        self.events_written = 0
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        """Write one event; adds a ``ts`` epoch timestamp if absent."""
+        if self._handle is None:
+            raise ReproError(f"telemetry writer {self.path} is closed")
+        payload = dict(event)
+        payload.setdefault("ts", time.time())
+        self._handle.write(json.dumps(payload, default=str) + "\n")
+        self._handle.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"TelemetryWriter({str(self.path)!r}, {self.events_written} events)"
+
+
+def read_events(path: Union[str, Path]) -> List[Dict]:
+    """Load every event of a JSONL telemetry file (skipping blank lines)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"no such telemetry file: {file_path}")
+    events = []
+    with file_path.open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{file_path}:{line_number}: malformed telemetry event"
+                ) from exc
+    return events
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format log records as single-line JSON objects (``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "type": "log",
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TelemetryLogHandler(logging.Handler):
+    """Tee log records into a :class:`TelemetryWriter` as ``log`` events."""
+
+    def __init__(self, writer: TelemetryWriter, level: int = logging.NOTSET):
+        super().__init__(level=level)
+        self.writer = writer
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.writer.emit(
+                {
+                    "type": "log",
+                    "ts": record.created,
+                    "level": record.levelname,
+                    "logger": record.name,
+                    "message": record.getMessage(),
+                }
+            )
+        except Exception:  # pragma: no cover - never break the logged code
+            self.handleError(record)
+
+
+def setup_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+    writer: Optional[TelemetryWriter] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` package logger and return it.
+
+    Replaces any handlers from a previous call, so repeated CLI
+    invocations in one process (tests) always bind the *current*
+    ``sys.stderr``. ``writer`` adds a JSONL tee that sees every record
+    at or above DEBUG regardless of the console level.
+    """
+    if level not in LOG_LEVELS:
+        raise ReproError(
+            f"unknown log level {level!r}; known: {list(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    console = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    console.setLevel(getattr(logging, level.upper()))
+    console.setFormatter(
+        JsonLineFormatter()
+        if json_mode
+        else logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(console)
+    if writer is not None:
+        logger.addHandler(TelemetryLogHandler(writer))
+    # The logger itself stays wide open; per-handler levels filter.
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (module ``__name__`` ok)."""
+    if not name or name == PACKAGE_LOGGER:
+        return logging.getLogger(PACKAGE_LOGGER)
+    if name.startswith(PACKAGE_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER}.{name}")

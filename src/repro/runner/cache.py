@@ -59,22 +59,44 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict]:
-        """The cached payload, or None on miss (or unreadable entry)."""
+        """The cached payload, or None on miss (or unreadable entry).
+
+        Counts ``runner.cache.hits`` / ``runner.cache.misses`` and the
+        bytes deserialized (``runner.cache.read_bytes``).
+        """
+        from repro import obs
+
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                text = handle.read()
+            payload = json.loads(text)
         except FileNotFoundError:
+            obs.registry().counter("runner.cache.misses").inc()
             return None
         except (json.JSONDecodeError, OSError):
             # A corrupt or half-written entry is a miss; the fresh
             # result overwrites it.
+            obs.registry().counter("runner.cache.misses").inc()
             return None
+        registry = obs.registry()
+        registry.counter("runner.cache.hits").inc()
+        registry.counter("runner.cache.read_bytes").inc(len(text))
+        return payload
 
     def put(self, key: str, payload: Mapping) -> Path:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``.
+
+        Counts entries and serialized bytes
+        (``runner.cache.writes`` / ``runner.cache.write_bytes``).
+        """
+        from repro import obs
+
         path = self.path_for(key)
         encoded = json.dumps(payload, sort_keys=True)
+        registry = obs.registry()
+        registry.counter("runner.cache.writes").inc()
+        registry.counter("runner.cache.write_bytes").inc(len(encoded))
         fd, tmp_name = tempfile.mkstemp(
             prefix=".tmp-", suffix=".json", dir=self.root
         )

@@ -30,12 +30,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.model import StarlinkDivideModel
 from repro.errors import RunnerError
 from repro.runner import tasks as _tasks
 from repro.runner.cache import ResultCache, task_key
 from repro.runner.grid import ParameterGrid
-from repro.runner.tasks import build_default_model, get_sweep_function, task_seed
+from repro.runner.tasks import (
+    build_default_model,
+    get_sweep_function,
+    run_sweep_task,
+    task_seed,
+)
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence."""
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
 
 
 @dataclass(frozen=True)
@@ -101,14 +113,28 @@ class SweepReport:
         return headers, rows
 
     def summary(self) -> str:
-        """One-line human summary (timing varies run to run)."""
-        return (
+        """One-line human summary: tasks, cache hit rate, and the
+        p50/p95 per-task wall time of the tasks actually executed (the
+        part of the timing that *is* diagnostic run to run)."""
+        line = (
             f"{self.sweep_id}: {len(self.results)} tasks in "
             f"{self.total_wall_s:.2f}s ({self.n_workers} worker"
             f"{'s' if self.n_workers != 1 else ''}); cache hits "
             f"{self.cache_hits}/{len(self.results)} "
             f"({self.hit_rate:.1%})"
         )
+        executed = sorted(
+            r.wall_s for r in self.results if not r.cache_hit
+        )
+        if executed:
+            p50 = _nearest_rank(executed, 0.50)
+            p95 = _nearest_rank(executed, 0.95)
+            line += (
+                f"; task wall p50 {p50 * 1e3:.1f}ms / p95 {p95 * 1e3:.1f}ms"
+            )
+        else:
+            line += "; all tasks cached"
+        return line
 
 
 class SweepRunner:
@@ -180,60 +206,74 @@ class SweepRunner:
         slots: List[Optional[TaskResult]] = [None] * len(all_params)
         pending: List[Tuple[int, Dict, Optional[str]]] = []
 
-        for index, params in enumerate(all_params):
-            key = None
-            if self.cache is not None:
-                key = task_key(self.sweep_id, params, fingerprint)
-                payload = self.cache.get(key)
-                if payload is not None and "metrics" in payload:
-                    result = TaskResult(
-                        index=index,
-                        params=params,
-                        metrics=payload["metrics"],
-                        seed=payload.get(
-                            "seed", task_seed(self.sweep_id, params)
-                        ),
-                        cache_hit=True,
-                        wall_s=0.0,
-                    )
-                    slots[index] = result
-                    self._emit(result)
-                    continue
-            pending.append((index, params, key))
+        sweep_span = obs.span(
+            "runner.sweep",
+            sweep=self.sweep_id,
+            tasks=len(all_params),
+            workers=self.n_workers,
+        )
+        with sweep_span:
+            with obs.span("runner.cache.scan"):
+                for index, params in enumerate(all_params):
+                    key = None
+                    if self.cache is not None:
+                        key = task_key(self.sweep_id, params, fingerprint)
+                        payload = self.cache.get(key)
+                        if payload is not None and "metrics" in payload:
+                            result = TaskResult(
+                                index=index,
+                                params=params,
+                                metrics=payload["metrics"],
+                                seed=payload.get(
+                                    "seed", task_seed(self.sweep_id, params)
+                                ),
+                                cache_hit=True,
+                                wall_s=0.0,
+                            )
+                            slots[index] = result
+                            self._emit(result)
+                            continue
+                    pending.append((index, params, key))
 
-        if pending and self.n_workers == 1:
-            for index, params, key in pending:
-                started = time.perf_counter()
-                metrics = self.function(
-                    model, params, task_seed(self.sweep_id, params)
-                )
-                slots[index] = self._finish(index, params, metrics, key, started)
-        elif pending:
-            # Seed the module global so forked workers inherit the model
-            # instead of rebuilding; spawn falls back to the builder.
-            _tasks._WORKER_MODEL = model
-            try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(self.n_workers, len(pending)),
-                    initializer=_tasks._worker_init,
-                    initargs=(builder,),
-                ) as pool:
-                    started_at = {}
-                    futures = {}
-                    for index, params, key in pending:
-                        started_at[index] = time.perf_counter()
-                        future = pool.submit(
-                            _tasks._worker_run_sweep, self.sweep_id, params
-                        )
-                        futures[future] = (index, params, key)
-                    for future in concurrent.futures.as_completed(futures):
-                        index, params, key = futures[future]
-                        metrics = future.result()
-                        slots[index] = self._finish(
-                            index, params, metrics, key, started_at[index]
-                        )
-            finally:
-                _tasks._WORKER_MODEL = None
+            if pending and self.n_workers == 1:
+                for index, params, key in pending:
+                    started = time.perf_counter()
+                    metrics = run_sweep_task(model, self.sweep_id, params)
+                    slots[index] = self._finish(
+                        index, params, metrics, key, started
+                    )
+            elif pending:
+                # Seed the module global so forked workers inherit the model
+                # instead of rebuilding; spawn falls back to the builder.
+                _tasks._WORKER_MODEL = model
+                registry = obs.registry()
+                try:
+                    with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(self.n_workers, len(pending)),
+                        initializer=_tasks._worker_init,
+                        initargs=(builder,),
+                    ) as pool, obs.span(
+                        "runner.gather", tasks=len(pending)
+                    ):
+                        started_at = {}
+                        futures = {}
+                        for index, params, key in pending:
+                            started_at[index] = time.perf_counter()
+                            future = pool.submit(
+                                _tasks._worker_run_sweep, self.sweep_id, params
+                            )
+                            futures[future] = (index, params, key)
+                        for future in concurrent.futures.as_completed(futures):
+                            index, params, key = futures[future]
+                            metrics, telemetry_delta = future.result()
+                            # Fold the worker's per-task metric delta into
+                            # the parent so parallel == serial counters.
+                            registry.merge(telemetry_delta)
+                            slots[index] = self._finish(
+                                index, params, metrics, key, started_at[index]
+                            )
+                finally:
+                    _tasks._WORKER_MODEL = None
 
         report = SweepReport(
             sweep_id=self.sweep_id,

@@ -28,8 +28,10 @@ so neither can be a closure.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List, Mapping, Optional
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.core.capacity import SatelliteCapacityModel
 from repro.core.model import StarlinkDivideModel
 from repro.core.oversubscription import OversubscriptionAnalysis
@@ -154,6 +156,30 @@ def sweep_experiment(
     return run_experiment_metrics(str(experiment_id), model)
 
 
+def run_sweep_task(
+    model: StarlinkDivideModel, sweep_id: str, params: Mapping
+) -> Dict[str, float]:
+    """Execute one sweep task with its telemetry, in any process.
+
+    The single instrumented entry point both the serial fallback and
+    the pool workers funnel through, so the counters it maintains
+    (``runner.tasks.completed``, ``runner.task.metrics``) and the
+    ``runner.task.wall_s`` histogram accumulate identically in every
+    execution mode.
+    """
+    function = get_sweep_function(sweep_id)
+    registry = obs.registry()
+    started = time.perf_counter()
+    with obs.span("runner.task", sweep=sweep_id):
+        metrics = function(model, params, task_seed(sweep_id, params))
+    registry.histogram("runner.task.wall_s").observe(
+        time.perf_counter() - started
+    )
+    registry.counter("runner.tasks.completed").inc()
+    registry.counter("runner.task.metrics").inc(len(metrics))
+    return metrics
+
+
 #: Sweep function registry, keyed by the id the CLI exposes.
 SWEEP_FUNCTIONS: Dict[str, SweepFunction] = {
     "served": sweep_served,
@@ -202,12 +228,23 @@ def _worker_init(builder: Callable[[], StarlinkDivideModel]) -> None:
         _WORKER_MODEL = builder()
 
 
-def _worker_run_sweep(sweep_id: str, params: Dict) -> Dict[str, float]:
-    """Execute one sweep task against the worker's model."""
+def _worker_run_sweep(
+    sweep_id: str, params: Dict
+) -> Tuple[Dict[str, float], Dict[str, Dict]]:
+    """Execute one sweep task against the worker's model.
+
+    Returns ``(metrics, telemetry_delta)``: the delta is the worker
+    registry's snapshot diff around the task, which the parent merges
+    into its own registry — so a parallel sweep's merged counters equal
+    the serial run's (see tests/runner/test_obs_merge.py).
+    """
     if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
         raise RunnerError("worker has no model; pool initializer did not run")
-    function = get_sweep_function(sweep_id)
-    return function(_WORKER_MODEL, params, task_seed(sweep_id, params))
+    registry = obs.registry()
+    before = registry.snapshot()
+    metrics = run_sweep_task(_WORKER_MODEL, sweep_id, params)
+    delta = obs.MetricsRegistry.diff(before, registry.snapshot())
+    return metrics, delta
 
 
 def _worker_run_experiment(experiment_id: str):

@@ -30,8 +30,10 @@ from repro.sim.slow_reference import (
 from repro.sim.trace import (
     SimulationTrace,
     read_trace_csv,
+    read_trace_jsonl,
     record_trace,
     write_trace_csv,
+    write_trace_jsonl,
 )
 from repro.sim.visibility_index import CSRVisibility, VisibilityIndex
 
@@ -56,6 +58,8 @@ __all__ = [
     "ConstellationSimulation",
     "SimulationTrace",
     "read_trace_csv",
+    "read_trace_jsonl",
     "record_trace",
     "write_trace_csv",
+    "write_trace_jsonl",
 ]

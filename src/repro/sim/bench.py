@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import json
 import platform
-import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.orbits.shells import GEN1_SHELLS
 from repro.sim.assignment import GreedyDemandFirst, ProportionalFair
@@ -150,19 +150,39 @@ def bench_end_to_end(
     return timings, reports["fast"] == reports["reference"]
 
 
-def _git_commit() -> str:
+# The manifest layer owns commit discovery now; keep the old name for
+# the locations bench and any external callers.
+_git_commit = obs.git_sha
+
+
+def measure_telemetry_overhead(
+    shells, dataset, clock: SimulationClock, repeat: int = 1
+) -> Dict[str, float]:
+    """Cost of leaving telemetry on: one fast greedy end-to-end run,
+    best-of-``repeat``, with the global tracer/registry enabled vs
+    disabled. ``overhead_fraction`` is the acceptance number (the budget
+    is < 3%; disabled instrumentation is a single attribute check)."""
+
+    def run() -> None:
+        simulation = ConstellationSimulation(shells, dataset, engine="fast")
+        simulation.run(clock)
+
+    was_enabled = obs.enabled()
     try:
-        return (
-            subprocess.run(
-                ["git", "rev-parse", "HEAD"],
-                capture_output=True,
-                text=True,
-                check=True,
-                timeout=10,
-            ).stdout.strip()
-        )
-    except Exception:
-        return "unknown"
+        obs.configure(enabled=True)
+        enabled_s = _best_of(repeat, run)
+        obs.configure(enabled=False)
+        disabled_s = _best_of(repeat, run)
+    finally:
+        obs.configure(enabled=was_enabled)
+    overhead = (
+        (enabled_s - disabled_s) / disabled_s if disabled_s > 0 else 0.0
+    )
+    return {
+        "enabled_s": enabled_s,
+        "disabled_s": disabled_s,
+        "overhead_fraction": overhead,
+    }
 
 
 def run_simulation_bench(
@@ -195,23 +215,31 @@ def run_simulation_bench(
     times = list(clock.times())
 
     probe = ConstellationSimulation(shells, dataset, engine="fast")
-    build_start = time.perf_counter()
-    probe.visibility_index  # force the one-time index build
-    index_build_s = time.perf_counter() - build_start
+    with obs.span("bench.index_build"):
+        build_start = time.perf_counter()
+        probe.visibility_index  # force the one-time index build
+        index_build_s = time.perf_counter() - build_start
 
-    visibility = bench_visibility(probe, times, repeat=repeat)
-    assignment = {
-        strategy_id: bench_assignment(probe, strategy_id, repeat=repeat)
-        for strategy_id in BENCH_STRATEGIES
-    }
+    with obs.span("bench.visibility", steps=len(times)):
+        visibility = bench_visibility(probe, times, repeat=repeat)
+    with obs.span("bench.assignment"):
+        assignment = {
+            strategy_id: bench_assignment(probe, strategy_id, repeat=repeat)
+            for strategy_id in BENCH_STRATEGIES
+        }
     end_to_end = {}
     reports_identical = {}
-    for strategy_id in BENCH_STRATEGIES:
-        timings, identical = bench_end_to_end(
-            shells, dataset, strategy_id, clock, repeat=repeat
+    with obs.span("bench.end_to_end"):
+        for strategy_id in BENCH_STRATEGIES:
+            timings, identical = bench_end_to_end(
+                shells, dataset, strategy_id, clock, repeat=repeat
+            )
+            end_to_end[strategy_id] = timings
+            reports_identical[strategy_id] = identical
+    with obs.span("bench.telemetry_overhead"):
+        telemetry = measure_telemetry_overhead(
+            shells, dataset, clock, repeat=repeat
         )
-        end_to_end[strategy_id] = timings
-        reports_identical[strategy_id] = identical
 
     import numpy
     import scipy
@@ -251,6 +279,7 @@ def run_simulation_bench(
             }
             for strategy_id, timings in end_to_end.items()
         },
+        "telemetry": telemetry,
         "headline_speedup": end_to_end["greedy"].speedup,
         "all_reports_identical": all(reports_identical.values()),
     }
@@ -288,6 +317,13 @@ def format_bench_summary(results: Dict) -> str:
             "  end-to-end[{id}]: {fast_s:.3f}s fast vs {reference_s:.3f}s "
             "reference ({speedup:.1f}x, reports identical: "
             "{reports_identical})".format(id=strategy_id, **timings)
+        )
+    if "telemetry" in results:
+        lines.append(
+            "  telemetry overhead: {overhead_fraction:.1%} "
+            "({enabled_s:.3f}s on vs {disabled_s:.3f}s off)".format(
+                **results["telemetry"]
+            )
         )
     lines.append(
         "  headline end-to-end speedup: %.1fx" % results["headline_speedup"]

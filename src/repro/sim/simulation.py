@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro import obs
 from repro.demand.dataset import DemandDataset
 from repro.errors import SimulationError
 from repro.orbits.kepler import ecef_to_latlon, eci_to_ecef
@@ -226,56 +227,84 @@ class ConstellationSimulation:
     def run(self, clock: SimulationClock) -> CoverageMetrics:
         """Run the simulation, returning the raw metric accumulators."""
         metrics = CoverageMetrics(cell_count=len(self.dataset.cells))
-        for time_s in clock.times():
-            if self.engine == "fast":
-                outcome, in_view, sat_lats = self._step_fast(time_s)
-            else:
-                outcome, in_view, sat_lats = self._step_reference(time_s)
-            if int(outcome.beams_used.max(initial=0)) > self.beam_plan.beams_per_satellite:
-                raise SimulationError("strategy oversubscribed a satellite's beams")
-            metrics.record_step(
-                covered=outcome.covered,
-                allocated_mbps=outcome.allocated_mbps,
-                in_view_counts=in_view,
-                satellite_latitudes=sat_lats,
-                beams_used=outcome.beams_used,
-                serving_satellite=outcome.serving_satellite,
-            )
+        registry = obs.registry()
+        registry.gauge("sim.cells").set(len(self.dataset.cells))
+        registry.gauge("sim.satellites").set(self.satellite_count)
+        steps = registry.counter("sim.steps")
+        nnz = registry.counter("sim.csr.nnz")
+        covered_cells = registry.counter("sim.covered.cells")
+        allocated_total = registry.counter("sim.allocated.total_mbps")
+        with obs.span(
+            "sim.run",
+            engine=self.engine,
+            cells=len(self.dataset.cells),
+            satellites=self.satellite_count,
+        ):
+            for time_s in clock.times():
+                if self.engine == "fast":
+                    outcome, in_view, sat_lats = self._step_fast(time_s)
+                else:
+                    outcome, in_view, sat_lats = self._step_reference(time_s)
+                if int(outcome.beams_used.max(initial=0)) > self.beam_plan.beams_per_satellite:
+                    raise SimulationError("strategy oversubscribed a satellite's beams")
+                # Correctness counters: engine-independent by construction
+                # (both engines hand back identical outcomes), asserted by
+                # tests/obs/test_instrumentation.py.
+                steps.inc()
+                nnz.inc(int(in_view.sum()))
+                covered_cells.inc(int(outcome.covered.sum()))
+                allocated_total.inc(float(outcome.allocated_mbps.sum()))
+                metrics.record_step(
+                    covered=outcome.covered,
+                    allocated_mbps=outcome.allocated_mbps,
+                    in_view_counts=in_view,
+                    satellite_latitudes=sat_lats,
+                    beams_used=outcome.beams_used,
+                    serving_satellite=outcome.serving_satellite,
+                )
         return metrics
 
     def _step_fast(self, time_s: float):
         """One step on the CSR fast path."""
-        csr, sat_lats = self.visibility_index.query(time_s)
-        demands = self.demands_mbps
-        if self.impairments:
-            csr, demands = apply_impairments_csr(
-                self.impairments,
-                csr,
-                demands,
-                self._cell_positions,
-                self._impairment_rng,
-            )
-        outcome = self.strategy.assign_csr(csr, demands, self.beam_plan)
-        return outcome, csr.counts(), sat_lats
+        with obs.span("sim.step", engine="fast", time_s=time_s):
+            with obs.span("sim.visibility"):
+                csr, sat_lats = self.visibility_index.query(time_s)
+            demands = self.demands_mbps
+            if self.impairments:
+                with obs.span("sim.impairments"):
+                    csr, demands = apply_impairments_csr(
+                        self.impairments,
+                        csr,
+                        demands,
+                        self._cell_positions,
+                        self._impairment_rng,
+                    )
+            with obs.span("sim.assignment"):
+                outcome = self.strategy.assign_csr(csr, demands, self.beam_plan)
+            return outcome, csr.counts(), sat_lats
 
     def _step_reference(self, time_s: float):
         """One step on the original list-of-arrays path."""
-        visible, sat_lats = self._visibility(time_s)
-        demands = self.demands_mbps
-        if self.impairments:
-            visible, demands = apply_impairments(
-                self.impairments,
-                visible,
-                demands,
-                self._cell_positions,
-                self.satellite_count,
-                self._impairment_rng,
-            )
-        outcome = self.strategy.assign(
-            visible, demands, self.satellite_count, self.beam_plan
-        )
-        in_view = np.array([v.size for v in visible], dtype=np.int64)
-        return outcome, in_view, sat_lats
+        with obs.span("sim.step", engine="reference", time_s=time_s):
+            with obs.span("sim.visibility"):
+                visible, sat_lats = self._visibility(time_s)
+            demands = self.demands_mbps
+            if self.impairments:
+                with obs.span("sim.impairments"):
+                    visible, demands = apply_impairments(
+                        self.impairments,
+                        visible,
+                        demands,
+                        self._cell_positions,
+                        self.satellite_count,
+                        self._impairment_rng,
+                    )
+            with obs.span("sim.assignment"):
+                outcome = self.strategy.assign(
+                    visible, demands, self.satellite_count, self.beam_plan
+                )
+            in_view = np.array([v.size for v in visible], dtype=np.int64)
+            return outcome, in_view, sat_lats
 
     def report(self, metrics: CoverageMetrics) -> SimulationReport:
         """Summarize a finished run."""

@@ -1,9 +1,13 @@
 """Per-step simulation traces: record, persist, and summarize runs.
 
-:class:`TraceRecorder` wraps a simulation run and captures one row per
+:func:`record_trace` wraps a simulation run and captures one row per
 (step, cell): coverage, allocated capacity, serving satellite. Traces
-write to CSV for external analysis and reload into numpy arrays — the
-observability layer for debugging assignment strategies.
+write to CSV for external analysis — and, since the structured
+telemetry subsystem landed, to JSONL through
+:class:`~repro.obs.TelemetryWriter` (:func:`write_trace_jsonl` /
+:func:`read_trace_jsonl`), so a trace can ride in the same event
+stream as logs and spans. Both formats reload into numpy arrays and
+agree on every derived statistic (``coverage_timeline`` etc.).
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.engine import SimulationClock
 from repro.sim.simulation import ConstellationSimulation
@@ -125,6 +130,73 @@ def write_trace_csv(trace: SimulationTrace, path: Union[str, Path]) -> Path:
                     ]
                 )
     return target
+
+
+def write_trace_jsonl(
+    trace: SimulationTrace,
+    path: Union[str, Path],
+    writer: "obs.TelemetryWriter" = None,
+) -> Path:
+    """Persist a trace as JSONL events through :class:`TelemetryWriter`.
+
+    One ``trace.run`` header event plus one ``trace.step`` event per
+    step (full-precision floats, unlike the CSV's fixed decimals).
+    Pass an open ``writer`` to append the trace into an existing event
+    stream; ``path`` is ignored then.
+    """
+    own_writer = writer is None
+    if own_writer:
+        writer = obs.TelemetryWriter(path)
+    try:
+        writer.emit(
+            {
+                "type": "trace.run",
+                "steps": trace.steps,
+                "cells": trace.cells,
+            }
+        )
+        for step in range(trace.steps):
+            writer.emit(
+                {
+                    "type": "trace.step",
+                    "step": step,
+                    "time_s": float(trace.times_s[step]),
+                    "covered": trace.covered[step].astype(int).tolist(),
+                    "allocated_mbps": trace.allocated_mbps[step].tolist(),
+                    "serving_satellite": trace.serving_satellite[
+                        step
+                    ].tolist(),
+                }
+            )
+    finally:
+        if own_writer:
+            writer.close()
+    return writer.path
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> SimulationTrace:
+    """Reload a trace written by :func:`write_trace_jsonl`.
+
+    Ignores interleaved non-trace events, so a combined telemetry
+    stream (logs + spans + trace) reads back fine.
+    """
+    events = obs.read_events(path)
+    steps = [e for e in events if e.get("type") == "trace.step"]
+    if not steps:
+        raise SimulationError(f"no trace.step events in {path}")
+    steps.sort(key=lambda e: int(e["step"]))
+    return SimulationTrace(
+        times_s=np.array([float(e["time_s"]) for e in steps]),
+        covered=np.array(
+            [e["covered"] for e in steps], dtype=bool
+        ),
+        allocated_mbps=np.array(
+            [e["allocated_mbps"] for e in steps], dtype=float
+        ),
+        serving_satellite=np.array(
+            [e["serving_satellite"] for e in steps], dtype=int
+        ),
+    )
 
 
 def read_trace_csv(path: Union[str, Path]) -> SimulationTrace:

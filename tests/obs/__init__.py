@@ -1,0 +1,1 @@
+"""Tests for the structured telemetry subsystem (repro.obs)."""

@@ -1,0 +1,14 @@
+"""Shared fixtures: every obs test starts from clean global telemetry."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.configure(enabled=True)
+    obs.reset()
+    yield
+    obs.configure(enabled=True)
+    obs.reset()

@@ -1,0 +1,134 @@
+"""Tests for the metrics registry: snapshot, diff, merge, disabled no-op."""
+
+from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP, MetricsRegistry
+
+
+def _registry_with_activity() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.steps").inc()
+    registry.counter("sim.steps").inc(4)
+    registry.counter("runner.cache.hits").inc(7)
+    registry.gauge("sim.cells").set(103)
+    for value in (0.1, 0.2, 0.3):
+        registry.histogram("runner.task.wall_s").observe(value)
+    return registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert registry.counter("c") is counter
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        registry.gauge("g").set(9)
+        assert registry.gauge("g").value == 9
+
+    def test_histogram_stats_and_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 9.0
+        assert hist.min == 1.0
+        assert hist.max == 5.0
+        assert hist.quantile(0.5) == 3.0
+
+    def test_histogram_sample_cap_keeps_count_and_extremes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(HISTOGRAM_SAMPLE_CAP + 10):
+            hist.observe(float(value))
+        assert hist.count == HISTOGRAM_SAMPLE_CAP + 10
+        assert len(hist.samples) == HISTOGRAM_SAMPLE_CAP
+        assert hist.max == float(HISTOGRAM_SAMPLE_CAP + 9)
+
+    def test_disabled_registry_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 0}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_shape(self):
+        snapshot = _registry_with_activity().snapshot()
+        assert snapshot["counters"]["sim.steps"] == 5
+        assert snapshot["gauges"]["sim.cells"] == 103
+        hist = snapshot["histograms"]["runner.task.wall_s"]
+        assert hist["count"] == 3
+        assert hist["min"] == 0.1
+        assert hist["max"] == 0.3
+
+    def test_diff_subtracts_counters_and_drops_zeros(self):
+        registry = _registry_with_activity()
+        before = registry.snapshot()
+        registry.counter("sim.steps").inc(10)
+        registry.counter("fresh").inc(2)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta["counters"] == {"sim.steps": 10, "fresh": 2}
+
+    def test_diff_subtracts_histogram_count_and_total(self):
+        registry = _registry_with_activity()
+        before = registry.snapshot()
+        registry.histogram("runner.task.wall_s").observe(1.0)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        hist = delta["histograms"]["runner.task.wall_s"]
+        assert hist["count"] == 1
+        assert abs(hist["total"] - 1.0) < 1e-12
+
+    def test_merge_of_split_deltas_equals_one_run(self):
+        """The ProcessPool invariant: order-independent counter sums."""
+        serial = _registry_with_activity().snapshot()
+
+        parent = MetricsRegistry()
+        empty = parent.snapshot()
+        worker_a = MetricsRegistry()
+        worker_a.counter("sim.steps").inc(5)
+        worker_a.histogram("runner.task.wall_s").observe(0.1)
+        worker_a.histogram("runner.task.wall_s").observe(0.3)
+        worker_b = MetricsRegistry()
+        worker_b.counter("runner.cache.hits").inc(7)
+        worker_b.gauge("sim.cells").set(103)
+        worker_b.histogram("runner.task.wall_s").observe(0.2)
+
+        for worker in (worker_b, worker_a):  # merge out of order
+            parent.merge(MetricsRegistry.diff(empty, worker.snapshot()))
+        merged = parent.snapshot()
+        assert merged["counters"] == serial["counters"]
+        assert merged["gauges"] == serial["gauges"]
+        for key in ("count", "total", "min", "max"):
+            assert (
+                merged["histograms"]["runner.task.wall_s"][key]
+                == serial["histograms"]["runner.task.wall_s"][key]
+            )
+
+    def test_merge_into_disabled_registry_is_ignored(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.merge({"counters": {"c": 5}})
+        assert registry.snapshot()["counters"] == {}
+
+    def test_reset_drops_instruments(self):
+        registry = _registry_with_activity()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_counter_items_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        assert registry.counter_items() == [("a", 1), ("b", 2)]

@@ -1,0 +1,152 @@
+"""Tests for the report renderer: span trees, metrics, event summaries."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.report import (
+    cache_hit_rate,
+    format_event_summary,
+    format_metrics,
+    format_report,
+    format_span_tree,
+    format_top_spans,
+    load_report_inputs,
+)
+
+
+def _span(index, name, parent, wall_s=0.01):
+    return {
+        "index": index,
+        "name": name,
+        "parent": parent,
+        "start_s": 0.0,
+        "wall_s": wall_s,
+        "cpu_s": wall_s,
+    }
+
+
+class TestSpanTree:
+    def test_same_name_siblings_aggregate(self):
+        spans = [
+            _span(0, "sim.run", None),
+            _span(1, "sim.step", 0),
+            _span(2, "sim.step", 0),
+            _span(3, "sim.step", 0),
+        ]
+        tree = format_span_tree(spans)
+        assert "sim.step x3" in tree
+        assert tree.count("sim.step") == 1
+
+    def test_children_aggregate_across_repeated_parents(self):
+        """Children of all `sim.step` instances collapse to one line."""
+        spans = [_span(0, "sim.run", None)]
+        for step in range(3):
+            step_index = len(spans)
+            spans.append(_span(step_index, "sim.step", 0))
+            spans.append(_span(step_index + 1, "sim.visibility", step_index))
+        tree = format_span_tree(spans)
+        assert "sim.visibility x3" in tree
+        assert tree.count("sim.visibility") == 1
+
+    def test_empty_forest(self):
+        assert "empty" in format_span_tree([])
+
+    def test_max_depth_truncates(self):
+        spans = [_span(0, "level0", None)]
+        for depth in range(1, 6):
+            spans.append(_span(depth, f"level{depth}", depth - 1))
+        tree = format_span_tree(spans, max_depth=2)
+        assert "level2" in tree
+        assert "level4" not in tree
+
+
+class TestTopSpans:
+    def test_orders_by_wall_time(self):
+        spans = [
+            _span(0, "slow", None, wall_s=2.0),
+            _span(1, "fast", None, wall_s=0.001),
+            _span(2, "medium", None, wall_s=1.0),
+        ]
+        table = format_top_spans(spans, top=2)
+        assert "slow" in table and "medium" in table
+        assert "fast" not in table
+
+    def test_empty(self):
+        assert "none" in format_top_spans([])
+
+
+class TestMetricsRendering:
+    def test_cache_hit_rate(self):
+        assert cache_hit_rate({"counters": {}}) is None
+        assert cache_hit_rate(
+            {"counters": {"runner.cache.hits": 3, "runner.cache.misses": 1}}
+        ) == 0.75
+        assert cache_hit_rate({"counters": {"runner.cache.misses": 4}}) == 0.0
+
+    def test_format_metrics_sections(self):
+        text = format_metrics(
+            {
+                "counters": {"sim.steps": 5},
+                "gauges": {"sim.cells": 103},
+                "histograms": {
+                    "runner.task.wall_s": {
+                        "count": 3, "total": 0.6, "min": 0.1,
+                        "p50": 0.2, "p95": 0.3, "max": 0.3,
+                    }
+                },
+            }
+        )
+        assert "sim.steps" in text
+        assert "sim.cells" in text
+        assert "runner.task.wall_s" in text
+
+    def test_format_metrics_empty(self):
+        assert "none" in format_metrics({})
+
+
+class TestEventSummary:
+    def test_counts_types_levels_and_errors(self):
+        events = [
+            {"type": "span", "name": "a"},
+            {"type": "log", "level": "INFO"},
+            {"type": "log", "level": "ERROR"},
+            {"type": "metrics"},
+        ]
+        summary = format_event_summary(events)
+        assert "events: 4 total" in summary
+        assert "span: 1" in summary
+        assert "error events: 1" in summary
+
+    def test_zero_errors_is_explicit(self):
+        assert "error events: 0" in format_event_summary(
+            [{"type": "log", "level": "INFO"}]
+        )
+
+
+class TestLoadAndFullReport:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_report_inputs(tmp_path / "absent")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_report_inputs(tmp_path)
+
+    def test_full_report_on_collected_manifest(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.reset()
+        with obs.span("runner.sweep"):
+            with obs.span("runner.task"):
+                obs.registry().counter("runner.cache.hits").inc()
+                obs.registry().counter("runner.cache.misses").inc()
+        manifest = obs.collect_manifest(command="sweep")
+        path = manifest.write(tmp_path / "sweep.manifest.json")
+        with obs.TelemetryWriter(tmp_path / "run.jsonl") as writer:
+            writer.emit({"type": "log", "level": "INFO", "message": "hi"})
+        report = format_report(tmp_path)
+        assert f"=== manifest {path} ===" in report
+        assert "span records: 2" in report
+        assert "runner.task" in report
+        assert "cache hit rate: 50.0%" in report
+        assert "error events: 0" in report

@@ -1,0 +1,123 @@
+"""Tests for the span tracer: nesting, clocks, and the disabled no-op."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN, SpanRecord, Timer, Tracer
+
+
+class TestTracer:
+    def test_records_one_span_per_block(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [record.name for record in tracer.records] == ["a", "b"]
+        assert all(record.parent is None for record in tracer.records)
+
+    def test_nesting_sets_parent_indices(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["outer"].parent is None
+        assert by_name["inner"].parent == by_name["outer"].index
+        assert by_name["leaf"].parent == by_name["inner"].index
+        assert by_name["sibling"].parent == by_name["outer"].index
+
+    def test_wall_time_is_positive_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer, inner = tracer.records
+        assert outer.wall_s >= inner.wall_s >= 0.0
+        assert outer.cpu_s >= 0.0
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", engine="fast") as span:
+            span.set(rows=42)
+        record = tracer.records[0]
+        assert record.attrs == {"engine": "fast", "rows": 42}
+
+    def test_exception_tags_span_and_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("broken"):
+                raise ValueError("boom")
+        assert tracer.records[0].attrs["error"] == "ValueError"
+        assert tracer._stack == []
+        with tracer.span("after"):
+            pass
+        assert tracer.records[1].parent is None
+
+    def test_mark_and_records_since(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.records_since(mark)] == ["after"]
+
+    def test_reset_clears_records_and_stack(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer._stack == []
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_returns_the_null_singleton(self):
+        """The no-op path: `span()` is one attribute check, no allocation."""
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", key="value") is NULL_SPAN
+        with tracer.span("ignored") as span:
+            assert span.set(rows=1) is NULL_SPAN
+        assert len(tracer) == 0
+
+    def test_global_configure_switches_the_null_path(self):
+        obs.configure(enabled=False)
+        try:
+            assert obs.span("x") is NULL_SPAN
+            with obs.span("x"):
+                pass
+            assert len(obs.tracer()) == 0
+        finally:
+            obs.configure(enabled=True)
+        assert obs.span("x") is not NULL_SPAN
+
+
+class TestSpanRecordRoundTrip:
+    def test_as_dict_from_dict_round_trip(self):
+        record = SpanRecord(
+            index=3,
+            name="sim.step",
+            parent=1,
+            start_s=0.25,
+            wall_s=0.125,
+            cpu_s=0.1,
+            attrs={"engine": "fast"},
+        )
+        assert SpanRecord.from_dict(record.as_dict()) == record
+
+    def test_root_span_parent_none_survives(self):
+        record = SpanRecord(index=0, name="root", parent=None, start_s=0.0)
+        assert SpanRecord.from_dict(record.as_dict()).parent is None
+
+
+class TestTimer:
+    def test_timer_measures_both_clocks(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.wall_s > 0.0
+        assert timer.cpu_s >= 0.0

@@ -1,0 +1,115 @@
+"""Tests for the JSONL sink and the stdlib-logging bridge."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.writer import (
+    JsonLineFormatter,
+    TelemetryWriter,
+    get_logger,
+    read_events,
+    setup_logging,
+)
+
+
+class TestTelemetryWriter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.emit({"type": "span", "name": "a"})
+            writer.emit({"type": "log", "message": "hello", "ts": 1.5})
+        events = read_events(path)
+        assert [event["type"] for event in events] == ["span", "log"]
+        assert "ts" in events[0]  # stamped automatically
+        assert events[1]["ts"] == 1.5  # caller timestamps win
+
+    def test_append_mode_extends_existing_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.emit({"type": "first"})
+        with TelemetryWriter(path, append=True) as writer:
+            writer.emit({"type": "second"})
+        assert [e["type"] for e in read_events(path)] == ["first", "second"]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "events.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ReproError):
+            writer.emit({"type": "late"})
+
+    def test_read_events_rejects_missing_and_malformed(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_events(tmp_path / "absent.jsonl")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ReproError):
+            read_events(bad)
+
+
+class TestLoggingBridge:
+    def test_console_handler_respects_level(self):
+        stream = io.StringIO()
+        setup_logging(level="warning", stream=stream)
+        log = get_logger("cli")
+        log.info("invisible")
+        log.warning("visible")
+        output = stream.getvalue()
+        assert "invisible" not in output
+        assert "visible" in output
+
+    def test_json_mode_emits_json_lines(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_mode=True, stream=stream)
+        get_logger("cli").info("structured %d", 7)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["type"] == "log"
+        assert payload["message"] == "structured 7"
+        assert payload["logger"] == "repro.cli"
+
+    def test_writer_tee_sees_records_below_console_level(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        stream = io.StringIO()
+        with TelemetryWriter(path) as writer:
+            setup_logging(level="error", stream=stream, writer=writer)
+            get_logger("sim").info("quiet on console, loud in the stream")
+        assert stream.getvalue() == ""
+        events = read_events(path)
+        assert events[0]["level"] == "INFO"
+        assert "loud in the stream" in events[0]["message"]
+
+    def test_reconfiguration_replaces_handlers(self):
+        first, second = io.StringIO(), io.StringIO()
+        setup_logging(level="info", stream=first)
+        setup_logging(level="info", stream=second)
+        get_logger().info("once")
+        assert first.getvalue() == ""
+        assert "once" in second.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ReproError):
+            setup_logging(level="loud")
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_formatter_includes_exception(self):
+        formatter = JsonLineFormatter()
+        import logging
+
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "failed", (), True
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(formatter.format(record))
+        assert "RuntimeError: boom" in payload["exception"]

@@ -1,0 +1,92 @@
+"""Worker telemetry merge parity: a ProcessPool sweep's merged counters
+must equal the serial fallback's exactly.
+
+Workers diff their registry around each task and ship the delta home
+(:func:`repro.runner.tasks._worker_run_sweep`); the parent merges each
+delta (:meth:`MetricsRegistry.merge`). Counter adds are commutative
+sums, so the merged totals are completion-order independent — this file
+is the committed proof.
+"""
+
+import functools
+
+import pytest
+
+from repro import obs
+from repro.runner import ParameterGrid, SweepRunner
+from tests.runner.test_sweep import toy_model
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.configure(enabled=True)
+    obs.reset()
+    yield
+    obs.configure(enabled=True)
+    obs.reset()
+
+
+def _counters_after_run(sweep_id, grid, n_workers):
+    obs.reset()
+    runner = SweepRunner(
+        sweep_id,
+        grid,
+        n_workers=n_workers,
+        cache=None,
+        model_builder=functools.partial(toy_model),
+    )
+    report = runner.run(model=toy_model())
+    return dict(obs.registry().counter_items()), report
+
+
+@pytest.mark.parametrize(
+    "sweep_id,grid",
+    [
+        ("served", ParameterGrid({"beamspread": (1, 2), "oversubscription": (10, 20)})),
+        ("sizing", ParameterGrid({"beamspread": (1, 2, 5)})),
+    ],
+)
+def test_parallel_merged_counters_equal_serial(sweep_id, grid):
+    serial_counters, serial_report = _counters_after_run(sweep_id, grid, 1)
+    parallel_counters, parallel_report = _counters_after_run(
+        sweep_id, grid, 3
+    )
+    n_tasks = len(list(grid))
+    assert serial_counters["runner.tasks.completed"] == n_tasks
+    assert parallel_counters == serial_counters
+    # And, as ever, the results themselves are identical in grid order.
+    assert [r.metrics for r in parallel_report.results] == [
+        r.metrics for r in serial_report.results
+    ]
+
+
+def test_parallel_merges_task_wall_histogram():
+    grid = ParameterGrid({"beamspread": (1, 2, 5)})
+    obs.reset()
+    SweepRunner(
+        "served",
+        grid,
+        n_workers=2,
+        model_builder=functools.partial(toy_model),
+    ).run(model=toy_model())
+    hist = obs.registry().snapshot()["histograms"]["runner.task.wall_s"]
+    assert hist["count"] == 3
+    assert hist["total"] > 0
+    assert hist["min"] is not None and hist["max"] is not None
+
+
+def test_sweep_spans_cover_scan_and_gather():
+    grid = ParameterGrid({"beamspread": (1, 2)})
+    obs.reset()
+    SweepRunner(
+        "served",
+        grid,
+        n_workers=2,
+        model_builder=functools.partial(toy_model),
+    ).run(model=toy_model())
+    names = [record.name for record in obs.tracer().records]
+    assert "runner.sweep" in names
+    assert "runner.cache.scan" in names
+    assert "runner.gather" in names
+    # Parent-side task spans run in the workers, not here.
+    assert "runner.task" not in names

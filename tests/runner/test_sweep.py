@@ -218,3 +218,54 @@ def test_property_fingerprint_tracks_content(counts):
     bumped[0] += 1
     c = build_toy_dataset(bumped)
     assert c.fingerprint() != a.fingerprint()
+
+
+class TestSummaryPercentiles:
+    """SweepReport.summary(): cache hit rate plus p50/p95 task wall time."""
+
+    @staticmethod
+    def _report(wall_times, cache_hits):
+        from repro.runner import SweepReport, TaskResult
+
+        results = [
+            TaskResult(
+                index=i,
+                params={"beamspread": i},
+                metrics={"m": float(i)},
+                seed=i,
+                cache_hit=hit,
+                wall_s=wall,
+            )
+            for i, (wall, hit) in enumerate(zip(wall_times, cache_hits))
+        ]
+        return SweepReport(
+            sweep_id="served",
+            dataset_fingerprint="fp",
+            n_workers=1,
+            results=results,
+            total_wall_s=sum(wall_times),
+        )
+
+    def test_summary_includes_hit_rate_and_percentiles(self):
+        walls = [0.010, 0.020, 0.030, 0.040, 0.0]
+        hits = [False, False, False, False, True]
+        summary = self._report(walls, hits).summary()
+        assert "cache hits 1/5 (20.0%)" in summary
+        # Nearest-rank over the 4 executed tasks: p50 -> 30ms, p95 -> 40ms.
+        assert "task wall p50 30.0ms" in summary
+        assert "p95 40.0ms" in summary
+
+    def test_summary_all_cached(self):
+        summary = self._report([0.0, 0.0], [True, True]).summary()
+        assert "cache hits 2/2 (100.0%)" in summary
+        assert "all tasks cached" in summary
+
+    def test_summary_single_executed_task(self):
+        summary = self._report([0.005], [False]).summary()
+        assert "task wall p50 5.0ms / p95 5.0ms" in summary
+
+    def test_real_sweep_summary_has_percentiles(self):
+        report = SweepRunner(
+            "served", ParameterGrid({"beamspread": (1, 2)})
+        ).run(model=toy_model())
+        assert "task wall p50" in report.summary()

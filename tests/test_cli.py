@@ -34,8 +34,11 @@ class TestRun:
     def test_run_with_csv_export(self, tmp_path, capsys):
         assert main(["run", "tab2", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "tab2.csv").exists()
-        out = capsys.readouterr().out
-        assert "wrote" in out
+        # Diagnostics go through the logging bridge on stderr now;
+        # stdout stays reserved for the experiment renderings.
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        assert "wrote" not in captured.out
 
     def test_unknown_experiment_raises(self):
         from repro.errors import ReproError
@@ -198,3 +201,107 @@ class TestExportGeojson:
         assert len(cells["features"]) == 50
         assert (tmp_path / "counties.geojson").exists()
         assert (tmp_path / "gateways.geojson").exists()
+
+
+class TestTelemetryFlags:
+    def test_quiet_silences_diagnostics(self, tmp_path, capsys):
+        assert main(
+            ["--quiet", "run", "tab2", "--out", str(tmp_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "wrote" not in captured.err
+        assert "3,500" in captured.out or "constellation" in captured.out.lower()
+
+    def test_log_json_writes_events_spans_and_metrics(self, tmp_path):
+        from repro.obs import read_events
+
+        events_path = tmp_path / "telemetry.jsonl"
+        assert main(
+            [
+                "--log-json", str(events_path),
+                "sweep", "served",
+                "--grid", "beamspread=1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "sweep.csv"),
+            ]
+        ) == 0
+        events = read_events(events_path)
+        types = {event["type"] for event in events}
+        assert "log" in types
+        assert "span" in types
+        assert "metrics" in types
+        span_names = {
+            e["name"] for e in events if e["type"] == "span"
+        }
+        assert "runner.sweep" in span_names
+        assert "runner.task" in span_names
+
+    def test_sweep_out_writes_manifest(self, tmp_path):
+        from repro.obs import RunManifest, manifest_path_for
+
+        csv = tmp_path / "sweep.csv"
+        assert main(
+            [
+                "sweep", "served",
+                "--grid", "beamspread=1,2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(csv),
+            ]
+        ) == 0
+        manifest = RunManifest.load(manifest_path_for(csv))
+        assert manifest.command == "sweep"
+        assert manifest.params_hash
+        assert manifest.dataset_fingerprint
+        assert manifest.extra["tasks"] == 2
+        assert any(
+            span["name"] == "runner.sweep" for span in manifest.spans
+        )
+        counters = manifest.metrics["counters"]
+        assert counters["runner.tasks.completed"] == 2
+
+
+class TestReportCommand:
+    def test_report_renders_sweep_manifest(self, tmp_path, capsys):
+        csv = tmp_path / "sweep.csv"
+        assert main(
+            [
+                "sweep", "served",
+                "--grid", "beamspread=1,2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(csv),
+            ]
+        ) == 0
+        capsys.readouterr()
+        from repro.obs import manifest_path_for
+
+        assert main(["report", str(manifest_path_for(csv))]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "runner.sweep" in out
+        assert "runner.task" in out
+        assert "counters" in out
+        assert "cache hit rate" in out
+
+    def test_report_on_directory_includes_event_streams(
+        self, tmp_path, capsys
+    ):
+        events_path = tmp_path / "telemetry.jsonl"
+        assert main(
+            [
+                "--log-json", str(events_path),
+                "sweep", "served",
+                "--grid", "beamspread=1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "sweep.csv"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "=== manifest" in out
+        assert "=== events" in out
+        assert "error events: 0" in out
+
+    def test_report_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "report failed" in capsys.readouterr().err

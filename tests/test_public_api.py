@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.experiments",
     "repro.runner",
+    "repro.obs",
     "repro.viz",
 ]
 

@@ -144,13 +144,23 @@ def _run_experiments(ids, model, seed, n_workers):
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.runner import ParameterGrid, ResultCache, SweepRunner
+    from repro.runner import (
+        FailurePolicy,
+        ParameterGrid,
+        ResultCache,
+        SweepRunner,
+    )
     from repro.runner.tasks import build_default_model
     from repro.viz.tables import format_table
 
     try:
         grid = ParameterGrid.from_spec(args.grid)
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        policy = FailurePolicy(
+            on_error=args.on_error.replace("-", "_"),
+            max_retries=args.retries,
+            task_timeout_s=args.task_timeout,
+        )
         import functools
 
         runner = SweepRunner(
@@ -159,6 +169,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             n_workers=args.parallel,
             cache=cache,
             model_builder=functools.partial(build_default_model, args.seed),
+            policy=policy,
         )
         report = runner.run(model=_build_model(args.seed))
     except ReproError as exc:
@@ -172,6 +183,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print()
     print(report.summary())
+    if report.n_failed:
+        _log.warning(
+            "%d of %d tasks failed; failed tasks are not cached and a "
+            "rerun re-executes only them",
+            report.n_failed,
+            len(report.results),
+        )
     if args.out:
         path = write_series_csv(args.out, headers, rows)
         _log.info("wrote %s", path)
@@ -188,6 +206,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "tasks": len(report.results),
                 "cache_hits": report.cache_hits,
                 "n_workers": report.n_workers,
+                "on_error": policy.on_error,
+                "tasks_failed": report.n_failed,
+                "failures": [
+                    {
+                        "index": r.index,
+                        "params": r.params,
+                        "attempts": r.attempts,
+                        "error": r.error,
+                    }
+                    for r in report.failures
+                ],
             },
         )
     return 0
@@ -430,6 +459,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every task; do not read or write the cache",
+    )
+    sweep_parser.add_argument(
+        "--on-error",
+        choices=("fail-fast", "continue", "retry"),
+        default="fail-fast",
+        help=(
+            "what a task failure costs: abort the sweep (default), "
+            "record the failure and continue, or retry with backoff "
+            "before recording it"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per task under --on-error retry (default: 2)",
+    )
+    sweep_parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task attempt timeout for parallel sweeps; a hung "
+            "worker is abandoned and its pool rebuilt"
+        ),
     )
     sweep_parser.add_argument(
         "--out", default=None, help="CSV file for the sweep table"

@@ -36,6 +36,7 @@ def _format_table(headers, rows, title=""):
 
 __all__ = [
     "load_report_inputs",
+    "format_failures",
     "format_span_tree",
     "format_top_spans",
     "format_metrics",
@@ -43,6 +44,30 @@ __all__ = [
     "format_report",
     "cache_hit_rate",
 ]
+
+
+def format_failures(extra: Dict[str, object]) -> List[str]:
+    """Failure-record lines from a sweep manifest's ``extra`` section.
+
+    Sweep manifests carry ``tasks_failed`` and a ``failures`` list
+    (index, params, attempts, and the captured error record); other
+    manifests render no lines at all.
+    """
+    if "tasks_failed" not in extra and not extra.get("failures"):
+        return []
+    failures = extra.get("failures") or []
+    lines = [f"failures recorded: {len(failures)}"]
+    for failure in failures:
+        if not isinstance(failure, dict):
+            continue
+        error = failure.get("error") or {}
+        lines.append(
+            f"  task {failure.get('index', '?')} "
+            f"{failure.get('params', {})} "
+            f"(attempts {failure.get('attempts', '?')}): "
+            f"{error.get('type', '?')}: {error.get('message', '')}"
+        )
+    return lines
 
 
 def load_report_inputs(
@@ -274,6 +299,7 @@ def format_report(path: Union[str, Path], top: int = 10) -> str:
         rate = cache_hit_rate(manifest.metrics)
         if rate is not None:
             header.append(f"cache hit rate: {rate:.1%}")
+        header.extend(format_failures(manifest.extra))
         header.append(f"span records: {len(manifest.spans)}")
         sections.append("\n".join(header))
         sections.append(format_span_tree(manifest.spans))

@@ -19,6 +19,7 @@ sweep`` and ``repro-divide run --parallel`` drive this from the
 command line.
 """
 
+from repro.runner import faults
 from repro.runner.cache import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
@@ -26,7 +27,13 @@ from repro.runner.cache import (
     task_key,
 )
 from repro.runner.grid import ParameterGrid, canonical_params
-from repro.runner.sweep import SweepReport, SweepRunner, TaskResult
+from repro.runner.sweep import (
+    FailurePolicy,
+    SweepReport,
+    SweepRunner,
+    TaskResult,
+    TaskTimeout,
+)
 from repro.runner.tasks import (
     SWEEP_FUNCTIONS,
     all_sweep_ids,
@@ -38,12 +45,15 @@ from repro.runner.tasks import (
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "FailurePolicy",
     "ParameterGrid",
     "ResultCache",
     "SweepReport",
     "SweepRunner",
     "SWEEP_FUNCTIONS",
     "TaskResult",
+    "TaskTimeout",
+    "faults",
     "all_sweep_ids",
     "build_default_model",
     "canonical_params",

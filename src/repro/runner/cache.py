@@ -50,7 +50,9 @@ class ResultCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
-            raise RunnerError(f"cannot create cache dir {self.root}: {exc}")
+            raise RunnerError(
+                f"cannot create cache dir {self.root}: {exc}"
+            ) from exc
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
@@ -59,10 +61,15 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict]:
-        """The cached payload, or None on miss (or unreadable entry).
+        """The cached payload, or None on miss (or unusable entry).
 
-        Counts ``runner.cache.hits`` / ``runner.cache.misses`` and the
-        bytes deserialized (``runner.cache.read_bytes``).
+        An entry only counts as a hit when it parses *and* matches the
+        task-payload schema (a dict whose ``"metrics"`` is a dict) —
+        anything else would be re-executed by the runner anyway, and
+        counting it as a hit would make the reported hit rate disagree
+        with the work actually done. Counts ``runner.cache.hits`` /
+        ``runner.cache.misses`` and the bytes deserialized
+        (``runner.cache.read_bytes``).
         """
         from repro import obs
 
@@ -77,6 +84,13 @@ class ResultCache:
         except (json.JSONDecodeError, OSError):
             # A corrupt or half-written entry is a miss; the fresh
             # result overwrites it.
+            obs.registry().counter("runner.cache.misses").inc()
+            return None
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("metrics"), dict
+        ):
+            # Parseable JSON that is not a task payload (schema drift,
+            # foreign file) is a miss too.
             obs.registry().counter("runner.cache.misses").inc()
             return None
         registry = obs.registry()
@@ -109,7 +123,9 @@ class ResultCache:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise RunnerError(f"cannot write cache entry {path}: {exc}")
+            raise RunnerError(
+                f"cannot write cache entry {path}: {exc}"
+            ) from exc
         return path
 
     def __len__(self) -> int:

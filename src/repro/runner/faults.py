@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the sweep runner.
+
+Test and CI plumbing: a :class:`FaultPlan` names exactly which task
+indices misbehave, how, and on which attempts, so failure-path tests
+and the fault-injection CI smoke job are reproducible to the byte.
+Three fault kinds:
+
+``raise``
+    Raise :class:`InjectedFault` from inside the task.
+``hang``
+    Sleep ``seconds`` before the task body runs (pair with a
+    ``task_timeout_s`` in the :class:`~repro.runner.sweep.FailurePolicy`
+    to exercise the abandon path).
+``kill``
+    ``os._exit`` the worker process — the OOM-killer stand-in that
+    produces a real ``BrokenProcessPool`` in the parent. In-process
+    (serial) execution converts ``kill`` to a raised
+    :class:`InjectedFault` so the orchestrator itself never dies.
+
+Plans parse from a compact spec, one clause per faulted task::
+
+    raise@2            # task 2 raises on attempt 1
+    raise@2x3          # ... on attempts 1-3
+    hang@4:0.5         # task 4 sleeps 0.5s before attempt 1
+    kill@5             # the worker running task 5 dies on attempt 1
+    raise@2;kill@5     # clauses joined with ';'
+
+A plan reaches worker processes two ways: :func:`install` sets the
+module global (inherited by ``fork`` workers) *and* the
+``REPRO_FAULTS`` environment variable (inherited by ``spawn`` workers
+and by CLI subprocesses — the CI smoke job sets only the variable).
+Keying faults on ``(index, attempt)`` keeps them deterministic across
+retries and pool rebuilds without any cross-process counter state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+from repro.errors import RunnerError
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "injected_faults",
+    "install",
+    "maybe_inject",
+    "parse_fault_plan",
+]
+
+#: Environment variable carrying the active fault plan spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected ``raise`` (or in-process ``kill``) throws."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause: what happens to one task index, and how often.
+
+    ``times`` is the number of *attempts* that fault (attempts 1..times
+    misbehave; attempt ``times + 1`` runs clean), which is what lets a
+    retry policy heal an injected failure deterministically.
+    """
+
+    kind: str
+    index: int
+    times: int = 1
+    seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise RunnerError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise RunnerError(f"fault index must be >= 0: {self.index!r}")
+        if self.times < 1:
+            raise RunnerError(f"fault times must be >= 1: {self.times!r}")
+        if self.seconds <= 0:
+            raise RunnerError(f"hang seconds must be > 0: {self.seconds!r}")
+
+    def spec(self) -> str:
+        """The clause back in spec syntax (inverse of parsing)."""
+        clause = f"{self.kind}@{self.index}"
+        if self.times != 1:
+            clause += f"x{self.times}"
+        if self.kind == "hang":
+            clause += f":{self.seconds:g}"
+        return clause
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable mapping of task index -> :class:`FaultSpec`."""
+
+    by_index: Mapping[int, FaultSpec]
+
+    def for_task(self, index: int) -> Optional[FaultSpec]:
+        """The fault clause for one task index, if any."""
+        return self.by_index.get(index)
+
+    def spec(self) -> str:
+        """The whole plan in spec syntax."""
+        return ";".join(
+            self.by_index[i].spec() for i in sorted(self.by_index)
+        )
+
+    def __len__(self) -> int:
+        return len(self.by_index)
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse ``"raise@2x3;hang@4:0.5;kill@5"`` into a :class:`FaultPlan`."""
+    by_index: Dict[int, FaultSpec] = {}
+    clauses = [c for c in spec.replace(";", " ").split() if c]
+    if not clauses:
+        raise RunnerError(f"empty fault plan spec: {spec!r}")
+    for clause in clauses:
+        kind, sep, rest = clause.partition("@")
+        if not sep or not rest:
+            raise RunnerError(
+                f"malformed fault clause {clause!r}; "
+                "expected kind@index[xtimes][:seconds]"
+            )
+        seconds = 30.0
+        if ":" in rest:
+            rest, _, seconds_token = rest.partition(":")
+            try:
+                seconds = float(seconds_token)
+            except ValueError:
+                raise RunnerError(
+                    f"malformed hang seconds in fault clause {clause!r}"
+                ) from None
+        times = 1
+        if "x" in rest:
+            rest, _, times_token = rest.partition("x")
+            try:
+                times = int(times_token)
+            except ValueError:
+                raise RunnerError(
+                    f"malformed times in fault clause {clause!r}"
+                ) from None
+        try:
+            index = int(rest)
+        except ValueError:
+            raise RunnerError(
+                f"malformed task index in fault clause {clause!r}"
+            ) from None
+        if index in by_index:
+            raise RunnerError(f"duplicate fault index {index} in {spec!r}")
+        by_index[index] = FaultSpec(
+            kind=kind, index=index, times=times, seconds=seconds
+        )
+    return FaultPlan(by_index=by_index)
+
+
+# -- the active plan ---------------------------------------------------------
+#
+# The module global covers fork workers (they inherit it at pool creation);
+# the environment variable covers spawn workers and CLI subprocesses. An
+# explicitly installed plan wins over the environment.
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one parsed from ``REPRO_FAULTS``, else None."""
+    if _ACTIVE_PLAN is not None:
+        return _ACTIVE_PLAN
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    return parse_fault_plan(spec)
+
+
+def install(plan: Union[FaultPlan, str]) -> FaultPlan:
+    """Activate a plan process-wide (global + ``REPRO_FAULTS``)."""
+    global _ACTIVE_PLAN
+    if isinstance(plan, str):
+        plan = parse_fault_plan(plan)
+    _ACTIVE_PLAN = plan
+    os.environ[FAULTS_ENV] = plan.spec()
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection (global and environment)."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = None
+    os.environ.pop(FAULTS_ENV, None)
+
+
+@contextmanager
+def injected_faults(plan: Union[FaultPlan, str]) -> Iterator[FaultPlan]:
+    """``with injected_faults("raise@2"): ...`` — install, then clear."""
+    installed = install(plan)
+    try:
+        yield installed
+    finally:
+        clear()
+
+
+def maybe_inject(index: int, attempt: int = 1, in_worker: bool = False) -> None:
+    """Apply the active plan's fault for ``(index, attempt)``, if any.
+
+    Called by both execution paths just before the task body:
+    the serial loop with ``in_worker=False`` and
+    :func:`repro.runner.tasks._worker_run_sweep` with ``in_worker=True``.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.for_task(index)
+    if fault is None or attempt > fault.times:
+        return
+    if fault.kind == "hang":
+        time.sleep(fault.seconds)
+        return
+    if fault.kind == "kill" and in_worker:
+        os._exit(17)
+    raise InjectedFault(
+        f"injected {fault.kind} on task {index} attempt {attempt}"
+    )

@@ -20,19 +20,58 @@ parent's already-built model, so parallel sweeps pay no per-worker
 rebuild. Under ``spawn``, pass a picklable ``model_builder`` (a
 module-level function or :func:`functools.partial` of one) and each
 worker rebuilds from it once.
+
+Fault tolerance
+---------------
+
+A :class:`FailurePolicy` decides what one misbehaving task costs:
+
+* ``fail_fast`` (the default) propagates the first task exception,
+  aborting the sweep — but everything that completed first is already
+  in the cache, so a rerun resumes from there;
+* ``continue`` turns each task exception into a ``status="failed"``
+  :class:`TaskResult` carrying the error (type, message, traceback
+  tail) and the attempt count, and finishes the rest of the grid;
+* ``retry`` re-executes a failed task up to ``max_retries`` more
+  times, with exponential backoff and deterministic per-task jitter
+  (derived from the task seed — no global ``random`` state), before
+  recording it as failed.
+
+``task_timeout_s`` bounds each parallel attempt: an expired future is
+cancelled if still queued, or abandoned — its wedged worker pool is
+torn down and the innocent in-flight tasks resubmitted on a fresh one.
+A ``BrokenProcessPool`` (a worker OOM-killed or otherwise dead) is
+recovered the same way: the pool is rebuilt once and only the lost
+tasks resubmitted; if the rebuilt pool breaks again the remainder
+degrades to serial in-process execution. Failed tasks are never
+written to the cache, so a cache-warm rerun re-executes exactly the
+failed remainder.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import functools
+import hashlib
+import heapq
+import math
 import time
+import traceback as _traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.core.model import StarlinkDivideModel
 from repro.errors import RunnerError
+from repro.runner import faults as _faults
 from repro.runner import tasks as _tasks
 from repro.runner.cache import ResultCache, task_key
 from repro.runner.grid import ParameterGrid
@@ -43,16 +82,112 @@ from repro.runner.tasks import (
     task_seed,
 )
 
+_log = obs.get_logger("runner")
+
+#: FailurePolicy.on_error values.
+ON_ERROR_MODES = ("fail_fast", "continue", "retry")
+
 
 def _nearest_rank(ordered: Sequence[float], q: float) -> float:
-    """Nearest-rank quantile of an already-sorted sequence."""
-    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    """Nearest-rank quantile of an already-sorted sequence.
+
+    The nearest-rank index is ``ceil(q * N) - 1`` (1-based rank
+    ``ceil(q * N)``); truncating ``q * N`` instead is off by one —
+    e.g. p50 of a 2-element list must be the *smaller* element.
+    """
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[rank]
+
+
+class TaskTimeout(RunnerError):
+    """A parallel task attempt exceeded ``FailurePolicy.task_timeout_s``."""
+
+
+def _error_record(exc: BaseException, tail_lines: int = 10) -> Dict[str, str]:
+    """A JSON-able ``{type, message, traceback}`` record of one exception.
+
+    The traceback keeps only the last ``tail_lines`` lines — enough to
+    locate the failure in a manifest without shipping a full dump per
+    task.
+    """
+    lines = "".join(
+        _traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).rstrip().splitlines()
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "\n".join(lines[-tail_lines:]),
+    }
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What one misbehaving task costs the sweep.
+
+    ``on_error`` picks the mode (``fail_fast`` | ``continue`` |
+    ``retry``); ``max_retries`` bounds the extra attempts under
+    ``retry``; ``backoff_base_s`` / ``backoff_max_s`` shape the
+    exponential backoff between attempts; ``task_timeout_s`` bounds
+    each parallel attempt's wall time (not enforced under serial
+    execution, which cannot interrupt an in-process task).
+    """
+
+    on_error: str = "fail_fast"
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.on_error not in ON_ERROR_MODES:
+            raise RunnerError(
+                f"unknown on_error mode {self.on_error!r}; "
+                f"known: {ON_ERROR_MODES}"
+            )
+        if self.max_retries < 0:
+            raise RunnerError(
+                f"max_retries must be >= 0: {self.max_retries!r}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise RunnerError("backoff durations must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise RunnerError(
+                f"task_timeout_s must be > 0: {self.task_timeout_s!r}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per task: retries only count under ``retry``."""
+        return 1 + (self.max_retries if self.on_error == "retry" else 0)
+
+    def backoff_s(self, seed: int, attempt: int) -> float:
+        """Delay before ``attempt`` (>= 2): exponential + jitter.
+
+        The jitter is a deterministic function of ``(seed, attempt)``
+        (SHA-256, scaled into [0.5, 1.0) of the exponential step), so a
+        rerun backs off identically and no global ``random`` state is
+        touched.
+        """
+        step = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** max(0, attempt - 2)),
+        )
+        blob = f"{seed}:{attempt}".encode("utf-8")
+        frac = int.from_bytes(
+            hashlib.sha256(blob).digest()[:4], "big"
+        ) / 2**32
+        return step * (0.5 + 0.5 * frac)
 
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Outcome of one grid point: params in, metrics (and provenance) out."""
+    """Outcome of one grid point: params in, metrics (and provenance) out.
+
+    ``status`` is ``"ok"`` or ``"failed"``; a failed result has empty
+    ``metrics``, the ``error`` record (type, message, traceback tail),
+    and ``attempts`` counting every submission of the task (including
+    resubmissions after a pool loss).
+    """
 
     index: int
     params: Dict[str, object]
@@ -60,6 +195,35 @@ class TaskResult:
     seed: int
     cache_hit: bool
     wall_s: float
+    status: str = "ok"
+    attempts: int = 1
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the task exhausted its attempts without a result."""
+        return self.status == "failed"
+
+
+@dataclass
+class _Attempt:
+    """Mutable bookkeeping for one task while it is being executed."""
+
+    index: int
+    params: Dict
+    key: Optional[str]
+    attempt: int = 1
+    ready_at: float = 0.0
+    submitted_at: float = 0.0
+
+
+class _PoolLost(Exception):
+    """Internal: the current pool must be abandoned and ``lost`` requeued."""
+
+    def __init__(self, lost: List[_Attempt], broken: bool):
+        super().__init__(f"pool lost {len(lost)} in-flight task(s)")
+        self.lost = lost
+        self.broken = broken  # True for BrokenProcessPool, False for timeout
 
 
 @dataclass
@@ -83,6 +247,16 @@ class SweepReport:
         return self.cache_hits / len(self.results) if self.results else 0.0
 
     @property
+    def failures(self) -> List[TaskResult]:
+        """Failed task results, in grid order."""
+        return [r for r in self.results if r.failed]
+
+    @property
+    def n_failed(self) -> int:
+        """How many tasks exhausted their attempts without a result."""
+        return len(self.failures)
+
+    @property
     def task_wall_times(self) -> List[float]:
         """Per-task wall seconds, in grid order."""
         return [r.wall_s for r in self.results]
@@ -99,7 +273,8 @@ class SweepReport:
 
         The rows depend only on the grid and the dataset — never on
         worker count, completion order, or cache temperature — so two
-        runs of the same sweep render byte-identical tables.
+        runs of the same sweep render byte-identical tables. Failed
+        tasks render with blank metric cells.
         """
         param_names = list(self.results[0].params) if self.results else []
         metric_names = self.metric_names()
@@ -113,9 +288,9 @@ class SweepReport:
         return headers, rows
 
     def summary(self) -> str:
-        """One-line human summary: tasks, cache hit rate, and the
-        p50/p95 per-task wall time of the tasks actually executed (the
-        part of the timing that *is* diagnostic run to run)."""
+        """One-line human summary: tasks, cache hit rate, failures, and
+        the p50/p95 per-task wall time of the tasks actually executed
+        (the part of the timing that *is* diagnostic run to run)."""
         line = (
             f"{self.sweep_id}: {len(self.results)} tasks in "
             f"{self.total_wall_s:.2f}s ({self.n_workers} worker"
@@ -123,8 +298,10 @@ class SweepReport:
             f"{self.cache_hits}/{len(self.results)} "
             f"({self.hit_rate:.1%})"
         )
+        if self.n_failed:
+            line += f"; {self.n_failed} failed"
         executed = sorted(
-            r.wall_s for r in self.results if not r.cache_hit
+            r.wall_s for r in self.results if not r.cache_hit and not r.failed
         )
         if executed:
             p50 = _nearest_rank(executed, 0.50)
@@ -132,7 +309,7 @@ class SweepReport:
             line += (
                 f"; task wall p50 {p50 * 1e3:.1f}ms / p95 {p95 * 1e3:.1f}ms"
             )
-        else:
+        elif self.cache_hits == len(self.results) and self.results:
             line += "; all tasks cached"
         return line
 
@@ -148,6 +325,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         model_builder: Optional[Callable[[], StarlinkDivideModel]] = None,
         progress: Optional[Callable[[TaskResult], None]] = None,
+        policy: Optional[FailurePolicy] = None,
     ):
         if n_workers < 1:
             raise RunnerError(f"n_workers must be >= 1: {n_workers!r}")
@@ -158,6 +336,7 @@ class SweepRunner:
         self.cache = cache
         self.model_builder = model_builder
         self.progress = progress
+        self.policy = policy or FailurePolicy()
 
     # -- internals ----------------------------------------------------------
 
@@ -166,8 +345,13 @@ class SweepRunner:
             self.progress(result)
 
     def _finish(
-        self, index: int, params: Dict, metrics: Dict, key: Optional[str],
-        started: float,
+        self,
+        index: int,
+        params: Dict,
+        metrics: Dict,
+        key: Optional[str],
+        wall_s: float,
+        attempts: int,
     ) -> TaskResult:
         if self.cache is not None and key is not None:
             self.cache.put(
@@ -185,10 +369,305 @@ class SweepRunner:
             metrics=metrics,
             seed=task_seed(self.sweep_id, params),
             cache_hit=False,
-            wall_s=time.perf_counter() - started,
+            wall_s=wall_s,
+            attempts=attempts,
         )
         self._emit(result)
         return result
+
+    def _fail(self, attempt: _Attempt, exc: BaseException) -> TaskResult:
+        """Record one exhausted task as a failed result (never cached)."""
+        obs.registry().counter("runner.task.failures").inc()
+        result = TaskResult(
+            index=attempt.index,
+            params=attempt.params,
+            metrics={},
+            seed=task_seed(self.sweep_id, attempt.params),
+            cache_hit=False,
+            wall_s=0.0,
+            status="failed",
+            attempts=attempt.attempt,
+            error=_error_record(exc),
+        )
+        _log.warning(
+            "task %d failed after %d attempt(s): %s: %s",
+            attempt.index,
+            attempt.attempt,
+            result.error["type"],
+            result.error["message"],
+        )
+        self._emit(result)
+        return result
+
+    def _task_seed(self, params: Dict) -> int:
+        return task_seed(self.sweep_id, params)
+
+    # -- serial execution ---------------------------------------------------
+
+    def _run_serial(
+        self,
+        model: StarlinkDivideModel,
+        attempts: Sequence[_Attempt],
+        slots: List[Optional[TaskResult]],
+    ) -> None:
+        """Execute attempts in-process, honouring the failure policy.
+
+        Also the degraded last resort when the rebuilt pool breaks
+        again; injected ``kill`` faults become raises here so the
+        orchestrator survives (see :mod:`repro.runner.faults`).
+        """
+        registry = obs.registry()
+        for attempt in attempts:
+            while True:
+                started = time.perf_counter()
+                try:
+                    _faults.maybe_inject(
+                        attempt.index, attempt.attempt, in_worker=False
+                    )
+                    metrics = run_sweep_task(
+                        model, self.sweep_id, attempt.params
+                    )
+                except Exception as exc:
+                    if self.policy.on_error == "fail_fast":
+                        raise
+                    if attempt.attempt < self.policy.max_attempts:
+                        registry.counter("runner.task.retries").inc()
+                        attempt.attempt += 1
+                        time.sleep(
+                            self.policy.backoff_s(
+                                self._task_seed(attempt.params),
+                                attempt.attempt,
+                            )
+                        )
+                        continue
+                    slots[attempt.index] = self._fail(attempt, exc)
+                    break
+                slots[attempt.index] = self._finish(
+                    attempt.index,
+                    attempt.params,
+                    metrics,
+                    attempt.key,
+                    time.perf_counter() - started,
+                    attempt.attempt,
+                )
+                break
+
+    # -- parallel execution -------------------------------------------------
+
+    def _handle_task_error(
+        self,
+        attempt: _Attempt,
+        exc: BaseException,
+        queue: List[Tuple[float, int, _Attempt]],
+        slots: List[Optional[TaskResult]],
+    ) -> None:
+        """Apply the failure policy to one failed parallel attempt."""
+        if self.policy.on_error == "fail_fast":
+            raise exc
+        if attempt.attempt < self.policy.max_attempts:
+            obs.registry().counter("runner.task.retries").inc()
+            attempt.attempt += 1
+            attempt.ready_at = time.monotonic() + self.policy.backoff_s(
+                self._task_seed(attempt.params), attempt.attempt
+            )
+            heapq.heappush(queue, (attempt.ready_at, attempt.index, attempt))
+        else:
+            slots[attempt.index] = self._fail(attempt, exc)
+
+    def _drain_pool(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        max_workers: int,
+        queue: List[Tuple[float, int, _Attempt]],
+        slots: List[Optional[TaskResult]],
+        registry,
+    ) -> None:
+        """Feed the queue through one pool until drained or the pool is lost.
+
+        At most ``max_workers`` tasks are in flight at once, so a
+        task's submit time approximates its start time — which is what
+        makes the per-attempt ``task_timeout_s`` meaningful.
+        """
+        timeout_s = self.policy.task_timeout_s
+        inflight: Dict[concurrent.futures.Future, _Attempt] = {}
+        while queue or inflight:
+            now = time.monotonic()
+            while (
+                queue
+                and len(inflight) < max_workers
+                and queue[0][0] <= now
+            ):
+                _, _, attempt = heapq.heappop(queue)
+                attempt.submitted_at = now
+                try:
+                    future = pool.submit(
+                        _tasks._worker_run_sweep,
+                        self.sweep_id,
+                        attempt.params,
+                        attempt.index,
+                        attempt.attempt,
+                    )
+                except BrokenProcessPool:
+                    raise _PoolLost(
+                        [attempt, *inflight.values()], broken=True
+                    )
+                inflight[future] = attempt
+            if not inflight:
+                # Everything left is backing off; sleep to the nearest.
+                time.sleep(max(0.0, queue[0][0] - time.monotonic()))
+                continue
+            wait_s = None
+            if queue and len(inflight) < max_workers:
+                wait_s = max(0.0, queue[0][0] - now)
+            if timeout_s is not None:
+                next_expiry = (
+                    min(a.submitted_at for a in inflight.values())
+                    + timeout_s
+                    - now
+                )
+                next_expiry = max(0.0, next_expiry)
+                wait_s = (
+                    next_expiry if wait_s is None
+                    else min(wait_s, next_expiry)
+                )
+            done, _ = concurrent.futures.wait(
+                list(inflight),
+                timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            lost_to_break: List[_Attempt] = []
+            for future in done:
+                attempt = inflight.pop(future)
+                try:
+                    metrics, delta, wall_s = future.result()
+                except BrokenProcessPool:
+                    lost_to_break.append(attempt)
+                except Exception as exc:
+                    self._handle_task_error(attempt, exc, queue, slots)
+                else:
+                    registry.merge(delta)
+                    slots[attempt.index] = self._finish(
+                        attempt.index,
+                        attempt.params,
+                        metrics,
+                        attempt.key,
+                        wall_s,
+                        attempt.attempt,
+                    )
+            if lost_to_break:
+                raise _PoolLost(
+                    [*lost_to_break, *inflight.values()], broken=True
+                )
+            if timeout_s is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, attempt in inflight.items()
+                    if now - attempt.submitted_at >= timeout_s
+                ]
+                if expired:
+                    for future in expired:
+                        attempt = inflight.pop(future)
+                        future.cancel()
+                        registry.counter("runner.task.timeouts").inc()
+                        self._handle_task_error(
+                            attempt,
+                            TaskTimeout(
+                                f"task {attempt.index} attempt "
+                                f"{attempt.attempt} exceeded "
+                                f"{timeout_s:.3g}s"
+                            ),
+                            queue,
+                            slots,
+                        )
+                    # The expired attempts' workers are wedged; abandon
+                    # this pool and resubmit the innocent in-flight
+                    # tasks (unchanged) on a fresh one.
+                    raise _PoolLost(list(inflight.values()), broken=False)
+
+    @staticmethod
+    def _terminate_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+        """Tear a pool down hard, reclaiming wedged or dead workers."""
+        process_map = getattr(pool, "_processes", None) or {}
+        processes = list(process_map.values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown of a broken pool
+            pass
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        for process in processes:
+            try:
+                process.join(5)
+            except Exception:  # pragma: no cover - already reaped
+                pass
+
+    def _run_parallel(
+        self,
+        model: StarlinkDivideModel,
+        builder: Callable[[], StarlinkDivideModel],
+        pending: Sequence[_Attempt],
+        slots: List[Optional[TaskResult]],
+        registry,
+    ) -> None:
+        """Pooled execution with timeout abandons and pool recovery."""
+        queue: List[Tuple[float, int, _Attempt]] = []
+        for attempt in pending:
+            heapq.heappush(queue, (0.0, attempt.index, attempt))
+        max_workers = min(self.n_workers, len(pending))
+        breaks = 0
+        while queue:
+            if breaks > 1:
+                # The rebuilt pool broke too: degrade to serial for the
+                # remainder rather than thrash on a sick host.
+                registry.counter("runner.pool.serial_fallbacks").inc()
+                _log.warning(
+                    "rebuilt worker pool broke again; finishing %d "
+                    "task(s) serially",
+                    len(queue),
+                )
+                remainder = [entry[2] for entry in sorted(queue)]
+                queue.clear()
+                self._run_serial(model, remainder, slots)
+                return
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_tasks._worker_init,
+                initargs=(builder,),
+            )
+            try:
+                self._drain_pool(pool, max_workers, queue, slots, registry)
+                pool.shutdown(wait=True)
+                return
+            except _PoolLost as lost:
+                self._terminate_pool(pool)
+                registry.counter("runner.pool.rebuilds").inc()
+                if lost.broken:
+                    # Any of the lost tasks may have killed the worker,
+                    # so each resubmission consumes an attempt.
+                    breaks += 1
+                    _log.warning(
+                        "worker pool broke; rebuilding and resubmitting "
+                        "%d lost task(s)",
+                        len(lost.lost),
+                    )
+                    for attempt in lost.lost:
+                        attempt.attempt += 1
+                        heapq.heappush(
+                            queue, (0.0, attempt.index, attempt)
+                        )
+                else:
+                    for attempt in lost.lost:
+                        heapq.heappush(
+                            queue,
+                            (attempt.ready_at, attempt.index, attempt),
+                        )
+            except BaseException:
+                self._terminate_pool(pool)
+                raise
 
     # -- entry point --------------------------------------------------------
 
@@ -204,7 +683,7 @@ class SweepRunner:
 
         all_params = list(self.grid)
         slots: List[Optional[TaskResult]] = [None] * len(all_params)
-        pending: List[Tuple[int, Dict, Optional[str]]] = []
+        pending: List[_Attempt] = []
 
         sweep_span = obs.span(
             "runner.sweep",
@@ -219,7 +698,7 @@ class SweepRunner:
                     if self.cache is not None:
                         key = task_key(self.sweep_id, params, fingerprint)
                         payload = self.cache.get(key)
-                        if payload is not None and "metrics" in payload:
+                        if payload is not None:
                             result = TaskResult(
                                 index=index,
                                 params=params,
@@ -233,45 +712,20 @@ class SweepRunner:
                             slots[index] = result
                             self._emit(result)
                             continue
-                    pending.append((index, params, key))
+                    pending.append(_Attempt(index, params, key))
 
             if pending and self.n_workers == 1:
-                for index, params, key in pending:
-                    started = time.perf_counter()
-                    metrics = run_sweep_task(model, self.sweep_id, params)
-                    slots[index] = self._finish(
-                        index, params, metrics, key, started
-                    )
+                self._run_serial(model, pending, slots)
             elif pending:
                 # Seed the module global so forked workers inherit the model
                 # instead of rebuilding; spawn falls back to the builder.
                 _tasks._WORKER_MODEL = model
                 registry = obs.registry()
                 try:
-                    with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=min(self.n_workers, len(pending)),
-                        initializer=_tasks._worker_init,
-                        initargs=(builder,),
-                    ) as pool, obs.span(
-                        "runner.gather", tasks=len(pending)
-                    ):
-                        started_at = {}
-                        futures = {}
-                        for index, params, key in pending:
-                            started_at[index] = time.perf_counter()
-                            future = pool.submit(
-                                _tasks._worker_run_sweep, self.sweep_id, params
-                            )
-                            futures[future] = (index, params, key)
-                        for future in concurrent.futures.as_completed(futures):
-                            index, params, key = futures[future]
-                            metrics, telemetry_delta = future.result()
-                            # Fold the worker's per-task metric delta into
-                            # the parent so parallel == serial counters.
-                            registry.merge(telemetry_delta)
-                            slots[index] = self._finish(
-                                index, params, metrics, key, started_at[index]
-                            )
+                    with obs.span("runner.gather", tasks=len(pending)):
+                        self._run_parallel(
+                            model, builder, pending, slots, registry
+                        )
                 finally:
                     _tasks._WORKER_MODEL = None
 

@@ -229,22 +229,35 @@ def _worker_init(builder: Callable[[], StarlinkDivideModel]) -> None:
 
 
 def _worker_run_sweep(
-    sweep_id: str, params: Dict
-) -> Tuple[Dict[str, float], Dict[str, Dict]]:
+    sweep_id: str, params: Dict, index: int = 0, attempt: int = 1
+) -> Tuple[Dict[str, float], Dict[str, Dict], float]:
     """Execute one sweep task against the worker's model.
 
-    Returns ``(metrics, telemetry_delta)``: the delta is the worker
-    registry's snapshot diff around the task, which the parent merges
-    into its own registry — so a parallel sweep's merged counters equal
-    the serial run's (see tests/runner/test_obs_merge.py).
+    Returns ``(metrics, telemetry_delta, wall_s)``: the delta is the
+    worker registry's snapshot diff around the task, which the parent
+    merges into its own registry — so a parallel sweep's merged
+    counters equal the serial run's (see
+    tests/runner/test_obs_merge.py) — and ``wall_s`` is the
+    worker-measured execution wall time. The parent uses the worker's
+    clock rather than its own submit-to-complete delta, which would
+    fold queue wait into the per-task timing and inflate p50/p95 once
+    tasks outnumber workers.
+
+    ``index`` and ``attempt`` identify the task for deterministic
+    fault injection (:mod:`repro.runner.faults`).
     """
+    from repro.runner import faults as _faults
+
     if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
         raise RunnerError("worker has no model; pool initializer did not run")
+    _faults.maybe_inject(index, attempt, in_worker=True)
     registry = obs.registry()
     before = registry.snapshot()
+    started = time.perf_counter()
     metrics = run_sweep_task(_WORKER_MODEL, sweep_id, params)
+    wall_s = time.perf_counter() - started
     delta = obs.MetricsRegistry.diff(before, registry.snapshot())
-    return metrics, delta
+    return metrics, delta, wall_s
 
 
 def _worker_run_experiment(experiment_id: str):

@@ -5,6 +5,7 @@ import pytest
 from repro import obs
 from repro.errors import ReproError
 from repro.obs.report import (
+    format_failures,
     cache_hit_rate,
     format_event_summary,
     format_metrics,
@@ -122,6 +123,62 @@ class TestEventSummary:
         assert "error events: 0" in format_event_summary(
             [{"type": "log", "level": "INFO"}]
         )
+
+
+class TestFailureRendering:
+    def test_manifest_without_failure_fields_renders_nothing(self):
+        assert format_failures({}) == []
+        assert format_failures({"engine": "fast"}) == []
+
+    def test_clean_sweep_renders_an_explicit_zero(self):
+        lines = format_failures({"tasks_failed": 0, "failures": []})
+        assert lines == ["failures recorded: 0"]
+
+    def test_failures_render_index_params_attempts_and_error(self):
+        lines = format_failures(
+            {
+                "tasks_failed": 1,
+                "failures": [
+                    {
+                        "index": 4,
+                        "params": {"beamspread": 2},
+                        "attempts": 3,
+                        "error": {
+                            "type": "InjectedFault",
+                            "message": "injected raise on task 4",
+                            "traceback": "...",
+                        },
+                    }
+                ],
+            }
+        )
+        assert lines[0] == "failures recorded: 1"
+        assert "task 4" in lines[1]
+        assert "beamspread" in lines[1]
+        assert "(attempts 3)" in lines[1]
+        assert "InjectedFault: injected raise on task 4" in lines[1]
+
+    def test_failure_lines_appear_in_the_full_report(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.reset()
+        manifest = obs.collect_manifest(
+            command="sweep",
+            extra={
+                "tasks_failed": 1,
+                "failures": [
+                    {
+                        "index": 2,
+                        "params": {"s": 5},
+                        "attempts": 1,
+                        "error": {"type": "RunnerError", "message": "boom"},
+                    }
+                ],
+            },
+        )
+        manifest.write(tmp_path / "sweep.manifest.json")
+        report = format_report(tmp_path / "sweep.manifest.json")
+        assert "failures recorded: 1" in report
+        assert "RunnerError: boom" in report
 
 
 class TestLoadAndFullReport:

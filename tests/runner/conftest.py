@@ -1,0 +1,24 @@
+"""Shared fixtures for the runner test package."""
+
+import pytest
+
+from repro import obs
+from repro.runner import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Fault plans must never leak between tests (global + env var)."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def telemetry():
+    """Enabled, freshly-reset telemetry; restored clean afterwards."""
+    obs.configure(enabled=True)
+    obs.reset()
+    yield obs.registry()
+    obs.configure(enabled=True)
+    obs.reset()

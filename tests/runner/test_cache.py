@@ -1,9 +1,11 @@
 """Tests for the content-addressed result cache."""
 
 import json
+import os
 
 import pytest
 
+from repro import obs
 from repro.errors import RunnerError
 from repro.runner import CACHE_DIR_ENV, ResultCache, task_key
 
@@ -79,4 +81,97 @@ class TestResultCache:
     def test_no_stray_tmp_files_after_put(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("aa" * 32, {"metrics": {}})
+        assert not list(tmp_path.glob(".tmp-*"))
+
+
+class TestSchemaValidation:
+    """Entries that the runner would re-execute anyway must be misses —
+    a hit counted for an unusable payload makes the reported hit rate
+    disagree with the work actually done."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_telemetry(self):
+        obs.configure(enabled=True)
+        obs.reset()
+        yield
+        obs.reset()
+
+    @staticmethod
+    def _counters():
+        return dict(obs.registry().snapshot()["counters"])
+
+    def test_payload_without_metrics_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.path_for(key).write_text(
+            json.dumps({"params": {"s": 2}, "seed": 7}), encoding="utf-8"
+        )
+        assert cache.get(key) is None
+        counters = self._counters()
+        assert counters.get("runner.cache.misses") == 1
+        assert "runner.cache.hits" not in counters
+
+    def test_non_dict_metrics_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.path_for(key).write_text(
+            json.dumps({"metrics": [1, 2, 3]}), encoding="utf-8"
+        )
+        assert cache.get(key) is None
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.path_for(key).write_text(json.dumps([1, 2]), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_runner_reexecutes_and_hit_rate_agrees(self, tmp_path):
+        from repro.runner import ParameterGrid, SweepRunner
+        from tests.runner.test_sweep import toy_model
+
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        grid = ParameterGrid({"beamspread": (1, 2, 5)})
+        cold = SweepRunner("served", grid, cache=cache).run(model=model)
+        # Strip "metrics" from one entry: schema-invalid but valid JSON.
+        key = task_key(
+            "served",
+            cold.results[1].params,
+            model.dataset.fingerprint(),
+        )
+        cache.path_for(key).write_text(
+            json.dumps({"seed": 1}), encoding="utf-8"
+        )
+        obs.reset()
+        warm = SweepRunner("served", grid, cache=cache).run(model=model)
+        assert warm.cache_hits == 2
+        assert warm.hit_rate == pytest.approx(2 / 3)
+        counters = self._counters()
+        assert counters.get("runner.cache.hits") == 2
+        assert counters.get("runner.cache.misses") == 1
+
+
+class TestErrorChaining:
+    """RunnerError raised over an OSError must keep it as __cause__ so
+    the root cause survives into logs and manifests."""
+
+    def test_cache_dir_creation_failure_chains_oserror(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        with pytest.raises(RunnerError) as err:
+            ResultCache(blocker / "sub")
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_put_failure_chains_oserror(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(RunnerError) as err:
+            cache.put("aa" * 32, {"metrics": {}})
+        assert isinstance(err.value.__cause__, OSError)
+        assert "injected replace failure" in str(err.value.__cause__)
+        # The partially-written tmp file was cleaned up.
         assert not list(tmp_path.glob(".tmp-*"))

@@ -1,0 +1,125 @@
+"""Continue policy: failures are captured, the sweep finishes anyway."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    FailurePolicy,
+    ParameterGrid,
+    ResultCache,
+    SweepRunner,
+    task_key,
+)
+from repro.runner.faults import injected_faults
+from tests.runner.test_sweep import GRID_12, metrics_of, toy_model
+
+CONTINUE = FailurePolicy(on_error="continue")
+
+
+class TestContinueSerial:
+    def test_failure_recorded_and_sweep_completes(self, telemetry):
+        with injected_faults("raise@3"):
+            report = SweepRunner(
+                "served", GRID_12, policy=CONTINUE
+            ).run(model=toy_model())
+        assert len(report.results) == 12
+        assert report.n_failed == 1
+        failed = report.results[3]
+        assert failed.status == "failed"
+        assert failed.attempts == 1
+        assert failed.error["type"] == "InjectedFault"
+        assert "injected raise on task 3" in failed.error["message"]
+        assert failed.error["traceback"]
+        assert dict(telemetry.counter_items())["runner.task.failures"] == 1
+
+    def test_failure_record_is_json_able(self):
+        with injected_faults("raise@0"):
+            report = SweepRunner(
+                "served", GRID_12, policy=CONTINUE
+            ).run(model=toy_model())
+        json.dumps(report.results[0].error)
+
+    def test_summary_counts_failures(self):
+        with injected_faults("raise@0;raise@5"):
+            report = SweepRunner(
+                "served", GRID_12, policy=CONTINUE
+            ).run(model=toy_model())
+        assert "2 failed" in report.summary()
+        assert "task wall p50" in report.summary()
+
+    def test_table_renders_failed_rows_blank(self):
+        with injected_faults("raise@0"):
+            report = SweepRunner(
+                "served", GRID_12, policy=CONTINUE
+            ).run(model=toy_model())
+        headers, rows = report.table()
+        assert len(rows) == 12
+        metric_cells = rows[0][len(report.results[0].params):]
+        assert all(cell == "" for cell in metric_cells)
+        assert all(cell != "" for cell in rows[1])
+
+    def test_progress_hook_sees_the_failure(self):
+        seen = []
+        with injected_faults("raise@2"):
+            SweepRunner(
+                "served", GRID_12, policy=CONTINUE, progress=seen.append
+            ).run(model=toy_model())
+        assert len(seen) == 12
+        assert sum(1 for r in seen if r.failed) == 1
+
+
+class TestContinueParallel:
+    def test_failure_recorded_and_sweep_completes(self):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_12).run(model=model)
+        with injected_faults("raise@7"):
+            report = SweepRunner(
+                "served", GRID_12, n_workers=3, policy=CONTINUE
+            ).run(model=model)
+        assert len(report.results) == 12
+        assert report.results[7].failed
+        for index, result in enumerate(report.results):
+            if index != 7:
+                assert result.metrics == clean.results[index].metrics
+
+
+class TestFailedTasksNeverCached:
+    def test_failed_task_has_no_cache_entry(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        with injected_faults("raise@4"):
+            report = SweepRunner(
+                "served", GRID_12, cache=cache, policy=CONTINUE
+            ).run(model=model)
+        assert report.n_failed == 1
+        assert len(cache) == 11
+        failed_key = task_key(
+            "served",
+            report.results[4].params,
+            model.dataset.fingerprint(),
+        )
+        assert cache.get(failed_key) is None
+
+    def test_warm_rerun_executes_only_the_failed_remainder(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        with injected_faults("raise@4"):
+            SweepRunner(
+                "served", GRID_12, cache=cache, policy=CONTINUE
+            ).run(model=model)
+        # Faults cleared: the rerun heals, touching only task 4.
+        executed = []
+        healed = SweepRunner(
+            "served",
+            GRID_12,
+            cache=cache,
+            policy=CONTINUE,
+            progress=lambda r: executed.append(r) if not r.cache_hit else None,
+        ).run(model=model)
+        assert healed.n_failed == 0
+        assert healed.cache_hits == 11
+        assert [r.index for r in executed] == [4]
+        clean = SweepRunner("served", GRID_12).run(model=model)
+        assert metrics_of(healed) == metrics_of(clean)
+        assert len(cache) == 12

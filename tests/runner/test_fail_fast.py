@@ -1,0 +1,45 @@
+"""Fail-fast (default) policy: the first task exception aborts the sweep,
+but every result completed before it is already cached."""
+
+import pytest
+
+from repro.runner import ParameterGrid, ResultCache, SweepRunner
+from repro.runner.faults import InjectedFault, injected_faults
+from tests.runner.test_sweep import GRID_12, toy_model
+
+
+class TestFailFast:
+    def test_serial_exception_propagates(self):
+        with injected_faults("raise@5x9"):
+            with pytest.raises(InjectedFault):
+                SweepRunner("served", GRID_12).run(model=toy_model())
+
+    def test_parallel_exception_propagates(self):
+        with injected_faults("raise@5x9"):
+            with pytest.raises(InjectedFault):
+                SweepRunner("served", GRID_12, n_workers=2).run(
+                    model=toy_model()
+                )
+
+    def test_completed_prefix_is_cached_and_resumable(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        with injected_faults("raise@5x9"):
+            with pytest.raises(InjectedFault):
+                SweepRunner("served", GRID_12, cache=cache).run(model=model)
+        # Serial order: tasks 0-4 finished (and were cached) first.
+        assert len(cache) == 5
+        resumed = SweepRunner("served", GRID_12, cache=cache).run(model=model)
+        assert resumed.cache_hits == 5
+        assert resumed.n_failed == 0
+        assert len(cache) == 12
+
+    def test_failed_task_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        grid = ParameterGrid({"beamspread": (1,)})
+        with injected_faults("raise@0x9"):
+            with pytest.raises(InjectedFault):
+                SweepRunner("served", grid, cache=cache).run(
+                    model=toy_model()
+                )
+        assert len(cache) == 0

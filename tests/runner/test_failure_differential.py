@@ -1,0 +1,98 @@
+"""Differential failure-path tests (satellite of the fault-tolerance PR).
+
+Property: a ``continue``-policy sweep with injected failures yields, for
+every *succeeding* task, exactly the metrics of a clean serial run —
+failures are isolated, never contagious — and failed tasks never land
+in the cache.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    FailurePolicy,
+    ParameterGrid,
+    ResultCache,
+    SweepRunner,
+    task_key,
+)
+from repro.runner.faults import injected_faults
+from tests.conftest import build_toy_dataset
+from tests.runner.test_sweep import toy_model
+
+GRID_6 = ParameterGrid({"beamspread": (1, 2, 5), "oversubscription": (10, 20)})
+CONTINUE = FailurePolicy(on_error="continue")
+
+counts_strategy = st.lists(
+    st.integers(min_value=1, max_value=6000), min_size=1, max_size=10
+)
+fail_indices_strategy = st.sets(
+    st.integers(min_value=0, max_value=5), min_size=1, max_size=3
+)
+
+
+def _fault_spec(fail_indices):
+    return ";".join(f"raise@{i}x9" for i in sorted(fail_indices))
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(counts=counts_strategy, fail_indices=fail_indices_strategy)
+def test_surviving_tasks_match_a_clean_serial_run(counts, fail_indices):
+    model = toy_model(counts)
+    clean = SweepRunner("served", GRID_6).run(model=model)
+    with injected_faults(_fault_spec(fail_indices)):
+        faulty = SweepRunner(
+            "served", GRID_6, policy=CONTINUE
+        ).run(model=model)
+    assert len(faulty.results) == len(clean.results) == 6
+    for index, (good, result) in enumerate(
+        zip(clean.results, faulty.results)
+    ):
+        if index in fail_indices:
+            assert result.failed
+            assert result.metrics == {}
+            assert result.error["type"] == "InjectedFault"
+        else:
+            assert result.status == "ok"
+            assert result.metrics == good.metrics
+            assert result.seed == good.seed
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(counts=counts_strategy, fail_indices=fail_indices_strategy)
+def test_failed_tasks_never_reach_the_cache(
+    tmp_path_factory, counts, fail_indices
+):
+    model = toy_model(counts)
+    cache = ResultCache(tmp_path_factory.mktemp("fault-cache"))
+    with injected_faults(_fault_spec(fail_indices)):
+        report = SweepRunner(
+            "served", GRID_6, cache=cache, policy=CONTINUE
+        ).run(model=model)
+    assert report.n_failed == len(fail_indices)
+    assert len(cache) == 6 - len(fail_indices)
+    fingerprint = model.dataset.fingerprint()
+    for result in report.results:
+        key = task_key("served", result.params, fingerprint)
+        if result.failed:
+            assert cache.get(key) is None
+        else:
+            assert cache.get(key)["metrics"] == result.metrics
+    # And the healed rerun completes the grid from the cache.
+    healed = SweepRunner(
+        "served", GRID_6, cache=cache, policy=CONTINUE
+    ).run(model=model)
+    assert healed.n_failed == 0
+    assert healed.cache_hits == 6 - len(fail_indices)
+    clean = SweepRunner("served", GRID_6).run(model=model)
+    assert [r.metrics for r in healed.results] == [
+        r.metrics for r in clean.results
+    ]

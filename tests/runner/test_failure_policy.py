@@ -1,0 +1,73 @@
+"""Tests for FailurePolicy: validation, attempt budget, backoff."""
+
+import random
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import FailurePolicy
+
+
+class TestValidation:
+    def test_defaults_are_fail_fast(self):
+        policy = FailurePolicy()
+        assert policy.on_error == "fail_fast"
+        assert policy.max_attempts == 1
+
+    @pytest.mark.parametrize("mode", ["fail_fast", "continue", "retry"])
+    def test_known_modes_accepted(self, mode):
+        assert FailurePolicy(on_error=mode).on_error == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RunnerError):
+            FailurePolicy(on_error="explode")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(RunnerError):
+            FailurePolicy(max_retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(RunnerError):
+            FailurePolicy(task_timeout_s=0.0)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(RunnerError):
+            FailurePolicy(backoff_base_s=-0.1)
+
+
+class TestAttemptBudget:
+    def test_retry_mode_counts_retries(self):
+        policy = FailurePolicy(on_error="retry", max_retries=3)
+        assert policy.max_attempts == 4
+
+    def test_other_modes_get_one_attempt(self):
+        assert FailurePolicy(on_error="continue", max_retries=3).max_attempts == 1
+        assert FailurePolicy(on_error="fail_fast", max_retries=3).max_attempts == 1
+
+
+class TestBackoff:
+    POLICY = FailurePolicy(
+        on_error="retry", max_retries=5, backoff_base_s=0.1, backoff_max_s=1.0
+    )
+
+    def test_deterministic_per_seed_and_attempt(self):
+        assert self.POLICY.backoff_s(1234, 2) == self.POLICY.backoff_s(1234, 2)
+        assert self.POLICY.backoff_s(1234, 2) != self.POLICY.backoff_s(1235, 2)
+        assert self.POLICY.backoff_s(1234, 2) != self.POLICY.backoff_s(1234, 3)
+
+    def test_jitter_stays_within_the_exponential_step(self):
+        for attempt in range(2, 8):
+            for seed in (0, 7, 991, 2**31):
+                step = min(1.0, 0.1 * 2 ** (attempt - 2))
+                delay = self.POLICY.backoff_s(seed, attempt)
+                assert 0.5 * step <= delay <= step
+
+    def test_capped_by_backoff_max(self):
+        assert self.POLICY.backoff_s(42, 50) <= 1.0
+
+    def test_no_global_random_state_consumed(self):
+        random.seed(1729)
+        expected = random.Random(1729).random()
+        self.POLICY.backoff_s(1, 2)
+        self.POLICY.backoff_s(2, 3)
+        assert random.random() == expected

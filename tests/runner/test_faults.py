@@ -1,0 +1,106 @@
+"""Tests for the deterministic fault-injection hook."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import faults
+from repro.runner.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    injected_faults,
+    maybe_inject,
+    parse_fault_plan,
+)
+
+
+class TestParsing:
+    def test_single_raise_clause(self):
+        plan = parse_fault_plan("raise@2")
+        spec = plan.for_task(2)
+        assert spec == FaultSpec(kind="raise", index=2, times=1)
+        assert plan.for_task(0) is None
+        assert len(plan) == 1
+
+    def test_full_grammar_round_trips(self):
+        text = "raise@2x3;hang@4:0.5;kill@5"
+        plan = parse_fault_plan(text)
+        assert plan.for_task(2).times == 3
+        assert plan.for_task(4).kind == "hang"
+        assert plan.for_task(4).seconds == 0.5
+        assert plan.for_task(5).kind == "kill"
+        assert parse_fault_plan(plan.spec()).by_index == plan.by_index
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "raise",
+            "raise@",
+            "explode@1",
+            "raise@-1",
+            "raise@x",
+            "raise@1x0",
+            "hang@1:nope",
+            "raise@1;raise@1",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(RunnerError):
+            parse_fault_plan(bad)
+
+
+class TestActivePlan:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_install_sets_global_and_env(self):
+        plan = faults.install("raise@1")
+        assert active_plan() is plan
+        assert os.environ[FAULTS_ENV] == "raise@1"
+        faults.clear()
+        assert active_plan() is None
+        assert FAULTS_ENV not in os.environ
+
+    def test_env_var_alone_activates(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill@3")
+        plan = active_plan()
+        assert isinstance(plan, FaultPlan)
+        assert plan.for_task(3).kind == "kill"
+
+    def test_context_manager_restores(self):
+        with injected_faults("raise@0"):
+            assert active_plan() is not None
+        assert active_plan() is None
+
+
+class TestMaybeInject:
+    def test_noop_without_plan(self):
+        maybe_inject(0, 1)
+
+    def test_raise_on_faulted_attempts_only(self):
+        with injected_faults("raise@1x2"):
+            maybe_inject(0, 1)  # other task: clean
+            with pytest.raises(InjectedFault):
+                maybe_inject(1, 1)
+            with pytest.raises(InjectedFault):
+                maybe_inject(1, 2)
+            maybe_inject(1, 3)  # attempt past `times`: clean
+
+    def test_kill_in_process_becomes_a_raise(self):
+        # os._exit in the orchestrator would kill the test runner; the
+        # in-process conversion is what makes serial fallback safe.
+        with injected_faults("kill@0"):
+            with pytest.raises(InjectedFault):
+                maybe_inject(0, 1, in_worker=False)
+
+    def test_hang_sleeps_then_returns(self):
+        with injected_faults("hang@0:0.05"):
+            started = time.perf_counter()
+            maybe_inject(0, 1)
+            assert time.perf_counter() - started >= 0.04

@@ -1,0 +1,72 @@
+"""BrokenProcessPool recovery: a killed worker costs a rebuild, not the sweep.
+
+The ``kill`` fault ``os._exit``s the worker mid-task — the same thing
+the OOM killer does — so these tests exercise a *real*
+``BrokenProcessPool``, not a mock.
+"""
+
+import pytest
+
+from repro.runner import FailurePolicy, ParameterGrid, ResultCache, SweepRunner
+from repro.runner.faults import injected_faults
+from tests.runner.test_sweep import GRID_12, metrics_of, toy_model
+
+CONTINUE = FailurePolicy(on_error="continue")
+
+
+class TestBrokenPoolRecovery:
+    def test_killed_worker_is_recovered_without_losing_results(
+        self, telemetry
+    ):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_12).run(model=model)
+        with injected_faults("kill@6x1"):
+            report = SweepRunner(
+                "served", GRID_12, n_workers=2, policy=CONTINUE
+            ).run(model=model)
+        assert len(report.results) == 12
+        assert report.n_failed == 0
+        assert metrics_of(report) == metrics_of(clean)
+        # The killed task was resubmitted on the rebuilt pool.
+        assert report.results[6].attempts >= 2
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.pool.rebuilds"] == 1
+        assert "runner.pool.serial_fallbacks" not in counters
+
+    def test_completed_results_survive_the_break(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        with injected_faults("kill@6x1"):
+            report = SweepRunner(
+                "served",
+                GRID_12,
+                n_workers=2,
+                cache=cache,
+                policy=CONTINUE,
+            ).run(model=model)
+        assert report.n_failed == 0
+        # Every task result landed in the cache exactly once.
+        assert len(cache) == 12
+
+    def test_second_break_degrades_to_serial(self, telemetry):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_12).run(model=model)
+        # Two distinct tasks each kill a worker once: the first break is
+        # recovered by a rebuilt pool, the second sends the remainder to
+        # the in-process fallback (where `kill` turns into a raise that
+        # the retry budget absorbs).
+        policy = FailurePolicy(
+            on_error="retry",
+            max_retries=3,
+            backoff_base_s=0.001,
+            backoff_max_s=0.01,
+        )
+        with injected_faults("kill@2x2;kill@9x2"):
+            report = SweepRunner(
+                "served", GRID_12, n_workers=2, policy=policy
+            ).run(model=model)
+        assert len(report.results) == 12
+        assert report.n_failed == 0
+        assert metrics_of(report) == metrics_of(clean)
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.pool.serial_fallbacks"] == 1

@@ -1,0 +1,93 @@
+"""Retry policy: bounded re-execution with deterministic backoff."""
+
+import pytest
+
+from repro.runner import FailurePolicy, ParameterGrid, ResultCache, SweepRunner
+from repro.runner.faults import injected_faults
+from tests.runner.test_sweep import toy_model
+
+GRID_3 = ParameterGrid({"beamspread": (1, 2, 5)})
+
+#: Tiny backoff so retry tests cost milliseconds, not seconds.
+FAST_RETRY = FailurePolicy(
+    on_error="retry", max_retries=2, backoff_base_s=0.001, backoff_max_s=0.01
+)
+
+
+class TestSerialRetry:
+    def test_transient_failure_heals_on_second_attempt(self, telemetry):
+        with injected_faults("raise@1x1"):
+            report = SweepRunner(
+                "served", GRID_3, policy=FAST_RETRY
+            ).run(model=toy_model())
+        assert [r.status for r in report.results] == ["ok", "ok", "ok"]
+        assert report.results[1].attempts == 2
+        assert report.results[0].attempts == 1
+        assert report.n_failed == 0
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.task.retries"] == 1
+        assert "runner.task.failures" not in counters
+
+    def test_persistent_failure_exhausts_the_budget(self, telemetry):
+        with injected_faults("raise@1x9"):
+            report = SweepRunner(
+                "served", GRID_3, policy=FAST_RETRY
+            ).run(model=toy_model())
+        failed = report.results[1]
+        assert failed.failed and failed.status == "failed"
+        assert failed.attempts == FAST_RETRY.max_attempts == 3
+        assert failed.metrics == {}
+        assert failed.error["type"] == "InjectedFault"
+        assert "task 1" in failed.error["message"]
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.task.retries"] == 2
+        assert counters["runner.task.failures"] == 1
+
+    def test_healed_task_metrics_match_a_clean_run(self):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_3).run(model=model)
+        with injected_faults("raise@0x2"):
+            healed = SweepRunner(
+                "served", GRID_3, policy=FAST_RETRY
+            ).run(model=model)
+        assert [r.metrics for r in healed.results] == [
+            r.metrics for r in clean.results
+        ]
+
+    def test_retried_success_is_cached(self, tmp_path):
+        model = toy_model()
+        cache = ResultCache(tmp_path)
+        with injected_faults("raise@2x1"):
+            SweepRunner(
+                "served", GRID_3, cache=cache, policy=FAST_RETRY
+            ).run(model=model)
+        assert len(cache) == 3
+        warm = SweepRunner("served", GRID_3, cache=cache).run(model=model)
+        assert warm.hit_rate == 1.0
+
+
+class TestParallelRetry:
+    def test_transient_failure_heals_in_the_pool(self, telemetry):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_3).run(model=model)
+        with injected_faults("raise@1x1"):
+            report = SweepRunner(
+                "served", GRID_3, n_workers=2, policy=FAST_RETRY
+            ).run(model=model)
+        assert report.n_failed == 0
+        assert report.results[1].attempts == 2
+        assert [r.metrics for r in report.results] == [
+            r.metrics for r in clean.results
+        ]
+        assert dict(telemetry.counter_items())["runner.task.retries"] == 1
+
+    def test_persistent_parallel_failure_is_recorded(self):
+        with injected_faults("raise@0x9"):
+            report = SweepRunner(
+                "served", GRID_3, n_workers=2, policy=FAST_RETRY
+            ).run(model=toy_model())
+        assert report.n_failed == 1
+        failed = report.results[0]
+        assert failed.attempts == 3
+        assert failed.error["type"] == "InjectedFault"
+        assert failed.error["traceback"]

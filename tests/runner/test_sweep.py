@@ -220,6 +220,77 @@ def test_property_fingerprint_tracks_content(counts):
     assert c.fingerprint() != a.fingerprint()
 
 
+class TestNearestRank:
+    """Pin the nearest-rank definition: 1-based rank ``ceil(q * N)``.
+
+    The historical ``int(q * N)`` truncation was off by one — p50 of a
+    2-element list returned the *larger* element.
+    """
+
+    def test_p50_of_two_elements_is_the_smaller(self):
+        from repro.runner.sweep import _nearest_rank
+
+        assert _nearest_rank([1.0, 2.0], 0.50) == 1.0
+
+    def test_pinned_cases(self):
+        from repro.runner.sweep import _nearest_rank
+
+        assert _nearest_rank([7.0], 0.50) == 7.0
+        assert _nearest_rank([7.0], 0.95) == 7.0
+        assert _nearest_rank([1.0, 2.0, 3.0], 0.50) == 2.0
+        assert _nearest_rank([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+        assert _nearest_rank([1.0, 2.0, 3.0, 4.0], 0.95) == 4.0
+        assert _nearest_rank(list(range(1, 101)), 0.95) == 95
+
+    def test_matches_nearest_rank_definition(self):
+        import math
+
+        from repro.runner.sweep import _nearest_rank
+
+        for n in range(1, 30):
+            ordered = [float(v) for v in range(n)]
+            for q in (0.01, 0.25, 0.50, 0.75, 0.95, 0.99):
+                expected = ordered[
+                    min(n - 1, max(0, math.ceil(q * n) - 1))
+                ]
+                assert _nearest_rank(ordered, q) == expected
+
+
+class TestParallelWallSemantics:
+    """Parallel wall_s is worker-measured execution time, not
+    submit-to-complete in the parent (which folds in queue wait)."""
+
+    def test_queue_wait_does_not_inflate_task_walls(self):
+        from repro.runner.faults import injected_faults
+
+        grid = ParameterGrid(
+            {"beamspread": (1, 2, 5, 8), "oversubscription": (10, 20)}
+        )
+        # Task 0 sleeps 0.35s *before* its timed body; under the old
+        # submit-clock its wall (and that of tasks queued behind it)
+        # absorbed the sleep.
+        with injected_faults("hang@0:0.35"):
+            report = SweepRunner("served", grid, n_workers=2).run(
+                model=toy_model()
+            )
+        assert report.total_wall_s >= 0.35
+        assert all(r.wall_s < 0.25 for r in report.results)
+        assert all(r.wall_s > 0.0 for r in report.results)
+
+    def test_serial_and_parallel_walls_agree_in_scale(self):
+        model = toy_model()
+        serial = SweepRunner("served", GRID_12).run(model=model)
+        parallel = SweepRunner("served", GRID_12, n_workers=4).run(
+            model=model
+        )
+        # Same work, same clock semantics: the parallel per-task walls
+        # must sum to the same order of magnitude as the serial ones,
+        # not n_tasks x total sweep time.
+        assert sum(parallel.task_wall_times) < max(
+            10 * sum(serial.task_wall_times), 1.0
+        )
+
+
 class TestSummaryPercentiles:
     """SweepReport.summary(): cache hit rate plus p50/p95 task wall time."""
 
@@ -251,8 +322,9 @@ class TestSummaryPercentiles:
         hits = [False, False, False, False, True]
         summary = self._report(walls, hits).summary()
         assert "cache hits 1/5 (20.0%)" in summary
-        # Nearest-rank over the 4 executed tasks: p50 -> 30ms, p95 -> 40ms.
-        assert "task wall p50 30.0ms" in summary
+        # Nearest-rank over the 4 executed tasks (rank ceil(q*4)):
+        # p50 -> the 2nd (20ms), p95 -> the 4th (40ms).
+        assert "task wall p50 20.0ms" in summary
         assert "p95 40.0ms" in summary
 
     def test_summary_all_cached(self):

@@ -1,0 +1,73 @@
+"""Per-task timeouts: hung futures are abandoned, their pool reclaimed.
+
+The injected hangs here are far longer than the suite could afford
+(30s); the tests pass quickly *because* the runner tears the wedged
+workers down — a hang in these tests means the abandon path broke.
+"""
+
+import pytest
+
+from repro.runner import FailurePolicy, ParameterGrid, SweepRunner
+from repro.runner.faults import injected_faults
+from tests.runner.test_sweep import metrics_of, toy_model
+
+GRID_4 = ParameterGrid({"beamspread": (1, 2), "oversubscription": (10, 20)})
+
+
+class TestTaskTimeout:
+    def test_hung_task_is_abandoned_and_recorded(self, telemetry):
+        policy = FailurePolicy(on_error="continue", task_timeout_s=0.4)
+        with injected_faults("hang@0:30"):
+            report = SweepRunner(
+                "served", GRID_4, n_workers=2, policy=policy
+            ).run(model=toy_model())
+        assert len(report.results) == 4
+        failed = report.results[0]
+        assert failed.failed
+        assert failed.error["type"] == "TaskTimeout"
+        assert "exceeded" in failed.error["message"]
+        assert all(r.status == "ok" for r in report.results[1:])
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.task.timeouts"] == 1
+        assert counters["runner.task.failures"] == 1
+        assert counters["runner.pool.rebuilds"] >= 1
+
+    def test_retry_heals_a_transient_hang(self, telemetry):
+        model = toy_model()
+        clean = SweepRunner("served", GRID_4).run(model=model)
+        policy = FailurePolicy(
+            on_error="retry",
+            max_retries=1,
+            backoff_base_s=0.001,
+            backoff_max_s=0.01,
+            task_timeout_s=0.4,
+        )
+        with injected_faults("hang@0x1:30"):
+            report = SweepRunner(
+                "served", GRID_4, n_workers=2, policy=policy
+            ).run(model=model)
+        assert report.n_failed == 0
+        assert report.results[0].attempts == 2
+        assert metrics_of(report) == metrics_of(clean)
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.task.timeouts"] == 1
+        assert counters["runner.task.retries"] == 1
+
+    def test_fail_fast_timeout_aborts_the_sweep(self):
+        from repro.runner import TaskTimeout
+
+        policy = FailurePolicy(task_timeout_s=0.4)
+        with injected_faults("hang@0:30"):
+            with pytest.raises(TaskTimeout):
+                SweepRunner(
+                    "served", GRID_4, n_workers=2, policy=policy
+                ).run(model=toy_model())
+
+    def test_no_timeout_means_no_abandon(self, telemetry):
+        # A short hang with no timeout configured just runs long.
+        with injected_faults("hang@0:0.2"):
+            report = SweepRunner(
+                "served", GRID_4, n_workers=2
+            ).run(model=toy_model())
+        assert report.n_failed == 0
+        assert "runner.task.timeouts" not in dict(telemetry.counter_items())

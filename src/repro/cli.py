@@ -12,6 +12,8 @@ Subcommands::
     repro-divide export-data out/     # write the synthetic dataset CSVs
     repro-divide bench                # fast-vs-reference simulation bench
     repro-divide bench-locations      # columnar-vs-reference location bench
+    repro-divide serve --port 7321    # interactive query service (JSON lines)
+    repro-divide bench-serve          # load-test the service -> BENCH_serving.json
     repro-divide report sweep.manifest.json  # render run telemetry
 
 Global flags: ``--log-level`` picks the console verbosity,
@@ -348,6 +350,93 @@ def _cmd_bench_locations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_table_and_dataset(args: argparse.Namespace):
+    """The (table, dataset) pair the serve/bench-serve commands run on."""
+    from repro.demand.locations import LocationTable, explode_cells_table
+    from repro.sim.bench import QUICK_BBOX
+
+    model = _build_model(args.seed)
+    dataset = model.dataset
+    if args.quick:
+        dataset = dataset.subset_bbox(*QUICK_BBOX, "serve quick region")
+    if args.table:
+        table = LocationTable.from_npz(args.table, mmap_mode="r")
+        _log.info("memory-mapped %d locations from %s", len(table), args.table)
+    else:
+        table = explode_cells_table(dataset, seed=args.explode_seed)
+    return table, dataset
+
+
+def _serve_params(args: argparse.Namespace):
+    from repro.serve import ScenarioParams
+
+    return ScenarioParams(
+        oversubscription=args.oversubscription,
+        beamspread=args.beamspread,
+        income_share=args.income_share,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serve import QueryEngine, ServeServer, build_index
+
+    try:
+        table, dataset = _serve_table_and_dataset(args)
+        index = build_index(table, dataset, _serve_params(args))
+        engine = QueryEngine(index)
+        server = ServeServer(engine, host=args.host, port=args.port)
+        _log.info(
+            "index ready: %d locations, %d cells, %d shards, scenario %s",
+            len(index),
+            index.n_cells,
+            len(index.store.shards),
+            index.scenario_id,
+        )
+        asyncio.run(server.serve_forever())
+    except ReproError as exc:
+        _log.error("serve failed: %s", exc)
+        return 2
+    except KeyboardInterrupt:
+        _log.info("serve interrupted")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serve.loadgen import format_serving_summary, run_serving_bench
+    from repro.sim.bench import write_bench_json
+
+    try:
+        table, dataset = _serve_table_and_dataset(args)
+        results = run_serving_bench(
+            table,
+            dataset,
+            _serve_params(args),
+            duration_s=args.duration,
+            connections=args.connections,
+            batch_size=args.batch_size,
+            seed=args.load_seed,
+        )
+    except ReproError as exc:
+        _log.error("bench-serve failed: %s", exc)
+        return 2
+    print(format_serving_summary(results))
+    path = write_bench_json(results, args.out)
+    _log.info("wrote %s", path)
+    _write_manifest(
+        args,
+        command="bench-serve",
+        out_path=path,
+        dataset_fingerprint=results["config"]["dataset_fingerprint"],
+        engine="serve",
+        extra={"qps": results["qps"], "p99_s": results["p99_s"]},
+    )
+    return 0
+
+
 def _cmd_export_data(args: argparse.Namespace) -> int:
     model = _build_model(args.seed)
     out = Path(args.directory)
@@ -567,6 +656,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_locations.json", help="results JSON path"
     )
     bench_locations_parser.set_defaults(func=_cmd_bench_locations)
+
+    def add_serve_data_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--table",
+            default=None,
+            metavar="NPZ",
+            help=(
+                "memory-map an existing LocationTable NPZ instead of "
+                "exploding the dataset (must match the dataset's cells)"
+            ),
+        )
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="small scenario for CI smoke runs (regional cell subset)",
+        )
+        p.add_argument(
+            "--explode-seed",
+            type=int,
+            default=0,
+            help="seed for the location explode draws",
+        )
+        p.add_argument("--oversubscription", type=float, default=20.0)
+        p.add_argument("--beamspread", type=float, default=1.0)
+        p.add_argument(
+            "--income-share",
+            type=float,
+            default=0.02,
+            help="affordability income share (default: the A4AI 2%%)",
+        )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the interactive query service over a serving index",
+        description=(
+            "Build the precomputed per-cell serving index and answer "
+            "point/cell/county/tile queries over a JSON-lines TCP "
+            "socket. See docs/SERVING.md for the query API."
+        ),
+    )
+    add_serve_data_args(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7321, help="TCP port (0 picks a free one)"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    bench_serve_parser = sub.add_parser(
+        "bench-serve",
+        help="load-test the query service and write BENCH_serving.json",
+    )
+    add_serve_data_args(bench_serve_parser)
+    bench_serve_parser.add_argument(
+        "--duration", type=float, default=10.0, help="load duration seconds"
+    )
+    bench_serve_parser.add_argument(
+        "--connections", type=int, default=2, help="concurrent connections"
+    )
+    bench_serve_parser.add_argument(
+        "--batch-size", type=int, default=128, help="point queries per request"
+    )
+    bench_serve_parser.add_argument(
+        "--load-seed", type=int, default=0, help="load generator RNG seed"
+    )
+    bench_serve_parser.add_argument(
+        "--out", default="BENCH_serving.json", help="results JSON path"
+    )
+    bench_serve_parser.set_defaults(func=_cmd_bench_serve)
 
     report_parser = sub.add_parser(
         "report",

@@ -91,6 +91,35 @@ class AffordabilityAnalysis:
         priced_out = monthly_cost_usd > income_share * self._monthly_incomes
         return int(self._counts[priced_out].sum())
 
+    def affordable_matrix(
+        self,
+        plans: Sequence[BroadbandPlan],
+        income_share: float = AFFORDABILITY_INCOME_SHARE,
+    ) -> np.ndarray:
+        """Per-cell plan affordability as an ``(n_cells, n_plans)`` bool array.
+
+        Column ``j`` is the exact negation of the priced-out predicate in
+        :meth:`unaffordable_locations` for ``plans[j]`` — the serving layer
+        indexes rows of this matrix so point answers match the batch
+        pipeline bit for bit.
+        """
+        if not plans:
+            raise CapacityModelError("no plans given")
+        if income_share <= 0.0:
+            raise CapacityModelError(
+                f"income share must be positive: {income_share!r}"
+            )
+        matrix = np.empty((self._monthly_incomes.size, len(plans)), dtype=bool)
+        for j, plan in enumerate(plans):
+            if plan.monthly_cost_usd < 0.0:
+                raise CapacityModelError(
+                    f"negative cost: {plan.monthly_cost_usd!r}"
+                )
+            matrix[:, j] = ~(
+                plan.monthly_cost_usd > income_share * self._monthly_incomes
+            )
+        return matrix
+
     def curve(
         self,
         plan: BroadbandPlan,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.errors import CapacityModelError
 from repro.spectrum.beams import BeamPlan, starlink_beam_plan
 from repro.spectrum.regulatory import (
@@ -52,6 +54,24 @@ class SatelliteCapacityModel:
         demand = self.cell_demand_mbps(locations)
         if demand == 0.0:
             return 0.0
+        return demand / self.cell_capacity_mbps
+
+    def required_oversubscription_many(self, locations) -> "np.ndarray":
+        """Vectorized :meth:`required_oversubscription` over a count array.
+
+        Bit-identical per element to the scalar method (the same
+        ``count * per_location_downlink / cell_capacity`` IEEE ops, with
+        zero-demand cells mapping to 0.0), so precomputed per-cell
+        indices — the serving layer consumes this — answer exactly what
+        the scalar batch path answers.
+        """
+        counts = np.asarray(locations, dtype=np.int64)
+        if counts.size and (counts < 0).any():
+            bad = int(counts[counts < 0][0])
+            raise CapacityModelError(f"negative locations: {bad!r}")
+        demand = counts * self.per_location_downlink_mbps
+        # 0.0 / capacity == +0.0, matching the scalar's zero-demand
+        # early return, so no special case is needed.
         return demand / self.cell_capacity_mbps
 
     def max_locations_at_oversubscription(self, ratio: float) -> int:

@@ -15,7 +15,7 @@ at the FCC's 20:1 benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -50,6 +50,31 @@ class ServedStats:
         return self.locations_total - self.locations_served
 
 
+def cell_location_cap(
+    capacity: SatelliteCapacityModel,
+    oversubscription: float,
+    beamspread: float = 1.0,
+) -> int:
+    """Max locations servable in one cell at (r, s), as a pure function.
+
+    The formula behind :meth:`OversubscriptionAnalysis.cell_location_cap`
+    without requiring a dataset — the serving layer
+    (:mod:`repro.serve`) recomputes scenario caps per epoch through this
+    same code path, so service answers and batch answers share one
+    definition.
+    """
+    if oversubscription <= 0.0:
+        raise CapacityModelError(
+            f"oversubscription must be positive: {oversubscription!r}"
+        )
+    if beamspread < 1.0:
+        raise CapacityModelError(f"beamspread must be >= 1: {beamspread!r}")
+    spread_capacity = capacity.cell_capacity_mbps / beamspread
+    return int(
+        spread_capacity * oversubscription // capacity.per_location_downlink_mbps
+    )
+
+
 class OversubscriptionAnalysis:
     """Servability of a demand dataset under the beamset capacity model."""
 
@@ -67,16 +92,7 @@ class OversubscriptionAnalysis:
 
         At r=20, s=1 this is the paper's 3460-location cap.
         """
-        if oversubscription <= 0.0:
-            raise CapacityModelError(
-                f"oversubscription must be positive: {oversubscription!r}"
-            )
-        if beamspread < 1.0:
-            raise CapacityModelError(f"beamspread must be >= 1: {beamspread!r}")
-        capacity = self.capacity.cell_capacity_mbps / beamspread
-        return int(
-            capacity * oversubscription // self.capacity.per_location_downlink_mbps
-        )
+        return cell_location_cap(self.capacity, oversubscription, beamspread)
 
     def stats(self, oversubscription: float, beamspread: float = 1.0) -> ServedStats:
         """Serve the dataset at (r, s), capping each cell at its limit."""
@@ -90,6 +106,33 @@ class OversubscriptionAnalysis:
             locations_total=int(self._counts.sum()),
             locations_served=int(served.sum()),
         )
+
+    def outcome_arrays(
+        self, oversubscription: float, beamspread: float = 1.0
+    ) -> Dict[str, np.ndarray]:
+        """Per-cell outcome arrays of one scenario, aligned to ``dataset.cells``.
+
+        The batch pipeline's servability answers as columns rather than
+        aggregates — exactly what a precomputed serving index consumes:
+
+        * ``counts`` — un(der)served locations per cell,
+        * ``per_cell_cap`` — the scenario's scalar cap, broadcast per cell,
+        * ``served_locations`` — ``min(counts, cap)`` (what :meth:`stats` sums),
+        * ``fully_served`` — ``counts <= cap`` (what Fig 2 counts),
+        * ``required_oversubscription`` — bit-identical per cell to
+          :meth:`SatelliteCapacityModel.required_oversubscription`.
+        """
+        cap = self.cell_location_cap(oversubscription, beamspread)
+        counts = self._counts
+        return {
+            "counts": counts.copy(),
+            "per_cell_cap": np.full(counts.shape, cap, dtype=np.int64),
+            "served_locations": np.minimum(counts, cap),
+            "fully_served": counts <= cap,
+            "required_oversubscription": (
+                self.capacity.required_oversubscription_many(counts)
+            ),
+        }
 
     def fraction_served_grid(
         self,

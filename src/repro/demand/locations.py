@@ -470,11 +470,32 @@ class LocationTable:
         return target if target.suffix == ".npz" else Path(f"{target}.npz")
 
     @classmethod
-    def from_npz(cls, path: Union[str, Path]) -> "LocationTable":
-        """Load a table written by :meth:`to_npz`."""
+    def from_npz(
+        cls, path: Union[str, Path], mmap_mode: Optional[str] = None
+    ) -> "LocationTable":
+        """Load a table written by :meth:`to_npz`.
+
+        With ``mmap_mode`` (``"r"`` is the only supported mode) the
+        columns are memory-mapped straight out of the uncompressed NPZ
+        archive instead of being read into RAM: ``np.savez`` stores each
+        column as a contiguous ``ZIP_STORED`` ``.npy`` member, so every
+        column becomes a read-only :class:`numpy.memmap` window onto the
+        file. A national 4.66 M-location table opens in milliseconds and
+        pages in lazily — this is what lets the serving layer
+        (:mod:`repro.serve`) hold the full table "in memory" without
+        paying for it up front. Zero-length columns (an empty table)
+        cannot be mmapped and fall back to ordinary empty arrays.
+        """
         file_path = Path(path)
         if not file_path.exists():
             raise DatasetError(f"no such file: {file_path}")
+        if mmap_mode is not None:
+            if mmap_mode != "r":
+                raise DatasetError(
+                    f"unsupported mmap mode {mmap_mode!r} (only 'r')"
+                )
+            with obs.span("locations.npz.mmap"):
+                return cls(**_mmap_npz_columns(file_path))
         with obs.span("locations.npz.read"), np.load(file_path) as archive:
             missing = [
                 name for name in _TABLE_COLUMNS if name not in archive.files
@@ -484,6 +505,83 @@ class LocationTable:
                     f"{file_path}: missing location table columns {missing}"
                 )
             return cls(**{name: archive[name] for name in _TABLE_COLUMNS})
+
+
+def _mmap_npz_columns(file_path: Path) -> Dict[str, np.ndarray]:
+    """Memory-map every table column out of an uncompressed NPZ archive.
+
+    ``np.load`` ignores ``mmap_mode`` for ``.npz`` files, so this walks
+    the zip directory by hand: each member ``np.savez`` wrote is a
+    ``ZIP_STORED`` (uncompressed) ``.npy`` file at a known offset, whose
+    array payload can be mapped directly with :class:`numpy.memmap`.
+    Zero-length columns fall back to ordinary empty arrays (an empty
+    file region cannot be mmapped).
+    """
+    import zipfile
+
+    columns: Dict[str, np.ndarray] = {}
+    try:
+        archive = zipfile.ZipFile(file_path)
+    except zipfile.BadZipFile as exc:
+        raise DatasetError(f"{file_path}: not an NPZ archive") from exc
+    with archive:
+        members = {name: f"{name}.npy" for name in _TABLE_COLUMNS}
+        missing = [
+            name
+            for name, member in members.items()
+            if member not in archive.namelist()
+        ]
+        if missing:
+            raise DatasetError(
+                f"{file_path}: missing location table columns {missing}"
+            )
+        with file_path.open("rb") as handle:
+            for name, member in members.items():
+                info = archive.getinfo(member)
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise DatasetError(
+                        f"{file_path}: column {name!r} is compressed; "
+                        "only uncompressed archives (np.savez) can be "
+                        "memory-mapped"
+                    )
+                # Local file header: 30 fixed bytes, then the file name
+                # and the extra field, then the stored .npy payload.
+                handle.seek(info.header_offset)
+                local_header = handle.read(30)
+                if local_header[:4] != b"PK\x03\x04":
+                    raise DatasetError(
+                        f"{file_path}: corrupt zip member {member!r}"
+                    )
+                name_len = int.from_bytes(local_header[26:28], "little")
+                extra_len = int.from_bytes(local_header[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    header = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise DatasetError(
+                        f"{file_path}: column {name!r} uses unsupported "
+                        f"npy format version {version}"
+                    )
+                shape, fortran_order, dtype = header
+                if fortran_order or len(shape) != 1:
+                    raise DatasetError(
+                        f"{file_path}: column {name!r} is not a flat "
+                        "C-ordered array"
+                    )
+                if shape[0] == 0:
+                    columns[name] = np.empty(shape, dtype=dtype)
+                else:
+                    columns[name] = np.memmap(
+                        file_path,
+                        dtype=dtype,
+                        mode="r",
+                        offset=handle.tell(),
+                        shape=shape,
+                    )
+    return columns
 
 
 def explode_cells_table(

@@ -34,3 +34,7 @@ class SimulationError(ReproError):
 
 class RunnerError(ReproError):
     """Invalid sweep specification or runner configuration."""
+
+
+class ServeError(ReproError):
+    """Invalid query, scenario, or index state in the serving layer."""

@@ -39,6 +39,7 @@ def _load_registry() -> Dict[str, Callable]:
             growth_exp,
             latency_exp,
             robustness,
+            serving,
             table1,
             table2,
             tco,
@@ -66,6 +67,7 @@ def _load_registry() -> Dict[str, Callable]:
                 "equity": equity_exp.run,
                 "uncertainty": uncertainty_exp.run,
                 "defection": defection_exp.run,
+                "serve": serving.run,
             }
         )
     return _REGISTRY

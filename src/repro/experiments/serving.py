@@ -1,0 +1,127 @@
+"""Serving-layer equivalence: indexed service answers vs the batch pipeline.
+
+Not a paper figure — an infrastructure experiment in the spirit of the
+validation module: build the :mod:`repro.serve` index over a regional
+slice of the dataset, sweep a few scenarios through the engine's
+epoch-swap path, and check the service's aggregate and sampled point
+answers against the batch pipeline's scalar reference at each epoch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core.model import StarlinkDivideModel
+from repro.core.oversubscription import OversubscriptionAnalysis
+from repro.demand.locations import explode_cells_table
+from repro.experiments.registry import ExperimentResult
+from repro.serve import (
+    QueryEngine,
+    ScenarioParams,
+    build_index,
+    reference_point_answer,
+)
+from repro.viz.tables import format_table
+
+#: Oversubscription ratios swept through the engine's update path.
+SCENARIOS = (10.0, 20.0, 35.0)
+
+#: The Appalachian subset the simulation tests use — big enough to span
+#: many cells and counties, small enough to explode in milliseconds.
+REGION_BBOX = (37.0, 38.5, -83.5, -81.0)
+
+#: Point queries differentially checked per scenario.
+SAMPLE_POINTS = 8
+
+
+def run(model: StarlinkDivideModel) -> ExperimentResult:
+    """Prove service == batch over a scenario sweep on a regional index."""
+    dataset = model.dataset.subset_bbox(*REGION_BBOX, "serving region")
+    table = explode_cells_table(dataset, seed=0)
+    analysis = OversubscriptionAnalysis(dataset)
+    engine = QueryEngine(
+        build_index(
+            table,
+            dataset,
+            ScenarioParams(oversubscription=SCENARIOS[0]),
+            target_shard_rows=4096,
+        )
+    )
+    rng = np.random.default_rng(7)
+    sample_ids = rng.choice(
+        table.location_id, size=min(SAMPLE_POINTS, len(table)), replace=False
+    )
+    rows = []
+    all_equal = True
+    for epoch_target, ratio in enumerate(SCENARIOS):
+        params = ScenarioParams(oversubscription=ratio)
+        if epoch_target:
+            asyncio.run(engine.update_params(params))
+        stats = engine.stats()
+        batch = analysis.stats(ratio)
+        point_mismatches = 0
+        answers = engine.point_by_id(sample_ids)
+        for i, location_id in enumerate(sample_ids):
+            reference = reference_point_answer(
+                table, dataset, int(location_id), params=params
+            )
+            got = {
+                key: (value[i] if isinstance(value, list) else value)
+                for key, value in answers.items()
+                if key not in ("epoch", "scenario_id")
+            }
+            point_mismatches += int(got != reference)
+        equal = (
+            stats["locations_served"] == batch.locations_served
+            and stats["cells_fully_served"] == batch.cells_fully_served
+            and point_mismatches == 0
+        )
+        all_equal = all_equal and equal
+        rows.append(
+            (
+                f"{ratio:.0f}",
+                stats["epoch"],
+                batch.locations_served,
+                stats["locations_served"],
+                batch.cells_fully_served,
+                stats["cells_fully_served"],
+                point_mismatches,
+                "yes" if equal else "NO",
+            )
+        )
+    headers = (
+        "oversub",
+        "epoch",
+        "batch_served",
+        "serve_served",
+        "batch_full_cells",
+        "serve_full_cells",
+        "point_mismatches",
+        "equal",
+    )
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            f"serving index vs batch pipeline "
+            f"({len(table)} locations, {engine.index.n_cells} cells, "
+            f"{len(engine.index.store.shards)} shards)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="serve",
+        title="Serving index: point/aggregate answers equal the batch pipeline",
+        text=text,
+        csv_headers=headers,
+        csv_rows=rows,
+        metrics={
+            "locations": float(len(table)),
+            "cells": float(engine.index.n_cells),
+            "shards": float(len(engine.index.store.shards)),
+            "scenarios": float(len(SCENARIOS)),
+            "final_epoch": float(engine.epoch),
+            "all_equal": float(all_equal),
+        },
+    )

@@ -1,0 +1,183 @@
+"""Load generator and serving benchmark (``BENCH_serving.json``).
+
+``run_load`` drives a running server over N concurrent connections with
+batched point queries, measuring per-request round-trip latency and
+point-query throughput. ``run_serving_bench`` wraps it end to end —
+build the index, start an in-process server on an ephemeral port, load
+it for a fixed duration, and return the JSON-ready results dict the
+``repro-divide bench-serve`` command writes to ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.demand.dataset import DemandDataset
+from repro.demand.locations import LocationTable
+from repro.errors import ServeError
+from repro.serve.engine import QueryEngine
+from repro.serve.index import build_index
+from repro.serve.scenario import ScenarioParams
+from repro.serve.server import ServeClient, ServeServer
+
+BENCH_SERVING_SCHEMA = "repro-bench-serving/1"
+
+
+async def run_load(
+    host: str,
+    port: int,
+    location_ids: Sequence[int],
+    duration_s: float = 10.0,
+    connections: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+) -> Dict:
+    """Drive a server with batched point queries for ``duration_s``.
+
+    Each connection loops pre-drawn random id batches until the deadline;
+    latency is the per-request (one batch) round trip, throughput counts
+    individual point queries. Returns the measured load summary.
+    """
+    if not len(location_ids):
+        raise ServeError("load generator needs a non-empty id pool")
+    if duration_s <= 0.0 or connections <= 0 or batch_size <= 0:
+        raise ServeError("load parameters must be positive")
+    rng = np.random.default_rng(seed)
+    pool = np.asarray(location_ids, dtype=np.int64)
+
+    async def worker(worker_seed: int) -> Dict:
+        worker_rng = np.random.default_rng(worker_seed)
+        # Pre-draw a rotation of batches so sampling stays off the
+        # latency path.
+        batches = [
+            [int(v) for v in worker_rng.choice(pool, size=batch_size)]
+            for _ in range(32)
+        ]
+        latencies = []
+        queries = 0
+        epochs = set()
+        async with ServeClient(host, port) as client:
+            deadline = time.perf_counter() + duration_s
+            turn = 0
+            while time.perf_counter() < deadline:
+                batch = batches[turn % len(batches)]
+                turn += 1
+                start = time.perf_counter()
+                response = await client.point_by_id(batch)
+                latencies.append(time.perf_counter() - start)
+                queries += len(batch)
+                epochs.add(response["epoch"])
+        return {"latencies": latencies, "queries": queries, "epochs": epochs}
+
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *(worker(int(rng.integers(2**31))) for _ in range(connections))
+    )
+    elapsed = time.perf_counter() - start
+    latencies = np.array(
+        [latency for r in results for latency in r["latencies"]]
+    )
+    queries = sum(r["queries"] for r in results)
+    epochs = sorted(set().union(*(r["epochs"] for r in results)))
+    qps = queries / elapsed if elapsed > 0 else 0.0
+    obs.registry().gauge("serve.qps").set(qps)
+    return {
+        "duration_s": elapsed,
+        "connections": connections,
+        "batch_size": batch_size,
+        "requests": int(latencies.size),
+        "queries": int(queries),
+        "qps": qps,
+        "epochs_observed": [int(e) for e in epochs],
+        "latency_s": {
+            "p50": float(np.percentile(latencies, 50)),
+            "p95": float(np.percentile(latencies, 95)),
+            "p99": float(np.percentile(latencies, 99)),
+            "max": float(latencies.max()),
+        },
+    }
+
+
+def run_serving_bench(
+    table: LocationTable,
+    dataset: DemandDataset,
+    params: Optional[ScenarioParams] = None,
+    duration_s: float = 10.0,
+    connections: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+) -> Dict:
+    """Index + in-process server + load run, as one JSON-ready dict."""
+    with obs.span("serve.bench", rows=len(table)) as span:
+        build_start = time.perf_counter()
+        index = build_index(table, dataset, params)
+        index_build_s = time.perf_counter() - build_start
+        engine = QueryEngine(index)
+
+        async def drive() -> Dict:
+            server = await ServeServer(engine, port=0).start()
+            try:
+                return await run_load(
+                    server.host,
+                    server.port,
+                    index.store.location_id,
+                    duration_s=duration_s,
+                    connections=connections,
+                    batch_size=batch_size,
+                    seed=seed,
+                )
+            finally:
+                await server.stop()
+
+        load = asyncio.run(drive())
+        span.set(qps=load["qps"])
+        return {
+            "schema": BENCH_SERVING_SCHEMA,
+            "commit": obs.git_sha(),
+            "config": {
+                "locations": len(table),
+                "cells": index.n_cells,
+                "shards": len(index.store.shards),
+                "scenario_id": index.scenario_id,
+                "oversubscription": index.params.oversubscription,
+                "beamspread": index.params.beamspread,
+                "income_share": index.params.income_share,
+                "dataset_fingerprint": index.dataset_fingerprint,
+            },
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "index_build_s": index_build_s,
+            "load": load,
+            "qps": load["qps"],
+            "p99_s": load["latency_s"]["p99"],
+        }
+
+
+def format_serving_summary(results: Dict) -> str:
+    """Human-readable one-screen summary of a serving bench dict."""
+    config = results["config"]
+    load = results["load"]
+    latency = load["latency_s"]
+    return "\n".join(
+        [
+            "serving bench: {locations} locations x {cells} cells "
+            "({shards} shards, scenario {scenario_id})".format(**config),
+            "  index build: {:.3f}s".format(results["index_build_s"]),
+            "  {queries} point queries / {requests} requests over "
+            "{connections} connections in {duration_s:.1f}s".format(**load),
+            "  throughput: {:,.0f} point queries/s".format(load["qps"]),
+            "  latency: p50 {:.2f} ms, p95 {:.2f} ms, p99 {:.2f} ms".format(
+                latency["p50"] * 1e3,
+                latency["p95"] * 1e3,
+                latency["p99"] * 1e3,
+            ),
+        ]
+    )

@@ -1,0 +1,195 @@
+"""Cell-key-range sharding of a columnar location table.
+
+The serving layer never scans the raw :class:`LocationTable`. At index
+build time the table is sorted once by (cell key, location id) and cut
+into contiguous shards aligned to cell boundaries — a cell's rows never
+straddle two shards, so a scenario change can recompute one shard's
+per-cell outcomes without touching its neighbours.
+
+Row order within a cell (ascending location id) is load-bearing: a
+location is served iff its rank within its cell is below the scenario's
+per-cell cap, which makes the per-location answers sum exactly to the
+batch pipeline's ``min(count, cap)`` per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.demand.locations import LocationTable
+from repro.errors import ServeError
+
+#: Default shard granularity, in rows. Small enough that recomputing one
+#: shard is cheap, large enough that per-shard overhead stays negligible
+#: at the 4.66 M-location national scale (~18 shards).
+DEFAULT_SHARD_ROWS = 262_144
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous (row range, cell range) slice of the sorted table."""
+
+    index: int
+    row_start: int
+    row_stop: int
+    cell_start: int
+    cell_stop: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def n_cells(self) -> int:
+        return self.cell_stop - self.cell_start
+
+
+class ShardStore:
+    """The sorted columnar table plus its cell directory and shard cuts.
+
+    Static with respect to scenario parameters: built once per dataset,
+    shared by every :class:`~repro.serve.index.ServeIndex` epoch.
+    """
+
+    def __init__(
+        self,
+        location_id: np.ndarray,
+        cell_key: np.ndarray,
+        county_id: np.ndarray,
+        lat_deg: np.ndarray,
+        lon_deg: np.ndarray,
+        unique_keys: np.ndarray,
+        cell_starts: np.ndarray,
+        row_cell: np.ndarray,
+        rank_in_cell: np.ndarray,
+        shards: Tuple[Shard, ...],
+        id_order: np.ndarray,
+    ):
+        self.location_id = location_id
+        self.cell_key = cell_key
+        self.county_id = county_id
+        self.lat_deg = lat_deg
+        self.lon_deg = lon_deg
+        self.unique_keys = unique_keys
+        self.cell_starts = cell_starts
+        self.row_cell = row_cell
+        self.rank_in_cell = rank_in_cell
+        self.shards = shards
+        self._id_order = id_order
+        self._ids_sorted = location_id[id_order]
+        self._cell_tokens = None
+
+    @property
+    def cell_tokens(self):
+        """Per-cell hex tokens, formatted once and shared by every query."""
+        if self._cell_tokens is None:
+            self._cell_tokens = [
+                f"{int(key):015x}" for key in self.unique_keys
+            ]
+        return self._cell_tokens
+
+    @classmethod
+    def from_table(
+        cls,
+        table: LocationTable,
+        target_shard_rows: int = DEFAULT_SHARD_ROWS,
+    ) -> "ShardStore":
+        """Sort, index, and shard a location table."""
+        if target_shard_rows <= 0:
+            raise ServeError(
+                f"target shard rows must be positive: {target_shard_rows!r}"
+            )
+        with obs.span("serve.shards.build", rows=len(table)) as span:
+            order = np.lexsort((table.location_id, table.cell_key))
+            location_id = np.ascontiguousarray(table.location_id[order])
+            cell_key = np.ascontiguousarray(table.cell_key[order])
+            county_id = np.ascontiguousarray(table.county_id[order])
+            lat_deg = np.ascontiguousarray(table.lat_deg[order])
+            lon_deg = np.ascontiguousarray(table.lon_deg[order])
+            n = len(location_id)
+            if n and len(np.unique(location_id)) != n:
+                raise ServeError("duplicate location ids in table")
+            unique_keys, first_rows, per_cell = np.unique(
+                cell_key, return_index=True, return_counts=True
+            )
+            cell_starts = np.concatenate(
+                [first_rows, np.array([n], dtype=np.int64)]
+            ).astype(np.int64)
+            row_cell = np.repeat(
+                np.arange(len(unique_keys), dtype=np.int64), per_cell
+            )
+            rank_in_cell = np.arange(n, dtype=np.int64) - cell_starts[row_cell]
+            shards = cls._cut_shards(cell_starts, target_shard_rows)
+            span.set(cells=len(unique_keys), shards=len(shards))
+            return cls(
+                location_id=location_id,
+                cell_key=cell_key,
+                county_id=county_id,
+                lat_deg=lat_deg,
+                lon_deg=lon_deg,
+                unique_keys=unique_keys,
+                cell_starts=cell_starts,
+                row_cell=row_cell,
+                rank_in_cell=rank_in_cell,
+                shards=shards,
+                id_order=np.argsort(location_id, kind="stable"),
+            )
+
+    @staticmethod
+    def _cut_shards(
+        cell_starts: np.ndarray, target_shard_rows: int
+    ) -> Tuple[Shard, ...]:
+        """Cut cell-boundary-aligned shards of roughly ``target`` rows."""
+        n_cells = len(cell_starts) - 1
+        shards = []
+        cell_start = 0
+        for cell_stop in range(1, n_cells + 1):
+            rows = cell_starts[cell_stop] - cell_starts[cell_start]
+            if rows >= target_shard_rows or cell_stop == n_cells:
+                shards.append(
+                    Shard(
+                        index=len(shards),
+                        row_start=int(cell_starts[cell_start]),
+                        row_stop=int(cell_starts[cell_stop]),
+                        cell_start=cell_start,
+                        cell_stop=cell_stop,
+                    )
+                )
+                cell_start = cell_stop
+        return tuple(shards)
+
+    def __len__(self) -> int:
+        return len(self.location_id)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.unique_keys)
+
+    def rows_for_location_ids(self, location_ids) -> np.ndarray:
+        """Sorted-table row index of each requested location id."""
+        ids = np.asarray(location_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if len(self) == 0:
+            raise ServeError(f"unknown location id {int(ids[0])}")
+        positions = np.clip(
+            np.searchsorted(self._ids_sorted, ids), 0, len(self) - 1
+        )
+        found = self._ids_sorted[positions] == ids
+        if not found.all():
+            raise ServeError(f"unknown location id {int(ids[~found][0])}")
+        return self._id_order[positions]
+
+    def cell_index_for_keys(self, keys) -> np.ndarray:
+        """Index into :attr:`unique_keys` per key, or -1 where absent."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        positions = np.searchsorted(self.unique_keys, keys)
+        clipped = np.minimum(positions, max(self.n_cells - 1, 0))
+        if self.n_cells == 0:
+            return np.full(keys.shape, -1, dtype=np.int64)
+        present = self.unique_keys[clipped] == keys
+        return np.where(present, clipped, -1).astype(np.int64)

@@ -1,0 +1,106 @@
+"""Choropleth tile aggregates: serving answers rolled up to coarse hexes.
+
+A frontend map cannot draw 21k resolution-5 cells per viewport; it wants
+a few hundred coarser tiles with served fractions. Tiles are the cells of
+a coarser :class:`HexGrid` resolution; each fine cell is assigned to the
+tile containing its center, and the per-cell arrays of a
+:class:`~repro.serve.index.ServeIndex` are summed per tile — so tile
+numbers are exact aggregates of batch-pipeline answers, not estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ServeError
+from repro.geo.hexgrid import CellId, HexGrid
+from repro.serve.index import ServeIndex
+from repro.viz.geojson import _collection, _feature
+
+#: Resolution-3 tiles are ~12.4x the area of the resolution-5 service
+#: cells — a national map lands around 2k tiles.
+DEFAULT_TILE_RESOLUTION = 3
+
+
+def tile_aggregates(
+    index: ServeIndex, tile_resolution: int = DEFAULT_TILE_RESOLUTION
+) -> List[Dict]:
+    """Per-tile aggregate rows, sorted by tile token.
+
+    Each row sums the index's per-cell layers over the fine cells whose
+    centers fall in the tile: total and served locations, fully served
+    cell counts, and the tile's maximum required oversubscription.
+    """
+    if tile_resolution >= index.grid_resolution:
+        raise ServeError(
+            f"tile resolution {tile_resolution} must be coarser than the "
+            f"grid resolution {index.grid_resolution}"
+        )
+    with obs.span(
+        "serve.tiles", cells=index.n_cells, resolution=tile_resolution
+    ) as span:
+        fine = HexGrid(index.grid_resolution)
+        coarse = HexGrid(tile_resolution)
+        if index.n_cells == 0:
+            return []
+        lat, lon = fine.centers_many(index.store.unique_keys)
+        tile_keys = coarse.cell_for_many(lat, lon)
+        unique_tiles, inverse = np.unique(tile_keys, return_inverse=True)
+        n_tiles = len(unique_tiles)
+        locations = np.bincount(
+            inverse, weights=index.cell_counts, minlength=n_tiles
+        ).astype(np.int64)
+        served = np.bincount(
+            inverse, weights=index.served_count, minlength=n_tiles
+        ).astype(np.int64)
+        cells = np.bincount(inverse, minlength=n_tiles)
+        fully = np.bincount(
+            inverse, weights=index.fully_served, minlength=n_tiles
+        ).astype(np.int64)
+        span.set(tiles=n_tiles)
+        rows = []
+        for t in range(n_tiles):
+            in_tile = inverse == t
+            rows.append(
+                {
+                    "tile": f"{int(unique_tiles[t]):015x}",
+                    "cells": int(cells[t]),
+                    "cells_fully_served": int(fully[t]),
+                    "locations": int(locations[t]),
+                    "locations_served": int(served[t]),
+                    "served_fraction": (
+                        int(served[t]) / int(locations[t])
+                        if locations[t]
+                        else 1.0
+                    ),
+                    "max_required_oversubscription": float(
+                        index.required_oversub[in_tile].max()
+                    ),
+                }
+            )
+        return rows
+
+
+def tiles_to_geojson(
+    index: ServeIndex, tile_resolution: int = DEFAULT_TILE_RESOLUTION
+) -> Dict:
+    """Tile aggregates as a GeoJSON FeatureCollection of hex polygons."""
+    coarse = HexGrid(tile_resolution)
+    features = []
+    for row in tile_aggregates(index, tile_resolution):
+        cell = CellId.from_token(row["tile"])
+        ring = [
+            [vertex.lon_deg, vertex.lat_deg]
+            for vertex in coarse.cell_polygon(cell)
+        ]
+        ring.append(ring[0])  # close the ring per the GeoJSON spec
+        properties = dict(row)
+        properties["epoch"] = index.epoch
+        properties["scenario_id"] = index.scenario_id
+        features.append(
+            _feature({"type": "Polygon", "coordinates": [ring]}, properties)
+        )
+    return _collection(features)

@@ -225,6 +225,80 @@ class TestNpz:
         with pytest.raises(DatasetError, match="missing location table columns"):
             LocationTable.from_npz(target)
 
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_empty_table_roundtrip(self, tmp_path, mmap_mode):
+        """A dataset with zero demand persists and reloads on both paths."""
+        table = explode_cells_table(build_toy_dataset([0]), seed=0)
+        assert len(table) == 0
+        path = table.to_npz(tmp_path / "empty")
+        loaded = LocationTable.from_npz(path, mmap_mode=mmap_mode)
+        assert len(loaded) == 0
+        assert loaded.equals(table)
+        assert loaded.cell_key.dtype == np.uint64
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_single_location_roundtrip(self, tmp_path, mmap_mode):
+        table = explode_cells_table(build_toy_dataset([1]), seed=5)
+        assert len(table) == 1
+        path = table.to_npz(tmp_path / "one")
+        loaded = LocationTable.from_npz(path, mmap_mode=mmap_mode)
+        assert loaded.equals(table)
+
+    def test_mmap_matches_eager_load(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([40, 7]), seed=2)
+        path = table.to_npz(tmp_path / "table")
+        eager = LocationTable.from_npz(path)
+        mapped = LocationTable.from_npz(path, mmap_mode="r")
+        assert mapped.equals(eager)
+        # __post_init__'s asarray turns the memmap into a plain ndarray
+        # view, but the column still windows the file: read-only, backed
+        # by the original np.memmap.
+        assert not mapped.location_id.flags.writeable
+        assert isinstance(mapped.location_id.base, np.memmap)
+        assert eager.location_id.flags.writeable
+
+    def test_compressed_archive_rejected_for_mmap(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([4]), seed=2)
+        target = tmp_path / "packed.npz"
+        np.savez_compressed(
+            target,
+            **{
+                name: getattr(table, name)
+                for name in (
+                    "location_id",
+                    "lat_deg",
+                    "lon_deg",
+                    "cell_key",
+                    "county_id",
+                    "technology",
+                    "max_download_mbps",
+                    "max_upload_mbps",
+                )
+            },
+        )
+        # The eager path handles compression fine; only mmap refuses.
+        assert LocationTable.from_npz(target).equals(table)
+        with pytest.raises(DatasetError, match="compressed"):
+            LocationTable.from_npz(target, mmap_mode="r")
+
+    def test_unsupported_mmap_mode(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([4]), seed=2)
+        path = table.to_npz(tmp_path / "table")
+        with pytest.raises(DatasetError, match="unsupported mmap mode"):
+            LocationTable.from_npz(path, mmap_mode="r+")
+
+    def test_mmap_missing_columns(self, tmp_path):
+        target = tmp_path / "partial.npz"
+        np.savez(target, location_id=np.array([0]))
+        with pytest.raises(DatasetError, match="missing location table columns"):
+            LocationTable.from_npz(target, mmap_mode="r")
+
+    def test_mmap_rejects_non_archive(self, tmp_path):
+        target = tmp_path / "garbage.npz"
+        target.write_bytes(b"not a zip archive at all")
+        with pytest.raises(DatasetError, match="not an NPZ archive"):
+            LocationTable.from_npz(target, mmap_mode="r")
+
 
 class TestTableValidation:
     def _columns(self, **overrides):

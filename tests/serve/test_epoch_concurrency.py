@@ -1,0 +1,181 @@
+"""Concurrency regression: queries during a shard-wise scenario rebuild
+must observe exactly one epoch per response — never a half-updated index.
+
+:meth:`QueryEngine.update_params` rebuilds the scenario layer shard by
+shard, yielding to the event loop between shards. These tests interleave
+queries with those yields (engine-level via bare tasks, server-level over
+TCP) and check every response against the snapshot its echoed epoch names:
+the served flags must equal ``rank < cap(epoch's params)``, and the
+scenario id must be the one that produced that epoch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.capacity import SatelliteCapacityModel
+from repro.core.oversubscription import cell_location_cap
+from repro.demand.locations import explode_cells_table
+from repro.serve import (
+    QueryEngine,
+    ScenarioParams,
+    ServeClient,
+    ServeServer,
+    build_index,
+)
+
+from tests.conftest import build_toy_dataset
+from tests.serve.conftest import TOY_COUNTS, TOY_INCOMES, TOY_LATITUDES
+
+#: Oversubscription ratios with pairwise-distinct per-cell caps, so a
+#: response mixing two epochs' arrays is guaranteed to be caught.
+RATIOS = (2.0, 35.0, 0.5, 11.0)
+
+
+def _caps_by_params():
+    capacity = SatelliteCapacityModel()
+    caps = {
+        ScenarioParams(oversubscription=r).scenario_id: cell_location_cap(
+            capacity, r
+        )
+        for r in RATIOS
+    }
+    caps[ScenarioParams().scenario_id] = cell_location_cap(capacity, 20.0)
+    assert len(set(caps.values())) == len(caps)
+    return caps
+
+
+def _check_consistent(response, scenario_by_epoch, caps):
+    """One response must be internally consistent with its echoed epoch."""
+    scenario_id = scenario_by_epoch[response["epoch"]]
+    assert response["scenario_id"] == scenario_id
+    cap = caps[scenario_id]
+    assert response["per_cell_cap"] == cap
+    for rank, served, count, fully in zip(
+        response["rank_in_cell"],
+        response["served"],
+        response["cell_locations"],
+        response["cell_fully_served"],
+    ):
+        assert served == (rank < cap)
+        assert fully == (count <= cap)
+
+
+def _build_engine():
+    dataset = build_toy_dataset(
+        TOY_COUNTS, latitudes=TOY_LATITUDES, incomes=TOY_INCOMES
+    )
+    table = explode_cells_table(dataset, seed=3)
+    # 64-row shards => hundreds of yield points per scenario rebuild.
+    return QueryEngine(build_index(table, dataset, target_shard_rows=64)), table
+
+
+class TestEngineEpochConsistency:
+    def test_queries_during_update_see_one_epoch(self):
+        engine, table = _build_engine()
+        caps = _caps_by_params()
+        ids = table.location_id[:: max(1, len(table) // 64)]
+        scenario_by_epoch = {0: ScenarioParams().scenario_id}
+        responses = []
+
+        async def scenario():
+            done = False
+
+            async def querier():
+                while not done:
+                    responses.append(engine.point_by_id(ids))
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(querier())
+            try:
+                for ratio in RATIOS:
+                    params = ScenarioParams(oversubscription=ratio)
+                    swap = await engine.update_params(params)
+                    scenario_by_epoch[swap["epoch"]] = swap["scenario_id"]
+                    assert swap["scenario_id"] == params.scenario_id
+            finally:
+                done = True
+                await task
+
+        asyncio.run(scenario())
+        assert scenario_by_epoch == {
+            0: ScenarioParams().scenario_id,
+            **{
+                i + 1: ScenarioParams(oversubscription=r).scenario_id
+                for i, r in enumerate(RATIOS)
+            },
+        }
+        epochs = [response["epoch"] for response in responses]
+        assert epochs == sorted(epochs), "epochs must be monotone"
+        assert len(set(epochs)) >= 2, "querier never interleaved an update"
+        for response in responses:
+            _check_consistent(response, scenario_by_epoch, caps)
+
+    def test_concurrent_updates_serialize(self):
+        """Racing update_params calls produce distinct, ordered epochs."""
+        engine, _ = _build_engine()
+
+        async def scenario():
+            swaps = await asyncio.gather(
+                *(
+                    engine.update_params(ScenarioParams(oversubscription=r))
+                    for r in RATIOS
+                )
+            )
+            return [swap["epoch"] for swap in swaps]
+
+        epochs = asyncio.run(scenario())
+        assert sorted(epochs) == [1, 2, 3, 4]
+        assert engine.epoch == 4
+
+
+class TestServerEpochConsistency:
+    def test_tcp_queries_during_set_params(self):
+        engine, table = _build_engine()
+        caps = _caps_by_params()
+        ids = [int(i) for i in table.location_id[:: max(1, len(table) // 64)]]
+        scenario_by_epoch = {0: ScenarioParams().scenario_id}
+        responses = []
+
+        async def scenario():
+            server = await ServeServer(engine).start()
+            try:
+                async with ServeClient(
+                    "127.0.0.1", server.port
+                ) as updater, ServeClient("127.0.0.1", server.port) as reader:
+
+                    async def churn():
+                        for ratio in RATIOS:
+                            swap = await updater.request(
+                                {
+                                    "op": "set_params",
+                                    "oversubscription": ratio,
+                                }
+                            )
+                            scenario_by_epoch[swap["epoch"]] = swap[
+                                "scenario_id"
+                            ]
+
+                    task = asyncio.create_task(churn())
+                    while not task.done():
+                        responses.append(await reader.point_by_id(ids))
+                    await task
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+        epochs = [response["epoch"] for response in responses]
+        assert epochs == sorted(epochs), "epochs must be monotone"
+        for response in responses:
+            # A response may race ahead of churn() recording the swap; the
+            # engine-level test already pins the epoch -> scenario map.
+            if response["epoch"] in scenario_by_epoch:
+                _check_consistent(response, scenario_by_epoch, caps)
+            else:
+                cap = caps[response["scenario_id"]]
+                assert response["per_cell_cap"] == cap
+                for rank, served in zip(
+                    response["rank_in_cell"], response["served"]
+                ):
+                    assert served == (rank < cap)
+        assert engine.epoch == len(RATIOS)

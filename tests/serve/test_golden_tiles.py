@@ -1,0 +1,82 @@
+"""Golden tile aggregates for the default (FCC 20:1) national scenario.
+
+Pins the GeoJSON tile layer the service exposes for a choropleth
+frontend, analogous to ``tests/test_findings_golden.py``: feature
+counts, national totals, and the densest tiles' served fractions to
+fixed precision. A change here means the serving rollup (or the
+synthetic map generator upstream of it) changed behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.serve import tile_aggregates, tiles_to_geojson
+
+#: (tile token, cells, locations, locations_served, served_fraction,
+#: max_required_oversubscription) of the five densest resolution-3 tiles.
+GOLDEN_DENSEST = (
+    ("37ffff88800005d", 34, 13939, 13939, 1.0, 14.678211),
+    ("37ffff8d8000059", 34, 13580, 13580, 1.0, 9.454545),
+    ("37ffffa8800004c", 28, 13490, 10957, 0.812231, 34.620491),
+    ("37ffffa3800004f", 33, 13457, 13457, 1.0, 17.038961),
+    ("37ffff97800005b", 34, 13232, 13232, 1.0, 14.343434),
+)
+
+GOLDEN_TILES = 724
+GOLDEN_LOCATIONS = 4_660_000
+GOLDEN_SERVED = 4_654_897
+GOLDEN_CELLS = 20_824
+GOLDEN_FULLY_SERVED_CELLS = 20_819
+
+
+class TestGoldenTiles:
+    def test_national_totals(self, national_serve_index):
+        rows = tile_aggregates(national_serve_index)
+        assert len(rows) == GOLDEN_TILES
+        assert sum(r["locations"] for r in rows) == GOLDEN_LOCATIONS
+        assert sum(r["locations_served"] for r in rows) == GOLDEN_SERVED
+        assert sum(r["cells"] for r in rows) == GOLDEN_CELLS
+        assert (
+            sum(r["cells_fully_served"] for r in rows)
+            == GOLDEN_FULLY_SERVED_CELLS
+        )
+
+    def test_densest_tiles_pinned(self, national_serve_index):
+        rows = tile_aggregates(national_serve_index)
+        densest = sorted(
+            rows, key=lambda r: r["locations"], reverse=True
+        )[: len(GOLDEN_DENSEST)]
+        got = tuple(
+            (
+                r["tile"],
+                r["cells"],
+                r["locations"],
+                r["locations_served"],
+                round(r["served_fraction"], 6),
+                round(r["max_required_oversubscription"], 6),
+            )
+            for r in densest
+        )
+        assert got == GOLDEN_DENSEST
+
+    def test_geojson_features_match_aggregates(self, national_serve_index):
+        collection = tiles_to_geojson(national_serve_index)
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == GOLDEN_TILES
+        by_token = {
+            f["properties"]["tile"]: f["properties"]
+            for f in collection["features"]
+        }
+        for token, cells, locations, served, fraction, oversub in (
+            GOLDEN_DENSEST
+        ):
+            properties = by_token[token]
+            assert properties["cells"] == cells
+            assert properties["locations"] == locations
+            assert properties["locations_served"] == served
+            assert round(properties["served_fraction"], 6) == fraction
+            assert properties["epoch"] == national_serve_index.epoch
+        feature = collection["features"][0]
+        ring = feature["geometry"]["coordinates"][0]
+        assert feature["geometry"]["type"] == "Polygon"
+        assert len(ring) == 7  # hexagon plus the closing vertex
+        assert ring[0] == ring[-1]

@@ -1,0 +1,183 @@
+"""ServeIndex construction: shard geometry, integrity checks, refreshes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand.locations import LocationTable, explode_cells_table
+from repro.errors import ServeError
+from repro.serve import QueryEngine, ScenarioParams, ShardStore, build_index
+
+from tests.conftest import build_toy_dataset
+
+_COLUMNS = (
+    "location_id",
+    "lat_deg",
+    "lon_deg",
+    "cell_key",
+    "county_id",
+    "technology",
+    "max_download_mbps",
+    "max_upload_mbps",
+)
+
+
+def _mutate(table, **overrides):
+    columns = {name: getattr(table, name).copy() for name in _COLUMNS}
+    columns.update(overrides)
+    return LocationTable(**columns)
+
+
+def _subset(table, mask):
+    return LocationTable(
+        **{name: getattr(table, name)[mask] for name in _COLUMNS}
+    )
+
+
+def _append_row(table, cell_key, location_id):
+    """Copy row 0 with a new id into ``cell_key``."""
+    columns = {}
+    for name in _COLUMNS:
+        column = getattr(table, name)
+        columns[name] = np.concatenate([column, column[:1]])
+    columns["location_id"][-1] = location_id
+    columns["cell_key"][-1] = cell_key
+    return LocationTable(**columns)
+
+
+class TestShardGeometry:
+    def test_shards_tile_the_table(self, toy_serve_index):
+        store = toy_serve_index.store
+        shards = store.shards
+        assert len(shards) > 1, "toy config must exercise multi-shard paths"
+        assert shards[0].row_start == 0 and shards[0].cell_start == 0
+        assert shards[-1].row_stop == len(store)
+        assert shards[-1].cell_stop == store.n_cells
+        for previous, shard in zip(shards, shards[1:]):
+            assert shard.index == previous.index + 1
+            assert shard.row_start == previous.row_stop
+            assert shard.cell_start == previous.cell_stop
+        for shard in shards:
+            assert shard.n_rows > 0 and shard.n_cells > 0
+            # Cell-boundary alignment: the shard's row range is exactly
+            # the concatenation of its cells' row ranges.
+            assert shard.row_start == store.cell_starts[shard.cell_start]
+            assert shard.row_stop == store.cell_starts[shard.cell_stop]
+
+    def test_rows_sorted_by_cell_then_id(self, toy_serve_index):
+        store = toy_serve_index.store
+        boundaries = np.flatnonzero(np.diff(store.cell_key) != 0) + 1
+        assert (np.diff(store.cell_key.astype(np.int64)) >= 0).all()
+        within = np.ones(len(store), dtype=bool)
+        within[0] = False
+        within[boundaries] = False
+        assert (np.diff(store.location_id)[within[1:]] > 0).all()
+        assert (store.rank_in_cell[~within] == 0).sum() == store.n_cells
+
+    def test_store_rejects_bad_inputs(self, toy_serve_table):
+        with pytest.raises(ServeError, match="target shard rows"):
+            ShardStore.from_table(toy_serve_table, target_shard_rows=0)
+        ids = toy_serve_table.location_id.copy()
+        ids[1] = ids[0]
+        with pytest.raises(ServeError, match="duplicate location ids"):
+            ShardStore.from_table(_mutate(toy_serve_table, location_id=ids))
+
+    def test_unknown_location_id(self, toy_serve_index):
+        with pytest.raises(ServeError, match="unknown location id"):
+            toy_serve_index.store.rows_for_location_ids([10**15])
+
+
+class TestBuildIntegrity:
+    def test_demand_without_rows(self, toy_serve_dataset, toy_serve_table):
+        occupied = next(
+            c for c in toy_serve_dataset.cells if c.total_locations > 0
+        )
+        stripped = _subset(
+            toy_serve_table, toy_serve_table.cell_key != occupied.cell.key
+        )
+        with pytest.raises(ServeError, match="has demand but no table rows"):
+            build_index(stripped, toy_serve_dataset)
+
+    def test_orphan_table_cell(self, toy_serve_dataset, toy_serve_table):
+        bogus_key = int(toy_serve_table.cell_key.max()) + 1
+        grown = _append_row(
+            toy_serve_table,
+            bogus_key,
+            int(toy_serve_table.location_id.max()) + 1,
+        )
+        with pytest.raises(ServeError, match="not in dataset"):
+            build_index(grown, toy_serve_dataset)
+
+    def test_count_mismatch(self, toy_serve_dataset, toy_serve_table):
+        grown = _append_row(
+            toy_serve_table,
+            int(toy_serve_table.cell_key[0]),
+            int(toy_serve_table.location_id.max()) + 1,
+        )
+        with pytest.raises(ServeError, match="dataset says"):
+            build_index(grown, toy_serve_dataset)
+
+    def test_county_join_disagrees(self, toy_serve_dataset, toy_serve_table):
+        counties = toy_serve_table.county_id.copy()
+        counties[0] += 1
+        with pytest.raises(ServeError, match="county join disagrees"):
+            build_index(
+                _mutate(toy_serve_table, county_id=counties),
+                toy_serve_dataset,
+            )
+
+    def test_no_plans(self, toy_serve_dataset, toy_serve_table):
+        with pytest.raises(ServeError, match="no plans"):
+            build_index(toy_serve_table, toy_serve_dataset, plans=[])
+
+    def test_fingerprint_recorded(self, toy_serve_dataset, toy_serve_index):
+        assert (
+            toy_serve_index.dataset_fingerprint
+            == toy_serve_dataset.fingerprint()
+        )
+
+
+class TestRefresh:
+    def test_with_params_equals_fresh_build(
+        self, toy_serve_dataset, toy_serve_table, toy_serve_index
+    ):
+        params = ScenarioParams(
+            oversubscription=7.0, beamspread=2.0, income_share=0.01
+        )
+        refreshed = toy_serve_index.with_params(params)
+        fresh = build_index(
+            toy_serve_table,
+            toy_serve_dataset,
+            params,
+            target_shard_rows=2000,
+        )
+        assert refreshed.epoch == toy_serve_index.epoch + 1
+        assert fresh.epoch == 0
+        assert refreshed.params == fresh.params
+        assert refreshed.per_cell_cap == fresh.per_cell_cap
+        assert np.array_equal(refreshed.served_count, fresh.served_count)
+        assert np.array_equal(refreshed.fully_served, fresh.fully_served)
+        assert np.array_equal(refreshed.affordable, fresh.affordable)
+        # The static layer is shared between epochs, not rebuilt.
+        assert refreshed.store is toy_serve_index.store
+        assert refreshed.cell_counts is toy_serve_index.cell_counts
+        # The old snapshot is untouched.
+        assert toy_serve_index.epoch == 0
+        assert toy_serve_index.params == ScenarioParams()
+
+
+class TestEmptyTable:
+    def test_empty_index_builds_and_answers(self):
+        dataset = build_toy_dataset([0, 0])
+        table = explode_cells_table(dataset, seed=0)
+        assert len(table) == 0
+        engine = QueryEngine(build_index(table, dataset))
+        stats = engine.stats()
+        assert stats["locations"] == 0
+        assert stats["cells"] == 0
+        assert stats["locations_served"] == 0
+        answer = engine.cell_answer(dataset.cells[0].cell.token)
+        assert answer["in_dataset"] is False
+        with pytest.raises(ServeError, match="unknown location id"):
+            engine.point_by_id([0])

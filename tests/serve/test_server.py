@@ -1,0 +1,166 @@
+"""JSON-lines protocol round trips and error handling for ServeServer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import QueryEngine, ServeClient, ServeServer
+
+
+def _roundtrip(engine, interact):
+    """Start a server on an ephemeral port, run ``interact(client)``."""
+
+    async def scenario():
+        server = await ServeServer(engine).start()
+        try:
+            async with ServeClient("127.0.0.1", server.port) as client:
+                return await interact(client)
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestOps:
+    def test_ping_and_stats(self, toy_engine):
+        async def interact(client):
+            pong = await client.request({"op": "ping"})
+            stats = await client.request({"op": "stats"})
+            return pong, stats
+
+        pong, stats = _roundtrip(toy_engine, interact)
+        assert pong == {"ok": True, "pong": True, "epoch": 0}
+        local = toy_engine.stats()
+        assert stats == {"ok": True, **local}
+        assert stats["locations"] == len(toy_engine.index)
+        assert stats["shards"] == len(toy_engine.index.store.shards)
+
+    def test_point_ops_match_engine(self, toy_engine, toy_serve_table):
+        ids = [int(i) for i in toy_serve_table.location_id[:5]]
+        lat = float(toy_serve_table.lat_deg[0])
+        lon = float(toy_serve_table.lon_deg[0])
+
+        async def interact(client):
+            batch = await client.point_by_id(ids)
+            latlon = await client.request(
+                {"op": "point_latlon", "lat": lat, "lon": lon}
+            )
+            return batch, latlon
+
+        batch, latlon = _roundtrip(toy_engine, interact)
+        assert batch == {"ok": True, **toy_engine.point_by_id(ids)}
+        assert latlon == {
+            "ok": True,
+            **toy_engine.point_by_latlon(lat, lon),
+        }
+        assert latlon["in_dataset"] is True
+
+    def test_cell_county_tiles(self, toy_engine, toy_serve_dataset):
+        token = toy_serve_dataset.cells[0].cell.token
+        county_id = next(iter(toy_serve_dataset.counties))
+
+        async def interact(client):
+            cell = await client.request({"op": "cell", "token": token})
+            county = await client.request(
+                {"op": "county", "county_id": county_id}
+            )
+            tiles = await client.request({"op": "tiles"})
+            return cell, county, tiles
+
+        cell, county, tiles = _roundtrip(toy_engine, interact)
+        assert cell == {"ok": True, **toy_engine.cell_answer(token)}
+        assert county == {"ok": True, **toy_engine.county_answer(county_id)}
+        assert tiles["epoch"] == 0
+        assert tiles["collection"] == toy_engine.tiles_geojson()
+
+    def test_set_params_defaults_missing_fields(self, toy_engine):
+        before = toy_engine.index.params
+
+        async def interact(client):
+            return await client.request(
+                {"op": "set_params", "oversubscription": 5.0}
+            )
+
+        swap = _roundtrip(toy_engine, interact)
+        after = toy_engine.index.params
+        assert swap["epoch"] == 1
+        assert swap["scenario_id"] == after.scenario_id
+        assert after.oversubscription == 5.0
+        assert after.beamspread == before.beamspread
+        assert after.income_share == before.income_share
+
+    def test_port_zero_picks_ephemeral_port(self, toy_engine):
+        async def scenario():
+            server = ServeServer(toy_engine)
+            assert server.port == 0
+            await server.start()
+            port = server.port
+            await server.stop()
+            return port
+
+        assert asyncio.run(scenario()) > 0
+
+
+class TestErrors:
+    def test_errors_keep_the_connection_usable(self, toy_engine):
+        async def interact(client):
+            failures = []
+            for request in (
+                {"op": "no_such_op"},
+                {"op": "point_id", "location_ids": [10**12]},
+                {"op": "point_latlon", "lat": "not-a-number", "lon": 0},
+                {"op": "county"},
+                {"op": "set_params", "oversubscription": -1.0},
+            ):
+                with pytest.raises(ServeError) as excinfo:
+                    await client.request(request)
+                failures.append(str(excinfo.value))
+            pong = await client.request({"op": "ping"})
+            return failures, pong
+
+        failures, pong = _roundtrip(toy_engine, interact)
+        assert pong["pong"] is True
+        assert "unknown op" in failures[0]
+        assert "unknown location id" in failures[1]
+        assert "bad request" in failures[2]
+        assert "bad request" in failures[3]
+        assert "oversubscription" in failures[4]
+        # Failed set_params must not have touched the snapshot.
+        assert toy_engine.epoch == 0
+
+    def test_malformed_json_line(self, toy_engine):
+        async def interact(client):
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            error = json.loads(await client._reader.readline())
+            pong = await client.request({"op": "ping"})
+            return error, pong
+
+        error, pong = _roundtrip(toy_engine, interact)
+        assert error["ok"] is False
+        assert "bad request" in error["error"]
+        assert pong["pong"] is True
+
+    def test_non_object_request(self, toy_engine):
+        async def interact(client):
+            client._writer.write(b"[1, 2, 3]\n")
+            await client._writer.drain()
+            return json.loads(await client._reader.readline())
+
+        error = _roundtrip(toy_engine, interact)
+        assert error == {
+            "ok": False,
+            "error": "request must be a JSON object",
+        }
+
+    def test_client_request_after_close(self, toy_engine):
+        async def interact(client):
+            await client.close()
+            with pytest.raises(ServeError, match="not connected"):
+                await client.request({"op": "ping"})
+
+        _roundtrip(toy_engine, interact)

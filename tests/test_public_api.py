@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.runner",
     "repro.obs",
+    "repro.serve",
     "repro.viz",
 ]
 

@@ -48,8 +48,17 @@ from repro.viz.export import write_series_csv
 _log = obs.get_logger("cli")
 
 
-def _build_model(seed: Optional[int]) -> StarlinkDivideModel:
-    config = SyntheticMapConfig(seed=seed) if seed is not None else None
+def _build_model(
+    seed: Optional[int], grid_resolution: Optional[int] = None
+) -> StarlinkDivideModel:
+    if grid_resolution is not None:
+        config = SyntheticMapConfig.at_resolution(
+            grid_resolution, seed=seed if seed is not None else 20250706
+        )
+    elif seed is not None:
+        config = SyntheticMapConfig(seed=seed)
+    else:
+        config = None
     return StarlinkDivideModel.default(config)
 
 
@@ -84,7 +93,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     print(model.dataset.summary())
     print()
     print(model.findings().text())
@@ -96,9 +105,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.parallel < 1:
         _log.error("--parallel must be >= 1, got %d", args.parallel)
         return 2
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     for experiment_id, result in _run_experiments(
-        ids, model, args.seed, args.parallel
+        ids, model, args.seed, args.parallel, args.grid_resolution
     ):
         print(f"=== {result.title} ===")
         print(result.text)
@@ -110,7 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiments(ids, model, seed, n_workers):
+def _run_experiments(ids, model, seed, n_workers, grid_resolution=None):
     """Yield (id, result) in request order, fanning out when asked."""
     import concurrent.futures
     import functools
@@ -124,7 +133,9 @@ def _run_experiments(ids, model, seed, n_workers):
         for experiment_id in ids:
             yield experiment_id, run_experiment(experiment_id, model)
         return
-    builder = functools.partial(runner_tasks.build_default_model, seed)
+    builder = functools.partial(
+        runner_tasks.build_default_model, seed, grid_resolution
+    )
     # Forked workers inherit the parent's model; spawn rebuilds from
     # the seed via the initializer.
     runner_tasks._WORKER_MODEL = model
@@ -170,10 +181,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             grid,
             n_workers=args.parallel,
             cache=cache,
-            model_builder=functools.partial(build_default_model, args.seed),
+            model_builder=functools.partial(
+                build_default_model, args.seed, args.grid_resolution
+            ),
             policy=policy,
+            start_method=args.start_method,
+            use_shared_memory=not args.no_shared_memory,
         )
-        report = runner.run(model=_build_model(args.seed))
+        report = runner.run(model=_build_model(args.seed, args.grid_resolution))
     except ReproError as exc:
         _log.error("sweep failed: %s", exc)
         return 2
@@ -233,7 +248,7 @@ def _cmd_export_geojson(args: argparse.Namespace) -> int:
         write_geojson,
     )
 
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     out = Path(args.directory)
     written = [
         write_geojson(
@@ -268,7 +283,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "fair": ProportionalFair,
         "sticky": StickyGreedy,
     }
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     region = model.dataset.subset_bbox(
         args.lat_min, args.lat_max, args.lon_min, args.lon_max, "CLI region"
     )
@@ -288,6 +303,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_repeat(args: argparse.Namespace) -> int:
+    """--repeat, defaulting to min-of-3 for quick (CI) configurations."""
+    if args.repeat is not None:
+        return args.repeat
+    return 3 if getattr(args, "quick", False) else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import (
         format_bench_summary,
@@ -295,11 +317,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     results = run_simulation_bench(
         quick=args.quick,
         steps=args.steps,
-        repeat=args.repeat,
+        repeat=_bench_repeat(args),
         dataset=model.dataset,
     )
     print(format_bench_summary(results))
@@ -326,10 +348,10 @@ def _cmd_bench_locations(args: argparse.Namespace) -> int:
     )
     from repro.sim.bench import write_bench_json
 
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     results = run_locations_bench(
         quick=args.quick,
-        repeat=args.repeat,
+        repeat=_bench_repeat(args),
         seed=args.explode_seed,
         dataset=model.dataset,
     )
@@ -350,12 +372,73 @@ def _cmd_bench_locations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    from repro.runner.bench import (
+        format_sweep_bench_summary,
+        run_sweep_bench,
+    )
+    from repro.sim.bench import write_bench_json
+
+    results = run_sweep_bench(
+        quick=args.quick,
+        repeat=_bench_repeat(args),
+        seed=args.seed,
+        grid_resolution=args.grid_resolution,
+        n_workers=args.workers,
+    )
+    print(format_sweep_bench_summary(results))
+    path = write_bench_json(results, args.out)
+    _log.info("wrote %s", path)
+    _write_manifest(
+        args,
+        command="bench-sweep",
+        out_path=path,
+        engine="serial+fork+spawn",
+        extra={"all_modes_identical": results["all_modes_identical"]},
+    )
+    if not results["all_modes_identical"]:
+        _log.error("parallel sweep metrics diverged from the serial run")
+        return 1
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.perfgate import DEFAULT_TOLERANCE, run_gate
+
+    pairs = []
+    for spec in args.pairs:
+        baseline, sep, candidate = spec.partition(":")
+        if not sep or not baseline or not candidate:
+            _log.error(
+                "bad pair %r; expected BASELINE:CANDIDATE paths", spec
+            )
+            return 2
+        pairs.append((baseline, candidate))
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    try:
+        report, passed = run_gate(
+            pairs, tolerance=tolerance, absolute=args.absolute
+        )
+    except ReproError as exc:
+        _log.error("perf gate failed to run: %s", exc)
+        return 2
+    print(report)
+    if not passed:
+        _log.error("perf gate failed (tolerance %.0f%%)", tolerance * 100)
+        return 1
+    print(f"\nperf gate passed (tolerance {tolerance:.0%})")
+    return 0
+
+
 def _serve_table_and_dataset(args: argparse.Namespace):
     """The (table, dataset) pair the serve/bench-serve commands run on."""
     from repro.demand.locations import LocationTable, explode_cells_table
     from repro.sim.bench import QUICK_BBOX
 
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     dataset = model.dataset
     if args.quick:
         dataset = dataset.subset_bbox(*QUICK_BBOX, "serve quick region")
@@ -385,17 +468,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         table, dataset = _serve_table_and_dataset(args)
-        index = build_index(table, dataset, _serve_params(args))
-        engine = QueryEngine(index)
-        server = ServeServer(engine, host=args.host, port=args.port)
-        _log.info(
-            "index ready: %d locations, %d cells, %d shards, scenario %s",
-            len(index),
-            index.n_cells,
-            len(index.store.shards),
-            index.scenario_id,
-        )
-        asyncio.run(server.serve_forever())
+        # Close the (possibly memory-mapped) table on every exit path,
+        # releasing the NPZ file handles a --table service holds open.
+        with table:
+            index = build_index(table, dataset, _serve_params(args))
+            engine = QueryEngine(index)
+            server = ServeServer(engine, host=args.host, port=args.port)
+            _log.info(
+                "index ready: %d locations, %d cells, %d shards, scenario %s",
+                len(index),
+                index.n_cells,
+                len(index.store.shards),
+                index.scenario_id,
+            )
+            asyncio.run(server.serve_forever())
     except ReproError as exc:
         _log.error("serve failed: %s", exc)
         return 2
@@ -411,15 +497,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     try:
         table, dataset = _serve_table_and_dataset(args)
-        results = run_serving_bench(
-            table,
-            dataset,
-            _serve_params(args),
-            duration_s=args.duration,
-            connections=args.connections,
-            batch_size=args.batch_size,
-            seed=args.load_seed,
-        )
+        with table:
+            results = run_serving_bench(
+                table,
+                dataset,
+                _serve_params(args),
+                duration_s=args.duration,
+                connections=args.connections,
+                batch_size=args.batch_size,
+                seed=args.load_seed,
+            )
     except ReproError as exc:
         _log.error("bench-serve failed: %s", exc)
         return 2
@@ -438,7 +525,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_export_data(args: argparse.Namespace) -> int:
-    model = _build_model(args.seed)
+    model = _build_model(args.seed, args.grid_resolution)
     out = Path(args.directory)
     cells = out / "cells.csv"
     counties = out / "counties.csv"
@@ -467,6 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="synthetic map seed"
+    )
+    parser.add_argument(
+        "--grid-resolution",
+        type=int,
+        default=None,
+        metavar="RES",
+        help=(
+            "H3 grid resolution for the synthetic map (default: 5, the "
+            "paper's Starlink cell size); calibration anchors rescale by "
+            "cell area, the national total is unchanged"
+        ),
     )
     parser.add_argument(
         "--log-level",
@@ -577,6 +675,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help=(
+            "multiprocessing start method for worker pools (default: "
+            "platform default); workers attach the parent's shared-memory "
+            "model either way"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="disable the shared-memory model handoff to workers",
+    )
+    sweep_parser.add_argument(
         "--out", default=None, help="CSV file for the sweep table"
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -627,7 +740,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=None, help="override simulated step count"
     )
     bench_parser.add_argument(
-        "--repeat", type=int, default=1, help="repeats per timing (best-of)"
+        "--repeat",
+        type=int,
+        default=None,
+        help=(
+            "repeats per timing, min-of-N with per-repeat samples in the "
+            "JSON (default: 3 for --quick, 1 otherwise)"
+        ),
     )
     bench_parser.add_argument(
         "--out", default="BENCH_simulation.json", help="results JSON path"
@@ -644,7 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="small scenario for CI smoke runs (regional cell subset)",
     )
     bench_locations_parser.add_argument(
-        "--repeat", type=int, default=1, help="repeats per timing (best-of)"
+        "--repeat",
+        type=int,
+        default=None,
+        help=(
+            "repeats per timing, min-of-N with per-repeat samples in the "
+            "JSON (default: 3 for --quick, 1 otherwise)"
+        ),
     )
     bench_locations_parser.add_argument(
         "--explode-seed",
@@ -656,6 +781,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_locations.json", help="results JSON path"
     )
     bench_locations_parser.set_defaults(func=_cmd_bench_locations)
+
+    bench_sweep_parser = sub.add_parser(
+        "bench-sweep",
+        help=(
+            "benchmark sweep dispatch: shared-memory handoff vs rebuild, "
+            "serial vs fork vs spawn pools"
+        ),
+    )
+    bench_sweep_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario for CI smoke runs (regional cell subset)",
+    )
+    bench_sweep_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help=(
+            "repeats per timing, min-of-N with per-repeat samples in the "
+            "JSON (default: 3 for --quick, 1 otherwise)"
+        ),
+    )
+    bench_sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool size for the fork/spawn dispatch modes (default: 2)",
+    )
+    bench_sweep_parser.add_argument(
+        "--out", default="BENCH_sweep.json", help="results JSON path"
+    )
+    bench_sweep_parser.set_defaults(func=_cmd_bench_sweep)
+
+    gate_parser = sub.add_parser(
+        "bench-gate",
+        help=(
+            "compare candidate bench JSONs against committed baselines; "
+            "fail on speedup or identity regressions"
+        ),
+    )
+    gate_parser.add_argument(
+        "pairs",
+        nargs="+",
+        metavar="BASELINE:CANDIDATE",
+        help="baseline and candidate JSON paths, colon-separated",
+    )
+    gate_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed relative regression on gated ratios (default: 0.2)",
+    )
+    gate_parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help=(
+            "also gate absolute wall times (off by default: CI hardware "
+            "differs from the machines baselines were pinned on)"
+        ),
+    )
+    gate_parser.set_defaults(func=_cmd_bench_gate)
 
     def add_serve_data_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(

@@ -94,10 +94,7 @@ def run_locations_bench(
         results["records"] = explode_cells(dataset, seed=seed)
 
     with obs.span("bench.locations.explode"):
-        explode = BenchTimings(
-            fast_s=_best_of(repeat, fast_explode),
-            reference_s=_best_of(repeat, reference_explode),
-        )
+        explode = BenchTimings.measure(repeat, fast_explode, reference_explode)
     table: LocationTable = results["table"]
     records = results["records"]
     explode_identical = table.equals(LocationTable.from_records(records))
@@ -109,10 +106,7 @@ def run_locations_bench(
         results["reference_bins"] = bin_locations(records, resolution)
 
     with obs.span("bench.locations.bin"):
-        binning = BenchTimings(
-            fast_s=_best_of(repeat, fast_bin),
-            reference_s=_best_of(repeat, reference_bin),
-        )
+        binning = BenchTimings.measure(repeat, fast_bin, reference_bin)
     bin_identical = results["fast_bins"] == results["reference_bins"]
 
     io_rows = min(len(table), IO_ROW_CAP)
@@ -122,11 +116,10 @@ def run_locations_bench(
             tempfile.TemporaryDirectory() as tmp:
         fast_csv = Path(tmp) / "fast.csv"
         reference_csv = Path(tmp) / "reference.csv"
-        csv_write = BenchTimings(
-            fast_s=_best_of(repeat, lambda: write_table_csv(io_table, fast_csv)),
-            reference_s=_best_of(
-                repeat, lambda: write_locations_csv(io_records, reference_csv)
-            ),
+        csv_write = BenchTimings.measure(
+            repeat,
+            lambda: write_table_csv(io_table, fast_csv),
+            lambda: write_locations_csv(io_records, reference_csv),
         )
         csv_bytes_identical = (
             fast_csv.read_bytes() == reference_csv.read_bytes()
@@ -138,10 +131,7 @@ def run_locations_bench(
         def reference_read() -> None:
             results["reference_loaded"] = read_locations_csv(reference_csv)
 
-        csv_read = BenchTimings(
-            fast_s=_best_of(repeat, fast_read),
-            reference_s=_best_of(repeat, reference_read),
-        )
+        csv_read = BenchTimings.measure(repeat, fast_read, reference_read)
         csv_read_identical = results["fast_loaded"].equals(
             LocationTable.from_records(results["reference_loaded"])
         )

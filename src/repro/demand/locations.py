@@ -455,6 +455,54 @@ class LocationTable:
             for name in _TABLE_COLUMNS
         )
 
+    # -- resource management -------------------------------------------------
+
+    def close(self) -> None:
+        """Release memory-mapped column file handles, if any.
+
+        Tables loaded with ``from_npz(..., mmap_mode="r")`` keep the NPZ
+        file open through each column's underlying :class:`mmap.mmap`;
+        long-lived processes (the serving layer) must release them on
+        shutdown or the table file stays pinned until process exit. All
+        columns are replaced with empty arrays first, so later access
+        *through the table* fails loudly on a length check. Views a
+        caller copied out beforehand do not keep the mapping alive —
+        NumPy memmap arrays hold no buffer export on the mmap, so the
+        pages really are unmapped; don't read such views after close.
+        Idempotent; a no-op for in-memory tables.
+        """
+        mmaps = []
+        for name in _TABLE_COLUMNS:
+            column = self._column(name)
+            # __post_init__'s asarray wraps each memmap in a plain
+            # ndarray view, so the mapping hides behind .base.
+            node, buffer = column, None
+            while node is not None and buffer is None:
+                buffer = getattr(node, "_mmap", None)
+                node = getattr(node, "base", None)
+            if buffer is not None and not any(
+                buffer is seen for seen in mmaps
+            ):
+                mmaps.append(buffer)
+            setattr(self, name, np.empty(0, dtype=column.dtype))
+            # Drop the loop's own references so the mapping's buffer
+            # export count reaches zero before the close below.
+            del column, node
+        for buffer in mmaps:
+            try:
+                buffer.close()
+            except BufferError:
+                # Something exported the mmap's buffer directly (a
+                # caller-made memoryview); the mapping is freed when
+                # that export is released instead.
+                pass
+
+    def __enter__(self) -> "LocationTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- NPZ persistence -----------------------------------------------------
 
     def to_npz(self, path: Union[str, Path]) -> Path:
@@ -590,24 +638,33 @@ def explode_cells_table(
     """Columnar :func:`explode_cells`: same records, one table, far faster.
 
     Replays the reference implementation's RNG stream exactly — the same
-    per-cell :func:`_uniform_hexagon_points` and offer draws in the same
-    order — but materializes columns instead of 4.66 M frozen dataclass
-    instances, and unprojects every sampled point in one
-    :meth:`~repro.geo.projection.EqualAreaProjection.inverse_many` call.
+    rejection-sampled positions and offer draws in the same order — via
+    the fused batched-RNG kernel in :mod:`repro.demand.fused`, which
+    draws the raw doubles for thousands of (cell, class) groups per call
+    instead of three tiny ``Generator`` dispatches per group.
     ``explode_cells_table(d, s)`` is bit-identical to
-    ``LocationTable.from_records(explode_cells(d, s))``.
+    ``LocationTable.from_records(explode_cells(d, s))`` (and to the
+    retained per-group loop ``_explode_cells_table``, the differential
+    reference).
     """
+    from repro.demand.fused import fused_explode_columns
+
     span = obs.span(
-        "locations.explode", cells=len(dataset.cells), seed=seed
+        "locations.explode", cells=dataset._n_cells(), seed=seed
     )
     with span:
-        return _explode_cells_table(dataset, seed, span)
+        return fused_explode_columns(dataset, seed, span)
 
 
 def _explode_cells_table(
     dataset: DemandDataset, seed: int, span
 ) -> LocationTable:
-    """The :func:`explode_cells_table` body, under its telemetry span."""
+    """Per-group reference loop for :func:`explode_cells_table`.
+
+    Kept as the differential baseline the fused kernel is proven
+    against (tests/demand/test_fused.py) and as the rewind target for
+    chunks whose rejection sampling needs a second round.
+    """
     rng = np.random.default_rng(seed)
     grid = HexGrid(dataset.grid_resolution)
     projection = EqualAreaProjection()
@@ -666,24 +723,25 @@ def _explode_cells_table(
 def bin_table(
     table: LocationTable, resolution: int
 ) -> Dict[CellId, Tuple[int, int]]:
-    """Columnar :func:`bin_locations`: identical counts via ``np.unique``.
+    """Columnar :func:`bin_locations`: identical counts, run-compressed.
 
     Cells are re-derived from positions with
-    :meth:`~repro.geo.hexgrid.HexGrid.cell_for_many` (bit-identical to the
-    scalar ``cell_for``), then aggregated with one unique/bincount pass
-    over the packed keys instead of a per-record dict update.
+    :meth:`~repro.geo.hexgrid.HexGrid.cell_for_many` (bit-identical to
+    the scalar ``cell_for``), then aggregated by
+    :func:`~repro.demand.fused.runlength_unique_counts`: runs of equal
+    keys collapse first, so the unique sort touches one entry per run —
+    for exploded tables (grouped by cell) that is the cell count, not
+    the location count.
     """
+    from repro.demand.fused import runlength_unique_counts
+
     with obs.span("locations.bin", rows=len(table)) as span:
         grid = HexGrid(resolution)
         keep = ~table.is_served()
         keys = grid.cell_for_many(table.lat_deg[keep], table.lon_deg[keep])
         unserved = table.is_unserved()[keep]
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        unserved_counts = np.bincount(
-            inverse[unserved], minlength=len(unique_keys)
-        )
-        underserved_counts = np.bincount(
-            inverse[~unserved], minlength=len(unique_keys)
+        unique_keys, unserved_counts, underserved_counts = (
+            runlength_unique_counts(keys, unserved)
         )
         span.set(cells_out=len(unique_keys))
         registry = obs.registry()

@@ -114,6 +114,46 @@ class SyntheticMapConfig:
             **overrides,
         )
 
+    @classmethod
+    def at_resolution(
+        cls, resolution: int, seed: int = 20250706, **overrides
+    ):
+        """The national config rescaled to another H3 grid resolution.
+
+        The paper's calibration anchors are *per-cell* location counts at
+        resolution 5; at a finer grid each cell covers proportionally
+        less area, so the quantile anchors and the planted peak counts
+        are divided by the mean-hex-area ratio (≈ 7× per resolution
+        step). The national total is unchanged — the same 4.66 M
+        locations spread over ~7× more cells at resolution 6.
+        """
+        from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2
+
+        if not 0 <= resolution < len(H3_MEAN_HEX_AREA_KM2):
+            raise CalibrationError(
+                f"unsupported grid resolution: {resolution!r}"
+            )
+        factor = (
+            H3_MEAN_HEX_AREA_KM2[STARLINK_CELL_RESOLUTION]
+            / H3_MEAN_HEX_AREA_KM2[resolution]
+        )
+        anchors = tuple(
+            (p, max(1.0, count / factor))
+            for p, count in DEFAULT_CELL_COUNT_ANCHORS
+        )
+        peaks = tuple(
+            (max(1, round(n / factor)), lat, lon)
+            for n, lat, lon in DEFAULT_PLANTED_PEAKS
+        )
+        return cls(
+            seed=seed,
+            resolution=resolution,
+            cell_count_anchors=anchors,
+            planted_peaks=peaks,
+            description=f"synthetic national map @ H3 res {resolution}",
+            **overrides,
+        )
+
 
 def generate_national_map(
     config: Optional[SyntheticMapConfig] = None,

@@ -1,0 +1,369 @@
+"""Zero-copy model handoff to sweep workers over POSIX shared memory.
+
+The sweep runner's spawn-mode workers used to rebuild the whole model —
+a multi-second synthetic-map regeneration per worker per pool — and its
+fork-mode workers relied on copy-on-write inheritance that silently
+degrades as the parent's reference counts touch every inherited page.
+This module replaces both with an explicit handoff:
+
+* :class:`SharedBlock` packs named NumPy arrays into **one**
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and hands
+  out a picklable :class:`SharedBlockHandle` (segment name + per-array
+  dtype/shape/offset specs) that any process can :meth:`~SharedBlock.attach`
+  to in microseconds;
+* :class:`ModelShare` publishes a :class:`~repro.core.model.StarlinkDivideModel`
+  as one block (the dataset's cell and county columns) plus a small
+  picklable handle carrying the scalar config, and rebuilds an
+  equivalent model from an attached handle via
+  :meth:`~repro.demand.dataset.DemandDataset.from_columns` — no map
+  regeneration, no column copies.
+
+Lifecycle: the *owner* (the sweep parent) creates the segment, keeps it
+alive across pool rebuilds and the serial-degradation path, and
+unlinks it in ``close()`` (also registered via :mod:`atexit` so a
+crashed parent does not leak ``/dev/shm`` segments). Workers attach
+without registering with the ``resource_tracker`` — on Python < 3.13
+attaching registers the segment and the tracker would unlink it when
+the *first* worker exits, yanking it from under the others (bpo-39959);
+``_attach_untracked`` handles both interpreter generations.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import RunnerError
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "ArraySpec",
+    "ModelShare",
+    "ModelShareHandle",
+    "SharedBlock",
+    "SharedBlockHandle",
+]
+
+#: Prefix of every segment this module creates; the leak-detection tests
+#: glob ``/dev/shm`` for it after pool teardown.
+SHM_NAME_PREFIX = "repro_shm_"
+
+#: Byte alignment of each packed array within the segment.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one packed array inside a shared segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+@dataclass(frozen=True)
+class SharedBlockHandle:
+    """Picklable address of a :class:`SharedBlock`: segment name + layout."""
+
+    shm_name: str
+    specs: Tuple[ArraySpec, ...]
+    size: int
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Python 3.13 grew ``track=False``; earlier interpreters register every
+    attach with the resource tracker, which then unlinks the segment when
+    the first attaching process exits — so the registration is undone by
+    hand there.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        # Suppress registration instead of unregistering afterwards:
+        # under fork the workers share the parent's tracker process, so
+        # an unregister would also erase the owner's registration and
+        # the owner's later unlink would trip a tracker KeyError.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(name_, rtype):
+            if rtype != "shared_memory":
+                original(name_, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedBlock:
+    """Named NumPy arrays packed into one shared-memory segment.
+
+    Create with :meth:`create` (the owning process), address with
+    :attr:`handle`, and map from any process with :meth:`attach`.
+    Attached arrays are read-only views of the segment — zero copies.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        handle: SharedBlockHandle,
+        owner: bool,
+    ):
+        self._segment = segment
+        self.handle = handle
+        self._owner = owner
+        self._closed = False
+        if owner:
+            atexit.register(self._cleanup)
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedBlock":
+        """Pack ``arrays`` into a fresh segment owned by this process."""
+        specs = []
+        offset = 0
+        flat = {name: np.ascontiguousarray(a) for name, a in arrays.items()}
+        for name, array in flat.items():
+            offset = _aligned(offset)
+            specs.append(
+                ArraySpec(
+                    name=name,
+                    dtype=array.dtype.str,
+                    shape=tuple(array.shape),
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        size = max(offset, 1)
+        name = SHM_NAME_PREFIX + secrets.token_hex(8)
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except OSError as exc:
+            raise RunnerError(f"could not create shared memory: {exc}")
+        handle = SharedBlockHandle(
+            shm_name=segment.name, specs=tuple(specs), size=size
+        )
+        block = cls(segment, handle, owner=True)
+        for spec, array in zip(specs, flat.values()):
+            np.ndarray(
+                spec.shape, dtype=spec.dtype,
+                buffer=segment.buf, offset=spec.offset,
+            )[...] = array
+        obs.registry().counter("runner.shm.segments_created").inc()
+        obs.registry().counter("runner.shm.bytes_shared").inc(size)
+        return block
+
+    @classmethod
+    def attach(cls, handle: SharedBlockHandle) -> "SharedBlock":
+        """Map an existing segment by name (any process, zero-copy)."""
+        try:
+            segment = _attach_untracked(handle.shm_name)
+        except FileNotFoundError:
+            raise RunnerError(
+                f"shared memory segment {handle.shm_name!r} is gone; "
+                "was the owning sweep torn down?"
+            )
+        return cls(segment, handle, owner=False)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The packed arrays as views of the segment (read-only)."""
+        if self._closed:
+            raise RunnerError("shared block is closed")
+        views = {}
+        for spec in self.handle.specs:
+            view = np.ndarray(
+                spec.shape,
+                dtype=spec.dtype,
+                buffer=self._segment.buf,
+                offset=spec.offset,
+            )
+            view.flags.writeable = False
+            views[spec.name] = view
+        return views
+
+    def close(self) -> None:
+        """Drop this process's mapping; the owner also unlinks the segment.
+
+        Idempotent. The owner's close removes the ``/dev/shm`` entry, so
+        it must happen only after every worker that could attach has
+        exited — the sweep runner does it in its ``finally``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a view still exported
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            atexit.unregister(self._cleanup)
+
+    def _cleanup(self) -> None:  # pragma: no cover - atexit safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SharedBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ModelShareHandle:
+    """Everything a worker needs to rebuild the model from shared memory.
+
+    The bulk data (dataset cell and county columns) lives in the shared
+    block; the handle itself carries only scalars and small pickles, so
+    shipping it through pool-initializer args is cheap under both fork
+    and spawn.
+    """
+
+    block: SharedBlockHandle
+    grid_resolution: int
+    description: str
+    county_names: Tuple[str, ...]
+    capacity_blob: Optional[bytes]
+    density_blob: Optional[bytes]
+    fingerprint: str
+
+
+class ModelShare:
+    """A published model: one shared block + a picklable rebuild recipe."""
+
+    def __init__(self, block: SharedBlock, handle: ModelShareHandle):
+        self._block = block
+        self.handle = handle
+
+    @classmethod
+    def publish(cls, model) -> "ModelShare":
+        """Pack ``model``'s dataset columns into shared memory (owner side)."""
+        import pickle
+
+        dataset = model.dataset
+        with obs.span("runner.shm.publish"):
+            columns = dataset.to_columns()
+            county = dataset.county_columns()
+            arrays = {f"cell.{k}": v for k, v in columns.items()}
+            arrays.update({f"county.{k}": v for k, v in county.items()})
+            county_ids = county["county_id"]
+            names = tuple(
+                dataset.counties[int(i)].name for i in county_ids
+            )
+
+            def _blob(obj) -> Optional[bytes]:
+                if obj is None:
+                    return None
+                try:
+                    return pickle.dumps(obj)
+                except Exception:
+                    return None
+
+            block = SharedBlock.create(arrays)
+            handle = ModelShareHandle(
+                block=block.handle,
+                grid_resolution=dataset.grid_resolution,
+                description=dataset.description,
+                county_names=names,
+                capacity_blob=_blob(model.capacity),
+                density_blob=_blob(getattr(model.sizer, "density", None)),
+                fingerprint=dataset.fingerprint(),
+            )
+            return cls(block, handle)
+
+    @staticmethod
+    def build_model(handle: ModelShareHandle):
+        """Attach and rebuild the model (worker side, zero-copy columns).
+
+        The returned model keeps the attached :class:`SharedBlock` alive
+        via ``model._shm_block`` for as long as the model itself lives;
+        the worker's process exit drops the mapping.
+        """
+        import pickle
+
+        from repro.core.model import StarlinkDivideModel
+        from repro.demand.bsl import County
+        from repro.demand.dataset import DemandDataset
+        from repro.geo.coords import LatLon
+
+        with obs.span("runner.shm.attach"):
+            block = SharedBlock.attach(handle.block)
+            arrays = block.arrays()
+            columns = {
+                k[len("cell."):]: v
+                for k, v in arrays.items()
+                if k.startswith("cell.")
+            }
+            county_ids = arrays["county.county_id"]
+            counties = {
+                int(county_id): County(
+                    county_id=int(county_id),
+                    name=name,
+                    seat=LatLon(float(lat), float(lon)),
+                    median_household_income_usd=float(income),
+                )
+                for county_id, name, lat, lon, income in zip(
+                    county_ids,
+                    handle.county_names,
+                    arrays["county.seat_lat"],
+                    arrays["county.seat_lon"],
+                    arrays["county.income"],
+                )
+            }
+            dataset = DemandDataset.from_columns(
+                columns,
+                counties=counties,
+                grid_resolution=handle.grid_resolution,
+                description=handle.description,
+            )
+            capacity = (
+                pickle.loads(handle.capacity_blob)
+                if handle.capacity_blob
+                else None
+            )
+            density = (
+                pickle.loads(handle.density_blob)
+                if handle.density_blob
+                else None
+            )
+            model = StarlinkDivideModel(dataset, capacity, density)
+            model._shm_block = block
+            obs.registry().counter("runner.shm.attaches").inc()
+            return model
+
+    def close(self) -> None:
+        """Tear the published segment down (owner side, idempotent)."""
+        self._block.close()
+
+    def __enter__(self) -> "ModelShare":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -15,11 +15,19 @@ same order regardless of completion order, which is what makes serial,
 parallel, and cache-warm runs directly comparable. Each task carries a
 deterministic seed derived from its content address.
 
-Under the ``fork`` start method (the Linux default) workers inherit the
-parent's already-built model, so parallel sweeps pay no per-worker
-rebuild. Under ``spawn``, pass a picklable ``model_builder`` (a
-module-level function or :func:`functools.partial` of one) and each
-worker rebuilds from it once.
+Parallel workers acquire their model over shared memory: the parent
+publishes the dataset columns as one
+:class:`~repro.runner.shm.ModelShare` segment before the first pool and
+every worker — fork and spawn alike, including workers of pools rebuilt
+after a break — attaches by name instead of regenerating the synthetic
+map. The segment outlives pool rebuilds and the serial-degradation
+path and is unlinked in the run's ``finally``. When shared memory is
+unavailable the runner falls back to the old behavior: fork workers
+inherit the parent's model, spawn workers rebuild from the picklable
+``model_builder`` (a module-level function or :func:`functools.partial`
+of one). ``start_method`` picks the pool's start method explicitly
+(``"fork"`` | ``"spawn"`` | ``"forkserver"``); None keeps the platform
+default.
 
 Fault tolerance
 ---------------
@@ -326,9 +334,16 @@ class SweepRunner:
         model_builder: Optional[Callable[[], StarlinkDivideModel]] = None,
         progress: Optional[Callable[[TaskResult], None]] = None,
         policy: Optional[FailurePolicy] = None,
+        start_method: Optional[str] = None,
+        use_shared_memory: bool = True,
     ):
         if n_workers < 1:
             raise RunnerError(f"n_workers must be >= 1: {n_workers!r}")
+        if start_method not in (None, "fork", "spawn", "forkserver"):
+            raise RunnerError(
+                f"unknown start method {start_method!r}; "
+                "known: fork, spawn, forkserver"
+            )
         self.sweep_id = sweep_id
         self.function = get_sweep_function(sweep_id)
         self.grid = grid
@@ -337,6 +352,8 @@ class SweepRunner:
         self.model_builder = model_builder
         self.progress = progress
         self.policy = policy or FailurePolicy()
+        self.start_method = start_method
+        self.use_shared_memory = use_shared_memory
 
     # -- internals ----------------------------------------------------------
 
@@ -401,6 +418,27 @@ class SweepRunner:
 
     def _task_seed(self, params: Dict) -> int:
         return task_seed(self.sweep_id, params)
+
+    def _publish_share(self, model: StarlinkDivideModel):
+        """Publish the model to shared memory, or None if unavailable.
+
+        Any failure (no ``/dev/shm``, segment quota, an unpicklable
+        capacity override) downgrades to the legacy inherit/rebuild
+        path rather than failing the sweep.
+        """
+        if not self.use_shared_memory:
+            return None
+        try:
+            from repro.runner.shm import ModelShare
+
+            return ModelShare.publish(model)
+        except Exception as exc:
+            _log.warning(
+                "shared-memory publish failed (%s); workers will "
+                "inherit or rebuild the model instead",
+                exc,
+            )
+            return None
 
     # -- serial execution ---------------------------------------------------
 
@@ -612,12 +650,26 @@ class SweepRunner:
         pending: Sequence[_Attempt],
         slots: List[Optional[TaskResult]],
         registry,
+        share_handle=None,
     ) -> None:
-        """Pooled execution with timeout abandons and pool recovery."""
+        """Pooled execution with timeout abandons and pool recovery.
+
+        ``share_handle`` (a :class:`~repro.runner.shm.ModelShareHandle`)
+        reaches every pool this method creates — including pools rebuilt
+        after a break — so recovered workers re-attach the same segment
+        instead of rebuilding the model.
+        """
+        import multiprocessing
+
         queue: List[Tuple[float, int, _Attempt]] = []
         for attempt in pending:
             heapq.heappush(queue, (0.0, attempt.index, attempt))
         max_workers = min(self.n_workers, len(pending))
+        mp_context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else None
+        )
         breaks = 0
         while queue:
             if breaks > 1:
@@ -635,8 +687,9 @@ class SweepRunner:
                 return
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers,
+                mp_context=mp_context,
                 initializer=_tasks._worker_init,
-                initargs=(builder,),
+                initargs=(builder, share_handle),
             )
             try:
                 self._drain_pool(pool, max_workers, queue, slots, registry)
@@ -717,17 +770,27 @@ class SweepRunner:
             if pending and self.n_workers == 1:
                 self._run_serial(model, pending, slots)
             elif pending:
-                # Seed the module global so forked workers inherit the model
-                # instead of rebuilding; spawn falls back to the builder.
-                _tasks._WORKER_MODEL = model
+                share = self._publish_share(model)
+                if share is None:
+                    # No shared memory: seed the module global so forked
+                    # workers inherit the model instead of rebuilding;
+                    # spawn falls back to the builder.
+                    _tasks._WORKER_MODEL = model
                 registry = obs.registry()
                 try:
                     with obs.span("runner.gather", tasks=len(pending)):
                         self._run_parallel(
-                            model, builder, pending, slots, registry
+                            model,
+                            builder,
+                            pending,
+                            slots,
+                            registry,
+                            share.handle if share is not None else None,
                         )
                 finally:
                     _tasks._WORKER_MODEL = None
+                    if share is not None:
+                        share.close()
 
         report = SweepReport(
             sweep_id=self.sweep_id,

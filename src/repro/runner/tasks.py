@@ -203,29 +203,59 @@ def get_sweep_function(sweep_id: str) -> SweepFunction:
     return SWEEP_FUNCTIONS[sweep_id]
 
 
-def build_default_model(seed: Optional[int] = None) -> StarlinkDivideModel:
-    """Default model builder: the calibrated national map at ``seed``."""
+def build_default_model(
+    seed: Optional[int] = None, grid_resolution: Optional[int] = None
+) -> StarlinkDivideModel:
+    """Default model builder: the calibrated national map at ``seed``.
+
+    ``grid_resolution`` rescales the calibration to another H3
+    resolution (see :meth:`SyntheticMapConfig.at_resolution`); the
+    default is the paper's resolution 5.
+    """
     from repro.demand.synthetic import SyntheticMapConfig
 
-    config = SyntheticMapConfig(seed=seed) if seed is not None else None
+    if grid_resolution is not None:
+        config = SyntheticMapConfig.at_resolution(
+            grid_resolution, seed=seed if seed is not None else 20250706
+        )
+    elif seed is not None:
+        config = SyntheticMapConfig(seed=seed)
+    else:
+        config = None
     return StarlinkDivideModel.default(config)
 
 
 # -- worker-process state ---------------------------------------------------
 #
-# Each worker builds (or, under the fork start method, inherits) one model
-# and reuses it for every task it executes. The parent seeds
-# ``_WORKER_MODEL`` before creating the pool so that forked children skip
-# the rebuild entirely; under spawn the initializer rebuilds from the
-# (picklable) builder.
+# Each worker acquires one model and reuses it for every task it executes.
+# Acquisition order in ``_worker_init``:
+#
+# 1. an inherited ``_WORKER_MODEL`` (the parent seeded the global before a
+#    fork-mode pool when no shared-memory segment was available);
+# 2. a :class:`~repro.runner.shm.ModelShareHandle` — attach the parent's
+#    shared-memory columns and rebuild in milliseconds (the normal path,
+#    fork and spawn alike);
+# 3. the picklable ``builder`` — full model rebuild, the last resort
+#    (shared memory unavailable, or the segment vanished).
 
 _WORKER_MODEL: Optional[StarlinkDivideModel] = None
 
 
-def _worker_init(builder: Callable[[], StarlinkDivideModel]) -> None:
+def _worker_init(
+    builder: Callable[[], StarlinkDivideModel], share_handle=None
+) -> None:
     global _WORKER_MODEL
-    if _WORKER_MODEL is None:
-        _WORKER_MODEL = builder()
+    if _WORKER_MODEL is not None:
+        return
+    if share_handle is not None:
+        from repro.runner.shm import ModelShare
+
+        try:
+            _WORKER_MODEL = ModelShare.build_model(share_handle)
+            return
+        except Exception:  # segment gone or unmappable: rebuild instead
+            obs.registry().counter("runner.shm.attach_failures").inc()
+    _WORKER_MODEL = builder()
 
 
 def _worker_run_sweep(

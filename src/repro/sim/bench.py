@@ -48,30 +48,64 @@ QUICK_BBOX = (37.0, 38.5, -83.5, -81.0)
 
 @dataclass(frozen=True)
 class BenchTimings:
-    """Best-of-``repeat`` wall times for one benchmarked operation."""
+    """Best-of-``repeat`` wall times for one benchmarked operation.
+
+    ``fast_s``/``reference_s`` are the min across repeats (the least
+    noise-inflated estimate); the per-repeat samples are kept so the
+    recorded JSON shows the spread a single number would hide.
+    """
 
     fast_s: float
     reference_s: float
+    fast_samples: Tuple[float, ...] = ()
+    reference_samples: Tuple[float, ...] = ()
+
+    @classmethod
+    def measure(
+        cls,
+        repeat: int,
+        fast: Callable[[], None],
+        reference: Callable[[], None],
+    ) -> "BenchTimings":
+        """Time both sides ``repeat`` times; keep min and all samples."""
+        fast_samples = _timed_samples(repeat, fast)
+        reference_samples = _timed_samples(repeat, reference)
+        return cls(
+            fast_s=min(fast_samples),
+            reference_s=min(reference_samples),
+            fast_samples=tuple(fast_samples),
+            reference_samples=tuple(reference_samples),
+        )
 
     @property
     def speedup(self) -> float:
         return self.reference_s / self.fast_s if self.fast_s > 0 else float("inf")
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        result = {
             "fast_s": self.fast_s,
             "reference_s": self.reference_s,
             "speedup": self.speedup,
         }
+        if self.fast_samples:
+            result["fast_samples"] = list(self.fast_samples)
+        if self.reference_samples:
+            result["reference_samples"] = list(self.reference_samples)
+        return result
 
 
-def _best_of(repeat: int, fn: Callable[[], None]) -> float:
-    best = float("inf")
+def _timed_samples(repeat: int, fn: Callable[[], None]) -> List[float]:
+    """Wall time of each of ``max(1, repeat)`` runs of ``fn``."""
+    samples = []
     for _ in range(max(1, repeat)):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _best_of(repeat: int, fn: Callable[[], None]) -> float:
+    return min(_timed_samples(repeat, fn))
 
 
 def bench_visibility(
@@ -90,9 +124,7 @@ def bench_visibility(
         for time_s in times_s:
             simulation._visibility(time_s)
 
-    return BenchTimings(
-        fast_s=_best_of(repeat, fast), reference_s=_best_of(repeat, reference)
-    )
+    return BenchTimings.measure(repeat, fast, reference)
 
 
 def bench_assignment(
@@ -114,9 +146,7 @@ def bench_assignment(
     def reference() -> None:
         reference_cls().assign(lists, demands, simulation.satellite_count, plan)
 
-    return BenchTimings(
-        fast_s=_best_of(repeat, fast), reference_s=_best_of(repeat, reference)
-    )
+    return BenchTimings.measure(repeat, fast, reference)
 
 
 def bench_end_to_end(
@@ -143,9 +173,8 @@ def bench_end_to_end(
         metrics = simulation.run(clock)
         reports[engine] = simulation.report(metrics)
 
-    timings = BenchTimings(
-        fast_s=_best_of(repeat, lambda: run("fast")),
-        reference_s=_best_of(repeat, lambda: run("reference")),
+    timings = BenchTimings.measure(
+        repeat, lambda: run("fast"), lambda: run("reference")
     )
     return timings, reports["fast"] == reports["reference"]
 

@@ -106,3 +106,55 @@ class TestSubset:
         subset = national_dataset.subset_bbox(36.0, 39.0, -90.0, -80.0)
         assert 0 < subset.total_locations < national_dataset.total_locations
         assert subset.max_cell().total_locations == 5998  # planted peak inside
+
+
+class TestColumns:
+    def test_round_trip_preserves_everything(self, toy_dataset):
+        rebuilt = DemandDataset.from_columns(
+            toy_dataset.to_columns(),
+            toy_dataset.counties,
+            toy_dataset.grid_resolution,
+            toy_dataset.description,
+        )
+        assert rebuilt.fingerprint() == toy_dataset.fingerprint()
+        assert rebuilt.total_locations == toy_dataset.total_locations
+        assert np.array_equal(rebuilt.counts(), toy_dataset.counts())
+        # The cell-object view materializes lazily and matches.
+        assert rebuilt.cells == toy_dataset.cells
+
+    def test_columns_are_adopted_not_copied(self, toy_dataset):
+        columns = {
+            name: np.array(col)
+            for name, col in toy_dataset.to_columns().items()
+        }
+        rebuilt = DemandDataset.from_columns(
+            columns, toy_dataset.counties, toy_dataset.grid_resolution
+        )
+        assert rebuilt.to_columns()["cell_key"] is columns["cell_key"]
+
+    def test_missing_column_rejected(self, toy_dataset):
+        columns = dict(toy_dataset.to_columns())
+        del columns["unserved"]
+        with pytest.raises(DatasetError, match="missing dataset columns"):
+            DemandDataset.from_columns(
+                columns, toy_dataset.counties, toy_dataset.grid_resolution
+            )
+
+    def test_column_validation_still_runs(self, toy_dataset):
+        columns = dict(toy_dataset.to_columns())
+        columns["county_id"] = np.full_like(columns["county_id"], 9999)
+        with pytest.raises(DatasetError):
+            DemandDataset.from_columns(
+                columns, toy_dataset.counties, toy_dataset.grid_resolution
+            )
+
+    def test_county_columns_align(self, toy_dataset):
+        counties = toy_dataset.county_columns()
+        ids = counties["county_id"]
+        assert list(ids) == sorted(toy_dataset.counties)
+        for i, county_id in enumerate(ids):
+            county = toy_dataset.counties[int(county_id)]
+            assert counties["income"][i] == (
+                county.median_household_income_usd
+            )
+            assert counties["seat_lat"][i] == county.seat.lat_deg

@@ -1,0 +1,162 @@
+"""Differential proofs for the fused demand kernels.
+
+The batched-RNG explode (:mod:`repro.demand.fused`) and the run-length
+bin aggregation must be **bit-identical** to the retained per-group
+reference loop on arbitrary datasets — including when a chunk is forced
+down the generator-rewind path, and across chunk boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.demand import fused
+from repro.demand.dataset import DemandDataset
+from repro.demand.bsl import County, ServiceCell
+from repro.demand.fused import fused_explode_columns, runlength_unique_counts
+from repro.demand.locations import (
+    LocationTable,
+    _explode_cells_table,
+    bin_locations,
+    bin_table,
+    explode_cells,
+    explode_cells_table,
+)
+from repro.geo.coords import LatLon
+from repro.geo.hexgrid import CellId, HexGrid
+
+
+class _NullSpan:
+    def set(self, **attrs):
+        pass
+
+
+def _dataset_from_counts(counts):
+    grid = HexGrid(5)
+    cells = []
+    counties = {}
+    for index, (unserved, underserved) in enumerate(counts):
+        cell = CellId(5, 3 * index - 4, -index)
+        counties[index] = County(
+            county_id=index,
+            name=f"Toy {index}",
+            seat=LatLon(37.0, -90.0),
+            median_household_income_usd=60000.0,
+        )
+        cells.append(
+            ServiceCell(
+                cell=cell,
+                center=grid.center(cell),
+                county_id=index,
+                unserved_locations=unserved,
+                underserved_locations=underserved,
+            )
+        )
+    return DemandDataset(
+        cells=cells, counties=counties, grid_resolution=5, description="toy"
+    )
+
+
+def _reference_table(dataset, seed):
+    return _explode_cells_table(dataset, seed, _NullSpan())
+
+
+count_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=80),
+        st.integers(min_value=0, max_value=80),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestFusedExplodeDifferential:
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_loop(self, counts, seed):
+        dataset = _dataset_from_counts(counts)
+        fused_table = explode_cells_table(dataset, seed=seed)
+        assert fused_table.equals(_reference_table(dataset, seed))
+
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_scalar_records(self, counts, seed):
+        dataset = _dataset_from_counts(counts)
+        fused_table = explode_cells_table(dataset, seed=seed)
+        reference = LocationTable.from_records(
+            explode_cells(dataset, seed=seed)
+        )
+        assert fused_table.equals(reference)
+
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_forced_rewind_matches(self, counts, seed):
+        """The snapshot/rewind path replays the reference stream exactly."""
+        dataset = _dataset_from_counts(counts)
+        expected = _reference_table(dataset, seed)
+        fused._FORCE_REWIND = True
+        try:
+            assert explode_cells_table(dataset, seed=seed).equals(expected)
+        finally:
+            fused._FORCE_REWIND = False
+
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_tiny_chunks_match(self, counts, seed):
+        """Chunk boundaries never leak into the output (1 group/chunk)."""
+        dataset = _dataset_from_counts(counts)
+        expected = _reference_table(dataset, seed)
+        chunk_draws = fused._CHUNK_DRAWS
+        fused._CHUNK_DRAWS = 1
+        try:
+            assert explode_cells_table(dataset, seed=seed).equals(expected)
+        finally:
+            fused._CHUNK_DRAWS = chunk_draws
+
+    def test_zero_count_groups_consume_no_draws(self):
+        # Interleaved zero groups must not shift any later cell's stream.
+        sparse = _dataset_from_counts([(5, 0), (0, 0), (0, 7), (3, 3)])
+        assert explode_cells_table(sparse, seed=11).equals(
+            _reference_table(sparse, 11)
+        )
+
+    def test_empty_dataset_rows(self):
+        table = explode_cells_table(_dataset_from_counts([(0, 0)]), seed=1)
+        assert len(table) == 0
+
+
+class TestFusedBinDifferential:
+    @given(count_pairs, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_bin_matches_scalar(self, counts, seed):
+        dataset = _dataset_from_counts(counts)
+        table = explode_cells_table(dataset, seed=seed)
+        assert bin_table(table, 5) == bin_locations(
+            explode_cells(dataset, seed=seed), 5
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+        st.lists(st.booleans(), max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_runlength_counts_match_unique(self, key_values, flags):
+        n = min(len(key_values), len(flags))
+        keys = np.asarray(key_values[:n], dtype=np.uint64)
+        unserved = np.asarray(flags[:n], dtype=bool)
+        unique_keys, uns, und = runlength_unique_counts(keys, unserved)
+        expected_keys, inverse = np.unique(keys, return_inverse=True)
+        assert np.array_equal(unique_keys, expected_keys)
+        assert np.array_equal(
+            uns, np.bincount(inverse[unserved], minlength=len(expected_keys))
+        )
+        assert np.array_equal(
+            und, np.bincount(inverse[~unserved], minlength=len(expected_keys))
+        )
+
+    def test_runlength_empty(self):
+        keys, uns, und = runlength_unique_counts(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+        )
+        assert len(keys) == len(uns) == len(und) == 0

@@ -300,6 +300,65 @@ class TestNpz:
             LocationTable.from_npz(target, mmap_mode="r")
 
 
+class TestClose:
+    def _mapped(self, tmp_path):
+        table = explode_cells_table(build_toy_dataset([40, 7]), seed=2)
+        path = table.to_npz(tmp_path / "table")
+        return LocationTable.from_npz(path, mmap_mode="r")
+
+    def test_close_releases_the_mapping(self, tmp_path):
+        mapped = self._mapped(tmp_path)
+        buffer = mapped.location_id.base._mmap
+        assert not buffer.closed
+        mapped.close()
+        assert buffer.closed
+        assert len(mapped) == 0
+        # Dtypes survive so any stale consumer fails on length, not type.
+        assert mapped.cell_key.dtype == np.uint64
+
+    def test_close_is_idempotent(self, tmp_path):
+        mapped = self._mapped(tmp_path)
+        mapped.close()
+        mapped.close()
+        assert len(mapped) == 0
+
+    def test_close_in_memory_table_is_safe(self):
+        table = explode_cells_table(build_toy_dataset([4]), seed=2)
+        table.close()
+        assert len(table) == 0
+
+    def test_context_manager_closes(self, tmp_path):
+        with self._mapped(tmp_path) as mapped:
+            buffer = mapped.location_id.base._mmap
+            assert len(mapped) == 47
+        assert buffer.closed
+        assert len(mapped) == 0
+
+    def test_live_view_does_not_block_the_close(self, tmp_path):
+        """NumPy views hold no buffer export on the mmap, so close()
+        releases the mapping even while a view object survives (the
+        contract: such views must not be read afterwards)."""
+        mapped = self._mapped(tmp_path)
+        view = mapped.lat_deg
+        buffer = mapped.lat_deg.base._mmap
+        mapped.close()
+        assert buffer.closed
+        assert view is not None  # the object survives; its pages do not
+
+    def test_direct_buffer_export_defers_the_close(self, tmp_path):
+        """A raw memoryview over the mmap *does* pin it; close() must
+        tolerate the BufferError and leave the export usable."""
+        mapped = self._mapped(tmp_path)
+        buffer = mapped.lat_deg.base._mmap
+        export = memoryview(buffer)
+        mapped.close()
+        assert not buffer.closed
+        assert len(mapped) == 0
+        export.release()
+        buffer.close()
+        assert buffer.closed
+
+
 class TestTableValidation:
     def _columns(self, **overrides):
         base = dict(

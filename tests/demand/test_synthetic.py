@@ -118,3 +118,39 @@ class TestConfigValidation:
         dataset = generate_national_map(config)
         assert dataset.total_locations == 200_000
         assert dataset.max_cell().total_locations == 5998
+
+
+class TestAtResolution:
+    def test_res5_keeps_paper_calibration(self):
+        config = SyntheticMapConfig.at_resolution(5)
+        assert config.resolution == 5
+        assert config.planted_peaks == DEFAULT_PLANTED_PEAKS
+        assert config.total_locations == SyntheticMapConfig().total_locations
+
+    def test_res6_scales_by_cell_area(self):
+        from repro.geo.hexgrid import H3_MEAN_HEX_AREA_KM2
+
+        config = SyntheticMapConfig.at_resolution(6)
+        factor = H3_MEAN_HEX_AREA_KM2[5] / H3_MEAN_HEX_AREA_KM2[6]
+        assert config.resolution == 6
+        # National total unchanged; per-cell calibration divided by the
+        # mean-hex-area ratio (~7x per resolution step).
+        assert config.total_locations == SyntheticMapConfig().total_locations
+        for (n6, _, _), (n5, _, _) in zip(
+            config.planted_peaks, DEFAULT_PLANTED_PEAKS
+        ):
+            assert n6 == max(1, round(n5 / factor))
+        # Peaks must remain the densest cells after scaling.
+        max_anchor = max(c for _, c in config.cell_count_anchors)
+        assert max_anchor < min(n for n, _, _ in config.planted_peaks)
+
+    def test_seed_and_overrides_pass_through(self):
+        config = SyntheticMapConfig.at_resolution(
+            6, seed=99, unserved_fraction=0.5
+        )
+        assert config.seed == 99
+        assert config.unserved_fraction == 0.5
+
+    def test_rejects_unknown_resolution(self):
+        with pytest.raises(CalibrationError):
+            SyntheticMapConfig.at_resolution(42)

@@ -39,6 +39,21 @@ def _counters_after_run(sweep_id, grid, n_workers):
     return dict(obs.registry().counter_items()), report
 
 
+def _task_counters(counters):
+    """Counters attributable to task execution.
+
+    ``runner.shm.*`` is parent/worker pool *infrastructure* — a serial
+    run never publishes a shared-memory segment, so those counters
+    legitimately differ by execution mode and are outside the merge
+    parity this test proves.
+    """
+    return {
+        key: value
+        for key, value in counters.items()
+        if not key.startswith("runner.shm.")
+    }
+
+
 @pytest.mark.parametrize(
     "sweep_id,grid",
     [
@@ -53,7 +68,7 @@ def test_parallel_merged_counters_equal_serial(sweep_id, grid):
     )
     n_tasks = len(list(grid))
     assert serial_counters["runner.tasks.completed"] == n_tasks
-    assert parallel_counters == serial_counters
+    assert _task_counters(parallel_counters) == _task_counters(serial_counters)
     # And, as ever, the results themselves are identical in grid order.
     assert [r.metrics for r in parallel_report.results] == [
         r.metrics for r in serial_report.results

@@ -1,0 +1,145 @@
+"""Shared-memory model handoff, end to end and under fire.
+
+Fork *and* spawn pools must attach the published segment instead of
+rebuilding the model (proven with a poison builder that fails the
+sweep if any worker falls back to it), parallel results must stay
+byte-equal to serial, and no ``/dev/shm`` segment may outlive the
+sweep — including after a worker is killed mid-task and the pool is
+rebuilt against the same segment.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import FailurePolicy, ParameterGrid, SweepRunner
+from repro.runner.faults import injected_faults
+from repro.runner.shm import (
+    SHM_NAME_PREFIX,
+    ModelShare,
+    SharedBlock,
+)
+from tests.runner.test_sweep import metrics_of, toy_model
+
+GRID_4 = ParameterGrid({"beamspread": (1, 2), "oversubscription": (10, 20)})
+
+CONTINUE = FailurePolicy(on_error="continue")
+
+
+def _leaked_segments():
+    return sorted(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
+
+
+def _poison_builder():
+    """A model builder no worker may ever need."""
+    raise AssertionError(
+        "worker fell back to the model builder; shared-memory attach "
+        "did not happen"
+    )
+
+
+class TestSharedBlock:
+    def test_create_attach_round_trip(self):
+        arrays = {
+            "ints": np.arange(7, dtype=np.int64),
+            "floats": np.linspace(0.0, 1.0, 5),
+            "keys": np.array([2, 3], dtype=np.uint64),
+        }
+        with SharedBlock.create(arrays) as block:
+            with SharedBlock.attach(block.handle) as attached:
+                views = attached.arrays()
+                assert set(views) == set(arrays)
+                for name, original in arrays.items():
+                    assert np.array_equal(views[name], original)
+                    assert views[name].dtype == original.dtype
+                    assert not views[name].flags.writeable
+
+    def test_owner_close_unlinks_the_segment(self):
+        block = SharedBlock.create({"a": np.arange(3)})
+        path = f"/dev/shm/{block.handle.shm_name}"
+        assert glob.glob(path)
+        block.close()
+        assert not glob.glob(path)
+        block.close()  # idempotent
+
+    def test_attach_to_gone_segment_raises(self):
+        block = SharedBlock.create({"a": np.arange(3)})
+        handle = block.handle
+        block.close()
+        with pytest.raises(RunnerError, match="gone"):
+            SharedBlock.attach(handle)
+
+    def test_arrays_after_close_raise(self):
+        block = SharedBlock.create({"a": np.arange(3)})
+        block.close()
+        with pytest.raises(RunnerError, match="closed"):
+            block.arrays()
+
+    def test_empty_mapping_round_trips(self):
+        with SharedBlock.create({}) as block:
+            with SharedBlock.attach(block.handle) as attached:
+                assert attached.arrays() == {}
+
+
+class TestModelShare:
+    def test_rebuilt_model_matches_the_original(self):
+        model = toy_model()
+        with ModelShare.publish(model) as share:
+            rebuilt = ModelShare.build_model(share.handle)
+            try:
+                assert (
+                    rebuilt.dataset.fingerprint()
+                    == model.dataset.fingerprint()
+                )
+                assert (
+                    rebuilt.dataset.total_locations
+                    == model.dataset.total_locations
+                )
+            finally:
+                rebuilt._shm_block.close()
+        assert not _leaked_segments()
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+class TestStartMethodSweeps:
+    def test_attach_results_equal_serial_without_leaks(
+        self, start_method, telemetry
+    ):
+        model = toy_model()
+        serial = SweepRunner("served", GRID_4).run(model=model)
+        report = SweepRunner(
+            "served",
+            GRID_4,
+            n_workers=2,
+            model_builder=_poison_builder,
+            start_method=start_method,
+        ).run(model=model)
+        assert metrics_of(report) == metrics_of(serial)
+        assert not _leaked_segments()
+        counters = dict(telemetry.counter_items())
+        # The poison builder was never needed: the pool came up clean
+        # on shared-memory attaches alone.
+        assert counters["runner.shm.segments_created"] == 1
+        assert "runner.pool.rebuilds" not in counters
+        assert "runner.pool.serial_fallbacks" not in counters
+
+    def test_killed_worker_leaves_no_segments(self, start_method, telemetry):
+        model = toy_model()
+        serial = SweepRunner("served", GRID_4).run(model=model)
+        with injected_faults("kill@2x1"):
+            report = SweepRunner(
+                "served",
+                GRID_4,
+                n_workers=2,
+                start_method=start_method,
+                policy=CONTINUE,
+            ).run(model=model)
+        assert report.n_failed == 0
+        assert metrics_of(report) == metrics_of(serial)
+        # The rebuilt pool re-attached the same segment; the owner's
+        # teardown still reclaimed it.
+        counters = dict(telemetry.counter_items())
+        assert counters["runner.pool.rebuilds"] == 1
+        assert not _leaked_segments()

@@ -1,0 +1,95 @@
+"""The grouped fast path in :meth:`ShardStore._sort_orders` must produce
+the exact permutations the general lexsort path does — and must refuse
+tables that violate its preconditions (shuffled rows, split key runs,
+non-ascending ids) by falling back."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.demand.locations import LocationTable
+from repro.serve.shards import ShardStore
+
+
+def _table(cell_keys, location_ids):
+    n = len(cell_keys)
+    return LocationTable(
+        location_id=np.asarray(location_ids, dtype=np.int64),
+        lat_deg=np.linspace(36.0, 38.0, n),
+        lon_deg=np.linspace(-84.0, -82.0, n),
+        cell_key=np.asarray(cell_keys, dtype=np.uint64),
+        county_id=np.zeros(n, dtype=np.int64),
+        technology=np.zeros(n, dtype=np.int16),
+        max_download_mbps=np.zeros(n),
+        max_upload_mbps=np.zeros(n),
+    )
+
+
+def _lexsort_orders(table):
+    order = np.lexsort((table.location_id, table.cell_key))
+    return order, np.argsort(table.location_id[order], kind="stable")
+
+
+def _assert_orders_match(table):
+    order, id_order = ShardStore._sort_orders(table)
+    ref_order, ref_id_order = _lexsort_orders(table)
+    assert np.array_equal(order, ref_order)
+    assert np.array_equal(id_order, ref_id_order)
+
+
+grouped_tables = st.lists(
+    st.integers(min_value=1, max_value=5), min_size=1, max_size=8
+).flatmap(
+    lambda lens: st.permutations(range(len(lens))).map(
+        lambda key_perm: (lens, key_perm)
+    )
+)
+
+
+@given(grouped_tables)
+@settings(max_examples=50, deadline=None)
+def test_grouped_tables_match_lexsort(case):
+    lens, key_perm = case
+    # Runs of distinct keys in arbitrary key order, globally ascending ids
+    # — the exploded-table shape the fast path is for.
+    cell_keys = np.repeat(
+        np.asarray(key_perm, dtype=np.uint64) + 7, lens
+    )
+    _assert_orders_match(_table(cell_keys, np.arange(len(cell_keys))))
+
+
+def test_shuffled_rows_fall_back():
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 6, size=40).astype(np.uint64)
+    ids = rng.permutation(40)
+    _assert_orders_match(_table(keys, ids))
+
+
+def test_split_key_run_falls_back():
+    # Key 5 appears in two separate runs: block gather would be wrong,
+    # so the uniqueness check must route this through the lexsort.
+    _assert_orders_match(_table([5, 5, 9, 9, 5], np.arange(5)))
+
+
+def test_non_ascending_ids_fall_back():
+    _assert_orders_match(_table([3, 3, 8, 8], [4, 2, 9, 11]))
+
+
+def test_empty_table():
+    _assert_orders_match(_table([], []))
+
+
+def test_store_queries_agree_between_paths():
+    keys = np.repeat(np.array([11, 4, 30], dtype=np.uint64), [3, 2, 4])
+    grouped = _table(keys, np.arange(9))
+    perm = np.random.default_rng(0).permutation(9)
+    shuffled = _table(keys[perm], np.arange(9)[perm])
+    fast = ShardStore.from_table(grouped)
+    slow = ShardStore.from_table(shuffled)
+    assert np.array_equal(fast.location_id, slow.location_id)
+    assert np.array_equal(fast.cell_key, slow.cell_key)
+    assert np.array_equal(fast.unique_keys, slow.unique_keys)
+    assert np.array_equal(fast.cell_starts, slow.cell_starts)
+    ids = np.array([0, 4, 8])
+    assert np.array_equal(
+        fast.rows_for_location_ids(ids), slow.rows_for_location_ids(ids)
+    )

@@ -295,12 +295,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         region,
         oversubscription=args.oversubscription,
         strategy=strategies[args.strategy](),
+        visibility_window=_parse_visibility_window(args.visibility_window),
     )
     clock = SimulationClock(duration_s=args.duration, step_s=args.step)
     _log.info("%s", region.summary())
     metrics = simulation.run(clock)
     print(simulation.report(metrics).text())
     return 0
+
+
+def _parse_visibility_window(text: str):
+    """--visibility-window value: "auto" or a step count."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise SystemExit(
+            f"--visibility-window must be 'auto' or an integer: {text!r}"
+        )
 
 
 def _bench_repeat(args: argparse.Namespace) -> int:
@@ -323,6 +336,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         steps=args.steps,
         repeat=_bench_repeat(args),
         dataset=model.dataset,
+        visibility_window=_parse_visibility_window(args.visibility_window),
     )
     print(format_bench_summary(results))
     path = write_bench_json(results, args.out)
@@ -725,6 +739,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--shells", choices=("gen1-53", "current"), default="gen1-53"
     )
+    sim_parser.add_argument(
+        "--visibility-window",
+        default="auto",
+        help=(
+            "visibility caching: 'auto' picks per-step rebuild vs "
+            "cached-candidate windows from the step size; an integer "
+            "pins the window length (1 = always rebuild)"
+        ),
+    )
     sim_parser.set_defaults(func=_cmd_simulate)
 
     bench_parser = sub.add_parser(
@@ -750,6 +773,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--out", default="BENCH_simulation.json", help="results JSON path"
+    )
+    bench_parser.add_argument(
+        "--visibility-window",
+        default="auto",
+        help=(
+            "visibility caching for the benched fast engine: 'auto' or "
+            "an integer window length (1 = always rebuild)"
+        ),
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -15,18 +15,35 @@ Both run on the CSR visibility arrays of
 hoist all per-cell NumPy work (demand ordering, beam requirements) into
 bulk operations done once per step; the old per-cell
 ``np.argsort(-free_beams[sats])`` is replaced by a single best-candidate
-scan with an early exit on untouched satellites. The kernels are
-outcome-identical to the original interpreted loops, which are retained
-verbatim in :mod:`repro.sim.slow_reference` for differential testing.
+scan with an early exit on untouched satellites.
+
+The expensive regime is late in a step, when most satellites are
+drained: a cell's best-candidate scan then walks a long row to find
+nothing. Both kernels track satellite *deaths* to skip that work: the
+first time a satellite drains, a satellite -> cells transpose of the
+relation is built (lazily — steps that never drain a satellite pay
+nothing), and a per-cell count of still-live candidates is maintained
+from it. A cell whose live count is zero is skipped in O(1), which is
+exact — beam counts only decrease, so a dead cell stays dead. The
+ProportionalFair leftover pass additionally swaps its
+``np.argmax``-per-grant scan (O(cells) each) for a lazy max-heap with
+stale-entry skipping, preserving the argmax tie-break (equal unmet
+demand -> lowest cell id) via the heap's (key, cell) ordering.
+
+The kernels are outcome-identical to the original interpreted loops,
+which are retained verbatim in :mod:`repro.sim.slow_reference` for
+differential testing.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 
 from repro.errors import SimulationError
 from repro.sim.visibility_index import CSRVisibility
@@ -144,6 +161,38 @@ def _beams_needed(demands_mbps: np.ndarray, plan: BeamPlan) -> np.ndarray:
     return np.minimum(np.maximum(needed, 1), plan.max_beams_per_cell)
 
 
+def _live_candidates(
+    visibility: CSRVisibility,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Death-tracking state: the satellite -> cells transpose + counts.
+
+    Returns ``(t_indptr, t_indices, alive)`` where
+    ``t_indices[t_indptr[s]:t_indptr[s + 1]]`` are the cells that see
+    satellite ``s`` and ``alive[c]`` starts as cell ``c``'s candidate
+    count. Built lazily by the kernels at the *first* satellite drain —
+    the moment it starts, exactly the satellites recorded as pending by
+    the caller have empty budgets, so decrementing their cells brings
+    ``alive`` to "candidates with free beams" and keeps it exact from
+    then on (per-satellite cell lists contain no duplicates).
+    """
+    matrix = sparse.csr_matrix(
+        (
+            np.ones(visibility.indices.shape[0], dtype=np.int8),
+            visibility.indices,
+            visibility.indptr,
+        ),
+        shape=(visibility.n_cells, visibility.n_satellites),
+    )
+    # CSR -> CSC *is* the transpose grouping: one compiled counting
+    # sort, no COO intermediate, no expanded cell-id array.
+    csc = matrix.tocsc()
+    return (
+        csc.indptr,
+        csc.indices.astype(np.int64, copy=False),
+        np.diff(visibility.indptr),
+    )
+
+
 class GreedyDemandFirst(BeamAssignmentStrategy):
     """Hungriest cells claim beams first, up to their full need."""
 
@@ -173,46 +222,69 @@ class GreedyDemandFirst(BeamAssignmentStrategy):
         order = np.argsort(-demands_mbps, kind="stable").tolist()
         needed = _beams_needed(demands_mbps, plan).tolist()
         indptr = visibility.indptr.tolist()
-        indices = visibility.indices.tolist()
+        indices = visibility.indices
         free = [budget] * visibility.n_satellites
         serving = [-1] * n_cells
         granted = [0] * n_cells
-        for cell in order:
-            start = indptr[cell]
-            end = indptr[cell + 1]
-            if start == end:
-                continue
-            need = needed[cell]
-            got = 0
-            serve = -1
-            # Take from the candidate with the most free beams until the
-            # need is met; a chosen satellite is either drained or finishes
-            # the cell, so repeated best-candidate scans visit candidates
-            # in exactly the order the full descending sort used to. A
-            # candidate with an untouched budget can't be beaten, so the
-            # scan stops at the first one (the common case).
-            while got < need:
-                best = -1
-                best_free = 0
-                for sat in indices[start:end]:
-                    beams = free[sat]
-                    if beams > best_free:
-                        best_free = beams
-                        best = sat
-                        if beams == budget:
-                            break
-                if best < 0:
-                    break
-                take = need - got
-                if take > best_free:
-                    take = best_free
-                free[best] -= take
-                if got == 0:
-                    serve = best
-                got += take
-            if got:
-                serving[cell] = serve
-                granted[cell] = got
+        # Death tracking (see _live_candidates): built at the first
+        # drained satellite; ``pending`` holds drains not yet folded
+        # into ``alive``.
+        alive = None
+        t_indptr = t_indices = None
+        pending: List[int] = []
+        if budget > 0:
+            for cell in order:
+                start = indptr[cell]
+                end = indptr[cell + 1]
+                if start == end:
+                    continue
+                if alive is not None:
+                    if pending:
+                        for sat in pending:
+                            touched = t_indices[t_indptr[sat] : t_indptr[sat + 1]]
+                            alive[touched] -= 1
+                        pending.clear()
+                    if not alive[cell]:
+                        continue  # every candidate drained: exact skip
+                row = indices[start:end].tolist()
+                need = needed[cell]
+                got = 0
+                serve = -1
+                # Take from the candidate with the most free beams until the
+                # need is met; a chosen satellite is either drained or finishes
+                # the cell, so repeated best-candidate scans visit candidates
+                # in exactly the order the full descending sort used to. A
+                # candidate with an untouched budget can't be beaten, so the
+                # scan stops at the first one (the common case).
+                while got < need:
+                    best = -1
+                    best_free = 0
+                    for sat in row:
+                        beams = free[sat]
+                        if beams > best_free:
+                            best_free = beams
+                            best = sat
+                            if beams == budget:
+                                break
+                    if best < 0:
+                        break
+                    take = need - got
+                    if take > best_free:
+                        take = best_free
+                    remaining = best_free - take
+                    free[best] = remaining
+                    if remaining == 0:
+                        if alive is None:
+                            t_indptr, t_indices, alive = _live_candidates(
+                                visibility
+                            )
+                        pending.append(best)
+                    if got == 0:
+                        serve = best
+                    got += take
+                if got:
+                    serving[cell] = serve
+                    granted[cell] = got
         return _finish_outcome(
             np.array(granted, dtype=np.int64),
             np.array(serving, dtype=int),
@@ -249,17 +321,100 @@ class ProportionalFair(BeamAssignmentStrategy):
         n_cells = demands_mbps.shape[0]
         budget = plan.beams_per_satellite
         capacity = plan.beam_capacity_mbps
+        max_beams = plan.max_beams_per_cell
         indptr = visibility.indptr.tolist()
-        indices = visibility.indices.tolist()
+        indices = visibility.indices
         free = [budget] * visibility.n_satellites
         granted = [0] * n_cells
         serving = [-1] * n_cells
         covered = np.zeros(n_cells, dtype=bool)
+        # Death tracking (see _live_candidates): built at the first
+        # drained satellite; ``pending`` holds drains not yet folded
+        # into ``alive``.
+        alive = None
+        t_indptr = t_indices = None
+        pending: List[int] = []
 
-        def grant_one(cell: int) -> bool:
+        # Pass 1: coverage, scarcest cells (fewest visible satellites)
+        # first so footprint-edge cells claim their few candidates before
+        # interior cells drain them.
+        if budget > 0:
+            for cell in np.argsort(
+                visibility.counts(), kind="stable"
+            ).tolist():
+                start = indptr[cell]
+                end = indptr[cell + 1]
+                if start == end:
+                    continue
+                if alive is not None:
+                    if pending:
+                        for sat in pending:
+                            touched = t_indices[t_indptr[sat] : t_indptr[sat + 1]]
+                            alive[touched] -= 1
+                        pending.clear()
+                    if not alive[cell]:
+                        continue  # every candidate drained: exact skip
+                best = -1
+                best_free = 0
+                for sat in indices[start:end].tolist():
+                    beams = free[sat]
+                    if beams > best_free:
+                        best_free = beams
+                        best = sat
+                        if beams == budget:
+                            break
+                if best < 0:
+                    continue
+                remaining = best_free - 1
+                free[best] = remaining
+                if remaining == 0:
+                    if alive is None:
+                        t_indptr, t_indices, alive = _live_candidates(
+                            visibility
+                        )
+                    pending.append(best)
+                serving[cell] = best
+                granted[cell] = 1
+                covered[cell] = True
+
+        # Pass 2: capacity. Repeatedly grant a beam to the cell with the
+        # largest unmet demand; a cell leaves the pool when satisfied, at
+        # its per-cell beam cap, or blocked (visible satellites drained).
+        # A lazy max-heap replaces the per-grant np.argmax over all
+        # cells: ``entitled`` maps still-eligible cells to their unmet
+        # demand, and heap entries that no longer match it are stale
+        # (each grant strictly shrinks a cell's unmet demand, so a stale
+        # entry is always the older, larger value and pops first).
+        # Ordering (-unmet, cell) reproduces argmax's tie-break: equal
+        # unmet demand resolves to the lowest cell id.
+        granted_np = np.array(granted, dtype=np.int64)
+        unmet = demands_mbps - granted_np * capacity
+        eligible = covered & (unmet > 0.0) & (granted_np < max_beams)
+        entitled = {}
+        heap = []
+        for cell in np.flatnonzero(eligible).tolist():
+            value = float(unmet[cell])
+            entitled[cell] = value
+            heap.append((-value, cell))
+        heapq.heapify(heap)
+        while heap:
+            negated, cell = heapq.heappop(heap)
+            if entitled.get(cell) != -negated:
+                continue  # stale: superseded by a later grant
+            if alive is not None:
+                if pending:
+                    for sat in pending:
+                        touched = t_indices[t_indptr[sat] : t_indptr[sat + 1]]
+                        alive[touched] -= 1
+                    pending.clear()
+                if not alive[cell]:
+                    del entitled[cell]
+                    continue
+            start = indptr[cell]
+            end = indptr[cell + 1]
             best = -1
             best_free = 0
-            for sat in indices[indptr[cell] : indptr[cell + 1]]:
+            for sat in indices[start:end].tolist():
                 beams = free[sat]
                 if beams > best_free:
                     best_free = beams
@@ -267,47 +422,22 @@ class ProportionalFair(BeamAssignmentStrategy):
                     if beams == budget:
                         break
             if best < 0:
-                return False
-            free[best] -= 1
-            if granted[cell] == 0:
-                serving[cell] = best
+                del entitled[cell]
+                continue
+            remaining = best_free - 1
+            free[best] = remaining
+            if remaining == 0:
+                if alive is None:
+                    t_indptr, t_indices, alive = _live_candidates(visibility)
+                pending.append(best)
             granted[cell] += 1
-            return True
-
-        # Pass 1: coverage, scarcest cells (fewest visible satellites)
-        # first so footprint-edge cells claim their few candidates before
-        # interior cells drain them.
-        for cell in np.argsort(visibility.counts(), kind="stable").tolist():
-            covered[cell] = grant_one(cell)
-
-        # Pass 2: capacity. Repeatedly grant a beam to the cell with the
-        # largest unmet demand; a cell leaves the pool when satisfied, at
-        # its per-cell beam cap, or blocked (visible satellites drained).
-        # ``key`` is the unmet demand of still-eligible cells and -inf for
-        # the rest — maintained incrementally, since each grant changes
-        # exactly one cell.
-        granted_np = np.array(granted, dtype=np.int64)
-        unmet = demands_mbps - granted_np * capacity
-        key = np.where(
-            covered & (unmet > 0.0) & (granted_np < plan.max_beams_per_cell),
-            unmet,
-            -np.inf,
-        )
-        max_beams = plan.max_beams_per_cell
-        while True:
-            cell = int(np.argmax(key))
-            if key[cell] == -np.inf:
-                break
-            if grant_one(cell):
-                beams = granted[cell]
-                remaining = demands_mbps[cell] - beams * capacity
-                key[cell] = (
-                    remaining
-                    if (remaining > 0.0 and beams < max_beams)
-                    else -np.inf
-                )
+            beams_now = granted[cell]
+            value = float(demands_mbps[cell]) - beams_now * capacity
+            if value > 0.0 and beams_now < max_beams:
+                entitled[cell] = value
+                heapq.heappush(heap, (-value, cell))
             else:
-                key[cell] = -np.inf
+                del entitled[cell]
         return _finish_outcome(
             np.array(granted, dtype=np.int64),
             np.array(serving, dtype=int),

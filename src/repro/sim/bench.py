@@ -9,7 +9,14 @@ the calibrated national dataset, the paper's headline configuration):
   :mod:`repro.sim.slow_reference` loops on one step's real relation,
 * **end-to-end** — full :meth:`ConstellationSimulation.run` on both
   engines, asserting the two :class:`SimulationReport` results are
-  identical field-for-field.
+  identical field-for-field,
+* **per-phase** — visibility / impairments / assignment wall time per
+  engine, summed from the ``sim.*`` :mod:`repro.obs` spans of
+  instrumented runs, so a regression report names the phase that
+  slowed down instead of one end-to-end number,
+* **windowed visibility** — the cached-candidate window engine vs the
+  per-step rebuild at a sub-minute step (where windows are designed to
+  win), with a bit-identity flag over every step.
 
 ``run_simulation_bench`` returns a JSON-serializable dict (written to
 ``BENCH_simulation.json`` by ``repro-divide bench``) so every commit can
@@ -35,6 +42,7 @@ from repro.sim.slow_reference import (
     ReferenceGreedyDemandFirst,
     ReferenceProportionalFair,
 )
+from repro.sim.visibility_index import VisibilityIndex
 
 #: strategy id -> (fast class, reference class)
 BENCH_STRATEGIES = {
@@ -155,6 +163,7 @@ def bench_end_to_end(
     strategy_id: str,
     clock: SimulationClock,
     repeat: int = 1,
+    visibility_window="auto",
 ) -> Tuple[BenchTimings, bool]:
     """Time full runs on both engines; also report whether the two
     :class:`SimulationReport` results are identical."""
@@ -163,7 +172,11 @@ def bench_end_to_end(
     def build(engine: str) -> ConstellationSimulation:
         strategy = fast_cls() if engine == "fast" else reference_cls()
         return ConstellationSimulation(
-            shells, dataset, strategy=strategy, engine=engine
+            shells,
+            dataset,
+            strategy=strategy,
+            engine=engine,
+            visibility_window=visibility_window,
         )
 
     reports = {}
@@ -177,6 +190,136 @@ def bench_end_to_end(
         repeat, lambda: run("fast"), lambda: run("reference")
     )
     return timings, reports["fast"] == reports["reference"]
+
+
+#: Span names summed into the per-phase breakdown (without the "sim."
+#: prefix they carry in the trace).
+PHASE_NAMES = ("visibility", "impairments", "assignment")
+
+
+def bench_step_phases(
+    shells, dataset, clock: SimulationClock, repeat: int = 1
+) -> Dict[str, Dict]:
+    """Per-phase step wall time for each (strategy, engine) pair.
+
+    Runs each full simulation ``repeat`` times with the tracer on and
+    sums the per-step ``sim.visibility`` / ``sim.impairments`` /
+    ``sim.assignment`` span walls (min across repeats per phase).
+    Phases no configuration exercises (impairments, here) are omitted
+    rather than reported as 0x speedups.
+    """
+    results: Dict[str, Dict] = {}
+    was_enabled = obs.enabled()
+    try:
+        obs.configure(enabled=True)
+        tracer = obs.tracer()
+        for strategy_id, (fast_cls, reference_cls) in BENCH_STRATEGIES.items():
+            per_engine = {}
+            for engine in ("fast", "reference"):
+                strategy_cls = fast_cls if engine == "fast" else reference_cls
+                samples: Dict[str, List[float]] = {
+                    name: [] for name in PHASE_NAMES
+                }
+                for _ in range(max(1, repeat)):
+                    simulation = ConstellationSimulation(
+                        shells, dataset, strategy=strategy_cls(), engine=engine
+                    )
+                    mark = tracer.mark()
+                    simulation.run(clock)
+                    sums = {name: 0.0 for name in PHASE_NAMES}
+                    for record in tracer.records_since(mark):
+                        if record.name.startswith("sim."):
+                            phase = record.name[4:]
+                            if phase in sums:
+                                sums[phase] += record.wall_s
+                    for name in PHASE_NAMES:
+                        samples[name].append(sums[name])
+                per_engine[engine] = {
+                    name: min(values) for name, values in samples.items()
+                }
+            breakdown = {}
+            for name in PHASE_NAMES:
+                fast_s = per_engine["fast"][name]
+                reference_s = per_engine["reference"][name]
+                if fast_s == 0.0 and reference_s == 0.0:
+                    continue  # phase not exercised by this configuration
+                breakdown[name] = {
+                    "fast_s": fast_s,
+                    "reference_s": reference_s,
+                    "speedup": (
+                        reference_s / fast_s if fast_s > 0 else float("inf")
+                    ),
+                }
+            results[strategy_id] = breakdown
+    finally:
+        obs.configure(enabled=was_enabled)
+    return results
+
+
+def bench_windowed_visibility(
+    simulation: ConstellationSimulation,
+    steps: int = 8,
+    step_s: float = 15.0,
+    window: int = 4,
+    repeat: int = 1,
+) -> Dict:
+    """Cached-candidate windows vs per-step rebuilds at a small step.
+
+    Windows only pay off when the per-step satellite displacement is
+    small against the chord radius (sub-minute steps — the handover/
+    diurnal regime), so this is measured at ``step_s`` and reported
+    alongside a bit-identity flag across every step; the identity is
+    gated, the speedup is informational.
+    """
+    import numpy as np
+
+    def build(window_setting) -> VisibilityIndex:
+        return VisibilityIndex(
+            simulation.walkers,
+            simulation._cell_ecef,
+            simulation._chord_radii,
+            window=window_setting,
+            step_hint_s=step_s,
+        )
+
+    times_s = [index * step_s for index in range(steps)]
+    cached_index = build(window)
+    rebuild_index = build(1)
+    identical = True
+    candidates = 0
+    kept = 0
+    for time_s in times_s:
+        cached_csr, cached_lats = cached_index.query(time_s)
+        rebuild_csr, rebuild_lats = rebuild_index.query(time_s)
+        identical = identical and (
+            np.array_equal(cached_csr.indptr, rebuild_csr.indptr)
+            and np.array_equal(cached_csr.indices, rebuild_csr.indices)
+            and np.array_equal(cached_lats, rebuild_lats)
+        )
+        candidates += int(cached_index.last_query_stats["candidates"])
+        kept += int(cached_index.last_query_stats["kept"])
+
+    def cached_run() -> None:
+        cached_index.configure_window()  # drop the window: full cycle
+        for time_s in times_s:
+            cached_index.query(time_s)
+
+    def rebuild_run() -> None:
+        for time_s in times_s:
+            rebuild_index.query(time_s)
+
+    timings = BenchTimings.measure(repeat, cached_run, rebuild_run)
+    return {
+        "window": window,
+        "step_s": step_s,
+        "steps": steps,
+        "cached_s": timings.fast_s,
+        "rebuild_s": timings.reference_s,
+        "speedup": timings.speedup,
+        "identical": identical,
+        "candidates": candidates,
+        "refine_ratio": kept / candidates if candidates else 1.0,
+    }
 
 
 # The manifest layer owns commit discovery now; keep the old name for
@@ -220,6 +363,7 @@ def run_simulation_bench(
     step_s: float = 60.0,
     repeat: int = 1,
     dataset=None,
+    visibility_window="auto",
 ) -> Dict:
     """Run the full benchmark suite; returns the JSON-ready results dict.
 
@@ -243,7 +387,9 @@ def run_simulation_bench(
     clock = SimulationClock(duration_s=step_count * step_s, step_s=step_s)
     times = list(clock.times())
 
-    probe = ConstellationSimulation(shells, dataset, engine="fast")
+    probe = ConstellationSimulation(
+        shells, dataset, engine="fast", visibility_window=visibility_window
+    )
     with obs.span("bench.index_build"):
         build_start = time.perf_counter()
         probe.visibility_index  # force the one-time index build
@@ -256,15 +402,24 @@ def run_simulation_bench(
             strategy_id: bench_assignment(probe, strategy_id, repeat=repeat)
             for strategy_id in BENCH_STRATEGIES
         }
+    with obs.span("bench.windowed_visibility"):
+        windowed = bench_windowed_visibility(probe, repeat=repeat)
     end_to_end = {}
     reports_identical = {}
     with obs.span("bench.end_to_end"):
         for strategy_id in BENCH_STRATEGIES:
             timings, identical = bench_end_to_end(
-                shells, dataset, strategy_id, clock, repeat=repeat
+                shells,
+                dataset,
+                strategy_id,
+                clock,
+                repeat=repeat,
+                visibility_window=visibility_window,
             )
             end_to_end[strategy_id] = timings
             reports_identical[strategy_id] = identical
+    with obs.span("bench.phases"):
+        phases = bench_step_phases(shells, dataset, clock, repeat=repeat)
     with obs.span("bench.telemetry_overhead"):
         telemetry = measure_telemetry_overhead(
             shells, dataset, clock, repeat=repeat
@@ -284,6 +439,7 @@ def run_simulation_bench(
             "steps": step_count,
             "step_s": step_s,
             "repeat": repeat,
+            "visibility_window": visibility_window,
             "strategies": sorted(BENCH_STRATEGIES),
         },
         "environment": {
@@ -296,6 +452,7 @@ def run_simulation_bench(
             "index_build_s": index_build_s,
             "steps_per_s_fast": step_count / visibility.fast_s,
             "steps_per_s_reference": step_count / visibility.reference_s,
+            "windowed": windowed,
         },
         "assignment": {
             strategy_id: timings.as_dict()
@@ -308,9 +465,12 @@ def run_simulation_bench(
             }
             for strategy_id, timings in end_to_end.items()
         },
+        "phases": phases,
         "telemetry": telemetry,
         "headline_speedup": end_to_end["greedy"].speedup,
-        "all_reports_identical": all(reports_identical.values()),
+        "all_reports_identical": (
+            all(reports_identical.values()) and windowed["identical"]
+        ),
     }
 
 
@@ -341,12 +501,28 @@ def format_bench_summary(results: Dict) -> str:
             "  assignment[{id}]: {fast_s:.3f}s fast vs {reference_s:.3f}s "
             "reference ({speedup:.1f}x)".format(id=strategy_id, **timings)
         )
+    windowed = results.get("visibility", {}).get("windowed")
+    if windowed:
+        lines.append(
+            "  visibility[window={window} @ {step_s:.0f}s]: {cached_s:.3f}s "
+            "cached vs {rebuild_s:.3f}s rebuild ({speedup:.1f}x, identical: "
+            "{identical})".format(**windowed)
+        )
     for strategy_id, timings in sorted(results["end_to_end"].items()):
         lines.append(
             "  end-to-end[{id}]: {fast_s:.3f}s fast vs {reference_s:.3f}s "
             "reference ({speedup:.1f}x, reports identical: "
             "{reports_identical})".format(id=strategy_id, **timings)
         )
+    for strategy_id, breakdown in sorted(results.get("phases", {}).items()):
+        parts = [
+            "{name} {speedup:.1f}x".format(name=name, **phase)
+            for name, phase in sorted(breakdown.items())
+        ]
+        if parts:
+            lines.append(
+                "  phases[%s]: %s" % (strategy_id, ", ".join(parts))
+            )
     if "telemetry" in results:
         lines.append(
             "  telemetry overhead: {overhead_fraction:.1%} "

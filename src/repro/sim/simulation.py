@@ -21,7 +21,7 @@ Both engines produce identical results; ``repro-divide bench`` asserts it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -66,6 +66,7 @@ class ConstellationSimulation:
         impairments: Optional[Sequence["Impairment"]] = None,
         impairment_seed: int = 0,
         engine: str = "fast",
+        visibility_window: Union[int, str] = "auto",
     ):
         """Set up the simulation.
 
@@ -80,6 +81,12 @@ class ConstellationSimulation:
         ``engine`` selects the visibility machinery: ``"fast"`` (the
         vectorized :class:`VisibilityIndex` path) or ``"reference"``
         (the original per-step KD-tree rebuild).
+
+        ``visibility_window`` is forwarded to the fast path's
+        :class:`VisibilityIndex`: ``"auto"`` (default) lets the index
+        choose between per-step rebuilds and cached-candidate windows
+        from the step size, an int pins the window length. All modes
+        produce bit-identical relations.
         """
         if not shells:
             raise SimulationError("simulation needs at least one shell")
@@ -117,7 +124,11 @@ class ConstellationSimulation:
         ]
         self.impairments = list(impairments) if impairments else []
         self._impairment_rng = np.random.default_rng(impairment_seed)
-        self._cell_positions = [cell.center for cell in dataset.cells]
+        # Cell centers are only needed by impairments; materializing
+        # them here would force every lazy columnar cell, so the
+        # _cell_positions property builds the list on first use.
+        self._cell_positions_cache: Optional[list] = None
+        self.visibility_window = visibility_window
         self.gateways = list(gateways) if gateways else []
         if self.gateways:
             gw_lat = np.radians(
@@ -155,8 +166,18 @@ class ConstellationSimulation:
                 self._chord_radii,
                 gateway_ecef=self._gateway_ecef if self.gateways else None,
                 gateway_radii_km=self._gateway_radii if self.gateways else None,
+                window=self.visibility_window,
             )
         return self._index
+
+    @property
+    def _cell_positions(self) -> list:
+        """Per-cell centers, materialized on first use (impairments only)."""
+        if self._cell_positions_cache is None:
+            self._cell_positions_cache = [
+                cell.center for cell in self.dataset.cells
+            ]
+        return self._cell_positions_cache
 
     @staticmethod
     def _cells_to_ecef(dataset: DemandDataset) -> np.ndarray:
@@ -234,6 +255,10 @@ class ConstellationSimulation:
         nnz = registry.counter("sim.csr.nnz")
         covered_cells = registry.counter("sim.covered.cells")
         allocated_total = registry.counter("sim.allocated.total_mbps")
+        if self.engine == "fast":
+            # Give the index the clock's step so window="auto" can size
+            # candidate windows before the first two queries land.
+            self.visibility_index.configure_window(step_hint_s=clock.step_s)
         with obs.span(
             "sim.run",
             engine=self.engine,
@@ -267,8 +292,25 @@ class ConstellationSimulation:
     def _step_fast(self, time_s: float):
         """One step on the CSR fast path."""
         with obs.span("sim.step", engine="fast", time_s=time_s):
-            with obs.span("sim.visibility"):
+            with obs.span("sim.visibility") as vis_span:
                 csr, sat_lats = self.visibility_index.query(time_s)
+                stats = self.visibility_index.last_query_stats
+                if stats:
+                    # sim.visibility.mode / .window_steps span attributes
+                    # plus the candidate-reuse counters.
+                    vis_span.set(
+                        mode=stats["mode"],
+                        window_steps=stats["window_steps"],
+                    )
+                    registry = obs.registry()
+                    registry.counter("sim.visibility.candidates").inc(
+                        stats["candidates"]
+                    )
+                    if stats["window_rebuilt"]:
+                        registry.counter("sim.visibility.window_rebuilds").inc()
+                    registry.gauge("sim.visibility.refine_ratio").set(
+                        stats["refine_ratio"]
+                    )
             demands = self.demands_mbps
             if self.impairments:
                 with obs.span("sim.impairments"):

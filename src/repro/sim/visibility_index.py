@@ -17,22 +17,49 @@ both halves with array machinery:
   matrix), so a step costs two scalar trig calls per shell plus sparse
   KD-tree range queries — no tree is ever rebuilt.
 
-Gateway (bent-pipe) eligibility becomes a boolean ndarray mask computed
-from direct satellite-to-gateway distances instead of a Python set.
+Two per-step modes produce bit-identical relations:
+
+* **rebuild** — one exact sparse range query per shell against the cell
+  tree, grouped into CSR by :func:`group_pairs` (a counting sort, so the
+  step is O(nnz) with no fused sort key to overflow).
+* **cached** — once per window of K steps, a single *inflated* range
+  query (``chord + max displacement over the half-window``) collects a
+  candidate superset; each step inside the window refines the cached
+  (cell, satellite) pairs with one vectorized exact chord-distance
+  check and compresses the survivors into CSR. No KD-tree construction
+  or sparse query runs inside the step loop. The inflation radius is a
+  strict bound on satellite motion (circular orbits at fixed radius:
+  ``|v| <= a * (n + omega_earth)``), so the candidate set provably
+  contains every true pair for every time in the window, and the refine
+  applies exactly the KD-tree's own squared-chord predicate — the two
+  modes agree bit for bit (differentially tested).
+
+``window="auto"`` picks the window length per query from the shells'
+mean motion and the observed step size using a measured cost model: at
+coarse steps (60 s, where a Gen1 satellite moves ~40% of a chord per
+step) candidate inflation makes the rebuild cheaper and K=1 is chosen;
+at the sub-minute steps that handover/diurnal timelines need, windows
+win and K grows as the step shrinks.
+
+Gateway (bent-pipe) eligibility is a boolean ndarray mask from a ball
+query against a small precomputed gateway KD-tree (not a dense
+satellites x gateways distance matrix).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 from scipy.spatial import cKDTree
 
 from repro.errors import SimulationError
 from repro.orbits.kepler import ecef_to_latlon, gmst_rad
 from repro.orbits.walker import WalkerDelta
+from repro.units import EARTH_ROTATION_RAD_S
 
 
 @dataclass(frozen=True)
@@ -109,6 +136,45 @@ class CSRVisibility:
         )
 
 
+def group_pairs(
+    cells: np.ndarray,
+    sats: np.ndarray,
+    n_cells: int,
+    n_satellites: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group flat (cell, satellite) pairs into CSR in O(nnz).
+
+    Returns ``(indptr, order)`` such that ``sats[order]`` is grouped by
+    cell with satellite ids ascending inside each cell — the order the
+    per-shell KD-tree rebuild produces per cell.
+
+    This replaces ``np.argsort(cells * n_satellites + sats)``: the fused
+    key is O(nnz log nnz) and overflows int64 once
+    ``n_cells * n_satellites`` passes 2**63 (well within reach of a
+    mega-constellation over a fine grid). A counting sort needs neither:
+    scipy's compiled COO->CSR conversion is exactly a bincount
+    prefix-sum scatter over the cell ids followed by an in-row index
+    sort, so we ride it with the pair permutation as the payload.
+    """
+    nnz = int(cells.shape[0])
+    if nnz == 0:
+        return np.zeros(n_cells + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    matrix = sparse.csr_matrix(
+        # 1-based so a summed duplicate can never masquerade as a valid
+        # permutation entry if the nnz guard were ever wrong.
+        (np.arange(1, nnz + 1, dtype=np.int64), (cells, sats)),
+        shape=(n_cells, n_satellites),
+    )
+    if matrix.nnz != nnz:
+        # Duplicates are summed by the conversion, shrinking nnz; a
+        # duplicate (cell, satellite) pair means a corrupt input.
+        raise SimulationError("duplicate (cell, satellite) visibility pair")
+    matrix.sort_indices()
+    indptr = matrix.indptr.astype(np.int64)
+    order = matrix.data - 1
+    return indptr, order
+
+
 @dataclass(frozen=True)
 class _ShellGeometry:
     """Per-shell cached epoch geometry and query radii."""
@@ -120,6 +186,27 @@ class _ShellGeometry:
     gateway_radius_km: float
     offset: int  # global id of this shell's first satellite
     total: int
+    # Strict ECEF speed bound for the inflation radius: orbital motion
+    # plus the rotating frame, |v| <= a*n + omega*a.
+    max_speed_km_s: float
+
+
+#: Measured per-pair costs on the baseline bench machine (see
+#: PERFORMANCE.md "Step engine"): a rebuild step costs ~95 ns per
+#: emitted pair (sparse dual-tree query + CSR grouping); a cached step
+#: costs ~60 ns per *candidate* (exact refine + CSR compaction). The
+#: auto policy only has to rank K values, so the ratio matters, not the
+#: absolute numbers.
+_REBUILD_NS_PER_PAIR = 95.0
+_REFINE_NS_PER_CANDIDATE = 60.0
+
+#: Longest window the auto policy will pick.
+_MAX_AUTO_WINDOW = 64
+
+#: Slack (seconds) added to the window half-span when sizing the
+#: inflation radius, so query times that land a few float ulps past the
+#: nominal window edge are still provably covered.
+_TIME_SLOP_S = 1e-3
 
 
 class VisibilityIndex:
@@ -129,6 +216,15 @@ class VisibilityIndex:
     cells are fixed in the Earth frame, so their KD-tree is built a
     single time here; satellites are propagated by rotating cached epoch
     ECI geometry and range-queried against that fixed tree.
+
+    ``window`` selects the per-step mode: ``1`` forces a fresh exact
+    range query every step, an int ``K > 1`` reuses one inflated
+    candidate query for K consecutive steps (refined exactly per step),
+    and ``"auto"`` (default) picks K per query from the shells' mean
+    motion and the step size (``step_hint_s``, or the spacing of the
+    queries actually observed). Every mode returns bit-identical
+    relations; ``last_query_stats`` reports which mode ran and how many
+    candidates the refine scanned.
     """
 
     def __init__(
@@ -138,6 +234,8 @@ class VisibilityIndex:
         chord_radii_km: Sequence[float],
         gateway_ecef: Optional[np.ndarray] = None,
         gateway_radii_km: Optional[Sequence[float]] = None,
+        window: Union[int, str] = "auto",
+        step_hint_s: Optional[float] = None,
     ):
         if len(walkers) != len(chord_radii_km):
             raise SimulationError("one chord radius per shell required")
@@ -147,11 +245,22 @@ class VisibilityIndex:
             )
         self._cell_tree = cKDTree(cell_ecef)
         self._n_cells = cell_ecef.shape[0]
+        # Contiguous per-axis cell coordinates for the cached-mode
+        # refine (fancy-gathering a strided 2-D column is pathologically
+        # slow compared to contiguous 1-D takes).
+        cell_ecef = np.asarray(cell_ecef, dtype=np.float64)
+        self._cell_axes = tuple(
+            np.ascontiguousarray(cell_ecef[:, axis]) for axis in range(3)
+        )
         self._gateway_ecef = gateway_ecef
+        self._gateway_tree = (
+            cKDTree(gateway_ecef) if gateway_ecef is not None else None
+        )
         self._shells: List[_ShellGeometry] = []
         offset = 0
         for index, walker in enumerate(walkers):
             pos0, tan0 = walker.eci_state_basis()
+            radius_km = float(np.linalg.norm(pos0[0])) if len(pos0) else 0.0
             self._shells.append(
                 _ShellGeometry(
                     pos0=pos0,
@@ -163,10 +272,50 @@ class VisibilityIndex:
                     ),
                     offset=offset,
                     total=walker.total,
+                    max_speed_km_s=radius_km
+                    * (walker.mean_motion_rad_s + EARTH_ROTATION_RAD_S),
                 )
             )
             offset += walker.total
         self.n_satellites = offset
+        # Squared chord radius per satellite, for the cached refine.
+        self._chord2_by_sat = np.empty(self.n_satellites, dtype=np.float64)
+        for shell in self._shells:
+            self._chord2_by_sat[shell.offset : shell.offset + shell.total] = (
+                shell.chord_radius_km * shell.chord_radius_km
+            )
+        self._window = self._validate_window(window)
+        self._step_hint_s = (
+            float(step_hint_s) if step_hint_s and step_hint_s > 0 else None
+        )
+        self._inferred_step_s: Optional[float] = None
+        self._last_query_t: Optional[float] = None
+        self._cache: Optional[Dict[str, object]] = None
+        #: Stats of the most recent :meth:`query` (mode, candidate and
+        #: surviving pair counts, whether a window was rebuilt).
+        self.last_query_stats: Dict[str, object] = {}
+
+    @staticmethod
+    def _validate_window(window: Union[int, str]) -> Union[int, str]:
+        if window == "auto":
+            return "auto"
+        if isinstance(window, bool) or not isinstance(window, int):
+            raise SimulationError(f"visibility window must be 'auto' or an int >= 1: {window!r}")
+        if window < 1:
+            raise SimulationError(f"visibility window must be >= 1: {window}")
+        return window
+
+    def configure_window(
+        self,
+        window: Optional[Union[int, str]] = None,
+        step_hint_s: Optional[float] = None,
+    ) -> None:
+        """Adjust the caching policy; any cached window is dropped."""
+        if window is not None:
+            self._window = self._validate_window(window)
+        if step_hint_s is not None:
+            self._step_hint_s = float(step_hint_s) if step_hint_s > 0 else None
+        self._cache = None
 
     def satellite_ecef(self, shell_index: int, time_s: float) -> np.ndarray:
         """ECEF positions (total, 3) of one shell's satellites at a time."""
@@ -184,19 +333,92 @@ class VisibilityIndex:
     def gateway_eligibility(
         self, shell_index: int, sat_ecef: np.ndarray
     ) -> Optional[np.ndarray]:
-        """Boolean mask of satellites currently seeing any gateway."""
-        if self._gateway_ecef is None:
+        """Boolean mask of satellites currently seeing any gateway.
+
+        A ball query against the small precomputed gateway tree — the
+        tree applies the same squared-chord predicate a dense
+        ``|sat - gateway|^2 <= r^2`` matrix would, without allocating
+        the (satellites x gateways) intermediate.
+        """
+        if self._gateway_tree is None:
             return None
         radius = self._shells[shell_index].gateway_radius_km
-        deltas = sat_ecef[:, None, :] - self._gateway_ecef[None, :, :]
-        within = (deltas**2).sum(axis=-1) <= radius * radius
-        return within.any(axis=1)
+        hits = self._gateway_tree.query_ball_point(
+            sat_ecef, r=radius, return_length=True
+        )
+        return hits > 0
+
+    # ------------------------------------------------------------------
+    # Query: mode selection
 
     def query(self, time_s: float):
         """(CSR visibility, satellite latitudes in degrees) at ``time_s``."""
+        window_steps, hint_s = self._plan_window()
+        if window_steps <= 1:
+            result = self._query_rebuild(time_s)
+        else:
+            result = self._query_cached(time_s, window_steps, hint_s)
+        # Observe the spacing of consecutive queries so "auto" can size
+        # windows even when no explicit step hint was configured.
+        if self._last_query_t is not None:
+            delta = abs(time_s - self._last_query_t)
+            if delta > 0.0:
+                self._inferred_step_s = delta
+        self._last_query_t = time_s
+        return result
+
+    def _plan_window(self) -> Tuple[int, Optional[float]]:
+        hint_s = self._step_hint_s or self._inferred_step_s
+        if self._window == "auto":
+            window_steps = self._auto_window_steps(hint_s)
+        else:
+            window_steps = int(self._window)
+        if window_steps > 1 and not hint_s:
+            # Can't size the inflation radius without a step estimate;
+            # fall back to exact rebuilds until one is observed.
+            return 1, hint_s
+        return window_steps, hint_s
+
+    def _auto_window_steps(self, hint_s: Optional[float]) -> int:
+        """Window length minimizing the modeled per-step cost.
+
+        Candidate count grows roughly with the squared inflated radius,
+        so a window of K steps pays
+        ``rebuild * growth / K + refine * growth`` per step against
+        ``rebuild`` for K=1, where
+        ``growth = (1 + worst_shell_displacement_fraction * (K-1)/2)^2``.
+        """
+        if not hint_s or hint_s <= 0.0:
+            return 1
+        alpha = 0.0  # per-step displacement as a fraction of the chord
+        for shell in self._shells:
+            if shell.chord_radius_km > 0.0:
+                alpha = max(
+                    alpha, shell.max_speed_km_s * hint_s / shell.chord_radius_km
+                )
+        best_steps, best_cost = 1, _REBUILD_NS_PER_PAIR
+        for steps in range(2, _MAX_AUTO_WINDOW + 1):
+            inflation = alpha * 0.5 * (steps - 1)
+            if inflation > 1.0:
+                break  # never inflate past a whole chord
+            growth = (1.0 + inflation) ** 2
+            cost = (
+                _REBUILD_NS_PER_PAIR * growth / steps
+                + _REFINE_NS_PER_CANDIDATE * growth
+            )
+            # Demand a real win over the rebuild, not a modeled wash.
+            if cost < best_cost * 0.97:
+                best_steps, best_cost = steps, cost
+        return best_steps
+
+    # ------------------------------------------------------------------
+    # Mode 1: exact per-step rebuild
+
+    def _query_rebuild(self, time_s: float):
         pair_cells: List[np.ndarray] = []
         pair_sats: List[np.ndarray] = []
         lats: List[np.ndarray] = []
+        candidates = 0
         for shell_index, shell in enumerate(self._shells):
             ecef = self.satellite_ecef(shell_index, time_s)
             lat, _, _ = ecef_to_latlon(ecef)
@@ -208,6 +430,7 @@ class VisibilityIndex:
             )
             sats = pairs["i"].astype(np.int64)
             cells = pairs["j"].astype(np.int64)
+            candidates += sats.size
             if eligible is not None:
                 keep = eligible[sats]
                 sats = sats[keep]
@@ -216,13 +439,134 @@ class VisibilityIndex:
             pair_cells.append(cells)
         cells = np.concatenate(pair_cells)
         sats = np.concatenate(pair_sats)
-        # Group pairs by cell with satellites ascending inside each cell —
-        # the order the per-shell KD-tree rebuild used to produce. A single
-        # argsort of the fused (cell, satellite) key does both at once.
-        order = np.argsort(cells * self.n_satellites + sats)
-        indptr = np.zeros(self._n_cells + 1, dtype=np.int64)
-        np.cumsum(np.bincount(cells, minlength=self._n_cells), out=indptr[1:])
+        indptr, order = group_pairs(
+            cells, sats, self._n_cells, self.n_satellites
+        )
         csr = CSRVisibility(
             indptr=indptr, indices=sats[order], n_satellites=self.n_satellites
         )
+        self.last_query_stats = {
+            "mode": "rebuild",
+            "window_steps": 1,
+            "window_rebuilt": False,
+            "candidates": int(candidates),
+            "kept": csr.nnz,
+            "refine_ratio": csr.nnz / candidates if candidates else 1.0,
+        }
+        return csr, np.concatenate(lats)
+
+    # ------------------------------------------------------------------
+    # Mode 2: cached candidates, exact per-step refine
+
+    def _rebuild_window(
+        self, time_s: float, window_steps: int, hint_s: float
+    ) -> None:
+        """One inflated coarse query covering ``window_steps`` steps.
+
+        Anchored at the window midpoint so the inflation only has to
+        cover half the window span in either direction.
+        """
+        half_span_s = 0.5 * (window_steps - 1) * hint_s
+        anchor_s = time_s + half_span_s
+        pair_cells: List[np.ndarray] = []
+        pair_sats: List[np.ndarray] = []
+        for shell_index, shell in enumerate(self._shells):
+            ecef = self.satellite_ecef(shell_index, anchor_s)
+            margin_km = shell.max_speed_km_s * (half_span_s + _TIME_SLOP_S)
+            sat_tree = cKDTree(ecef)
+            pairs = sat_tree.sparse_distance_matrix(
+                self._cell_tree,
+                shell.chord_radius_km + margin_km,
+                output_type="ndarray",
+            )
+            pair_sats.append(pairs["i"].astype(np.int64) + shell.offset)
+            pair_cells.append(pairs["j"].astype(np.int64))
+        cells = np.concatenate(pair_cells)
+        sats = np.concatenate(pair_sats)
+        indptr, order = group_pairs(
+            cells, sats, self._n_cells, self.n_satellites
+        )
+        cand_sats = sats[order]
+        cand_cells = cells[order]
+        cell_x, cell_y, cell_z = self._cell_axes
+        self._cache = {
+            "anchor_s": anchor_s,
+            "half_span_s": half_span_s,
+            "window_steps": window_steps,
+            "hint_s": hint_s,
+            "indptr": indptr,
+            "sats": cand_sats,
+            "cell_x": np.take(cell_x, cand_cells),
+            "cell_y": np.take(cell_y, cand_cells),
+            "cell_z": np.take(cell_z, cand_cells),
+            "chord2": np.take(self._chord2_by_sat, cand_sats),
+        }
+
+    def _window_covers(self, time_s: float, window_steps: int, hint_s: float) -> bool:
+        cache = self._cache
+        if cache is None:
+            return False
+        if cache["window_steps"] != window_steps or cache["hint_s"] != hint_s:
+            return False
+        return abs(time_s - cache["anchor_s"]) <= (
+            cache["half_span_s"] + _TIME_SLOP_S
+        )
+
+    def _query_cached(self, time_s: float, window_steps: int, hint_s: float):
+        rebuilt = not self._window_covers(time_s, window_steps, hint_s)
+        if rebuilt:
+            self._rebuild_window(time_s, window_steps, hint_s)
+        cache = self._cache
+        # Per-axis satellite positions at this step (small arrays; the
+        # per-candidate gathers below are the hot part).
+        sat_x = np.empty(self.n_satellites, dtype=np.float64)
+        sat_y = np.empty(self.n_satellites, dtype=np.float64)
+        sat_z = np.empty(self.n_satellites, dtype=np.float64)
+        eligible_all: Optional[np.ndarray] = (
+            np.empty(self.n_satellites, dtype=bool)
+            if self._gateway_tree is not None
+            else None
+        )
+        lats: List[np.ndarray] = []
+        for shell_index, shell in enumerate(self._shells):
+            ecef = self.satellite_ecef(shell_index, time_s)
+            lat, _, _ = ecef_to_latlon(ecef)
+            lats.append(lat)
+            span = slice(shell.offset, shell.offset + shell.total)
+            sat_x[span] = ecef[:, 0]
+            sat_y[span] = ecef[:, 1]
+            sat_z[span] = ecef[:, 2]
+            if eligible_all is not None:
+                eligible_all[span] = self.gateway_eligibility(shell_index, ecef)
+        cand_sats = cache["sats"]
+        # Exact chord test over the candidates, accumulated per axis in
+        # the same order cKDTree's squared-distance predicate uses, so a
+        # surviving candidate is exactly a pair the rebuild would emit.
+        delta = cache["cell_x"] - np.take(sat_x, cand_sats)
+        dist2 = delta * delta
+        delta = cache["cell_y"] - np.take(sat_y, cand_sats)
+        dist2 += delta * delta
+        delta = cache["cell_z"] - np.take(sat_z, cand_sats)
+        dist2 += delta * delta
+        mask = dist2 <= cache["chord2"]
+        if eligible_all is not None:
+            mask &= np.take(eligible_all, cand_sats)
+        # Compress candidates -> CSR: prefix-sum the survivors and read
+        # the cell boundaries off the cached candidate indptr.
+        survivors = np.zeros(mask.size + 1, dtype=np.int64)
+        np.cumsum(mask, out=survivors[1:])
+        indptr = survivors[cache["indptr"]]
+        csr = CSRVisibility(
+            indptr=indptr,
+            indices=cand_sats[mask],
+            n_satellites=self.n_satellites,
+        )
+        self.last_query_stats = {
+            "mode": "cached",
+            "window_steps": window_steps,
+            "window_rebuilt": rebuilt,
+            "candidates": int(mask.size),
+            "kept": csr.nnz,
+            "refine_ratio": csr.nnz / mask.size if mask.size else 1.0,
+        }
         return csr, np.concatenate(lats)

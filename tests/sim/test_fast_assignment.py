@@ -31,6 +31,30 @@ PLAN = BeamPlan(
     spectral_efficiency_bps_hz=4.0,
 )
 
+#: Starved supply: satellites drain after one or two grants, so the
+#: death-tracking skip lists and the fair strategy's lazy heap (which
+#: only matter once satellites run dry mid-pass) are exercised hard.
+SCARCE_PLANS = [
+    BeamPlan(
+        beams_per_satellite=1,
+        max_beams_per_cell=1,
+        ut_spectrum_mhz=3000.0,
+        spectral_efficiency_bps_hz=4.0,
+    ),
+    BeamPlan(
+        beams_per_satellite=2,
+        max_beams_per_cell=2,
+        ut_spectrum_mhz=3000.0,
+        spectral_efficiency_bps_hz=4.0,
+    ),
+    BeamPlan(
+        beams_per_satellite=3,
+        max_beams_per_cell=3,
+        ut_spectrum_mhz=3000.0,
+        spectral_efficiency_bps_hz=4.0,
+    ),
+]
+
 PAIRS = [
     (GreedyDemandFirst, ReferenceGreedyDemandFirst),
     (ProportionalFair, ReferenceProportionalFair),
@@ -96,6 +120,34 @@ class TestFastMatchesReference:
         via_csr = fast_cls().assign_csr(csr, demands, PLAN)
         via_lists = fast_cls().assign(visible, demands, n_sats, PLAN)
         assert_outcomes_identical(via_csr, via_lists)
+
+    @pytest.mark.parametrize("plan_index", range(len(SCARCE_PLANS)))
+    @given(scenario())
+    @settings(max_examples=80, deadline=None)
+    def test_identical_outcomes_under_beam_scarcity(
+        self, fast_cls, reference_cls, plan_index, instance
+    ):
+        visible, demands, n_sats = instance
+        plan = SCARCE_PLANS[plan_index]
+        fast = fast_cls().assign(visible, demands, n_sats, plan)
+        reference = reference_cls().assign(visible, demands, n_sats, plan)
+        assert_outcomes_identical(fast, reference)
+
+    def test_every_satellite_drains(self, fast_cls, reference_cls):
+        # Demand dwarfs supply on a dense relation: with one beam per
+        # satellite every satellite dies mid-scan, so every later cell
+        # visit must consult the drained-satellite skip machinery.
+        plan = SCARCE_PLANS[0]
+        n_cells, n_sats = 12, 5
+        visible = [
+            np.arange(n_sats, dtype=int) for _ in range(n_cells)
+        ]
+        demands = np.full(n_cells, 4.0 * plan.beam_capacity_mbps)
+        demands[::3] *= 0.5  # break symmetry in the scarcest-first order
+        fast = fast_cls().assign(visible, demands, n_sats, plan)
+        reference = reference_cls().assign(visible, demands, n_sats, plan)
+        assert_outcomes_identical(fast, reference)
+        assert fast.beams_used.sum() == n_sats  # all supply consumed
 
 
 class TestOutcomeAccounting:

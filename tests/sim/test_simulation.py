@@ -77,6 +77,39 @@ class TestRun:
         assert sim.report(metrics).mean_coverage_fraction < 0.9
 
 
+class TestStepEngine:
+    """PR 8 plumbing: lazy cell centers and the windowed visibility mode."""
+
+    def test_cell_positions_built_lazily(self, regional_dataset):
+        sim = ConstellationSimulation(GEN1_SHELLS[:1], regional_dataset)
+        assert sim._cell_positions_cache is None
+        sim.visibility(0.0)  # the array path needs no per-cell objects
+        assert sim._cell_positions_cache is None
+        positions = sim._cell_positions
+        assert len(positions) == len(regional_dataset.cells)
+        assert sim._cell_positions is positions  # memoized
+
+    def test_windowed_run_reports_identical(self, regional_dataset):
+        def run(window):
+            sim = ConstellationSimulation(
+                GEN1_SHELLS[:1],
+                regional_dataset,
+                oversubscription=20.0,
+                visibility_window=window,
+            )
+            metrics = sim.run(SimulationClock(duration_s=300.0, step_s=60.0))
+            return sim.report(metrics)
+
+        assert run(3) == run(1)
+
+    def test_bad_window_rejected_at_index_build(self, regional_dataset):
+        sim = ConstellationSimulation(
+            GEN1_SHELLS[:1], regional_dataset, visibility_window=0
+        )
+        with pytest.raises(SimulationError):
+            sim.visibility_index
+
+
 class TestGeometry:
     def test_cells_to_ecef_radius(self, regional_dataset):
         ecef = ConstellationSimulation._cells_to_ecef(regional_dataset)

@@ -169,6 +169,99 @@ class TestCompareBench:
             compare_bench({"schema": "nope/9"}, {"schema": "nope/9"})
 
 
+def _simulation_results(**overrides):
+    results = {
+        "schema": "repro-bench-simulation/1",
+        "visibility": {
+            "speedup": 30.0,
+            "fast_s": 0.02,
+            "windowed": {"speedup": 2.0, "identical": True},
+        },
+        "assignment": {
+            "greedy": {"speedup": 12.0},
+            "fair": {"speedup": 2.4},
+        },
+        "end_to_end": {
+            "greedy": {"speedup": 10.0},
+            "fair": {"speedup": 3.0},
+        },
+        "phases": {
+            "greedy": {
+                "visibility": {"speedup": 1.4, "fast_s": 0.01},
+                "assignment": {"speedup": 12.0, "fast_s": 0.002},
+            },
+            "fair": {
+                "visibility": {"speedup": 1.4, "fast_s": 0.01},
+                "assignment": {"speedup": 3.0, "fast_s": 0.004},
+            },
+        },
+        "headline_speedup": 10.0,
+        "all_reports_identical": True,
+    }
+    results.update(overrides)
+    return results
+
+
+class TestSimulationSchemaGate:
+    """Per-phase ratios and the windowed identity flag (PR 8)."""
+
+    def test_identical_results_pass(self):
+        findings = compare_bench(
+            _simulation_results(), _simulation_results()
+        )
+        assert not _failed(findings)
+
+    def test_phase_regression_fails_even_when_end_to_end_holds(self):
+        # Fair assignment collapsing toward the reference must fail on
+        # its own, without the end-to-end ratio moving.
+        candidate = _simulation_results()
+        candidate["phases"]["fair"]["assignment"]["speedup"] = 0.7
+        assert _failed(compare_bench(_simulation_results(), candidate)) == [
+            "phases.fair.assignment.speedup"
+        ]
+
+    def test_phase_ratio_saturates_above_the_cap(self):
+        # 30x -> 12x is noise when both clamp to the 8x cap.
+        baseline = _simulation_results()
+        baseline["phases"]["greedy"]["assignment"]["speedup"] = 30.0
+        candidate = _simulation_results()
+        candidate["phases"]["greedy"]["assignment"]["speedup"] = 12.0
+        assert not _failed(compare_bench(baseline, candidate))
+
+    def test_windowed_identity_flip_fails(self):
+        candidate = _simulation_results()
+        candidate["visibility"]["windowed"]["identical"] = False
+        assert _failed(compare_bench(_simulation_results(), candidate)) == [
+            "visibility.windowed.identical"
+        ]
+
+    def test_windowed_speedup_is_informational(self):
+        # The windowed ratio depends on step size vs host; it is
+        # reported, never gated.
+        candidate = _simulation_results()
+        candidate["visibility"]["windowed"]["speedup"] = 0.5
+        findings = compare_bench(_simulation_results(), candidate)
+        assert not _failed(findings)
+        finding = next(
+            f
+            for f in findings
+            if f.metric == "visibility.windowed.speedup"
+        )
+        assert not finding.gated
+
+    def test_pre_phase_baseline_info_passes(self):
+        # A baseline pinned before the per-phase breakdown existed has
+        # no "phases" section: the new metrics must info-pass, not fail.
+        baseline = _simulation_results()
+        del baseline["phases"]
+        del baseline["visibility"]["windowed"]
+        findings = compare_bench(baseline, _simulation_results())
+        assert not _failed(findings)
+        assert not any(
+            f.gated for f in findings if f.metric.startswith("phases.")
+        )
+
+
 class TestGateIO:
     def test_load_results_missing_file(self, tmp_path):
         with pytest.raises(ReproError):

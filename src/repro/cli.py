@@ -86,6 +86,46 @@ def _write_manifest(
     return path
 
 
+def _start_profiler(args: argparse.Namespace):
+    """Start the sampling profiler when ``--profile`` was given, else None."""
+    hz = getattr(args, "profile", None)
+    if hz is None:
+        return None
+    from repro.obs.profile import SamplingProfiler
+
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    _log.info("sampling profiler on at %g Hz", profiler.hz)
+    return profiler
+
+
+def _profile_out_path(args: argparse.Namespace) -> Path:
+    """Where the folded-stack profile lands (next to --out when present)."""
+    if getattr(args, "profile_out", None):
+        return Path(args.profile_out)
+    out = getattr(args, "out", None)
+    if out:
+        out = Path(out)
+        return out.with_name(out.stem + ".profile.txt")
+    return Path("profile.folded.txt")
+
+
+def _finish_profiler(args: argparse.Namespace, profiler) -> Optional[dict]:
+    """Stop, write the folded stacks, and return the manifest digest."""
+    if profiler is None:
+        return None
+    profiler.stop()
+    path = profiler.write(_profile_out_path(args))
+    _log.info(
+        "wrote %s (%d samples at %g Hz; flamegraph.pl or speedscope "
+        "render it)",
+        path,
+        profiler.samples,
+        profiler.hz,
+    )
+    return {"path": str(path), **profiler.summary()}
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for experiment_id in all_experiment_ids():
         print(experiment_id)
@@ -166,6 +206,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner.tasks import build_default_model
     from repro.viz.tables import format_table
 
+    metrics_server = None
+    profiler = _start_profiler(args)
     try:
         grid = ParameterGrid.from_spec(args.grid)
         cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -187,11 +229,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             policy=policy,
             start_method=args.start_method,
             use_shared_memory=not args.no_shared_memory,
+            live=args.live,
+            live_interval_s=args.live_interval,
+            live_stall_beats=args.stall_beats,
         )
+        if args.metrics_port is not None:
+            metrics_server = _start_sweep_metrics(args.metrics_port, runner)
         report = runner.run(model=_build_model(args.seed, args.grid_resolution))
     except ReproError as exc:
         _log.error("sweep failed: %s", exc)
         return 2
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        profile_digest = _finish_profiler(args, profiler)
     headers, rows = report.table()
     print(
         format_table(
@@ -234,9 +285,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     }
                     for r in report.failures
                 ],
+                **(
+                    {
+                        "live": {
+                            "interval_s": runner.live_monitor.interval_s,
+                            "stall_beats": runner.live_monitor.stall_beats,
+                            "workers_seen": (
+                                runner.live_monitor.workers_seen()
+                            ),
+                            "messages": runner.live_monitor.messages,
+                            "stalls": runner.live_monitor.stall_events,
+                        }
+                    }
+                    if runner.live_monitor is not None
+                    else {}
+                ),
+                **({"profile": profile_digest} if profile_digest else {}),
             },
         )
     return 0
+
+
+def _start_sweep_metrics(port: int, runner):
+    """A ``/metrics`` endpoint over the sweep's in-flight aggregate.
+
+    While the live monitor is up, scrapes see the authoritative
+    registry *plus* every worker's streamed in-flight delta; otherwise
+    (serial runs, ``--live`` off) they see the plain registry.
+    """
+    from repro.obs.promtext import start_metrics_server
+
+    def snapshot_fn():
+        monitor = runner.live_monitor
+        if monitor is not None:
+            return monitor.live_snapshot()
+        return obs.registry().snapshot()
+
+    server = start_metrics_server(port, snapshot_fn=snapshot_fn)
+    _log.info("metrics exposed on http://127.0.0.1:%d/metrics", server.port)
+    return server
 
 
 def _cmd_export_geojson(args: argparse.Namespace) -> int:
@@ -299,7 +386,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     clock = SimulationClock(duration_s=args.duration, step_s=args.step)
     _log.info("%s", region.summary())
-    metrics = simulation.run(clock)
+    profiler = _start_profiler(args)
+    try:
+        metrics = simulation.run(clock)
+    finally:
+        _finish_profiler(args, profiler)
     print(simulation.report(metrics).text())
     return 0
 
@@ -331,13 +422,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     model = _build_model(args.seed, args.grid_resolution)
-    results = run_simulation_bench(
-        quick=args.quick,
-        steps=args.steps,
-        repeat=_bench_repeat(args),
-        dataset=model.dataset,
-        visibility_window=_parse_visibility_window(args.visibility_window),
-    )
+    profiler = _start_profiler(args)
+    try:
+        results = run_simulation_bench(
+            quick=args.quick,
+            steps=args.steps,
+            repeat=_bench_repeat(args),
+            dataset=model.dataset,
+            visibility_window=_parse_visibility_window(args.visibility_window),
+        )
+    finally:
+        profile_digest = _finish_profiler(args, profiler)
     print(format_bench_summary(results))
     path = write_bench_json(results, args.out)
     _log.info("wrote %s", path)
@@ -347,7 +442,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out_path=path,
         dataset_fingerprint=model.dataset.fingerprint(),
         engine="fast+reference",
-        extra={"all_reports_identical": results["all_reports_identical"]},
+        extra={
+            "all_reports_identical": results["all_reports_identical"],
+            **({"profile": profile_digest} if profile_digest else {}),
+        },
     )
     if not results["all_reports_identical"]:
         _log.error("fast and reference engines disagree")
@@ -480,6 +578,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.serve import QueryEngine, ServeServer, build_index
 
+    metrics_server = None
     try:
         table, dataset = _serve_table_and_dataset(args)
         # Close the (possibly memory-mapped) table on every exit path,
@@ -495,12 +594,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 len(index.store.shards),
                 index.scenario_id,
             )
+            if args.metrics_port is not None:
+                from repro.obs.promtext import start_metrics_server
+
+                metrics_server = start_metrics_server(
+                    args.metrics_port, host=args.host
+                )
+                _log.info(
+                    "metrics exposed on http://%s:%d/metrics",
+                    args.host,
+                    metrics_server.port,
+                )
             asyncio.run(server.serve_forever())
     except ReproError as exc:
         _log.error("serve failed: %s", exc)
         return 2
     except KeyboardInterrupt:
         _log.info("serve interrupted")
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     return 0
 
 
@@ -557,6 +670,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
         _log.error("report failed: %s", exc)
         return 2
     return 0
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    """``--profile [HZ]`` / ``--profile-out`` for simulate, sweep, bench."""
+    from repro.obs.profile import DEFAULT_HZ
+
+    p.add_argument(
+        "--profile",
+        nargs="?",
+        const=DEFAULT_HZ,
+        default=None,
+        type=float,
+        metavar="HZ",
+        help=(
+            "sample the main thread's stack at HZ (default: "
+            f"{DEFAULT_HZ:g}) into a folded-stack file next to --out "
+            "(flamegraph.pl / speedscope readable)"
+        ),
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="folded-stack output path (default: derived from --out)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -704,6 +842,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared-memory model handoff to workers",
     )
     sweep_parser.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "stream in-flight worker metrics and heartbeats to the "
+            "parent; a stall watchdog flags silent tasks before the "
+            "task timeout"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="worker flush/heartbeat interval under --live (default: 0.2)",
+    )
+    sweep_parser.add_argument(
+        "--stall-beats",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "silent intervals before a task is flagged stalled "
+            "(default: 5, i.e. 1s at the default interval)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve Prometheus text on http://127.0.0.1:PORT/metrics "
+            "for the duration of the sweep (0 picks a free port); "
+            "includes in-flight worker deltas under --live"
+        ),
+    )
+    _add_profile_args(sweep_parser)
+    sweep_parser.add_argument(
         "--out", default=None, help="CSV file for the sweep table"
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -748,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
             "pins the window length (1 = always rebuild)"
         ),
     )
+    _add_profile_args(sim_parser)
     sim_parser.set_defaults(func=_cmd_simulate)
 
     bench_parser = sub.add_parser(
@@ -782,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
             "an integer window length (1 = always rebuild)"
         ),
     )
+    _add_profile_args(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
 
     bench_locations_parser = sub.add_parser(
@@ -917,6 +1095,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument(
         "--port", type=int, default=7321, help="TCP port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve Prometheus text on http://HOST:PORT/metrics beside "
+            "the query service (0 picks a free port)"
+        ),
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.obs.live import LiveMonitor, RollingHistogram, WorkerStreamer
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -36,12 +37,20 @@ from repro.obs.manifest import (
     manifest_path_for,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import SamplingProfiler
+from repro.obs.promtext import (
+    MetricsServer,
+    render_prometheus,
+    sanitize_metric_name,
+    start_metrics_server,
+)
 from repro.obs.report import format_report
 from repro.obs.spans import NULL_SPAN, SpanRecord, Timer, Tracer
 from repro.obs.writer import (
     TelemetryWriter,
     get_logger,
     read_events,
+    read_events_stats,
     setup_logging,
 )
 
@@ -50,13 +59,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveMonitor",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_SPAN",
+    "RollingHistogram",
     "RunManifest",
+    "SamplingProfiler",
     "SpanRecord",
     "TelemetryWriter",
     "Timer",
     "Tracer",
+    "WorkerStreamer",
     "collect_manifest",
     "configure",
     "enabled",
@@ -65,10 +79,14 @@ __all__ = [
     "git_sha",
     "manifest_path_for",
     "read_events",
+    "read_events_stats",
     "registry",
+    "render_prometheus",
     "reset",
+    "sanitize_metric_name",
     "setup_logging",
     "span",
+    "start_metrics_server",
     "tracer",
 ]
 

@@ -1,0 +1,748 @@
+"""Live telemetry: rolling-window histograms and in-flight sweep streaming.
+
+Three pieces, all stdlib-only:
+
+* :class:`RollingHistogram` — a ring of time buckets giving p50/p95/p99
+  over the trailing window (the cumulative :class:`~repro.obs.metrics.
+  Histogram` answers "since the process started"; this answers "in the
+  last minute"). Buckets are keyed by *absolute* epoch index, which
+  makes merge semantics exact: merging two rolling histograms that
+  observed disjoint halves of a stream equals observing the whole
+  stream, and expired buckets can never resurrect samples.
+
+* :class:`WorkerStreamer` — runs inside a sweep worker process and
+  periodically flushes the worker's cumulative-within-task metrics
+  delta plus a heartbeat (task index, attempt, phase, wall-so-far) to
+  the parent over a ``multiprocessing`` manager queue. Heartbeats are
+  *activity-gated*: the streamer only beats while the worker's main
+  thread shows signs of life (its top frame moved, process CPU time
+  advanced, or new metrics appeared), so a genuinely hung task goes
+  silent and the parent watchdog can see it.
+
+* :class:`LiveMonitor` — runs in the sweep parent: owns the queue,
+  drains worker messages on a daemon thread, keeps a live aggregate
+  view (authoritative registry + in-flight deltas, replace-not-fold so
+  nothing double counts), and flags stalled tasks (no beat for
+  ``stall_beats`` × interval) as ``runner.task.stalls`` *before* the
+  task timeout fires.
+
+The live aggregate is strictly a *view*: the authoritative end-of-task
+delta still arrives through the task result and is merged exactly as
+before, so a sweep run with streaming enabled produces a final snapshot
+identical to the non-streaming run.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.writer import get_logger
+
+__all__ = [
+    "LiveMonitor",
+    "RollingHistogram",
+    "WorkerStreamer",
+    "ROLLING_SAMPLE_CAP",
+]
+
+_log = get_logger("obs.live")
+
+#: Samples kept per rolling bucket for percentile estimates; past the
+#: cap, observations still update the bucket's count/total/min/max.
+ROLLING_SAMPLE_CAP = 1024
+
+#: Default flush/heartbeat interval for worker streaming (seconds).
+DEFAULT_STREAM_INTERVAL_S = 0.2
+
+#: Default number of silent intervals before a task is flagged stalled.
+DEFAULT_STALL_BEATS = 5
+
+
+class _Bucket:
+    """One time slot of a rolling histogram (mutable, lock-protected)."""
+
+    __slots__ = ("epoch", "count", "total", "min", "max", "samples")
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < ROLLING_SAMPLE_CAP:
+            self.samples.append(value)
+
+    def absorb(self, other: "_Bucket") -> None:
+        self.count += other.count
+        self.total += other.total
+        for value in (other.min, other.max):
+            if value is None:
+                continue
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+        room = ROLLING_SAMPLE_CAP - len(self.samples)
+        if room > 0:
+            self.samples.extend(other.samples[:room])
+
+    def copy(self) -> "_Bucket":
+        twin = _Bucket(self.epoch)
+        twin.count = self.count
+        twin.total = self.total
+        twin.min = self.min
+        twin.max = self.max
+        twin.samples = list(self.samples)
+        return twin
+
+
+class RollingHistogram:
+    """Trailing-window quantiles over a ring of time buckets.
+
+    The window (``window_s``) is divided into ``buckets`` equal slots;
+    each slot is keyed by its absolute epoch index
+    ``int(now / bucket_s)``, so two instruments sharing a clock agree on
+    bucket boundaries and :meth:`merge` can align them exactly. A slot
+    is recycled in place when the ring wraps onto a newer epoch, which
+    is what makes expiry permanent: stats only read slots whose epoch is
+    inside the current window, and an overwritten slot's samples are
+    gone.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests inject a fake
+    for deterministic decay, and every public method also accepts an
+    explicit ``now``.
+    """
+
+    __slots__ = (
+        "name",
+        "window_s",
+        "buckets",
+        "bucket_s",
+        "_ring",
+        "_clock",
+        "_registry",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float = 60.0,
+        buckets: int = 12,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[object] = None,
+    ):
+        if window_s <= 0:
+            raise ReproError(f"rolling window must be positive, got {window_s}")
+        if buckets < 1:
+            raise ReproError(f"rolling buckets must be >= 1, got {buckets}")
+        self.name = name
+        self.window_s = float(window_s)
+        self.buckets = int(buckets)
+        self.bucket_s = self.window_s / self.buckets
+        self._ring: List[Optional[_Bucket]] = [None] * self.buckets
+        self._clock = clock if clock is not None else time.monotonic
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def _slot(self, epoch: int) -> _Bucket:
+        index = epoch % self.buckets
+        bucket = self._ring[index]
+        if bucket is None or bucket.epoch < epoch:
+            bucket = self._ring[index] = _Bucket(epoch)
+        return bucket
+
+    def observe(self, value: float, now: Optional[float] = None) -> None:
+        """Record one observation into the current time bucket."""
+        if self._registry is not None and not self._registry.enabled:
+            return
+        if now is None:
+            now = self._clock()
+        epoch = int(now / self.bucket_s)
+        with self._lock:
+            bucket = self._slot(epoch)
+            if bucket.epoch > epoch:
+                return  # slot already recycled past this (stale) timestamp
+            bucket.observe(float(value))
+
+    # -- reading -------------------------------------------------------------
+
+    def _live_buckets(self, now: float) -> List[_Bucket]:
+        newest = int(now / self.bucket_s)
+        oldest = newest - self.buckets + 1
+        return [
+            bucket
+            for bucket in self._ring
+            if bucket is not None and oldest <= bucket.epoch <= newest
+        ]
+
+    def stats(self, now: Optional[float] = None) -> Dict[str, object]:
+        """count/total/min/max/p50/p95/p99 over the trailing window."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            live = [bucket.copy() for bucket in self._live_buckets(now)]
+        count = sum(bucket.count for bucket in live)
+        total = sum(bucket.total for bucket in live)
+        mins = [bucket.min for bucket in live if bucket.min is not None]
+        maxs = [bucket.max for bucket in live if bucket.max is not None]
+        ordered: List[float] = sorted(
+            sample for bucket in live for sample in bucket.samples
+        )
+
+        def _rank(q: float) -> Optional[float]:
+            if not ordered:
+                return None
+            return ordered[min(len(ordered) - 1, max(0, int(q * len(ordered))))]
+
+        return {
+            "count": count,
+            "total": total,
+            "min": min(mins) if mins else None,
+            "max": max(maxs) if maxs else None,
+            "p50": _rank(0.50),
+            "p95": _rank(0.95),
+            "p99": _rank(0.99),
+            "window_s": self.window_s,
+        }
+
+    def quantile(self, q: float, now: Optional[float] = None) -> Optional[float]:
+        """Nearest-rank quantile over the trailing window (None if empty)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            ordered = sorted(
+                sample
+                for bucket in self._live_buckets(now)
+                for sample in bucket.samples
+            )
+        if not ordered:
+            return None
+        return ordered[min(len(ordered) - 1, max(0, int(q * len(ordered))))]
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "RollingHistogram") -> None:
+        """Fold another rolling histogram's buckets into this one.
+
+        Buckets align on absolute epochs, so the merge is exact: a slot
+        holding the *same* epoch combines, an *older* slot is replaced,
+        and an incoming bucket older than the resident one is dropped
+        (it is expired relative to the newer data — expiry never runs
+        backwards). Both instruments must share the window config.
+        """
+        if (self.window_s, self.buckets) != (other.window_s, other.buckets):
+            raise ReproError(
+                "cannot merge rolling histograms with different windows: "
+                f"{self.window_s}s/{self.buckets} vs "
+                f"{other.window_s}s/{other.buckets}"
+            )
+        with other._lock:
+            incoming = [
+                bucket.copy() for bucket in other._ring if bucket is not None
+            ]
+        with self._lock:
+            for bucket in incoming:
+                index = bucket.epoch % self.buckets
+                resident = self._ring[index]
+                if resident is None or resident.epoch < bucket.epoch:
+                    self._ring[index] = bucket
+                elif resident.epoch == bucket.epoch:
+                    resident.absorb(bucket)
+                # resident.epoch > bucket.epoch: incoming already expired
+
+    def __repr__(self) -> str:
+        return (
+            f"RollingHistogram({self.name!r}, window_s={self.window_s}, "
+            f"buckets={self.buckets})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker side: periodic delta flush + activity-gated heartbeats
+# ---------------------------------------------------------------------------
+
+
+def _main_frame_signature() -> Optional[Tuple[int, int, int]]:
+    """A cheap fingerprint of the main thread's top frame.
+
+    Two consecutive identical signatures mean the main thread has not
+    moved between samples — the co-evidence (with a flat CPU clock) of
+    a hang. ``f_lasti`` catches movement within one line.
+    """
+    main_id = threading.main_thread().ident
+    frame = sys._current_frames().get(main_id)
+    if frame is None:
+        return None
+    return (id(frame.f_code), frame.f_lineno, frame.f_lasti)
+
+
+class WorkerStreamer:
+    """Streams metric deltas and heartbeats from a sweep worker.
+
+    Lives as a process global in each worker (installed by
+    ``_worker_init``), with a daemon thread waking every ``interval_s``
+    seconds. While a task is running it ships the task's
+    cumulative-so-far metrics delta (diff against the registry snapshot
+    taken at task start — the parent *replaces* its copy, so resending
+    the whole delta is idempotent) and, when the worker looks alive, a
+    heartbeat. Liveness is judged from the streamer thread without
+    cooperation from the task code: the main thread's top frame moved,
+    process CPU time advanced (long native kernels hold one frame but
+    burn CPU), or the metrics delta changed. A task stuck in
+    ``time.sleep`` — or a deadlock — shows none of these, goes silent,
+    and trips the parent watchdog.
+
+    Queue sends are best-effort (``put_nowait`` behind try/except): live
+    telemetry must never be able to fail a task.
+    """
+
+    #: Fraction of the interval the CPU clock must advance to count as
+    #: alive while the main frame is pinned (native kernels).
+    CPU_ACTIVE_FRACTION = 0.25
+
+    def __init__(
+        self,
+        channel: "_queue.Queue",
+        interval_s: float = DEFAULT_STREAM_INTERVAL_S,
+        registry: Optional[object] = None,
+        worker_id: Optional[str] = None,
+    ):
+        if interval_s <= 0:
+            raise ReproError(
+                f"stream interval must be positive, got {interval_s}"
+            )
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self._channel = channel
+        self.interval_s = float(interval_s)
+        self._registry = registry
+        self.worker_id = worker_id or f"pid-{os.getpid()}"
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._task: Optional[Dict[str, object]] = None
+        self._baseline: Optional[Dict[str, Dict[str, object]]] = None
+        self._last_delta: Optional[Dict[str, Dict[str, object]]] = None
+        self.sent = 0
+        self.dropped = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the flush thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-streamer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the flush thread and send a final goodbye beat."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval_s * 5)
+        self._send({"kind": "bye"})
+
+    # -- task hooks (called from the worker's main thread) -------------------
+
+    def task_started(self, index: int, attempt: int) -> None:
+        """Mark a task as running and snapshot the metrics baseline."""
+        with self._lock:
+            self._task = {
+                "index": int(index),
+                "attempt": int(attempt),
+                "started": time.perf_counter(),
+            }
+            self._baseline = self._registry.snapshot()
+            self._last_delta = None
+        self._send(self._beat("task_start"))
+
+    def task_finished(self, index: int, attempt: int, status: str = "ok") -> None:
+        """Clear the running task and tell the parent to drop its delta."""
+        with self._lock:
+            self._task = None
+            self._baseline = None
+            self._last_delta = None
+        self._send(
+            {
+                "kind": "task_end",
+                "worker": self.worker_id,
+                "index": int(index),
+                "attempt": int(attempt),
+                "status": status,
+            }
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _phase(self) -> str:
+        """Name of the innermost open span (best-effort, racy read)."""
+        try:
+            from repro import obs
+
+            tracer = obs.tracer()
+            if tracer._stack:
+                return tracer.records[tracer._stack[-1]].name
+        except Exception:
+            pass
+        return "running"
+
+    def _beat(self, kind: str = "beat") -> Dict[str, object]:
+        with self._lock:
+            task = dict(self._task) if self._task else None
+        message: Dict[str, object] = {"kind": kind, "worker": self.worker_id}
+        if task is not None:
+            message.update(
+                index=task["index"],
+                attempt=task["attempt"],
+                phase=self._phase(),
+                wall_so_far=time.perf_counter() - task["started"],
+            )
+        return message
+
+    def _send(self, message: Dict[str, object]) -> None:
+        try:
+            self._channel.put_nowait(message)
+            self.sent += 1
+        except Exception:
+            self.dropped += 1
+
+    def _flush_delta(self) -> bool:
+        """Ship the task's cumulative delta if it changed; True if so."""
+        with self._lock:
+            task = dict(self._task) if self._task else None
+            baseline = self._baseline
+            last = self._last_delta
+        if task is None or baseline is None:
+            return False
+        from repro.obs.metrics import MetricsRegistry
+
+        delta = MetricsRegistry.diff(baseline, self._registry.snapshot())
+        if not (delta["counters"] or delta["gauges"] or delta["histograms"]):
+            return False
+        if delta == last:
+            return False
+        with self._lock:
+            self._last_delta = delta
+        self._send(
+            {
+                "kind": "metrics",
+                "worker": self.worker_id,
+                "index": task["index"],
+                "attempt": task["attempt"],
+                "delta": delta,
+            }
+        )
+        return True
+
+    def _loop(self) -> None:
+        prev_sig = _main_frame_signature()
+        prev_cpu = time.process_time()
+        while not self._stop.wait(self.interval_s):
+            try:
+                metrics_moved = self._flush_delta()
+                sig = _main_frame_signature()
+                cpu = time.process_time()
+                cpu_moved = (
+                    cpu - prev_cpu >= self.CPU_ACTIVE_FRACTION * self.interval_s
+                )
+                frame_moved = sig != prev_sig
+                prev_sig, prev_cpu = sig, cpu
+                with self._lock:
+                    idle = self._task is None
+                if idle:
+                    # Between tasks the worker is healthy by definition.
+                    self._send(self._beat())
+                elif metrics_moved or cpu_moved or frame_moved:
+                    self._send(self._beat())
+                # else: pinned frame, flat CPU, no new metrics — a hang;
+                # stay silent so the parent watchdog can flag it.
+            except Exception:  # pragma: no cover - never kill the worker
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side: queue drain, live aggregate, stall watchdog
+# ---------------------------------------------------------------------------
+
+
+class _WorkerState:
+    """What the parent knows about one streaming worker."""
+
+    __slots__ = ("last_beat", "task", "phase", "wall_so_far", "flagged")
+
+    def __init__(self, now: float):
+        self.last_beat = now
+        self.task: Optional[Tuple[int, int]] = None  # (index, attempt)
+        self.phase: Optional[str] = None
+        self.wall_so_far: float = 0.0
+        self.flagged = False
+
+
+class LiveMonitor:
+    """Parent-side hub for in-flight sweep telemetry.
+
+    Owns a ``multiprocessing.Manager`` queue (a manager proxy is the
+    one queue flavor that can ride through ``ProcessPoolExecutor``
+    initargs under both fork and spawn), drains it on a daemon thread,
+    and keeps:
+
+    * ``inflight`` — the latest cumulative-within-task metrics delta per
+      worker, *replaced* on every flush and dropped at task end, so
+      :meth:`live_snapshot` (authoritative registry + in-flight deltas,
+      merged into a scratch registry) is exact and never double counts;
+    * a per-worker heartbeat clock — a worker with a running task and no
+      beat for ``stall_beats × interval_s`` seconds is flagged once as
+      stalled: ``runner.task.stalls`` is incremented on the main
+      registry, a warning lands in progress output, and the event is
+      recorded in :attr:`stall_events`. A later beat from the same task
+      clears the flag (and is logged as a resume).
+
+    For tests, ``channel`` may be any queue-like object (e.g. a plain
+    ``queue.Queue``); a manager is only spun up when none is given.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_STREAM_INTERVAL_S,
+        stall_beats: int = DEFAULT_STALL_BEATS,
+        registry: Optional[object] = None,
+        channel: Optional["_queue.Queue"] = None,
+        on_stall: Optional[Callable[[Dict[str, object]], None]] = None,
+    ):
+        if interval_s <= 0:
+            raise ReproError(
+                f"stream interval must be positive, got {interval_s}"
+            )
+        if stall_beats < 1:
+            raise ReproError(f"stall_beats must be >= 1, got {stall_beats}")
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self.interval_s = float(interval_s)
+        self.stall_beats = int(stall_beats)
+        self._registry = registry
+        self._on_stall = on_stall
+        self._manager = None
+        if channel is None:
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+            channel = self._manager.Queue()
+        self.channel = channel
+        self._lock = threading.Lock()
+        self._workers: Dict[str, _WorkerState] = {}
+        self._inflight: Dict[str, Dict[str, Dict[str, object]]] = {}
+        self.stall_events: List[Dict[str, object]] = []
+        self.resume_events: List[Dict[str, object]] = []
+        self.messages = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def worker_spec(self) -> Tuple["_queue.Queue", float]:
+        """The ``(queue, interval_s)`` pair shipped to ``_worker_init``."""
+        return (self.channel, self.interval_s)
+
+    def start(self) -> None:
+        """Start the drain/watchdog thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the drain thread, then drain any queued messages."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(1.0, self.interval_s * 10))
+        self._drain(block=False)
+
+    def close(self) -> None:
+        """Stop and shut down the owned manager (if any)."""
+        self.stop()
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+            self._manager = None
+
+    # -- message processing --------------------------------------------------
+
+    def _loop(self) -> None:
+        wait_s = self.interval_s / 2
+        while not self._stop.is_set():
+            try:
+                message = self.channel.get(timeout=wait_s)
+            except _queue.Empty:
+                pass
+            except (EOFError, OSError, BrokenPipeError):
+                break  # manager went away (teardown)
+            except Exception:  # pragma: no cover - defensive
+                break
+            else:
+                self._process(message)
+            self._check_stalls()
+
+    def _drain(self, block: bool = False) -> None:
+        while True:
+            try:
+                message = self.channel.get_nowait()
+            except Exception:
+                return
+            self._process(message)
+
+    def _process(self, message: Dict[str, object]) -> None:
+        if not isinstance(message, dict):
+            return
+        kind = message.get("kind")
+        worker = str(message.get("worker", "?"))
+        now = time.monotonic()
+        with self._lock:
+            state = self._workers.get(worker)
+            if state is None:
+                state = self._workers[worker] = _WorkerState(now)
+            state.last_beat = now
+            self.messages += 1
+            if kind in ("beat", "task_start"):
+                index = message.get("index")
+                if index is None:
+                    state.task = None
+                    state.phase = None
+                else:
+                    task = (int(index), int(message.get("attempt", 1)))
+                    if state.flagged and state.task == task:
+                        state.flagged = False
+                        resume = {
+                            "worker": worker,
+                            "index": task[0],
+                            "attempt": task[1],
+                        }
+                        self.resume_events.append(resume)
+                        _log.warning(
+                            "task %d (attempt %d) on %s resumed after stall",
+                            task[0],
+                            task[1],
+                            worker,
+                        )
+                    if state.task != task:
+                        state.flagged = False
+                    state.task = task
+                    state.phase = message.get("phase")
+                    state.wall_so_far = float(message.get("wall_so_far", 0.0))
+            elif kind == "metrics":
+                delta = message.get("delta")
+                if isinstance(delta, dict):
+                    self._inflight[worker] = delta
+            elif kind == "task_end":
+                self._inflight.pop(worker, None)
+                state.task = None
+                state.phase = None
+                state.flagged = False
+            elif kind == "bye":
+                self._inflight.pop(worker, None)
+                self._workers.pop(worker, None)
+
+    def _check_stalls(self) -> None:
+        now = time.monotonic()
+        budget = self.stall_beats * self.interval_s
+        fired: List[Dict[str, object]] = []
+        with self._lock:
+            for worker, state in self._workers.items():
+                if state.task is None or state.flagged:
+                    continue
+                silent = now - state.last_beat
+                if silent < budget:
+                    continue
+                state.flagged = True
+                event = {
+                    "worker": worker,
+                    "index": state.task[0],
+                    "attempt": state.task[1],
+                    "phase": state.phase,
+                    "silent_s": silent,
+                    "wall_so_far": state.wall_so_far,
+                }
+                self.stall_events.append(event)
+                fired.append(event)
+        for event in fired:
+            self._registry.counter("runner.task.stalls").inc()
+            _log.warning(
+                "task %d (attempt %d) on %s looks stalled: no heartbeat "
+                "for %.1fs (threshold %.1fs, last phase %s)",
+                event["index"],
+                event["attempt"],
+                event["worker"],
+                event["silent_s"],
+                budget,
+                event["phase"] or "?",
+            )
+            if self._on_stall is not None:
+                try:
+                    self._on_stall(event)
+                except Exception:  # pragma: no cover - observer must not kill
+                    pass
+
+    # -- views ---------------------------------------------------------------
+
+    def live_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Authoritative snapshot plus every in-flight worker delta.
+
+        Built by merging into a scratch registry, so the authoritative
+        one is never touched. Momentarily, between a task result being
+        merged and its ``task_end`` message draining, a delta may be
+        counted twice — the window is one flush interval and the view is
+        display-only; the final snapshot is exact.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        scratch = MetricsRegistry()
+        scratch.merge(self._registry.snapshot())
+        with self._lock:
+            deltas = [dict(delta) for delta in self._inflight.values()]
+        for delta in deltas:
+            scratch.merge(delta)
+        return scratch.snapshot()
+
+    def stalls(self) -> int:
+        """Number of stall events flagged so far."""
+        with self._lock:
+            return len(self.stall_events)
+
+    def workers_seen(self) -> int:
+        """Number of distinct workers that have ever sent a message."""
+        with self._lock:
+            return len(self._workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveMonitor(interval_s={self.interval_s}, "
+            f"stall_beats={self.stall_beats}, "
+            f"workers={self.workers_seen()}, stalls={self.stalls()})"
+        )

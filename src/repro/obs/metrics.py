@@ -23,11 +23,22 @@ delta home, and merged parent counters equal the serial run's exactly
 
 Disabling the registry (``enabled = False``) turns every ``inc`` /
 ``set`` / ``observe`` into a single attribute check.
+
+Thread safety: counters and gauges are single-word updates (safe under
+the GIL); histograms guard their multi-field update with a lock so a
+snapshot taken from another thread (the ``/metrics`` exposition thread,
+the live streamer) never sees a torn count/total/min/max/samples state.
+Instrument *creation* is also locked, so two threads racing on the
+first ``counter(name)`` call cannot clobber each other.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (live imports us)
+    from repro.obs.live import RollingHistogram
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -69,9 +80,25 @@ class Gauge:
 
 
 class Histogram:
-    """Count/total/min/max plus a bounded sample reservoir for quantiles."""
+    """Count/total/min/max plus a bounded sample reservoir for quantiles.
 
-    __slots__ = ("name", "count", "total", "min", "max", "samples", "_registry")
+    Observations are guarded by a per-instrument lock: concurrent serve
+    handlers and the metrics-exposition thread may touch the same
+    histogram, and the count/total/min/max/samples update must be seen
+    atomically (a snapshot mid-``observe`` must never show a count that
+    excludes the total, or vice versa).
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "samples",
+        "_registry",
+        "_lock",
+    )
 
     def __init__(self, name: str, registry: "MetricsRegistry"):
         self.name = name
@@ -81,26 +108,52 @@ class Histogram:
         self.max: Optional[float] = None
         self.samples: List[float] = []
         self._registry = registry
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation; no-op when the registry is disabled."""
         if not self._registry.enabled:
             return
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
-            self.samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+                self.samples.append(value)
 
     def quantile(self, q: float) -> Optional[float]:
         """Nearest-rank quantile over the retained samples (None if empty)."""
-        if not self.samples:
+        with self._lock:
+            ordered = sorted(self.samples)
+        if not ordered:
             return None
-        ordered = sorted(self.samples)
         rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
         return ordered[rank]
+
+    def stats(self) -> Dict[str, object]:
+        """One consistent count/total/min/max/p50/p95 view (for snapshots)."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            low = self.min
+            high = self.max
+            ordered = sorted(self.samples)
+
+        def _rank(q: float) -> Optional[float]:
+            if not ordered:
+                return None
+            return ordered[min(len(ordered) - 1, max(0, int(q * len(ordered))))]
+
+        return {
+            "count": count,
+            "total": total,
+            "min": low,
+            "max": high,
+            "p50": _rank(0.50),
+            "p95": _rank(0.95),
+        }
 
 
 class MetricsRegistry:
@@ -111,6 +164,8 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._rolling: Dict[str, "RollingHistogram"] = {}
+        self._create_lock = threading.Lock()
 
     # -- instrument accessors (create on first touch) -----------------------
 
@@ -118,49 +173,96 @@ class MetricsRegistry:
         """The counter called ``name``, created on first use."""
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name, self)
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name, self)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created on first use."""
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name, self)
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name, self)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, self)
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name, self)
+        return instrument
+
+    def rolling(
+        self,
+        name: str,
+        window_s: float = 60.0,
+        buckets: int = 12,
+    ) -> "RollingHistogram":
+        """The rolling-window histogram called ``name``, created on first use.
+
+        Rolling histograms live beside — not inside — :meth:`snapshot`:
+        they answer "what were the last ``window_s`` seconds like"
+        (:meth:`rolling_snapshot`), while the cumulative snapshot keeps
+        its exact diff/merge semantics. The window configuration is
+        fixed at first creation; later calls return the same instrument.
+        """
+        instrument = self._rolling.get(name)
+        if instrument is None:
+            from repro.obs.live import RollingHistogram
+
+            with self._create_lock:
+                instrument = self._rolling.get(name)
+                if instrument is None:
+                    instrument = self._rolling[name] = RollingHistogram(
+                        name, window_s=window_s, buckets=buckets, registry=self
+                    )
         return instrument
 
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-ready copy of every instrument's current state."""
+        with self._create_lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        hist_stats = {name: hist.stats() for name, hist in histograms}
         return {
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
+            "counters": {name: counter.value for name, counter in counters},
             "gauges": {
                 name: gauge.value
-                for name, gauge in sorted(self._gauges.items())
+                for name, gauge in gauges
                 if gauge.value is not None
             },
             "histograms": {
-                name: {
-                    "count": hist.count,
-                    "total": hist.total,
-                    "min": hist.min,
-                    "max": hist.max,
-                    "p50": hist.quantile(0.50),
-                    "p95": hist.quantile(0.95),
-                }
-                for name, hist in sorted(self._histograms.items())
-                if hist.count
+                name: stats
+                for name, stats in hist_stats.items()
+                if stats["count"]
             },
+        }
+
+    def rolling_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Trailing-window stats for every rolling histogram with data.
+
+        Keyed by instrument name; each value is the instrument's
+        :meth:`~repro.obs.live.RollingHistogram.stats` dict (count,
+        total, min/max, p50/p95/p99, window_s). Kept out of
+        :meth:`snapshot` so cumulative diff/merge semantics — and the
+        serial-equals-parallel equality they guarantee — are untouched.
+        """
+        with self._create_lock:
+            rolling = sorted(self._rolling.items())
+        return {
+            name: stats
+            for name, stats in ((name, inst.stats()) for name, inst in rolling)
+            if stats["count"]
         }
 
     @staticmethod
@@ -214,23 +316,28 @@ class MetricsRegistry:
             self.gauge(name).value = value
         for name, stats in snapshot.get("histograms", {}).items():
             hist = self.histogram(name)
-            hist.count += stats.get("count", 0)
-            hist.total += stats.get("total", 0.0)
-            for bound, pick in (("min", min), ("max", max)):
-                incoming = stats.get(bound)
-                if incoming is not None:
-                    current = getattr(hist, bound)
-                    setattr(
-                        hist,
-                        bound,
-                        incoming if current is None else pick(current, incoming),
-                    )
+            with hist._lock:
+                hist.count += stats.get("count", 0)
+                hist.total += stats.get("total", 0.0)
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = stats.get(bound)
+                    if incoming is not None:
+                        current = getattr(hist, bound)
+                        setattr(
+                            hist,
+                            bound,
+                            incoming
+                            if current is None
+                            else pick(current, incoming),
+                        )
 
     def reset(self) -> None:
         """Drop every instrument (tests, or between CLI commands)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._create_lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._rolling.clear()
 
     def counter_items(self) -> List[Tuple[str, float]]:
         """Sorted (name, value) counter pairs (for reports)."""

@@ -1,0 +1,229 @@
+"""Prometheus text exposition for metrics snapshots.
+
+Renders a :meth:`MetricsRegistry.snapshot` (plus an optional
+:meth:`rolling_snapshot`) into the Prometheus text format (version
+0.0.4), and serves it from a stdlib ``http.server`` thread::
+
+    from repro.obs import registry
+    from repro.obs.promtext import render_prometheus, start_metrics_server
+
+    text = render_prometheus(registry().snapshot(),
+                             registry().rolling_snapshot())
+    server = start_metrics_server(9109)   # GET /metrics
+    ...
+    server.close()
+
+Mapping:
+
+* counters  → ``repro_<name>_total`` (TYPE counter);
+* gauges    → ``repro_<name>`` (TYPE gauge);
+* histograms → a TYPE summary: ``{quantile="0.5"}`` / ``{quantile=
+  "0.95"}`` series plus ``_sum``/``_count``, with min/max as extra
+  gauges (the exposition format has no min/max slot);
+* rolling histograms → gauges labeled ``{quantile="...",window="60s"}``
+  plus ``_count``, since a trailing window is by nature an
+  instantaneous reading.
+
+Dotted metric names (``runner.task.wall_s``) are sanitized to the
+Prometheus charset (``repro_runner_task_wall_s``); sanitization is
+injective over every name the codebase emits (tested), so no two
+metrics collide.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "MetricsServer",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "start_metrics_server",
+]
+
+#: Prefix stamped on every exposed metric name.
+METRIC_PREFIX = "repro_"
+
+#: Content-Type for the Prometheus text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """Map a dotted metric name onto the Prometheus charset.
+
+    Every character outside ``[a-zA-Z0-9_:]`` becomes ``_``, and the
+    result is prefixed (``repro_`` by default) — which also guarantees a
+    legal leading character.
+    """
+    return prefix + _INVALID_CHARS.sub("_", name)
+
+
+def _fmt(value: object) -> str:
+    """One sample value in exposition syntax."""
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, object]],
+    rolling: Optional[Dict[str, Dict[str, object]]] = None,
+    prefix: str = METRIC_PREFIX,
+) -> str:
+    """The snapshot (and optional rolling snapshot) as exposition text."""
+    lines: List[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        pname = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+
+    for name, stats in sorted(snapshot.get("histograms", {}).items()):
+        pname = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {pname} summary")
+        for q in ("p50", "p95", "p99"):
+            if stats.get(q) is None:
+                continue
+            quantile = f"0.{q[1:]}" if q != "p50" else "0.5"
+            lines.append(
+                f'{pname}{{quantile="{quantile}"}} {_fmt(stats[q])}'
+            )
+        lines.append(f"{pname}_sum {_fmt(stats.get('total', 0.0))}")
+        lines.append(f"{pname}_count {_fmt(stats.get('count', 0))}")
+        for bound in ("min", "max"):
+            if stats.get(bound) is not None:
+                lines.append(f"# TYPE {pname}_{bound} gauge")
+                lines.append(f"{pname}_{bound} {_fmt(stats[bound])}")
+
+    for name, stats in sorted((rolling or {}).items()):
+        pname = sanitize_metric_name(name, prefix) + "_rolling"
+        window = stats.get("window_s")
+        label = f'window="{_fmt(window)}s"' if window is not None else ""
+        lines.append(f"# TYPE {pname} gauge")
+        for q, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if stats.get(q) is None:
+                continue
+            labels = f'quantile="{quantile}"' + (f",{label}" if label else "")
+            lines.append(f"{pname}{{{labels}}} {_fmt(stats[q])}")
+        lines.append(f"# TYPE {pname}_count gauge")
+        suffix = f"{{{label}}}" if label else ""
+        lines.append(f"{pname}_count{suffix} {_fmt(stats.get('count', 0))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsServer:
+    """A stdlib HTTP thread serving ``/metrics`` exposition text.
+
+    Wraps a daemon-threaded :class:`ThreadingHTTPServer`; ``snapshot_fn``
+    and ``rolling_fn`` are called per request, so a scraper always sees
+    the current state (and, on a live sweep, the in-flight aggregate
+    when the caller wires :meth:`LiveMonitor.live_snapshot` in).
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        snapshot_fn: Optional[Callable[[], Dict]] = None,
+        rolling_fn: Optional[Callable[[], Dict]] = None,
+        prefix: str = METRIC_PREFIX,
+    ):
+        if snapshot_fn is None or rolling_fn is None:
+            from repro import obs
+
+            if snapshot_fn is None:
+                snapshot_fn = obs.registry().snapshot
+            if rolling_fn is None:
+                rolling_fn = obs.registry().rolling_snapshot
+        self._snapshot_fn = snapshot_fn
+        self._rolling_fn = rolling_fn
+        self._prefix = prefix
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0].rstrip("/") not in (
+                    "",
+                    "/metrics",
+                ):
+                    self.send_error(404, "only /metrics is served")
+                    return
+                try:
+                    body = render_prometheus(
+                        outer._snapshot_fn(),
+                        outer._rolling_fn(),
+                        prefix=outer._prefix,
+                    ).encode("utf-8")
+                except Exception as exc:  # pragma: no cover - defensive
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self._server.server_port
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._server.server_address[0]
+
+    def close(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"MetricsServer(http://{self.host}:{self.port}/metrics)"
+
+
+def start_metrics_server(
+    port: int,
+    host: str = "127.0.0.1",
+    snapshot_fn: Optional[Callable[[], Dict]] = None,
+    rolling_fn: Optional[Callable[[], Dict]] = None,
+) -> MetricsServer:
+    """Start a daemon ``/metrics`` endpoint; defaults to the global registry."""
+    return MetricsServer(
+        port, host=host, snapshot_fn=snapshot_fn, rolling_fn=rolling_fn
+    )

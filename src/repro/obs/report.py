@@ -9,7 +9,12 @@ Takes the files a run leaves behind — ``*.manifest.json`` (see
 * the **top-N slowest** individual spans,
 * the **metric tables** (counters, gauges, histograms),
 * the **cache hit rate** (from ``runner.cache.hits`` / ``.misses``),
-* the **event summary** of a JSONL stream, including the ERROR count.
+* the **event summary** of a JSONL stream, including the ERROR count and
+  a ``malformed events: N`` line (bad JSONL lines are skipped and
+  counted, not fatal — a crashed worker's torn final write should not
+  take the post-mortem report down with it),
+* the **profile summary** (top self-time functions) when a manifest was
+  produced by a ``--profile`` run.
 
 Everything returns strings; the CLI just prints them.
 """
@@ -23,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import ReproError
 from repro.obs.manifest import RunManifest
 from repro.obs.spans import SpanRecord
-from repro.obs.writer import read_events
+from repro.obs.writer import read_events_stats
 
 
 def _format_table(headers, rows, title=""):
@@ -42,6 +47,7 @@ __all__ = [
     "format_metrics",
     "format_serving",
     "format_event_summary",
+    "format_profile",
     "format_report",
     "cache_hit_rate",
 ]
@@ -73,17 +79,21 @@ def format_failures(extra: Dict[str, object]) -> List[str]:
 
 def load_report_inputs(
     path: Union[str, Path],
-) -> Tuple[List[Tuple[Path, RunManifest]], List[Tuple[Path, List[Dict]]]]:
+) -> Tuple[
+    List[Tuple[Path, RunManifest]], List[Tuple[Path, List[Dict], int]]
+]:
     """Resolve a report target into (manifests, event streams).
 
     ``path`` may be one manifest file, one ``.jsonl`` file, or a
     directory (scanned for ``*.manifest.json`` and ``*.jsonl``).
+    Each stream entry is ``(path, events, malformed)`` — JSONL lines
+    that fail to parse are skipped and counted, never fatal.
     """
     target = Path(path)
     if not target.exists():
         raise ReproError(f"no such telemetry path: {target}")
     manifests: List[Tuple[Path, RunManifest]] = []
-    streams: List[Tuple[Path, List[Dict]]] = []
+    streams: List[Tuple[Path, List[Dict], int]] = []
     if target.is_dir():
         candidates = sorted(target.glob("*.manifest.json")) + sorted(
             target.glob("*.jsonl")
@@ -96,7 +106,8 @@ def load_report_inputs(
         candidates = [target]
     for candidate in candidates:
         if candidate.suffix == ".jsonl":
-            streams.append((candidate, read_events(candidate)))
+            events, malformed = read_events_stats(candidate)
+            streams.append((candidate, events, malformed))
         else:
             manifests.append((candidate, RunManifest.load(candidate)))
     return manifests, streams
@@ -292,8 +303,13 @@ def _format_number(value: Optional[float]) -> str:
 # -- event streams -----------------------------------------------------------
 
 
-def format_event_summary(events: Sequence[Dict]) -> str:
-    """Event counts by type, log counts by level, and the ERROR total."""
+def format_event_summary(events: Sequence[Dict], malformed: int = 0) -> str:
+    """Event counts by type, log counts by level, and the ERROR total.
+
+    ``malformed`` is the count of skipped unparseable JSONL lines (from
+    :func:`repro.obs.writer.read_events_stats`); it is always rendered
+    so a truncated stream is visible even when everything else parses.
+    """
     by_type: Dict[str, int] = {}
     by_level: Dict[str, int] = {}
     for event in events:
@@ -312,7 +328,48 @@ def format_event_summary(events: Sequence[Dict]) -> str:
             + ", ".join(f"{lvl}={n}" for lvl, n in sorted(by_level.items()))
         )
     lines.append(f"error events: {by_level.get('ERROR', 0)}")
+    lines.append(f"malformed events: {int(malformed)}")
     return "\n".join(lines)
+
+
+# -- profiles ----------------------------------------------------------------
+
+
+def format_profile(profile: Dict) -> str:
+    """Sampling-profiler digest from a manifest's ``extra['profile']``.
+
+    Renders the sampling rate, sample/stack counts, and the top
+    self-time (leaf-frame) functions — enough to spot the hot kernel
+    without opening the folded-stack file, whose path is echoed for
+    flamegraph tooling.
+    """
+    if not profile:
+        return "profile: (none)"
+    samples = int(profile.get("samples", 0))
+    lines = [
+        "profile: {hz:g} Hz, {samples} samples, {stacks} unique stacks"
+        .format(
+            hz=float(profile.get("hz", 0.0)),
+            samples=samples,
+            stacks=int(profile.get("stacks", 0)),
+        )
+    ]
+    if profile.get("path"):
+        lines[0] += f" -> {profile['path']}"
+    top = profile.get("top_self") or []
+    if top and samples:
+        rows = [
+            [str(label), str(int(count)), f"{int(count) / samples:.1%}"]
+            for label, count in top
+        ]
+        lines.append(
+            _format_table(
+                ["function", "self samples", "self %"],
+                rows,
+                title="top self-time",
+            )
+        )
+    return "\n\n".join(lines)
 
 
 # -- the full report ---------------------------------------------------------
@@ -348,7 +405,10 @@ def format_report(path: Union[str, Path], top: int = 10) -> str:
         if manifest.spans:
             sections.append(format_top_spans(manifest.spans, top=top))
         sections.append(format_metrics(manifest.metrics))
-    for stream_path, events in streams:
+        profile = manifest.extra.get("profile")
+        if isinstance(profile, dict):
+            sections.append(format_profile(profile))
+    for stream_path, events, malformed in streams:
         sections.append(f"=== events {stream_path} ===")
-        sections.append(format_event_summary(events))
+        sections.append(format_event_summary(events, malformed=malformed))
     return "\n\n".join(sections)

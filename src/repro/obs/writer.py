@@ -27,7 +27,7 @@ import logging
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, TextIO, Union
+from typing import Dict, List, Mapping, Optional, TextIO, Tuple, Union
 
 from repro.errors import ReproError
 
@@ -36,6 +36,7 @@ __all__ = [
     "TelemetryLogHandler",
     "JsonLineFormatter",
     "read_events",
+    "read_events_stats",
     "setup_logging",
     "get_logger",
 ]
@@ -86,7 +87,12 @@ class TelemetryWriter:
 
 
 def read_events(path: Union[str, Path]) -> List[Dict]:
-    """Load every event of a JSONL telemetry file (skipping blank lines)."""
+    """Load every event of a JSONL telemetry file (skipping blank lines).
+
+    Strict: a malformed line raises :class:`ReproError`. Inspection
+    paths that must survive a killed worker's truncated write use
+    :func:`read_events_stats` instead.
+    """
     file_path = Path(path)
     if not file_path.exists():
         raise ReproError(f"no such telemetry file: {file_path}")
@@ -103,6 +109,36 @@ def read_events(path: Union[str, Path]) -> List[Dict]:
                     f"{file_path}:{line_number}: malformed telemetry event"
                 ) from exc
     return events
+
+
+def read_events_stats(path: Union[str, Path]) -> Tuple[List[Dict], int]:
+    """Tolerant JSONL load: ``(events, malformed_line_count)``.
+
+    A worker killed mid-write leaves a truncated trailing line; report
+    tooling must still read everything else. Malformed (or non-object)
+    lines are skipped and counted instead of raising; a missing file
+    still raises, since that is a caller error, not stream damage.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"no such telemetry file: {file_path}")
+    events: List[Dict] = []
+    malformed = 0
+    with file_path.open(encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                malformed += 1
+    return events, malformed
 
 
 class JsonLineFormatter(logging.Formatter):

@@ -336,6 +336,9 @@ class SweepRunner:
         policy: Optional[FailurePolicy] = None,
         start_method: Optional[str] = None,
         use_shared_memory: bool = True,
+        live: bool = False,
+        live_interval_s: float = 0.2,
+        live_stall_beats: int = 5,
     ):
         if n_workers < 1:
             raise RunnerError(f"n_workers must be >= 1: {n_workers!r}")
@@ -354,6 +357,13 @@ class SweepRunner:
         self.policy = policy or FailurePolicy()
         self.start_method = start_method
         self.use_shared_memory = use_shared_memory
+        self.live = live
+        self.live_interval_s = live_interval_s
+        self.live_stall_beats = live_stall_beats
+        #: The active :class:`~repro.obs.live.LiveMonitor` while a live
+        #: parallel run is in flight (None otherwise); external readers
+        #: (the ``/metrics`` endpoint) poll it for the in-flight view.
+        self.live_monitor = None
 
     # -- internals ----------------------------------------------------------
 
@@ -389,6 +399,9 @@ class SweepRunner:
             wall_s=wall_s,
             attempts=attempts,
         )
+        # Trailing-window view of task wall times (lives beside the
+        # cumulative snapshot; see MetricsRegistry.rolling_snapshot).
+        obs.registry().rolling("runner.task.wall_s").observe(wall_s)
         self._emit(result)
         return result
 
@@ -418,6 +431,32 @@ class SweepRunner:
 
     def _task_seed(self, params: Dict) -> int:
         return task_seed(self.sweep_id, params)
+
+    def _start_live_monitor(self):
+        """Spin up the live-telemetry monitor, or None if unavailable.
+
+        Any failure (a sandbox without working manager processes, say)
+        downgrades to a non-streaming run rather than failing the
+        sweep.
+        """
+        if not self.live:
+            return None
+        try:
+            from repro.obs.live import LiveMonitor
+
+            monitor = LiveMonitor(
+                interval_s=self.live_interval_s,
+                stall_beats=self.live_stall_beats,
+            )
+        except Exception as exc:
+            _log.warning(
+                "live telemetry unavailable (%s); running without "
+                "in-flight streaming",
+                exc,
+            )
+            return None
+        monitor.start()
+        return monitor
 
     def _publish_share(self, model: StarlinkDivideModel):
         """Publish the model to shared memory, or None if unavailable.
@@ -651,13 +690,17 @@ class SweepRunner:
         slots: List[Optional[TaskResult]],
         registry,
         share_handle=None,
+        live_spec=None,
     ) -> None:
         """Pooled execution with timeout abandons and pool recovery.
 
         ``share_handle`` (a :class:`~repro.runner.shm.ModelShareHandle`)
         reaches every pool this method creates — including pools rebuilt
         after a break — so recovered workers re-attach the same segment
-        instead of rebuilding the model.
+        instead of rebuilding the model. ``live_spec`` (a
+        ``(queue, interval)`` pair from :meth:`LiveMonitor.worker_spec`)
+        likewise reaches rebuilt pools, so recovered workers resume
+        streaming.
         """
         import multiprocessing
 
@@ -689,7 +732,7 @@ class SweepRunner:
                 max_workers=max_workers,
                 mp_context=mp_context,
                 initializer=_tasks._worker_init,
-                initargs=(builder, share_handle),
+                initargs=(builder, share_handle, live_spec),
             )
             try:
                 self._drain_pool(pool, max_workers, queue, slots, registry)
@@ -777,6 +820,8 @@ class SweepRunner:
                     # spawn falls back to the builder.
                     _tasks._WORKER_MODEL = model
                 registry = obs.registry()
+                monitor = self._start_live_monitor()
+                self.live_monitor = monitor
                 try:
                     with obs.span("runner.gather", tasks=len(pending)):
                         self._run_parallel(
@@ -786,11 +831,19 @@ class SweepRunner:
                             slots,
                             registry,
                             share.handle if share is not None else None,
+                            monitor.worker_spec()
+                            if monitor is not None
+                            else None,
                         )
                 finally:
                     _tasks._WORKER_MODEL = None
                     if share is not None:
                         share.close()
+                    if monitor is not None:
+                        # Stop draining but keep the monitor readable:
+                        # stall_events and live_snapshot() stay valid
+                        # for the CLI/manifest after the run.
+                        monitor.close()
 
         report = SweepReport(
             sweep_id=self.sweep_id,

@@ -240,11 +240,17 @@ def build_default_model(
 
 _WORKER_MODEL: Optional[StarlinkDivideModel] = None
 
+#: The worker's live-telemetry streamer (None when streaming is off).
+_WORKER_STREAMER = None
+
 
 def _worker_init(
-    builder: Callable[[], StarlinkDivideModel], share_handle=None
+    builder: Callable[[], StarlinkDivideModel],
+    share_handle=None,
+    live_spec=None,
 ) -> None:
     global _WORKER_MODEL
+    _init_worker_streamer(live_spec)
     if _WORKER_MODEL is not None:
         return
     if share_handle is not None:
@@ -256,6 +262,25 @@ def _worker_init(
         except Exception:  # segment gone or unmappable: rebuild instead
             obs.registry().counter("runner.shm.attach_failures").inc()
     _WORKER_MODEL = builder()
+
+
+def _init_worker_streamer(live_spec) -> None:
+    """Start this worker's live streamer from a ``(queue, interval)`` spec.
+
+    Best-effort: live telemetry must never be able to fail worker
+    startup (a dead manager proxy just means no streaming).
+    """
+    global _WORKER_STREAMER
+    if live_spec is None or _WORKER_STREAMER is not None:
+        return
+    try:
+        from repro.obs.live import WorkerStreamer
+
+        channel, interval_s = live_spec
+        _WORKER_STREAMER = WorkerStreamer(channel, interval_s=interval_s)
+        _WORKER_STREAMER.start()
+    except Exception:  # pragma: no cover - streaming is optional
+        _WORKER_STREAMER = None
 
 
 def _worker_run_sweep(
@@ -280,14 +305,28 @@ def _worker_run_sweep(
 
     if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
         raise RunnerError("worker has no model; pool initializer did not run")
-    _faults.maybe_inject(index, attempt, in_worker=True)
-    registry = obs.registry()
-    before = registry.snapshot()
-    started = time.perf_counter()
-    metrics = run_sweep_task(_WORKER_MODEL, sweep_id, params)
-    wall_s = time.perf_counter() - started
-    delta = obs.MetricsRegistry.diff(before, registry.snapshot())
-    return metrics, delta, wall_s
+    streamer = _WORKER_STREAMER
+    if streamer is not None:
+        # Before fault injection, so an injected hang is already "a
+        # running task" to the parent watchdog — that is exactly the
+        # stall it exists to catch.
+        streamer.task_started(index, attempt)
+    status = "ok"
+    try:
+        _faults.maybe_inject(index, attempt, in_worker=True)
+        registry = obs.registry()
+        before = registry.snapshot()
+        started = time.perf_counter()
+        metrics = run_sweep_task(_WORKER_MODEL, sweep_id, params)
+        wall_s = time.perf_counter() - started
+        delta = obs.MetricsRegistry.diff(before, registry.snapshot())
+        return metrics, delta, wall_s
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if streamer is not None:
+            streamer.task_finished(index, attempt, status=status)
 
 
 def _worker_run_experiment(experiment_id: str):

@@ -35,6 +35,7 @@ class QueryEngine:
         self._points = registry.counter("serve.queries.points")
         self._errors = registry.counter("serve.errors")
         self._latency = registry.histogram("serve.query.latency_s")
+        self._rolling_latency = registry.rolling("serve.query.latency_s")
 
     @property
     def index(self) -> ServeIndex:
@@ -106,7 +107,9 @@ class QueryEngine:
         n = len(rows)
         self._queries.inc(n)
         self._points.inc(n)
-        self._latency.observe(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        self._rolling_latency.observe(elapsed)
         return answer
 
     def point_one(self, location_id: int) -> Dict:

@@ -16,12 +16,19 @@ Ops:
 ``county``                ``{"county_id": ..}``
 ``tiles``                 ``{"resolution": ..}`` (optional)
 ``set_params``            scenario change; responds after the epoch swap
+``metrics``               cumulative + rolling metrics snapshots
+
+Every request is timed into ``serve.request.latency_s`` — both the
+cumulative histogram and a rolling window, so the ``metrics`` op (and
+the ``--metrics-port`` Prometheus endpoint) expose a last-minute p99
+alongside the since-start totals.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, List, Optional
 
 from repro import obs
@@ -40,6 +47,9 @@ class ServeServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        registry = obs.registry()
+        self._request_latency = registry.histogram("serve.request.latency_s")
+        self._rolling_latency = registry.rolling("serve.request.latency_s")
 
     async def start(self) -> "ServeServer":
         """Bind and start accepting connections (port 0 picks a free one)."""
@@ -77,7 +87,11 @@ class ServeServer:
                 line = await reader.readline()
                 if not line:
                     break
+                started = time.perf_counter()
                 response = await self._dispatch_line(line)
+                elapsed = time.perf_counter() - started
+                self._request_latency.observe(elapsed)
+                self._rolling_latency.observe(elapsed)
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -123,6 +137,13 @@ class ServeServer:
                 int(request.get("resolution", 3))
             )
             return {"epoch": engine.epoch, "collection": collection}
+        if op == "metrics":
+            registry = obs.registry()
+            return {
+                "epoch": engine.epoch,
+                "metrics": registry.snapshot(),
+                "rolling": registry.rolling_snapshot(),
+            }
         if op == "set_params":
             params = ScenarioParams(
                 oversubscription=float(

@@ -357,6 +357,46 @@ def measure_telemetry_overhead(
     }
 
 
+def measure_profiler_overhead(
+    shells, dataset, clock: SimulationClock, repeat: int = 1, hz: float = 50.0
+) -> Dict[str, float]:
+    """Cost of leaving the sampling profiler on at ``hz``.
+
+    Same shape as :func:`measure_telemetry_overhead`: one fast greedy
+    end-to-end run, best-of-``repeat``, with and without a
+    :class:`~repro.obs.profile.SamplingProfiler` attached.
+    ``overhead_fraction`` is the acceptance number — the budget is < 3%
+    at the default 50 Hz on the full-scale scenario (sampling is one
+    stack walk per tick, independent of the workload). Quick runs are
+    ms-scale, so their fraction is noise-dominated; CI asserts only a
+    generous ceiling.
+    """
+    from repro.obs.profile import SamplingProfiler
+
+    def run() -> None:
+        simulation = ConstellationSimulation(shells, dataset, engine="fast")
+        simulation.run(clock)
+
+    baseline_s = _best_of(repeat, run)
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    try:
+        profiled_s = _best_of(repeat, run)
+    finally:
+        profiler.stop()
+    overhead = (
+        (profiled_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
+    )
+    return {
+        "hz": hz,
+        "baseline_s": baseline_s,
+        "profiled_s": profiled_s,
+        "overhead_fraction": overhead,
+        "samples": profiler.samples,
+        "budget_fraction": 0.03,
+    }
+
+
 def run_simulation_bench(
     quick: bool = False,
     steps: Optional[int] = None,
@@ -424,6 +464,10 @@ def run_simulation_bench(
         telemetry = measure_telemetry_overhead(
             shells, dataset, clock, repeat=repeat
         )
+    with obs.span("bench.profiler_overhead"):
+        profiler_overhead = measure_profiler_overhead(
+            shells, dataset, clock, repeat=repeat
+        )
 
     import numpy
     import scipy
@@ -467,6 +511,7 @@ def run_simulation_bench(
         },
         "phases": phases,
         "telemetry": telemetry,
+        "profiler": profiler_overhead,
         "headline_speedup": end_to_end["greedy"].speedup,
         "all_reports_identical": (
             all(reports_identical.values()) and windowed["identical"]
@@ -529,6 +574,12 @@ def format_bench_summary(results: Dict) -> str:
             "({enabled_s:.3f}s on vs {disabled_s:.3f}s off)".format(
                 **results["telemetry"]
             )
+        )
+    if "profiler" in results:
+        lines.append(
+            "  profiler overhead at {hz:g} Hz: {overhead_fraction:.1%} "
+            "({profiled_s:.3f}s on vs {baseline_s:.3f}s off, "
+            "{samples} samples)".format(**results["profiler"])
         )
     lines.append(
         "  headline end-to-end speedup: %.1fx" % results["headline_speedup"]

@@ -1,0 +1,357 @@
+"""Tests for rolling-window histograms and the live-telemetry hub.
+
+The merge property proven here is the live-plane analogue of the
+PR-4 counter parity: two rolling histograms that observed disjoint
+halves of a timestamped stream, merged, must equal one histogram that
+observed the concatenated stream — and expired buckets must never
+resurrect through either path.
+"""
+
+import queue
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.obs.live import LiveMonitor, RollingHistogram, WorkerStreamer
+from repro.obs.metrics import MetricsRegistry
+
+WINDOW_S = 10.0
+BUCKETS = 5
+BUCKET_S = WINDOW_S / BUCKETS
+
+
+def _rolling(**kwargs):
+    kwargs.setdefault("window_s", WINDOW_S)
+    kwargs.setdefault("buckets", BUCKETS)
+    return RollingHistogram("t", **kwargs)
+
+
+class TestRollingBasics:
+    def test_stats_over_one_window(self):
+        hist = _rolling()
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value, now=1.0)
+        stats = hist.stats(now=1.0)
+        assert stats["count"] == 3
+        assert stats["total"] == 6.0
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["p50"] == 2.0
+        assert stats["window_s"] == WINDOW_S
+
+    def test_quantiles_p50_p95_p99(self):
+        hist = _rolling()
+        for value in range(100):
+            hist.observe(float(value), now=1.0)
+        assert hist.quantile(0.50, now=1.0) == 50.0
+        assert hist.quantile(0.95, now=1.0) == 95.0
+        assert hist.quantile(0.99, now=1.0) == 99.0
+        assert hist.stats(now=1.0)["p99"] == 99.0
+
+    def test_empty_window_is_all_none(self):
+        stats = _rolling().stats(now=0.0)
+        assert stats["count"] == 0
+        assert stats["p50"] is None and stats["p99"] is None
+
+    def test_injected_clock_used_when_now_omitted(self):
+        ticks = iter([0.5, 0.5, 100.0])
+        hist = _rolling(clock=lambda: next(ticks))
+        hist.observe(1.0)
+        assert hist.stats()["count"] == 1
+        # Third tick jumps past the window: the observation expired.
+        assert hist.stats()["count"] == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"window_s": 0}, {"window_s": -1}, {"buckets": 0}]
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            _rolling(**kwargs)
+
+
+class TestRollingDecay:
+    def test_observations_age_out_of_the_window(self):
+        hist = _rolling()
+        hist.observe(5.0, now=0.5)
+        assert hist.stats(now=0.5)["count"] == 1
+        # Still inside the trailing 10s window...
+        assert hist.stats(now=WINDOW_S - BUCKET_S)["count"] == 1
+        # ...but not once the window has slid past its bucket.
+        assert hist.stats(now=WINDOW_S + BUCKET_S)["count"] == 0
+
+    def test_ring_wrap_recycles_the_oldest_slot(self):
+        hist = _rolling()
+        hist.observe(1.0, now=0.5)  # epoch 0
+        hist.observe(2.0, now=WINDOW_S + 0.5)  # epoch 5 -> same slot
+        stats = hist.stats(now=WINDOW_S + 0.5)
+        assert stats["count"] == 1
+        assert stats["min"] == stats["max"] == 2.0
+
+    def test_expired_buckets_never_resurrect(self):
+        hist = _rolling()
+        hist.observe(1.0, now=WINDOW_S + 0.5)  # epoch 5 occupies slot 0
+        # A stale write for the recycled slot's old epoch is dropped...
+        hist.observe(9.0, now=0.5)
+        assert hist.stats(now=WINDOW_S + 0.5)["count"] == 1
+        # ...even when the reader's clock runs backwards too.
+        assert hist.stats(now=0.5)["count"] == 0
+
+    def test_disabled_registry_gates_observe(self):
+        registry = MetricsRegistry(enabled=False)
+        hist = _rolling(registry=registry)
+        hist.observe(1.0, now=0.5)
+        assert hist.stats(now=0.5)["count"] == 0
+
+
+class TestRollingMerge:
+    def test_merge_rejects_mismatched_windows(self):
+        with pytest.raises(ReproError):
+            _rolling().merge(RollingHistogram("t", window_s=30, buckets=BUCKETS))
+        with pytest.raises(ReproError):
+            _rolling().merge(
+                RollingHistogram("t", window_s=WINDOW_S, buckets=BUCKETS + 1)
+            )
+
+    def test_merge_same_epoch_combines(self):
+        a, b = _rolling(), _rolling()
+        a.observe(1.0, now=0.5)
+        b.observe(3.0, now=0.5)
+        a.merge(b)
+        stats = a.stats(now=0.5)
+        assert stats["count"] == 2
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+
+    def test_merge_newer_epoch_replaces_older_slot(self):
+        a, b = _rolling(), _rolling()
+        a.observe(1.0, now=0.5)  # epoch 0
+        b.observe(2.0, now=WINDOW_S + 0.5)  # epoch 5, same slot
+        a.merge(b)
+        assert a.stats(now=WINDOW_S + 0.5)["count"] == 1
+        # And the mirror: merging the older bucket into the newer drops it.
+        c = _rolling()
+        c.observe(9.0, now=0.5)
+        b.merge(c)
+        assert b.stats(now=WINDOW_S + 0.5)["count"] == 1
+        assert b.stats(now=WINDOW_S + 0.5)["max"] == 2.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),  # value
+                st.floats(min_value=0.0, max_value=4 * WINDOW_S),  # time
+                st.booleans(),  # which half of the split
+            ),
+            max_size=60,
+        )
+    )
+    def test_merged_split_streams_equal_concatenated_stream(
+        self, observations
+    ):
+        """Union of two windows == one window over the whole stream."""
+        observations = sorted(observations, key=lambda obs: obs[1])
+        split_a, split_b, whole = _rolling(), _rolling(), _rolling()
+        for value, now, left in observations:
+            (split_a if left else split_b).observe(float(value), now=now)
+            whole.observe(float(value), now=now)
+        split_a.merge(split_b)
+        at = max((now for _, now, _ in observations), default=0.0)
+        assert split_a.stats(now=at) == whole.stats(now=at)
+        assert split_a.stats(now=at + WINDOW_S / 2) == whole.stats(
+            now=at + WINDOW_S / 2
+        )
+
+
+class TestLiveMonitor:
+    def _monitor(self, **kwargs):
+        kwargs.setdefault("interval_s", 0.05)
+        kwargs.setdefault("stall_beats", 2)
+        kwargs.setdefault("registry", MetricsRegistry())
+        kwargs.setdefault("channel", queue.Queue())
+        return LiveMonitor(**kwargs)
+
+    def test_inflight_delta_is_replaced_not_folded(self):
+        monitor = self._monitor()
+        monitor._process(
+            {"kind": "task_start", "worker": "w0", "index": 0, "attempt": 1}
+        )
+        for steps in (3, 7):
+            monitor._process(
+                {
+                    "kind": "metrics",
+                    "worker": "w0",
+                    "index": 0,
+                    "attempt": 1,
+                    "delta": {"counters": {"sim.steps": steps}},
+                }
+            )
+        # The cumulative-within-task delta replaces the previous flush —
+        # the live view shows 7, not 10.
+        assert monitor.live_snapshot()["counters"]["sim.steps"] == 7
+
+    def test_task_end_drops_the_inflight_delta(self):
+        monitor = self._monitor()
+        monitor._process(
+            {
+                "kind": "metrics",
+                "worker": "w0",
+                "index": 0,
+                "attempt": 1,
+                "delta": {"counters": {"sim.steps": 5}},
+            }
+        )
+        monitor._process(
+            {"kind": "task_end", "worker": "w0", "index": 0, "attempt": 1}
+        )
+        assert "sim.steps" not in monitor.live_snapshot()["counters"]
+
+    def test_live_snapshot_merges_registry_and_all_workers(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.tasks.completed").inc(2)
+        monitor = self._monitor(registry=registry)
+        for worker, steps in (("w0", 3), ("w1", 4)):
+            monitor._process(
+                {
+                    "kind": "metrics",
+                    "worker": worker,
+                    "index": 0,
+                    "attempt": 1,
+                    "delta": {"counters": {"sim.steps": steps}},
+                }
+            )
+        live = monitor.live_snapshot()
+        assert live["counters"]["sim.steps"] == 7
+        assert live["counters"]["runner.tasks.completed"] == 2
+        # The view never touches the authoritative registry.
+        assert "sim.steps" not in dict(registry.counter_items())
+
+    def test_silent_running_task_is_flagged_stalled_once(self):
+        registry = MetricsRegistry()
+        events = []
+        monitor = self._monitor(registry=registry, on_stall=events.append)
+        monitor._process(
+            {
+                "kind": "task_start",
+                "worker": "w0",
+                "index": 3,
+                "attempt": 2,
+                "phase": "sim.step",
+                "wall_so_far": 0.1,
+            }
+        )
+        state = monitor._workers["w0"]
+        state.last_beat -= 10 * monitor.interval_s  # silence, simulated
+        monitor._check_stalls()
+        monitor._check_stalls()  # flagged once, not per check
+        assert monitor.stalls() == 1
+        event = monitor.stall_events[0]
+        assert (event["worker"], event["index"], event["attempt"]) == (
+            "w0", 3, 2,
+        )
+        assert event["silent_s"] >= monitor.stall_beats * monitor.interval_s
+        assert events == [event]
+        assert dict(registry.counter_items())["runner.task.stalls"] == 1
+
+    def test_beat_after_stall_records_a_resume(self):
+        monitor = self._monitor()
+        monitor._process(
+            {"kind": "task_start", "worker": "w0", "index": 1, "attempt": 1}
+        )
+        monitor._workers["w0"].last_beat -= 10 * monitor.interval_s
+        monitor._check_stalls()
+        monitor._process(
+            {"kind": "beat", "worker": "w0", "index": 1, "attempt": 1}
+        )
+        assert monitor.resume_events == [
+            {"worker": "w0", "index": 1, "attempt": 1}
+        ]
+        assert not monitor._workers["w0"].flagged
+
+    def test_idle_worker_never_stalls(self):
+        monitor = self._monitor()
+        monitor._process({"kind": "beat", "worker": "w0"})
+        monitor._workers["w0"].last_beat -= 10 * monitor.interval_s
+        monitor._check_stalls()
+        assert monitor.stalls() == 0
+
+    def test_drain_thread_processes_queued_messages(self):
+        monitor = self._monitor()
+        monitor.channel.put(
+            {"kind": "beat", "worker": "w0", "index": 0, "attempt": 1}
+        )
+        monitor.start()
+        try:
+            deadline = 100
+            while monitor.messages == 0 and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+        finally:
+            monitor.stop()
+        assert monitor.messages == 1
+        assert monitor.workers_seen() == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"interval_s": 0}, {"stall_beats": 0}]
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            self._monitor(**kwargs)
+
+
+class TestWorkerStreamer:
+    def _streamer(self, registry, **kwargs):
+        kwargs.setdefault("interval_s", 0.05)
+        return WorkerStreamer(
+            queue.Queue(), registry=registry, worker_id="w0", **kwargs
+        )
+
+    def test_task_lifecycle_sends_start_delta_and_end(self):
+        registry = MetricsRegistry()
+        streamer = self._streamer(registry)
+        streamer.task_started(4, 1)
+        registry.counter("sim.steps").inc(3)
+        assert streamer._flush_delta() is True
+        streamer.task_finished(4, 1, status="ok")
+        kinds = []
+        while True:
+            try:
+                message = streamer._channel.get_nowait()
+            except queue.Empty:
+                break
+            kinds.append(message["kind"])
+            if message["kind"] == "metrics":
+                assert message["delta"]["counters"] == {"sim.steps": 3}
+                assert (message["index"], message["attempt"]) == (4, 1)
+        assert kinds == ["task_start", "metrics", "task_end"]
+
+    def test_unchanged_delta_is_not_resent(self):
+        registry = MetricsRegistry()
+        streamer = self._streamer(registry)
+        streamer.task_started(0, 1)
+        registry.counter("sim.steps").inc()
+        assert streamer._flush_delta() is True
+        assert streamer._flush_delta() is False  # nothing new
+        registry.counter("sim.steps").inc()
+        assert streamer._flush_delta() is True
+
+    def test_no_task_means_no_delta(self):
+        registry = MetricsRegistry()
+        streamer = self._streamer(registry)
+        registry.counter("sim.steps").inc()
+        assert streamer._flush_delta() is False
+
+    def test_send_failures_are_counted_not_raised(self):
+        registry = MetricsRegistry()
+        streamer = WorkerStreamer(
+            queue.Queue(maxsize=1), registry=registry, worker_id="w0"
+        )
+        streamer._channel.put_nowait({"kind": "noise"})
+        streamer.task_started(0, 1)  # queue full: dropped, not raised
+        assert streamer.dropped == 1
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ReproError):
+            WorkerStreamer(queue.Queue(), interval_s=0)

@@ -1,5 +1,7 @@
 """Tests for the metrics registry: snapshot, diff, merge, disabled no-op."""
 
+import threading
+
 from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP, MetricsRegistry
 
 
@@ -132,3 +134,90 @@ class TestSnapshotDiffMerge:
         registry.counter("b").inc(2)
         registry.counter("a").inc(1)
         assert registry.counter_items() == [("a", 1), ("b", 2)]
+
+
+class TestConcurrency:
+    """The live plane reads instruments from other threads mid-update.
+
+    Regression tests for torn reads: a histogram's (count, total, min,
+    max) must always be observed as one consistent tuple, never as a
+    count that includes an observation whose total does not.
+    """
+
+    def test_histogram_stats_never_torn_under_concurrent_observes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        stop = threading.Event()
+        torn = []
+
+        def hammer():
+            while not stop.is_set():
+                hist.observe(2.5)
+
+        def check():
+            while not stop.is_set():
+                stats = hist.stats()
+                if stats["count"] == 0:
+                    continue
+                if stats["total"] != stats["count"] * 2.5:
+                    torn.append(stats)
+                if not (stats["min"] == stats["max"] == 2.5):
+                    torn.append(stats)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        reader = threading.Thread(target=check)
+        for thread in writers + [reader]:
+            thread.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for thread in writers + [reader]:
+            thread.join(timeout=5)
+        assert torn == []
+        assert hist.count > 0
+
+    def test_snapshot_is_consistent_under_concurrent_observes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        torn = []
+
+        def hammer():
+            while not stop.is_set():
+                registry.histogram("h").observe(2.5)
+
+        def check():
+            while not stop.is_set():
+                stats = registry.snapshot()["histograms"].get("h")
+                if not stats or stats["count"] == 0:
+                    continue
+                if stats["total"] != stats["count"] * 2.5:
+                    torn.append(stats)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        threads.append(threading.Thread(target=check))
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert torn == []
+
+    def test_concurrent_instrument_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("race"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(set(id(counter) for counter in seen)) == 1

@@ -1,0 +1,132 @@
+"""Tests for the stdlib sampling profiler and its folded-stack output."""
+
+import re
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.profile import DEFAULT_HZ, MAX_STACK_DEPTH, SamplingProfiler
+
+FOLDED_LINE = re.compile(r"^\S+ \d+$")
+
+
+def _spin(seconds: float) -> float:
+    """Busy-loop on the main thread so the sampler has something to see.
+
+    Deliberately frameless (no comprehensions or helper calls) so every
+    sample taken during the loop has ``_spin`` as its leaf frame.
+    """
+    total = 0.0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += (total + 1.0) ** 0.5
+    return total
+
+
+def _profiled_spin(seconds: float, hz: float = 200, attempts: int = 5):
+    """Profile ``_spin``, retrying if a loaded CI box starves the sampler."""
+    for _ in range(attempts):
+        profiler = SamplingProfiler(hz=hz)
+        with profiler:
+            _spin(seconds)
+        if any("_spin" in stack for stack in profiler.counts):
+            return profiler
+    return profiler
+
+
+class TestSampling:
+    def test_busy_function_shows_up_in_samples(self):
+        profiler = _profiled_spin(0.3)
+        assert profiler.samples > 0
+        assert not profiler.running
+        folded = profiler.folded()
+        assert "_spin" in folded
+        assert any("_spin" in label for label, _ in profiler.top_self())
+
+    def test_folded_output_is_wellformed(self):
+        profiler = _profiled_spin(0.2)
+        lines = profiler.folded().splitlines()
+        assert lines
+        for line in lines:
+            assert FOLDED_LINE.match(line), f"malformed folded line: {line!r}"
+            stack = line.rsplit(" ", 1)[0]
+            assert len(stack.split(";")) <= MAX_STACK_DEPTH
+            for frame in stack.split(";"):
+                assert "." in frame  # module.function
+
+    def test_stacks_are_rooted_not_leaf_first(self):
+        profiler = _profiled_spin(0.2)
+        spin_stacks = [
+            stack
+            for stack in profiler.counts
+            if stack.rsplit(";", 1)[-1].endswith("_spin")
+        ]
+        assert spin_stacks
+        # The test runner's frames sit *above* (before) the busy leaf.
+        assert all("pytest" in stack or "_pytest" in stack or ";" in stack
+                   for stack in spin_stacks)
+
+    def test_write_round_trips(self, tmp_path):
+        with SamplingProfiler(hz=200) as profiler:
+            _spin(0.1)
+        path = profiler.write(tmp_path / "out.folded.txt")
+        assert path.read_text(encoding="utf-8") == profiler.folded()
+
+    def test_counts_accumulate_across_cycles(self):
+        profiler = SamplingProfiler(hz=200)
+        with profiler:
+            _spin(0.1)
+        first = profiler.samples
+        for _ in range(5):
+            with profiler:
+                _spin(0.1)
+            if profiler.samples > first:
+                break
+        assert profiler.samples > first
+        assert profiler.elapsed_s > 0.15
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        with SamplingProfiler(hz=200) as profiler:
+            _spin(0.2)
+        summary = profiler.summary(top=3)
+        assert summary["hz"] == 200.0
+        assert summary["samples"] == profiler.samples
+        assert summary["stacks"] == len(profiler.counts)
+        assert summary["elapsed_s"] > 0
+        assert len(summary["top_self"]) <= 3
+        for label, count in summary["top_self"]:
+            assert isinstance(label, str) and count >= 1
+
+    def test_top_self_counts_leaf_frames(self):
+        profiler = SamplingProfiler()
+        profiler.counts = {
+            "a.main;b.leaf": 3,
+            "c.other;b.leaf": 2,
+            "a.main": 1,
+        }
+        assert profiler.top_self(1) == [("b.leaf", 5)]
+
+
+class TestValidation:
+    def test_default_rate(self):
+        assert SamplingProfiler().hz == DEFAULT_HZ
+
+    @pytest.mark.parametrize("hz", [0, -5])
+    def test_nonpositive_rate_rejected(self, hz):
+        with pytest.raises(ReproError):
+            SamplingProfiler(hz=hz)
+
+    def test_unknown_thread_mode_rejected(self):
+        with pytest.raises(ReproError):
+            SamplingProfiler(threads="bogus")
+
+    def test_start_is_idempotent(self):
+        profiler = SamplingProfiler(hz=200)
+        profiler.start()
+        thread = profiler._thread
+        profiler.start()
+        assert profiler._thread is thread
+        profiler.stop()

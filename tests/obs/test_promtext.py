@@ -1,0 +1,169 @@
+"""Tests for Prometheus text exposition and the /metrics HTTP thread.
+
+The sanitization test is deliberately global: it greps every metric
+name the codebase ever emits and proves the Prometheus mapping is
+injective over them, so no two instruments can collide after renaming.
+"""
+
+import re
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.live import RollingHistogram
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    CONTENT_TYPE,
+    MetricsServer,
+    render_prometheus,
+    sanitize_metric_name,
+    start_metrics_server,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: One exposition sample line: name, optional {labels}, value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[-+]?[0-9]+(\.[0-9]+)?(e[-+]?[0-9]+)?)$"
+)
+
+_INSTRUMENT_CALL = re.compile(
+    r"\.(?:counter|gauge|histogram|rolling)\(\s*[\"']([^\"']+)[\"']"
+)
+
+
+def _emitted_metric_names():
+    """Every literal instrument name registered anywhere under src/."""
+    names = set()
+    for path in SRC.rglob("*.py"):
+        names.update(_INSTRUMENT_CALL.findall(path.read_text()))
+    return sorted(names)
+
+
+def _registry_with_everything():
+    registry = MetricsRegistry()
+    registry.counter("runner.tasks.completed").inc(4)
+    registry.gauge("sim.cells").set(103)
+    for value in (0.1, 0.2, 0.3):
+        registry.histogram("runner.task.wall_s").observe(value)
+    rolling = registry.rolling("serve.request.latency_s")
+    for value in (0.01, 0.02, 0.05):
+        rolling.observe(value)
+    return registry
+
+
+class TestSanitization:
+    def test_dotted_names_map_to_prometheus_charset(self):
+        assert (
+            sanitize_metric_name("runner.task.wall_s")
+            == "repro_runner_task_wall_s"
+        )
+        assert sanitize_metric_name("a-b c", prefix="x_") == "x_a_b_c"
+
+    def test_sanitization_is_injective_over_every_emitted_name(self):
+        names = _emitted_metric_names()
+        assert len(names) >= 10, "metric-name grep found too little"
+        sanitized = [sanitize_metric_name(name) for name in names]
+        assert len(set(sanitized)) == len(names), (
+            "metric names collide after sanitization: "
+            f"{sorted(set(n for n in sanitized if sanitized.count(n) > 1))}"
+        )
+
+    def test_sanitized_names_are_legal(self):
+        legal = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for name in _emitted_metric_names():
+            assert legal.match(sanitize_metric_name(name))
+
+
+class TestRendering:
+    def test_counter_gauge_histogram_lines(self):
+        text = render_prometheus(_registry_with_everything().snapshot())
+        assert "# TYPE repro_runner_tasks_completed_total counter" in text
+        assert "repro_runner_tasks_completed_total 4" in text
+        assert "repro_sim_cells 103" in text
+        assert "# TYPE repro_runner_task_wall_s summary" in text
+        assert 'repro_runner_task_wall_s{quantile="0.5"} 0.2' in text
+        assert "repro_runner_task_wall_s_count 3" in text
+        assert "repro_runner_task_wall_s_min 0.1" in text
+
+    def test_rolling_p99_gauge_line(self):
+        registry = _registry_with_everything()
+        text = render_prometheus(
+            registry.snapshot(), registry.rolling_snapshot()
+        )
+        assert re.search(
+            r'repro_serve_request_latency_s_rolling'
+            r'\{quantile="0\.99",window="60s"\} 0\.05',
+            text,
+        )
+        assert 'repro_serve_request_latency_s_rolling_count{window="60s"} 3' in text
+
+    def test_every_line_is_wellformed_exposition(self):
+        registry = _registry_with_everything()
+        text = render_prometheus(
+            registry.snapshot(), registry.rolling_snapshot()
+        )
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                kind = line.split()[-1]
+                assert kind in ("counter", "gauge", "summary")
+                continue
+            assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+
+    def test_none_stats_render_as_nan_free_output(self):
+        # An empty rolling window renders count=0 and no quantile lines.
+        rolling = RollingHistogram("serve.request.latency_s")
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}},
+            {"serve.request.latency_s": rolling.stats()},
+        )
+        assert "quantile" not in text
+        assert 'repro_serve_request_latency_s_rolling_count{window="60s"} 0' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+
+class TestMetricsServer:
+    def test_serves_current_snapshot_on_metrics_path(self):
+        registry = _registry_with_everything()
+        server = start_metrics_server(
+            0,
+            snapshot_fn=registry.snapshot,
+            rolling_fn=registry.rolling_snapshot,
+        )
+        try:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode()
+            assert "repro_runner_tasks_completed_total 4" in body
+            assert 'quantile="0.99"' in body
+            # Per-request snapshotting: a later scrape sees new values.
+            registry.counter("runner.tasks.completed").inc()
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert (
+                    "repro_runner_tasks_completed_total 5"
+                    in response.read().decode()
+                )
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        registry = MetricsRegistry()
+        with MetricsServer(
+            0,
+            snapshot_fn=registry.snapshot,
+            rolling_fn=registry.rolling_snapshot,
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+            assert excinfo.value.code == 404

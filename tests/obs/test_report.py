@@ -9,6 +9,7 @@ from repro.obs.report import (
     cache_hit_rate,
     format_event_summary,
     format_metrics,
+    format_profile,
     format_report,
     format_span_tree,
     format_top_spans,
@@ -124,6 +125,35 @@ class TestEventSummary:
             [{"type": "log", "level": "INFO"}]
         )
 
+    def test_malformed_count_is_always_rendered(self):
+        assert "malformed events: 0" in format_event_summary([])
+        assert "malformed events: 3" in format_event_summary(
+            [{"type": "log", "level": "INFO"}], malformed=3
+        )
+
+
+class TestProfileRendering:
+    def test_digest_with_top_self_table(self):
+        text = format_profile(
+            {
+                "path": "sweep.profile.txt",
+                "hz": 50.0,
+                "samples": 200,
+                "stacks": 12,
+                "top_self": [
+                    ["repro.sim.assign.assign_users", 120],
+                    ["repro.sim.visibility.visible_shells", 40],
+                ],
+            }
+        )
+        assert "profile: 50 Hz, 200 samples, 12 unique stacks" in text
+        assert "sweep.profile.txt" in text
+        assert "repro.sim.assign.assign_users" in text
+        assert "60.0%" in text  # 120 of 200 self samples
+
+    def test_empty_digest(self):
+        assert format_profile({}) == "profile: (none)"
+
 
 class TestFailureRendering:
     def test_manifest_without_failure_fields_renders_nothing(self):
@@ -207,3 +237,36 @@ class TestLoadAndFullReport:
         assert "runner.task" in report
         assert "cache hit rate: 50.0%" in report
         assert "error events: 0" in report
+        assert "malformed events: 0" in report
+
+    def test_corrupt_stream_lines_are_reported_not_fatal(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.reset()
+        stream = tmp_path / "run.jsonl"
+        stream.write_text(
+            '{"type": "log", "level": "INFO", "message": "fine"}\n'
+            '{"type": "log", "lev'  # a killed worker's torn final write
+        )
+        report = format_report(tmp_path)
+        assert "events: 1 total" in report
+        assert "malformed events: 1" in report
+
+    def test_profile_digest_appears_in_the_full_report(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.reset()
+        manifest = obs.collect_manifest(
+            command="simulate",
+            extra={
+                "profile": {
+                    "path": "sim.profile.txt",
+                    "hz": 50.0,
+                    "samples": 10,
+                    "stacks": 2,
+                    "top_self": [["repro.sim.assign.assign_users", 8]],
+                }
+            },
+        )
+        manifest.write(tmp_path / "sim.manifest.json")
+        report = format_report(tmp_path / "sim.manifest.json")
+        assert "profile: 50 Hz, 10 samples" in report
+        assert "repro.sim.assign.assign_users" in report

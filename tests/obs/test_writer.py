@@ -11,6 +11,7 @@ from repro.obs.writer import (
     TelemetryWriter,
     get_logger,
     read_events,
+    read_events_stats,
     setup_logging,
 )
 
@@ -48,6 +49,41 @@ class TestTelemetryWriter:
         bad.write_text('{"ok": 1}\nnot json\n')
         with pytest.raises(ReproError):
             read_events(bad)
+
+
+class TestTolerantReader:
+    def test_clean_stream_has_zero_malformed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.emit({"type": "span", "name": "a"})
+            writer.emit({"type": "log", "message": "hi"})
+        events, malformed = read_events_stats(path)
+        assert malformed == 0
+        assert events == read_events(path)
+
+    def test_bad_lines_are_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "first"}\n'
+            "not json at all\n"
+            "[1, 2, 3]\n"  # parses, but is not an event object
+            '{"type": "second"}\n'
+            '{"type": "torn", "mess'  # killed mid-write
+        )
+        events, malformed = read_events_stats(path)
+        assert [event["type"] for event in events] == ["first", "second"]
+        assert malformed == 3
+
+    def test_undecodable_bytes_do_not_raise(self, tmp_path):
+        path = tmp_path / "binary.jsonl"
+        path.write_bytes(b'{"type": "ok"}\n\xff\xfe garbage \x00\n')
+        events, malformed = read_events_stats(path)
+        assert [event["type"] for event in events] == ["ok"]
+        assert malformed == 1
+
+    def test_missing_file_still_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_events_stats(tmp_path / "absent.jsonl")
 
 
 class TestLoggingBridge:

@@ -1,0 +1,127 @@
+"""Live-streaming sweeps: result parity, in-flight telemetry, stalls.
+
+Two invariants ride on this file:
+
+* **Parity** — a sweep with ``live=True`` must produce byte-identical
+  results and a final merged snapshot exactly equal to the serial,
+  non-streaming run (the streamer only *reads* the worker registry;
+  extends the PR-4 merge-equality proof).
+* **Early warning** — a task hung in ``time.sleep`` goes heartbeat-
+  silent, and the parent watchdog flags it as ``runner.task.stalls``
+  long before the per-task timeout would fire.
+"""
+
+import functools
+
+import pytest
+
+from repro import obs
+from repro.runner import FailurePolicy, ParameterGrid, SweepRunner
+from repro.runner.faults import injected_faults
+from tests.runner.test_obs_merge import _task_counters
+from tests.runner.test_sweep import toy_model
+
+GRID_4 = ParameterGrid({"beamspread": (1, 2), "oversubscription": (10, 20)})
+
+
+def _counters_after_run(grid, n_workers, **runner_kwargs):
+    obs.reset()
+    runner = SweepRunner(
+        "served",
+        grid,
+        n_workers=n_workers,
+        cache=None,
+        model_builder=functools.partial(toy_model),
+        **runner_kwargs,
+    )
+    report = runner.run(model=toy_model())
+    return dict(obs.registry().counter_items()), report, runner
+
+
+class TestLiveParity:
+    def test_live_sweep_matches_serial_exactly(self, telemetry):
+        serial_counters, serial_report, _ = _counters_after_run(GRID_4, 1)
+        live_counters, live_report, runner = _counters_after_run(
+            GRID_4, 3, live=True, live_interval_s=0.05
+        )
+        # Identical tables, grid order, no failures.
+        assert [r.metrics for r in live_report.results] == [
+            r.metrics for r in serial_report.results
+        ]
+        assert [r.params for r in live_report.results] == [
+            r.params for r in serial_report.results
+        ]
+        # Identical merged counters (infrastructure-only names aside).
+        assert _task_counters(live_counters) == _task_counters(
+            serial_counters
+        )
+        # Nothing stalled, and the monitor heard from the workers.
+        assert "runner.task.stalls" not in live_counters
+        assert runner.live_monitor is not None
+        assert runner.live_monitor.stalls() == 0
+        assert runner.live_monitor.messages > 0
+        assert runner.live_monitor.workers_seen() >= 1
+
+    def test_live_final_snapshot_equals_non_streaming(self, telemetry):
+        plain_counters, _, _ = _counters_after_run(GRID_4, 2)
+        live_counters, _, _ = _counters_after_run(
+            GRID_4, 2, live=True, live_interval_s=0.05
+        )
+        assert _task_counters(live_counters) == _task_counters(
+            plain_counters
+        )
+
+    def test_serial_run_skips_the_monitor(self, telemetry):
+        _, _, runner = _counters_after_run(GRID_4, 1, live=True)
+        assert runner.live_monitor is None
+
+
+class TestStallWatchdog:
+    def test_hang_is_flagged_before_the_task_timeout(self, telemetry):
+        """The watchdog beats the 30s timeout by orders of magnitude."""
+        policy = FailurePolicy(on_error="continue", task_timeout_s=30.0)
+        with injected_faults("hang@1:1.2"):
+            counters, report, runner = _counters_after_run(
+                GRID_4,
+                2,
+                live=True,
+                live_interval_s=0.05,
+                live_stall_beats=3,
+                policy=policy,
+            )
+        # The hang finished on its own: no timeout fired, every task ok.
+        assert report.n_failed == 0
+        assert "runner.task.timeouts" not in counters
+        # But the watchdog saw the silence while it lasted.
+        assert counters["runner.task.stalls"] == 1
+        assert runner.live_monitor is not None
+        events = runner.live_monitor.stall_events
+        assert len(events) == 1
+        assert events[0]["index"] == 1
+        budget = (
+            runner.live_monitor.stall_beats * runner.live_monitor.interval_s
+        )
+        assert events[0]["silent_s"] >= budget
+        assert events[0]["silent_s"] < 30.0
+
+    def test_stall_counter_absent_on_clean_runs(self, telemetry):
+        counters, _, _ = _counters_after_run(
+            GRID_4, 2, live=True, live_interval_s=0.05
+        )
+        assert "runner.task.stalls" not in counters
+
+
+class TestRollingWallTimes:
+    def test_task_wall_times_feed_the_rolling_window(self, telemetry):
+        _counters_after_run(GRID_4, 2, live=True, live_interval_s=0.05)
+        rolling = obs.registry().rolling_snapshot()
+        assert rolling["runner.task.wall_s"]["count"] == 4
+        assert rolling["runner.task.wall_s"]["p50"] is not None
+
+    def test_rolling_stays_out_of_the_authoritative_snapshot(
+        self, telemetry
+    ):
+        _counters_after_run(GRID_4, 1)
+        snapshot = obs.registry().snapshot()
+        assert "runner.task.wall_s" in snapshot["histograms"]
+        assert set(snapshot) == {"counters", "gauges", "histograms"}

@@ -93,6 +93,25 @@ class TestOps:
         assert after.beamspread == before.beamspread
         assert after.income_share == before.income_share
 
+    def test_metrics_op_reports_cumulative_and_rolling(self, toy_engine):
+        async def interact(client):
+            await client.point_by_id(
+                [int(toy_engine.index.store.location_id[0])]
+            )
+            return await client.request({"op": "metrics"})
+
+        answer = _roundtrip(toy_engine, interact)
+        assert answer["epoch"] == 0
+        counters = answer["metrics"]["counters"]
+        assert counters["serve.queries"] >= 1
+        # The point_id request itself was timed before `metrics` ran.
+        latency = answer["metrics"]["histograms"]["serve.request.latency_s"]
+        assert latency["count"] >= 1
+        rolling = answer["rolling"]["serve.request.latency_s"]
+        assert rolling["count"] >= 1
+        assert rolling["window_s"] == 60.0
+        assert rolling["p99"] is not None
+
     def test_port_zero_picks_ephemeral_port(self, toy_engine):
         async def scenario():
             server = ServeServer(toy_engine)

@@ -43,6 +43,7 @@ def _load_registry() -> Dict[str, Callable]:
             table1,
             table2,
             tco,
+            timeline_exp,
             uncertainty_exp,
             uplink,
             validation,
@@ -68,6 +69,7 @@ def _load_registry() -> Dict[str, Callable]:
                 "uncertainty": uncertainty_exp.run,
                 "defection": defection_exp.run,
                 "serve": serving.run,
+                "timeline": timeline_exp.run,
             }
         )
     return _REGISTRY

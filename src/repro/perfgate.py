@@ -97,6 +97,9 @@ GATED_IDENTITIES: Dict[str, Tuple[str, ...]] = {
         # The cached-candidate window engine must stay bit-identical to
         # the per-step rebuild.
         "visibility.windowed.identical",
+        # A flat-profile timeline must reproduce the static pipeline's
+        # report byte-identically.
+        "timeline.flat_identical",
     ),
     "repro-bench-locations/1": ("all_identical",),
     "repro-bench-sweep/1": (
@@ -112,6 +115,7 @@ REPORTED_WALLS: Dict[str, Tuple[str, ...]] = {
         "visibility.fast_s",
         "end_to_end.greedy.fast_s",
         "phases.fair.assignment.fast_s",
+        "timeline.wall_s",
     ),
     "repro-bench-locations/1": ("explode.fast_s", "bin.fast_s"),
     "repro-bench-sweep/1": (

@@ -14,6 +14,10 @@ JSON-scalar metrics. The built-ins cover the paper's parameter sweeps:
 ``experiment``
     Any registered experiment id (``params["experiment"]``), returning
     its headline metrics.
+``timeline``
+    One diurnal + churn timeline scenario (profile, oversubscription,
+    step, outage durations) over a bbox subset — the knob set a
+    multi-day scenario fan sweeps (see :mod:`repro.timeline`).
 
 ``served`` and ``sizing`` also honour the ablation parameters
 ``spectral_efficiency`` (b/Hz) and ``max_beams_per_cell``, rebuilding
@@ -156,6 +160,60 @@ def sweep_experiment(
     return run_experiment_metrics(str(experiment_id), model)
 
 
+def sweep_timeline(
+    model: StarlinkDivideModel, params: Mapping, seed: int
+) -> Dict[str, float]:
+    """Timeline QoE at one (profile, oversubscription, step) grid point.
+
+    Runs the :mod:`repro.timeline` workload over the parameterized
+    bbox subset and flattens its per-cell QoE timelines into scalar
+    metrics, so multi-day scenario fans ride the existing sweep
+    runner (caching, parallel workers, telemetry merge) unchanged.
+    """
+    from repro.orbits.shells import GEN1_SHELLS
+    from repro.timeline import (
+        HandoverChurnModel,
+        TimelineConfig,
+        get_profile,
+        run_timeline,
+    )
+
+    bbox = params.get("bbox", (37.0, 38.5, -83.5, -81.0))
+    dataset = model.dataset.subset_bbox(*bbox, "timeline sweep region")
+    config = TimelineConfig(
+        duration_s=float(params.get("duration_s", 3600.0)),
+        step_s=float(params.get("step_s", 30.0)),
+        profile=get_profile(str(params.get("profile", "residential"))),
+        churn=HandoverChurnModel(
+            reconnect_outage_s=float(params.get("reconnect_outage_s", 15.0)),
+            handover_outage_s=float(params.get("handover_outage_s", 1.0)),
+        ),
+        oversubscription=float(params.get("oversubscription", 20.0)),
+        strategy=str(params.get("strategy", "greedy")),
+    )
+    result = run_timeline(dataset, list(GEN1_SHELLS[:2]), config)
+    unserved = result.unserved_hours_per_day()
+    return {
+        "cells": int(result.cells),
+        "steps": int(result.steps),
+        "flat_identical": (
+            -1.0
+            if result.flat_identical is None
+            else float(result.flat_identical)
+        ),
+        "unserved_hours_per_day_mean": float(unserved.mean()),
+        "unserved_hours_per_day_max": float(unserved.max()),
+        "outage_minutes_mean": float(result.outage_minutes().mean()),
+        "handovers_total": int(result.handover_counts.sum()),
+        "reconnections_total": int(result.reconnection_counts.sum()),
+        "served_fraction_min": float(result.served_location_fraction.min()),
+        "served_fraction_mean": float(
+            result.served_location_fraction.mean()
+        ),
+        "covered_fraction_mean": float(result.covered_fraction.mean()),
+    }
+
+
 def run_sweep_task(
     model: StarlinkDivideModel, sweep_id: str, params: Mapping
 ) -> Dict[str, float]:
@@ -186,6 +244,7 @@ SWEEP_FUNCTIONS: Dict[str, SweepFunction] = {
     "sizing": sweep_sizing,
     "tail": sweep_tail,
     "experiment": sweep_experiment,
+    "timeline": sweep_timeline,
 }
 
 

@@ -16,7 +16,10 @@ the calibrated national dataset, the paper's headline configuration):
   slowed down instead of one end-to-end number,
 * **windowed visibility** — the cached-candidate window engine vs the
   per-step rebuild at a sub-minute step (where windows are designed to
-  win), with a bit-identity flag over every step.
+  win), with a bit-identity flag over every step,
+* **timeline** — the :mod:`repro.timeline` workload at a sub-minute
+  step (per-step budget for the diurnal/churn regime), with the
+  flat-profile static-identity flag.
 
 ``run_simulation_bench`` returns a JSON-serializable dict (written to
 ``BENCH_simulation.json`` by ``repro-divide bench``) so every commit can
@@ -322,6 +325,40 @@ def bench_windowed_visibility(
     }
 
 
+def bench_timeline(
+    shells, dataset, steps: int = 4, step_s: float = 15.0, repeat: int = 1
+) -> Dict:
+    """The timeline workload at a sub-minute step, plus its identity flag.
+
+    Times :func:`~repro.timeline.run_timeline` with a flat profile and
+    churn disabled (verification off, so the number is the workload
+    alone), then runs the flat-profile differential once: the
+    timeline's report must be byte-identical to the static pipeline's.
+    The identity is gated by ``repro-divide perfgate``; the wall time
+    and steps/s are the recorded per-step budget at timeline steps.
+    """
+    from repro.timeline import TimelineConfig, run_timeline
+
+    timed_config = TimelineConfig(
+        duration_s=steps * step_s, step_s=step_s, verify_identity=False
+    )
+    wall_s = _best_of(
+        repeat, lambda: run_timeline(dataset, shells, timed_config)
+    )
+    verified = run_timeline(
+        dataset,
+        shells,
+        TimelineConfig(duration_s=steps * step_s, step_s=step_s),
+    )
+    return {
+        "steps": steps,
+        "step_s": step_s,
+        "wall_s": wall_s,
+        "steps_per_s": steps / wall_s if wall_s > 0 else float("inf"),
+        "flat_identical": bool(verified.flat_identical),
+    }
+
+
 # The manifest layer owns commit discovery now; keep the old name for
 # the locations bench and any external callers.
 _git_commit = obs.git_sha
@@ -468,6 +505,10 @@ def run_simulation_bench(
         profiler_overhead = measure_profiler_overhead(
             shells, dataset, clock, repeat=repeat
         )
+    with obs.span("bench.timeline"):
+        timeline = bench_timeline(
+            shells, dataset, steps=step_count, repeat=repeat
+        )
 
     import numpy
     import scipy
@@ -512,9 +553,12 @@ def run_simulation_bench(
         "phases": phases,
         "telemetry": telemetry,
         "profiler": profiler_overhead,
+        "timeline": timeline,
         "headline_speedup": end_to_end["greedy"].speedup,
         "all_reports_identical": (
-            all(reports_identical.values()) and windowed["identical"]
+            all(reports_identical.values())
+            and windowed["identical"]
+            and timeline["flat_identical"]
         ),
     }
 
@@ -552,6 +596,13 @@ def format_bench_summary(results: Dict) -> str:
             "  visibility[window={window} @ {step_s:.0f}s]: {cached_s:.3f}s "
             "cached vs {rebuild_s:.3f}s rebuild ({speedup:.1f}x, identical: "
             "{identical})".format(**windowed)
+        )
+    timeline = results.get("timeline")
+    if timeline:
+        lines.append(
+            "  timeline[flat @ {step_s:.0f}s]: {wall_s:.3f}s "
+            "({steps_per_s:.1f} steps/s, flat identical: "
+            "{flat_identical})".format(**timeline)
         )
     for strategy_id, timings in sorted(results["end_to_end"].items()):
         lines.append(

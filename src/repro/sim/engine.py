@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
@@ -21,10 +22,19 @@ class SimulationClock:
     start_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.duration_s <= 0.0:
-            raise SimulationError(f"duration must be positive: {self.duration_s!r}")
-        if self.step_s <= 0.0:
-            raise SimulationError(f"step must be positive: {self.step_s!r}")
+        # NaN fails "<= 0.0" too, so a plain non-positivity check lets
+        # NaN durations/steps through; demand finite-and-positive
+        # explicitly, and a finite start.
+        if not (math.isfinite(self.duration_s) and self.duration_s > 0.0):
+            raise SimulationError(
+                f"duration must be finite and positive: {self.duration_s!r}"
+            )
+        if not (math.isfinite(self.step_s) and self.step_s > 0.0):
+            raise SimulationError(
+                f"step must be finite and positive: {self.step_s!r}"
+            )
+        if not math.isfinite(self.start_s):
+            raise SimulationError(f"start must be finite: {self.start_s!r}")
         if self.step_s > self.duration_s:
             raise SimulationError(
                 f"step {self.step_s} longer than duration {self.duration_s}"

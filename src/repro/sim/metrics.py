@@ -3,11 +3,50 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+
+def serving_transition_events(
+    previous_serving: Optional[np.ndarray],
+    last_covered_serving: np.ndarray,
+    serving_satellite: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell (handover, reconnection) masks for one serving transition.
+
+    A **handover** is a change of serving satellite between two
+    consecutive covered steps. A **reconnection** is a cell that was
+    uncovered on the previous step reacquiring a *different* satellite
+    than the one that served it before the coverage gap — the event
+    whose ~15 s outage the churn model penalizes. A cell acquiring
+    coverage for the first time (no satellite ever served it) is
+    neither.
+
+    The same masks drive :class:`CoverageMetrics`,
+    :meth:`~repro.sim.trace.SimulationTrace.reconnections_per_cell`,
+    and the timeline churn model, so the three never disagree on what
+    counts as an event.
+    """
+    if previous_serving is None:
+        no_events = np.zeros(serving_satellite.shape[0], dtype=bool)
+        return no_events, no_events
+    covered_now = serving_satellite >= 0
+    covered_before = previous_serving >= 0
+    handover = (
+        covered_now
+        & covered_before
+        & (serving_satellite != previous_serving)
+    )
+    reconnection = (
+        covered_now
+        & ~covered_before
+        & (last_covered_serving >= 0)
+        & (serving_satellite != last_covered_serving)
+    )
+    return handover, reconnection
 
 
 @dataclass
@@ -22,7 +61,9 @@ class CoverageMetrics:
     satellite_latitude_samples: List[np.ndarray] = field(default_factory=list)
     peak_beams_used: int = 0
     handover_counts: Optional[np.ndarray] = None
+    reconnection_counts: Optional[np.ndarray] = None
     _previous_serving: Optional[np.ndarray] = None
+    _last_covered_serving: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.cell_count <= 0:
@@ -35,6 +76,12 @@ class CoverageMetrics:
             self.in_view_sum = np.zeros(self.cell_count, dtype=np.int64)
         if self.handover_counts is None:
             self.handover_counts = np.zeros(self.cell_count, dtype=np.int64)
+        if self.reconnection_counts is None:
+            self.reconnection_counts = np.zeros(self.cell_count, dtype=np.int64)
+        if self._last_covered_serving is None:
+            self._last_covered_serving = np.full(
+                self.cell_count, -1, dtype=np.int64
+            )
 
     def record_step(
         self,
@@ -45,24 +92,13 @@ class CoverageMetrics:
         beams_used: Optional[np.ndarray] = None,
         serving_satellite: Optional[np.ndarray] = None,
     ) -> None:
-        """Fold one simulation step into the accumulators."""
-        if beams_used is not None and beams_used.size > 0:
-            self.peak_beams_used = max(
-                self.peak_beams_used, int(beams_used.max())
-            )
-        if serving_satellite is not None:
-            if serving_satellite.shape[0] != self.cell_count:
-                raise SimulationError("serving array misaligned with cells")
-            if self._previous_serving is not None:
-                # A handover is a change of serving satellite between two
-                # consecutive covered steps.
-                changed = (
-                    (serving_satellite != self._previous_serving)
-                    & (serving_satellite >= 0)
-                    & (self._previous_serving >= 0)
-                )
-                self.handover_counts += changed.astype(np.int64)
-            self._previous_serving = serving_satellite.copy()
+        """Fold one simulation step into the accumulators.
+
+        Every input is validated *before* any accumulator mutates, so a
+        misaligned call raises with the metrics exactly as they were —
+        no torn state between the handover tracker and the coverage
+        sums.
+        """
         for name, array in (
             ("covered", covered),
             ("allocated", allocated_mbps),
@@ -70,6 +106,27 @@ class CoverageMetrics:
         ):
             if array.shape[0] != self.cell_count:
                 raise SimulationError(f"{name} array misaligned with cells")
+        if serving_satellite is not None:
+            if serving_satellite.shape[0] != self.cell_count:
+                raise SimulationError("serving array misaligned with cells")
+        if beams_used is not None and beams_used.size > 0:
+            self.peak_beams_used = max(
+                self.peak_beams_used, int(beams_used.max())
+            )
+        if serving_satellite is not None:
+            handover, reconnection = serving_transition_events(
+                self._previous_serving,
+                self._last_covered_serving,
+                serving_satellite,
+            )
+            self.handover_counts += handover.astype(np.int64)
+            self.reconnection_counts += reconnection.astype(np.int64)
+            self._last_covered_serving = np.where(
+                serving_satellite >= 0,
+                serving_satellite,
+                self._last_covered_serving,
+            )
+            self._previous_serving = serving_satellite.copy()
         self.steps += 1
         self.covered_steps += covered.astype(np.int64)
         self.allocated_sum_mbps += allocated_mbps
@@ -102,6 +159,13 @@ class CoverageMetrics:
             return 0.0
         return float(self.handover_counts.mean()) / (self.steps - 1)
 
+    def mean_reconnections_per_step(self) -> float:
+        """Average post-gap reacquisitions of a new satellite per cell per step."""
+        self._require_steps()
+        if self.steps < 2:
+            return 0.0
+        return float(self.reconnection_counts.mean()) / (self.steps - 1)
+
     def all_latitude_samples(self) -> np.ndarray:
         """All satellite latitude samples across steps, concatenated."""
         if not self.satellite_latitude_samples:
@@ -126,6 +190,7 @@ class SimulationReport:
     demand_satisfaction: float
     peak_beams_used: int
     mean_handovers_per_step: float = 0.0
+    mean_reconnections_per_step: float = 0.0
 
     def text(self) -> str:
         return (
@@ -136,5 +201,7 @@ class SimulationReport:
             f"{self.mean_satellites_in_view:.1f} sats in view on average; "
             f"{self.demand_satisfaction:.1%} of provisioned demand served; "
             f"peak beams on one satellite: {self.peak_beams_used}; "
-            f"handovers/cell/step: {self.mean_handovers_per_step:.2f}"
+            f"handovers/cell/step: {self.mean_handovers_per_step:.2f}; "
+            f"reconnections/cell/step: "
+            f"{self.mean_reconnections_per_step:.2f}"
         )

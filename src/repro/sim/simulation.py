@@ -266,10 +266,7 @@ class ConstellationSimulation:
             satellites=self.satellite_count,
         ):
             for time_s in clock.times():
-                if self.engine == "fast":
-                    outcome, in_view, sat_lats = self._step_fast(time_s)
-                else:
-                    outcome, in_view, sat_lats = self._step_reference(time_s)
+                outcome, in_view, sat_lats = self.step(time_s)
                 if int(outcome.beams_used.max(initial=0)) > self.beam_plan.beams_per_satellite:
                     raise SimulationError("strategy oversubscribed a satellite's beams")
                 # Correctness counters: engine-independent by construction
@@ -289,7 +286,28 @@ class ConstellationSimulation:
                 )
         return metrics
 
-    def _step_fast(self, time_s: float):
+    def step(
+        self, time_s: float, demands_mbps: Optional[np.ndarray] = None
+    ):
+        """One simulation step: ``(outcome, in_view_counts, sat_lats)``.
+
+        ``demands_mbps`` overrides the static provisioned demand for
+        this step only — the hook time-varying workloads
+        (:mod:`repro.timeline`) use to apply diurnal multipliers without
+        mutating the simulation. ``None`` (the default, and what
+        :meth:`run` passes) keeps the static :attr:`demands_mbps`.
+        """
+        if demands_mbps is not None and demands_mbps.shape[0] != len(
+            self.dataset.cells
+        ):
+            raise SimulationError("demand override misaligned with cells")
+        if self.engine == "fast":
+            return self._step_fast(time_s, demands_mbps)
+        return self._step_reference(time_s, demands_mbps)
+
+    def _step_fast(
+        self, time_s: float, demands_override: Optional[np.ndarray] = None
+    ):
         """One step on the CSR fast path."""
         with obs.span("sim.step", engine="fast", time_s=time_s):
             with obs.span("sim.visibility") as vis_span:
@@ -311,7 +329,11 @@ class ConstellationSimulation:
                     registry.gauge("sim.visibility.refine_ratio").set(
                         stats["refine_ratio"]
                     )
-            demands = self.demands_mbps
+            demands = (
+                demands_override
+                if demands_override is not None
+                else self.demands_mbps
+            )
             if self.impairments:
                 with obs.span("sim.impairments"):
                     csr, demands = apply_impairments_csr(
@@ -325,12 +347,18 @@ class ConstellationSimulation:
                 outcome = self.strategy.assign_csr(csr, demands, self.beam_plan)
             return outcome, csr.counts(), sat_lats
 
-    def _step_reference(self, time_s: float):
+    def _step_reference(
+        self, time_s: float, demands_override: Optional[np.ndarray] = None
+    ):
         """One step on the original list-of-arrays path."""
         with obs.span("sim.step", engine="reference", time_s=time_s):
             with obs.span("sim.visibility"):
                 visible, sat_lats = self._visibility(time_s)
-            demands = self.demands_mbps
+            demands = (
+                demands_override
+                if demands_override is not None
+                else self.demands_mbps
+            )
             if self.impairments:
                 with obs.span("sim.impairments"):
                     visible, demands = apply_impairments(
@@ -361,6 +389,7 @@ class ConstellationSimulation:
         peak_beams = metrics.peak_beams_used
         return SimulationReport(
             mean_handovers_per_step=metrics.mean_handovers_per_step(),
+            mean_reconnections_per_step=metrics.mean_reconnections_per_step(),
             steps=metrics.steps,
             cells=len(self.dataset.cells),
             satellites=self.satellite_count,

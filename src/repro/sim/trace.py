@@ -72,6 +72,31 @@ class SimulationTrace:
         changed = (current != previous) & (current >= 0) & (previous >= 0)
         return changed.sum(axis=0).astype(np.int64)
 
+    def reconnections_per_cell(self) -> np.ndarray:
+        """Post-gap reacquisitions of a different satellite per cell.
+
+        Same event definition as
+        :func:`~repro.sim.metrics.serving_transition_events` (and
+        asserted against :class:`CoverageMetrics` by the parity tests):
+        a cell uncovered at step ``k - 1`` that is covered at step
+        ``k`` by a satellite other than the one serving it before the
+        gap.
+        """
+        from repro.sim.metrics import serving_transition_events
+
+        counts = np.zeros(self.cells, dtype=np.int64)
+        last_covered = np.full(self.cells, -1, dtype=np.int64)
+        previous: np.ndarray = None
+        for step in range(self.steps):
+            serving = self.serving_satellite[step]
+            _, reconnection = serving_transition_events(
+                previous, last_covered, serving
+            )
+            counts += reconnection.astype(np.int64)
+            last_covered = np.where(serving >= 0, serving, last_covered)
+            previous = serving
+        return counts
+
 
 def record_trace(
     simulation: ConstellationSimulation, clock: SimulationClock

@@ -1,0 +1,126 @@
+"""Handover-churn model: reconnection penalty windows after transitions.
+
+Measurement studies ("A Multifaceted Look at Starlink Performance",
+and the LEONetEM emulator built on it) observe that Starlink terminals
+reschedule their serving satellite on a 15-second cadence, and that a
+reacquisition after a coverage gap costs on the order of that full
+window before throughput recovers, while a planned make-before-break
+handover costs far less. :class:`HandoverChurnModel` encodes both as
+per-cell outage windows: when a step's serving-transition events fire
+(the same :func:`~repro.sim.metrics.serving_transition_events` masks
+the metrics accumulators use), the cell's allocated capacity is
+derated by the fraction of the step its outage window covers.
+
+With both penalty durations zero the derate factor is exactly ``1.0``
+everywhere, so ``allocated * factor`` is bitwise equal to
+``allocated`` — preserving the timeline's static-identity
+differential.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.metrics import serving_transition_events
+
+RECONNECT_OUTAGE_S = 15.0
+"""Default post-gap reacquisition outage (~one scheduling interval)."""
+
+HANDOVER_OUTAGE_S = 1.0
+"""Default planned-handover disruption (make-before-break is cheap)."""
+
+
+@dataclass(frozen=True)
+class HandoverChurnModel:
+    """Outage durations charged per serving-transition event."""
+
+    reconnect_outage_s: float = RECONNECT_OUTAGE_S
+    handover_outage_s: float = HANDOVER_OUTAGE_S
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("reconnect_outage_s", self.reconnect_outage_s),
+            ("handover_outage_s", self.handover_outage_s),
+        ):
+            if not (math.isfinite(value) and value >= 0.0):
+                raise SimulationError(
+                    f"{name} must be finite and non-negative: {value!r}"
+                )
+
+    @classmethod
+    def disabled(cls) -> "HandoverChurnModel":
+        """No penalties — every step's capacity passes through exactly."""
+        return cls(reconnect_outage_s=0.0, handover_outage_s=0.0)
+
+    @property
+    def is_disabled(self) -> bool:
+        return self.reconnect_outage_s == 0.0 and self.handover_outage_s == 0.0
+
+
+class ChurnState:
+    """Per-cell churn bookkeeping threaded through a timeline run."""
+
+    def __init__(self, cell_count: int, model: HandoverChurnModel):
+        if cell_count <= 0:
+            raise SimulationError(
+                f"cell count must be positive: {cell_count!r}"
+            )
+        self.model = model
+        self.cell_count = cell_count
+        self.previous_serving: Optional[np.ndarray] = None
+        self.last_covered_serving = np.full(cell_count, -1, dtype=np.int64)
+        self.outage_until_s = np.full(cell_count, -np.inf)
+        self.outage_seconds = np.zeros(cell_count)
+        self.handover_counts = np.zeros(cell_count, dtype=np.int64)
+        self.reconnection_counts = np.zeros(cell_count, dtype=np.int64)
+
+    def apply_step(
+        self,
+        time_s: float,
+        step_s: float,
+        serving_satellite: np.ndarray,
+        allocated_mbps: np.ndarray,
+    ) -> np.ndarray:
+        """Fold one step's transitions in; return derated capacity.
+
+        Events detected at this step open (or extend — windows never
+        shrink) an outage window starting at ``time_s``. The step's
+        effective capacity is ``allocated * (1 - overlap/step)`` where
+        ``overlap`` is how much of ``[time_s, time_s + step_s)`` the
+        cell's window covers, so a 15 s reconnection outage blanks a
+        15 s step entirely and derates a 60 s step by a quarter.
+        """
+        if serving_satellite.shape[0] != self.cell_count:
+            raise SimulationError("serving array misaligned with cells")
+        if allocated_mbps.shape[0] != self.cell_count:
+            raise SimulationError("allocated array misaligned with cells")
+        handover, reconnection = serving_transition_events(
+            self.previous_serving,
+            self.last_covered_serving,
+            serving_satellite,
+        )
+        self.handover_counts += handover.astype(np.int64)
+        self.reconnection_counts += reconnection.astype(np.int64)
+        window_end = np.where(
+            reconnection,
+            time_s + self.model.reconnect_outage_s,
+            np.where(
+                handover, time_s + self.model.handover_outage_s, -np.inf
+            ),
+        )
+        self.outage_until_s = np.maximum(self.outage_until_s, window_end)
+        overlap_s = np.clip(self.outage_until_s - time_s, 0.0, step_s)
+        covered = serving_satellite >= 0
+        self.outage_seconds += np.where(covered, overlap_s, 0.0)
+        factor = 1.0 - overlap_s / step_s
+        effective = allocated_mbps * factor
+        self.last_covered_serving = np.where(
+            covered, serving_satellite, self.last_covered_serving
+        )
+        self.previous_serving = serving_satellite.copy()
+        return effective

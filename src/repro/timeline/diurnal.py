@@ -1,0 +1,159 @@
+"""Diurnal demand profiles: per-county busy-hour multiplier curves.
+
+A :class:`DiurnalProfile` is a piecewise-linear, 24-hour-periodic curve
+of demand multipliers. Applied to a cell, the curve is evaluated at the
+cell's *local solar hour* — UTC simulation time shifted by its county
+seat's longitude (15 degrees per hour) — so an evening peak sweeps
+west across the country instead of hitting every county at the same
+UTC instant. That phase offset is what makes a national timeline
+interesting: the busy hour is regional, and so is the capacity crunch.
+
+The flat profile multiplies every cell by exactly ``1.0`` at every
+instant, which keeps ``base * multiplier`` bitwise equal to ``base``
+— the property the timeline's static-identity differential relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+HOURS_PER_DAY = 24.0
+_DEG_PER_HOUR = 15.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A 24-hour-periodic piecewise-linear demand multiplier curve.
+
+    ``hours`` are breakpoints in ``[0, 24)`` (strictly increasing);
+    ``multipliers`` are the positive demand scale factors at those
+    breakpoints. Between breakpoints the curve interpolates linearly,
+    wrapping from the last breakpoint back to the first across
+    midnight.
+    """
+
+    name: str
+    hours: Tuple[float, ...]
+    multipliers: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("diurnal profile needs a name")
+        hours = np.asarray(self.hours, dtype=float)
+        mults = np.asarray(self.multipliers, dtype=float)
+        if hours.size == 0 or hours.size != mults.size:
+            raise SimulationError(
+                "diurnal profile needs matching, non-empty hour and "
+                "multiplier breakpoints"
+            )
+        if not np.all(np.isfinite(hours)):
+            raise SimulationError("diurnal breakpoint hours must be finite")
+        if np.any(hours < 0.0) or np.any(hours >= HOURS_PER_DAY):
+            raise SimulationError(
+                "diurnal breakpoint hours must lie in [0, 24)"
+            )
+        if np.any(np.diff(hours) <= 0.0):
+            raise SimulationError(
+                "diurnal breakpoint hours must be strictly increasing"
+            )
+        if not np.all(np.isfinite(mults)) or np.any(mults <= 0.0):
+            raise SimulationError(
+                "diurnal multipliers must be finite and positive"
+            )
+
+    @property
+    def is_flat(self) -> bool:
+        """True when every breakpoint multiplier is exactly 1.0."""
+        return all(m == 1.0 for m in self.multipliers)
+
+    @property
+    def peak_multiplier(self) -> float:
+        return float(max(self.multipliers))
+
+    @property
+    def trough_multiplier(self) -> float:
+        return float(min(self.multipliers))
+
+    def multiplier_at(self, hour_of_day: np.ndarray) -> np.ndarray:
+        """Evaluate the curve at (array of) local hours of day.
+
+        Hours outside ``[0, 24)`` wrap; the curve itself wraps across
+        midnight by padding the breakpoints one period on each side
+        before interpolating.
+        """
+        hours = np.asarray(self.hours, dtype=float)
+        mults = np.asarray(self.multipliers, dtype=float)
+        wrapped = np.mod(np.asarray(hour_of_day, dtype=float), HOURS_PER_DAY)
+        padded_hours = np.concatenate(
+            [hours - HOURS_PER_DAY, hours, hours + HOURS_PER_DAY]
+        )
+        padded_mults = np.concatenate([mults, mults, mults])
+        return np.interp(wrapped, padded_hours, padded_mults)
+
+    def cell_multipliers(
+        self, time_s: float, lon_deg: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell multipliers at simulation time ``time_s``.
+
+        ``lon_deg`` is each cell's phase longitude (the county seat's,
+        in the timeline workload). Local solar hour is the UTC hour
+        plus ``lon/15`` — negative for the western hemisphere, so a
+        20:00 UTC instant is mid-afternoon on the US east coast and
+        noon on the west.
+        """
+        local_hour = time_s / 3600.0 + np.asarray(lon_deg, dtype=float) / _DEG_PER_HOUR
+        return self.multiplier_at(local_hour)
+
+    @classmethod
+    def flat(cls) -> "DiurnalProfile":
+        """Unit multiplier at all hours — reproduces the static model."""
+        return cls(name="flat", hours=(0.0,), multipliers=(1.0,))
+
+    @classmethod
+    def residential(cls) -> "DiurnalProfile":
+        """Evening-peaked curve typical of residential broadband.
+
+        Trough around 04:00 local, ramp through the workday, peak in
+        the 20:00–22:00 window — the shape of the busy hour the
+        paper's static oversubscription model implicitly prices.
+        """
+        return cls(
+            name="residential",
+            hours=(0.0, 4.0, 7.0, 12.0, 17.0, 20.0, 22.0, 23.5),
+            multipliers=(0.7, 0.35, 0.6, 0.9, 1.1, 1.5, 1.4, 0.9),
+        )
+
+    @classmethod
+    def business(cls) -> "DiurnalProfile":
+        """Midday-peaked curve: working-hours load, quiet nights."""
+        return cls(
+            name="business",
+            hours=(0.0, 5.0, 9.0, 13.0, 17.0, 20.0),
+            multipliers=(0.3, 0.25, 1.2, 1.4, 1.0, 0.45),
+        )
+
+
+_PROFILES = {
+    "flat": DiurnalProfile.flat,
+    "residential": DiurnalProfile.residential,
+    "business": DiurnalProfile.business,
+}
+
+PROFILE_NAMES: Tuple[str, ...] = tuple(sorted(_PROFILES))
+"""Names accepted by :func:`get_profile` (and the CLI's ``--profile``)."""
+
+
+def get_profile(name: str) -> DiurnalProfile:
+    """Look up a built-in profile by name."""
+    try:
+        return _PROFILES[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown diurnal profile {name!r}; "
+            f"choose from {', '.join(PROFILE_NAMES)}"
+        ) from None

@@ -144,6 +144,42 @@ class TestCache:
 
 
 class TestExperimentSweep:
+    def test_timeline_flat_point_verifies_identity(self):
+        fn = get_sweep_function("timeline")
+        metrics = fn(
+            toy_model(),
+            {
+                "bbox": (36.5, 37.5, -90.5, -89.0),  # the toy cells
+                "profile": "flat",
+                "duration_s": 900.0,
+                "step_s": 60.0,
+                "reconnect_outage_s": 0.0,
+                "handover_outage_s": 0.0,
+            },
+            0,
+        )
+        assert metrics["flat_identical"] == 1.0
+        assert metrics["cells"] == 5
+        import json
+
+        json.dumps(metrics)
+
+    def test_timeline_diurnal_point_skips_identity(self):
+        fn = get_sweep_function("timeline")
+        metrics = fn(
+            toy_model(),
+            {
+                "bbox": (36.5, 37.5, -90.5, -89.0),
+                "profile": "residential",
+                "duration_s": 900.0,
+                "step_s": 60.0,
+            },
+            0,
+        )
+        assert metrics["flat_identical"] == -1.0
+        assert metrics["outage_minutes_mean"] >= 0.0
+        assert metrics["unserved_hours_per_day_max"] >= 0.0
+
     def test_experiment_axis_runs_registry_experiments(self):
         model = toy_model()
         grid = ParameterGrid({"experiment": ("fig1",)})

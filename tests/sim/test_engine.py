@@ -1,6 +1,8 @@
 """Tests for the simulation clock."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import SimulationClock
@@ -52,3 +54,58 @@ class TestClock:
     def test_rejects_step_longer_than_duration(self):
         with pytest.raises(SimulationError):
             SimulationClock(duration_s=10.0, step_s=20.0)
+
+
+class TestClockValidation:
+    """Regression: NaN durations/steps used to pass the non-positivity
+    check (NaN fails ``<= 0.0`` too), and ``start_s`` was never
+    validated at all — a NaN clock then yielded garbage times."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_duration(self, bad):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=bad, step_s=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_step(self, bad):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=10.0, step_s=bad)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_nonfinite_start(self, bad):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration_s=10.0, step_s=1.0, start_s=bad)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        step=st.floats(
+            min_value=1e-3,
+            max_value=1e3,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        ratio=st.floats(
+            min_value=1.0,
+            max_value=2000.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        start=st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+    )
+    def test_times_length_equals_step_count(self, step, ratio, start):
+        """Property: every accepted clock yields exactly step_count times."""
+        clock = SimulationClock(
+            duration_s=step * ratio, step_s=step, start_s=start
+        )
+        times = list(clock.times())
+        assert len(times) == clock.step_count
+        assert clock.step_count >= 1
+        if times:
+            assert times[0] == start

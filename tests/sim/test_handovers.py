@@ -64,6 +64,68 @@ class TestHandoverMetrics:
             )
 
 
+class TestReconnectionMetrics:
+    """Regression: post-gap reacquisitions used to vanish entirely —
+    not handovers (correct) but not counted anywhere else either."""
+
+    def _step(self, metrics, serving):
+        n = metrics.cell_count
+        metrics.record_step(
+            covered=np.array(serving) >= 0,
+            allocated_mbps=np.ones(n),
+            in_view_counts=np.ones(n, dtype=int),
+            satellite_latitudes=np.array([0.0]),
+            serving_satellite=np.array(serving, dtype=int),
+        )
+
+    def test_gap_reacquisition_of_new_satellite_counted(self):
+        metrics = CoverageMetrics(cell_count=1)
+        self._step(metrics, [3])
+        self._step(metrics, [-1])
+        self._step(metrics, [4])
+        assert metrics.handover_counts.tolist() == [0]
+        assert metrics.reconnection_counts.tolist() == [1]
+
+    def test_gap_reacquisition_of_same_satellite_not_counted(self):
+        metrics = CoverageMetrics(cell_count=1)
+        self._step(metrics, [3])
+        self._step(metrics, [-1])
+        self._step(metrics, [3])
+        assert metrics.reconnection_counts.tolist() == [0]
+
+    def test_first_acquisition_not_counted(self):
+        metrics = CoverageMetrics(cell_count=1)
+        self._step(metrics, [-1])
+        self._step(metrics, [7])
+        assert metrics.reconnection_counts.tolist() == [0]
+
+    def test_pre_gap_satellite_remembered_across_long_gap(self):
+        metrics = CoverageMetrics(cell_count=1)
+        self._step(metrics, [2])
+        self._step(metrics, [-1])
+        self._step(metrics, [-1])
+        self._step(metrics, [9])
+        assert metrics.reconnection_counts.tolist() == [1]
+
+    def test_mean_reconnections_per_step(self):
+        metrics = CoverageMetrics(cell_count=2)
+        self._step(metrics, [3, 3])
+        self._step(metrics, [-1, 3])
+        self._step(metrics, [4, 3])
+        assert metrics.mean_reconnections_per_step() == pytest.approx(
+            0.5 / 2.0
+        )
+
+    def test_report_surfaces_reconnections(self, regional_dataset):
+        clock = SimulationClock(duration_s=300.0, step_s=60.0)
+        simulation = ConstellationSimulation(
+            GEN1_SHELLS[:1], regional_dataset
+        )
+        report = simulation.report(simulation.run(clock))
+        assert "reconnections/cell/step:" in report.text()
+        assert report.mean_reconnections_per_step >= 0.0
+
+
 class TestStickyGreedy:
     def test_keeps_previous_satellite(self):
         strategy = StickyGreedy()

@@ -65,6 +65,117 @@ class TestErrors:
             metrics.all_latitude_samples()
 
 
+class TestAtomicValidation:
+    """Regression: a misaligned call must not tear the accumulators.
+
+    ``record_step`` used to fold the serving transition into the
+    handover tracker before validating the other arrays, so a
+    misaligned ``covered`` left the handover counts one step ahead of
+    the coverage sums. All validation now happens before any mutation.
+    """
+
+    def _seed(self):
+        metrics = CoverageMetrics(cell_count=2)
+        metrics.record_step(
+            covered=np.array([True, True]),
+            allocated_mbps=np.array([10.0, 5.0]),
+            in_view_counts=np.array([2, 1]),
+            satellite_latitudes=np.array([0.0]),
+            beams_used=np.array([3]),
+            serving_satellite=np.array([3, 5]),
+        )
+        return metrics
+
+    def _snapshot(self, metrics):
+        return {
+            "steps": metrics.steps,
+            "covered_steps": metrics.covered_steps.copy(),
+            "allocated_sum_mbps": metrics.allocated_sum_mbps.copy(),
+            "in_view_sum": metrics.in_view_sum.copy(),
+            "peak_beams_used": metrics.peak_beams_used,
+            "handover_counts": metrics.handover_counts.copy(),
+            "reconnection_counts": metrics.reconnection_counts.copy(),
+            "previous_serving": metrics._previous_serving.copy(),
+            "last_covered_serving": metrics._last_covered_serving.copy(),
+            "latitude_samples": len(metrics.satellite_latitude_samples),
+        }
+
+    def _assert_unchanged(self, metrics, snapshot):
+        assert metrics.steps == snapshot["steps"]
+        assert np.array_equal(
+            metrics.covered_steps, snapshot["covered_steps"]
+        )
+        assert np.array_equal(
+            metrics.allocated_sum_mbps, snapshot["allocated_sum_mbps"]
+        )
+        assert np.array_equal(metrics.in_view_sum, snapshot["in_view_sum"])
+        assert metrics.peak_beams_used == snapshot["peak_beams_used"]
+        assert np.array_equal(
+            metrics.handover_counts, snapshot["handover_counts"]
+        )
+        assert np.array_equal(
+            metrics.reconnection_counts, snapshot["reconnection_counts"]
+        )
+        assert np.array_equal(
+            metrics._previous_serving, snapshot["previous_serving"]
+        )
+        assert np.array_equal(
+            metrics._last_covered_serving,
+            snapshot["last_covered_serving"],
+        )
+        assert (
+            len(metrics.satellite_latitude_samples)
+            == snapshot["latitude_samples"]
+        )
+
+    def test_misaligned_covered_with_valid_serving(self):
+        metrics = self._seed()
+        snapshot = self._snapshot(metrics)
+        with pytest.raises(SimulationError):
+            metrics.record_step(
+                covered=np.array([True, True, True]),  # wrong shape
+                allocated_mbps=np.array([1.0, 1.0]),
+                in_view_counts=np.array([1, 1]),
+                satellite_latitudes=np.array([0.0]),
+                beams_used=np.array([9]),
+                serving_satellite=np.array([4, 6]),  # valid, would count
+            )
+        self._assert_unchanged(metrics, snapshot)
+
+    def test_misaligned_serving_leaves_sums_unchanged(self):
+        metrics = self._seed()
+        snapshot = self._snapshot(metrics)
+        with pytest.raises(SimulationError):
+            metrics.record_step(
+                covered=np.array([True, True]),
+                allocated_mbps=np.array([1.0, 1.0]),
+                in_view_counts=np.array([1, 1]),
+                satellite_latitudes=np.array([0.0]),
+                serving_satellite=np.array([4]),  # wrong shape
+            )
+        self._assert_unchanged(metrics, snapshot)
+
+    def test_valid_call_after_rejected_call_counts_once(self):
+        metrics = self._seed()
+        with pytest.raises(SimulationError):
+            metrics.record_step(
+                covered=np.array([True] * 3),
+                allocated_mbps=np.array([1.0, 1.0]),
+                in_view_counts=np.array([1, 1]),
+                satellite_latitudes=np.array([0.0]),
+                serving_satellite=np.array([4, 6]),
+            )
+        metrics.record_step(
+            covered=np.array([True, True]),
+            allocated_mbps=np.array([1.0, 1.0]),
+            in_view_counts=np.array([1, 1]),
+            satellite_latitudes=np.array([0.0]),
+            serving_satellite=np.array([4, 6]),
+        )
+        assert metrics.steps == 2
+        assert metrics.handover_counts.tolist() == [1, 1]
+
+
 class TestReport:
     def test_text_contains_key_fields(self):
         report = SimulationReport(
@@ -81,3 +192,20 @@ class TestReport:
         assert "1584" in text
         assert "0.950" in text
         assert "97.0%" in text
+
+    def test_text_reports_handovers_and_reconnections(self):
+        report = SimulationReport(
+            steps=10,
+            cells=100,
+            satellites=1584,
+            min_coverage_fraction=0.95,
+            mean_coverage_fraction=0.99,
+            mean_satellites_in_view=20.5,
+            demand_satisfaction=0.97,
+            peak_beams_used=24,
+            mean_handovers_per_step=0.12,
+            mean_reconnections_per_step=0.03,
+        )
+        text = report.text()
+        assert "handovers/cell/step: 0.12" in text
+        assert "reconnections/cell/step: 0.03" in text

@@ -190,6 +190,48 @@ class TestSimulate:
             main(["simulate", "--strategy", "nope"])
 
 
+class TestTimeline:
+    REGION = [
+        "--lat-min", "37", "--lat-max", "38",
+        "--lon-min", "-83", "--lon-max", "-82",
+    ]
+
+    def test_flat_run_verifies_identity_and_writes_jsonl(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "timeline.jsonl"
+        assert main(
+            [
+                "timeline", *self.REGION,
+                "--duration-h", "0.25", "--step", "60",
+                "--diurnal", "flat",
+                "--reconnect-outage", "0", "--handover-outage", "0",
+                "--out", str(out),
+            ]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "byte-identical" in printed
+
+        from repro.timeline import read_timeline_jsonl
+
+        back = read_timeline_jsonl(out)
+        assert back["run"]["flat_identical"] is True
+        assert back["run"]["steps"] == 15
+        assert (tmp_path / "timeline.manifest.json").exists()
+
+    def test_residential_run_reports_qoe(self, capsys):
+        assert main(
+            [
+                "timeline", *self.REGION,
+                "--duration-h", "0.5", "--step", "120",
+                "--diurnal", "residential",
+            ]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "unserved hours/day" in printed
+        assert "outage minutes" in printed
+
+
 class TestExportGeojson:
     def test_writes_three_collections(self, tmp_path, capsys):
         assert main(

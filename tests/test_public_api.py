@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.runner",
     "repro.obs",
     "repro.serve",
+    "repro.timeline",
     "repro.viz",
 ]
 

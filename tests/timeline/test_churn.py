@@ -1,0 +1,122 @@
+"""Tests for the handover-churn model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.timeline import ChurnState, HandoverChurnModel
+
+
+def step(state, time_s, step_s, serving, allocated=None):
+    serving = np.array(serving, dtype=np.int64)
+    if allocated is None:
+        allocated = np.where(serving >= 0, 100.0, 0.0)
+    return state.apply_step(time_s, step_s, serving, np.asarray(allocated, dtype=float))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_outages(self, bad):
+        with pytest.raises(SimulationError):
+            HandoverChurnModel(reconnect_outage_s=bad)
+        with pytest.raises(SimulationError):
+            HandoverChurnModel(handover_outage_s=bad)
+
+    def test_rejects_bad_cell_count(self):
+        with pytest.raises(SimulationError):
+            ChurnState(0, HandoverChurnModel())
+
+    def test_rejects_misaligned_arrays(self):
+        state = ChurnState(2, HandoverChurnModel())
+        with pytest.raises(SimulationError):
+            state.apply_step(0.0, 15.0, np.array([1]), np.ones(2))
+        with pytest.raises(SimulationError):
+            state.apply_step(0.0, 15.0, np.array([1, 2]), np.ones(1))
+
+
+class TestDisabled:
+    def test_passthrough_is_bitwise_exact(self):
+        state = ChurnState(3, HandoverChurnModel.disabled())
+        allocated = np.array([123.456, 0.1 + 0.2, 0.0])
+        step(state, 0.0, 15.0, [3, 5, -1], allocated)
+        # A handover and a reconnection later, capacity still passes
+        # through untouched — the static-identity precondition.
+        out = step(state, 15.0, 15.0, [4, -1, -1], allocated)
+        out2 = step(state, 30.0, 15.0, [4, 6, -1], allocated)
+        assert np.array_equal(out, allocated)
+        assert np.array_equal(out2, allocated)
+        assert state.handover_counts.tolist() == [1, 0, 0]
+        assert state.reconnection_counts.tolist() == [0, 1, 0]
+        assert state.outage_seconds.tolist() == [0.0, 0.0, 0.0]
+        assert HandoverChurnModel.disabled().is_disabled
+
+
+class TestPenalties:
+    def test_reconnection_blanks_one_scheduling_interval(self):
+        model = HandoverChurnModel(
+            reconnect_outage_s=15.0, handover_outage_s=0.0
+        )
+        state = ChurnState(1, model)
+        step(state, 0.0, 15.0, [3])
+        step(state, 15.0, 15.0, [-1])  # coverage gap
+        out = step(state, 30.0, 15.0, [4])  # reacquire a new satellite
+        assert out[0] == 0.0  # the 15 s step is fully blanked
+        assert state.reconnection_counts.tolist() == [1]
+        assert state.outage_seconds[0] == pytest.approx(15.0)
+        # The window has expired by the next step.
+        recovered = step(state, 45.0, 15.0, [4])
+        assert recovered[0] == 100.0
+
+    def test_outage_derates_fractionally_on_long_steps(self):
+        model = HandoverChurnModel(
+            reconnect_outage_s=15.0, handover_outage_s=0.0
+        )
+        state = ChurnState(1, model)
+        step(state, 0.0, 60.0, [3])
+        step(state, 60.0, 60.0, [-1])
+        out = step(state, 120.0, 60.0, [4])
+        # 15 of 60 seconds blanked -> three quarters of capacity left.
+        assert out[0] == pytest.approx(75.0)
+
+    def test_outage_spans_multiple_short_steps(self):
+        model = HandoverChurnModel(
+            reconnect_outage_s=10.0, handover_outage_s=0.0
+        )
+        state = ChurnState(1, model)
+        step(state, 0.0, 5.0, [3])
+        step(state, 5.0, 5.0, [-1])
+        first = step(state, 10.0, 5.0, [4])
+        second = step(state, 15.0, 5.0, [4])
+        third = step(state, 20.0, 5.0, [4])
+        assert first[0] == 0.0 and second[0] == 0.0
+        assert third[0] == 100.0
+        assert state.outage_seconds[0] == pytest.approx(10.0)
+
+    def test_handover_cheaper_than_reconnection(self):
+        model = HandoverChurnModel(
+            reconnect_outage_s=15.0, handover_outage_s=1.0
+        )
+        state = ChurnState(2, model)
+        step(state, 0.0, 15.0, [3, 3])
+        handed = step(state, 15.0, 15.0, [4, -1])  # cell 0 hands over
+        out = step(state, 30.0, 15.0, [4, 5])  # cell 1 reconnects
+        assert state.handover_counts.tolist() == [1, 0]
+        assert state.reconnection_counts.tolist() == [0, 1]
+        # 1 s of a 15 s step vs all 15 s of it.
+        assert handed[0] == pytest.approx(100.0 * (1.0 - 1.0 / 15.0))
+        assert out[1] == 0.0
+
+    def test_same_satellite_reacquisition_not_penalized(self):
+        state = ChurnState(1, HandoverChurnModel())
+        step(state, 0.0, 15.0, [3])
+        step(state, 15.0, 15.0, [-1])
+        out = step(state, 30.0, 15.0, [3])  # same satellite returns
+        assert out[0] == 100.0
+        assert state.reconnection_counts.tolist() == [0]
+
+    def test_first_acquisition_not_penalized(self):
+        state = ChurnState(1, HandoverChurnModel())
+        out = step(state, 0.0, 15.0, [7])
+        assert out[0] == 100.0
+        assert state.reconnection_counts.tolist() == [0]
+        assert state.handover_counts.tolist() == [0]

@@ -1,0 +1,106 @@
+"""Tests for diurnal demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.timeline import PROFILE_NAMES, DiurnalProfile, get_profile
+
+
+class TestValidation:
+    def test_rejects_empty_breakpoints(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(name="x", hours=(), multipliers=())
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(
+                name="x", hours=(0.0, 12.0), multipliers=(1.0,)
+            )
+
+    def test_rejects_nonincreasing_hours(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(
+                name="x", hours=(0.0, 12.0, 12.0), multipliers=(1.0,) * 3
+            )
+
+    def test_rejects_hours_outside_day(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(name="x", hours=(0.0, 24.0), multipliers=(1.0, 1.0))
+        with pytest.raises(SimulationError):
+            DiurnalProfile(name="x", hours=(-1.0,), multipliers=(1.0,))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad_multipliers(self, bad):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(name="x", hours=(0.0,), multipliers=(bad,))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(name="", hours=(0.0,), multipliers=(1.0,))
+
+
+class TestCurve:
+    def test_flat_is_exactly_one_everywhere(self):
+        profile = DiurnalProfile.flat()
+        hours = np.linspace(0.0, 48.0, 97)
+        values = profile.multiplier_at(hours)
+        assert profile.is_flat
+        assert np.all(values == 1.0)
+
+    def test_interpolates_between_breakpoints(self):
+        profile = DiurnalProfile(
+            name="ramp", hours=(0.0, 12.0), multipliers=(1.0, 2.0)
+        )
+        assert profile.multiplier_at(np.array([6.0]))[0] == pytest.approx(1.5)
+
+    def test_wraps_across_midnight(self):
+        profile = DiurnalProfile(
+            name="wrap", hours=(6.0, 18.0), multipliers=(2.0, 4.0)
+        )
+        # Midnight sits halfway along the 18h -> (6h + 24h) segment.
+        assert profile.multiplier_at(np.array([0.0]))[0] == pytest.approx(3.0)
+        # Periodicity: any hour +/- 24 gives the same value.
+        hours = np.array([3.0, 9.5, 21.0])
+        assert profile.multiplier_at(hours + 24.0) == pytest.approx(
+            profile.multiplier_at(hours)
+        )
+
+    def test_residential_peaks_in_evening(self):
+        profile = get_profile("residential")
+        evening = profile.multiplier_at(np.array([20.0]))[0]
+        night = profile.multiplier_at(np.array([4.0]))[0]
+        assert evening > 1.0 > night
+        assert not profile.is_flat
+
+
+class TestLocalTimePhase:
+    def test_longitude_shifts_local_hour(self):
+        profile = get_profile("residential")
+        # 01:00 UTC is 20:00 local at -75E (east coast) but only
+        # 17:00 local at -120E (west coast): the evening peak has not
+        # arrived out west yet.
+        time_s = 1.0 * 3600.0
+        east, west = profile.cell_multipliers(
+            time_s, np.array([-75.0, -120.0])
+        )
+        assert east == pytest.approx(
+            profile.multiplier_at(np.array([20.0]))[0]
+        )
+        assert east > west
+
+    def test_same_longitude_same_multiplier(self):
+        profile = get_profile("business")
+        values = profile.cell_multipliers(7200.0, np.array([-90.0, -90.0]))
+        assert values[0] == values[1]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert PROFILE_NAMES == ("business", "flat", "residential")
+        for name in PROFILE_NAMES:
+            assert get_profile(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            get_profile("weekend")
